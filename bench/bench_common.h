@@ -1,0 +1,66 @@
+// Shared plumbing for the per-table/per-figure reproduction harnesses.
+//
+// Every binary accepts:
+//   --quick      tiny workload (seconds; sanity-check the shape)
+//   --full       the full preset workload (paper-scale synthetic traces)
+//   --scale=X    explicit rate multiplier
+// with a moderate default chosen so the whole bench/ directory runs in a
+// few minutes on one core.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "core/scheme_catalog.h"
+#include "metrics/table.h"
+
+namespace dnsshield::bench {
+
+struct BenchOptions {
+  double rate_factor = 0.15;
+};
+
+inline BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.rate_factor = 0.05;
+    } else if (arg == "--full") {
+      opts.rate_factor = 1.0;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opts.rate_factor = std::stod(arg.substr(8));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick|--full|--scale=X]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+inline void print_header(const char* id, const char* title,
+                         const BenchOptions& opts) {
+  std::printf("=== %s: %s ===\n", id, title);
+  std::printf("(synthetic traces, rate scale %.2f; see EXPERIMENTS.md for the "
+              "paper-vs-measured record)\n\n",
+              opts.rate_factor);
+}
+
+/// A preset's experiment setup with the scaled workload.
+inline core::ExperimentSetup setup_for(const core::TracePreset& preset,
+                                       const BenchOptions& opts,
+                                       core::AttackSpec attack) {
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::default_hierarchy();
+  setup.workload = core::scaled(preset.workload, opts.rate_factor);
+  setup.attack = attack;
+  return setup;
+}
+
+}  // namespace dnsshield::bench

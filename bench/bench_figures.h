@@ -1,0 +1,77 @@
+// Shared figure shapes: the paper's resilience figures are all "percentage
+// of failed queries during the attack window", split into an upper graph
+// (queries from stub-resolvers) and a lower graph (queries from the caching
+// server to authoritative servers).
+#pragma once
+
+#include "bench_common.h"
+
+namespace dnsshield::bench {
+
+/// Figs. 4-5 shape: one scheme, five traces, attack durations 3/6/12/24h.
+inline void run_duration_figure(const core::Scheme& scheme,
+                                const BenchOptions& opts) {
+  const std::vector<double> durations{3, 6, 12, 24};
+  std::vector<std::string> header{"Trace"};
+  for (const double d : durations) {
+    header.push_back(metrics::TablePrinter::num(d, 0) + " Hours");
+  }
+  metrics::TablePrinter sr_table(header);
+  metrics::TablePrinter cs_table(header);
+
+  for (const auto& preset : core::week_trace_presets()) {
+    std::vector<std::string> sr_row{preset.name};
+    std::vector<std::string> cs_row{preset.name};
+    for (const double d : durations) {
+      const auto setup =
+          setup_for(preset, opts, core::standard_attack(sim::hours(d)));
+      const auto r = core::run_experiment(setup, scheme.config);
+      sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
+      cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
+    }
+    sr_table.add_row(sr_row);
+    cs_table.add_row(cs_row);
+  }
+  std::printf("Failed queries from stub-resolvers (%s):\n", scheme.label.c_str());
+  sr_table.print();
+  std::printf("\nFailed queries from caching servers (%s):\n", scheme.label.c_str());
+  cs_table.print();
+}
+
+/// Figs. 6-11 shape: several schemes side by side, 6-hour attack.
+inline void run_scheme_figure(const std::vector<core::Scheme>& schemes,
+                              const BenchOptions& opts,
+                              double attack_hours = 6) {
+  std::vector<std::string> header{"Trace"};
+  for (const auto& s : schemes) header.push_back(s.label);
+  metrics::TablePrinter sr_table(header);
+  metrics::TablePrinter cs_table(header);
+
+  for (const auto& preset : core::week_trace_presets()) {
+    std::vector<std::string> sr_row{preset.name};
+    std::vector<std::string> cs_row{preset.name};
+    for (const auto& scheme : schemes) {
+      const auto setup =
+          setup_for(preset, opts, core::standard_attack(sim::hours(attack_hours)));
+      const auto r = core::run_experiment(setup, scheme.config);
+      sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
+      cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
+    }
+    sr_table.add_row(sr_row);
+    cs_table.add_row(cs_row);
+  }
+  std::printf("Failed queries from stub-resolvers (%.0f-hour attack):\n",
+              attack_hours);
+  sr_table.print();
+  std::printf("\nFailed queries from caching servers (%.0f-hour attack):\n",
+              attack_hours);
+  cs_table.print();
+}
+
+/// Prepends the vanilla baseline column the renewal/long-TTL figures show.
+inline std::vector<core::Scheme> with_vanilla(std::vector<core::Scheme> schemes) {
+  schemes.insert(schemes.begin(), core::vanilla_scheme());
+  return schemes;
+}
+
+}  // namespace dnsshield::bench

@@ -1,0 +1,14 @@
+// Figure 10: TTL refresh + long IRR TTLs (1/3/5/7 days) vs vanilla, 6-hour
+// root+TLD attack.
+// Paper shape: matches the best renewal policy; 5 days ~= 7 days because
+// nearly all expiry-to-reuse gaps are under 5 days (Fig. 3).
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 10", "TTL refresh + long TTL", opts);
+  bench::run_scheme_figure(bench::with_vanilla(core::long_ttl_schemes()), opts);
+  return 0;
+}

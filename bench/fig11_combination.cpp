@@ -1,0 +1,14 @@
+// Figure 11: the hybrid — TTL refresh + A-LFU(5) renewal + long TTLs of
+// 1/3/5/7 days vs vanilla, 6-hour root+TLD attack.
+// Paper shape: 3 days already reaches the maximum resilience.
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 11", "TTL refresh + renewal + long TTL", opts);
+  bench::run_scheme_figure(bench::with_vanilla(core::combination_schemes()),
+                           opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4: failure percentages of today's ("vanilla") DNS under a
+// root+TLD attack of 3/6/12/24 hours starting on day 7.
+// Paper shape: failures grow with duration; CS-level > SR-level; SR-level
+// varies across traces while CS-level is nearly trace-independent.
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 4", "Vanilla DNS under root+TLD attack", opts);
+  bench::run_duration_figure(core::vanilla_scheme(), opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7: TTL refresh + LFU renewal (credits 1/3/5) vs vanilla, 6-hour
+// root+TLD attack.
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 7", "TTL refresh + renewal (LFU)", opts);
+  bench::run_scheme_figure(
+      bench::with_vanilla(core::renewal_schemes(resolver::RenewalPolicy::kLfu)),
+      opts);
+  return 0;
+}

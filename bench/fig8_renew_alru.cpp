@@ -1,0 +1,15 @@
+// Figure 8: TTL refresh + adaptive-LRU renewal (credits 1/3/5) vs vanilla,
+// 6-hour root+TLD attack.
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 8", "TTL refresh + renewal (A-LRU)", opts);
+  bench::run_scheme_figure(
+      bench::with_vanilla(
+          core::renewal_schemes(resolver::RenewalPolicy::kAdaptiveLru)),
+      opts);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 9: TTL refresh + adaptive-LFU renewal (credits 1/3/5) vs vanilla,
+// 6-hour root+TLD attack.
+// Paper shape: the best renewal policy — SR failures < 2.5%, CS < 10%.
+#include "bench_figures.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Figure 9", "TTL refresh + renewal (A-LFU)", opts);
+  bench::run_scheme_figure(
+      bench::with_vanilla(
+          core::renewal_schemes(resolver::RenewalPolicy::kAdaptiveLfu)),
+      opts);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// name handling, wire codec, cache operations, resolution, sampling.
+#include <benchmark/benchmark.h>
+
+#include "attack/injector.h"
+#include "core/presets.h"
+#include "dns/wire.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+#include "sim/distributions.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace dnsshield;
+
+const server::Hierarchy& bench_hierarchy() {
+  static const server::Hierarchy h = server::build_hierarchy([] {
+    auto p = core::small_hierarchy();
+    p.num_slds = 500;
+    return p;
+  }());
+  return h;
+}
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::Name::parse("www.cs.ucla.edu"));
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameHashLookup(benchmark::State& state) {
+  const dns::Name name = dns::Name::parse("www.cs.ucla.edu");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(name.hash());
+    benchmark::DoNotOptimize(name.is_subdomain_of(name));
+  }
+}
+BENCHMARK(BM_NameHashLookup);
+
+dns::Message sample_message() {
+  dns::Message m = dns::Message::make_query(1, dns::Name::parse("www.ucla.edu"),
+                                            dns::RRType::kA);
+  dns::Message r = dns::Message::make_response(m);
+  r.header.aa = true;
+  r.answers.push_back({dns::Name::parse("www.ucla.edu"), dns::RRType::kA, 300,
+                       dns::ARdata{dns::IpAddr(123)}});
+  r.authorities.push_back({dns::Name::parse("ucla.edu"), dns::RRType::kNS, 86400,
+                           dns::NsRdata{dns::Name::parse("ns1.ucla.edu")}});
+  r.additionals.push_back({dns::Name::parse("ns1.ucla.edu"), dns::RRType::kA,
+                           86400, dns::ARdata{dns::IpAddr(45)}});
+  return r;
+}
+
+void BM_WireEncode(benchmark::State& state) {
+  const dns::Message m = sample_message();
+  for (auto _ : state) benchmark::DoNotOptimize(dns::encode_message(m));
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto wire = dns::encode_message(sample_message());
+  for (auto _ : state) benchmark::DoNotOptimize(dns::decode_message(wire));
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_CacheInsert(benchmark::State& state) {
+  resolver::Cache cache(7 * 86400);
+  dns::RRset set(dns::Name::parse("w.x.com"), dns::RRType::kA, 300);
+  set.add(dns::ARdata{dns::IpAddr(1)});
+  double now = 0;
+  for (auto _ : state) {
+    now += 1;
+    benchmark::DoNotOptimize(cache.insert(set, dns::Trust::kAuthAnswer, now,
+                                          false, dns::Name(), true));
+  }
+}
+BENCHMARK(BM_CacheInsert);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  resolver::Cache cache(7 * 86400);
+  dns::RRset set(dns::Name::parse("w.x.com"), dns::RRType::kA, 1u << 30);
+  set.add(dns::ARdata{dns::IpAddr(1)});
+  cache.insert(set, dns::Trust::kAuthAnswer, 0, false, dns::Name(), true);
+  const dns::Name name = dns::Name::parse("w.x.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 100));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_ResolveWarm(benchmark::State& state) {
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  resolver::CachingServer cs(bench_hierarchy(), no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  const dns::Name name = bench_hierarchy().host_names().front();
+  cs.resolve(name, dns::RRType::kA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.resolve(name, dns::RRType::kA));
+  }
+}
+BENCHMARK(BM_ResolveWarm);
+
+void BM_ResolveColdSweep(benchmark::State& state) {
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  const auto& names = bench_hierarchy().host_names();
+  std::size_t i = 0;
+  resolver::CachingServer cs(bench_hierarchy(), no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cs.resolve(names[i++ % names.size()], dns::RRType::kA));
+  }
+}
+BENCHMARK(BM_ResolveColdSweep);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const sim::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  for (auto _ : state) {
+    t += 1;
+    q.schedule_at(t, [] {});
+    q.step();
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_AuthServerRespond(benchmark::State& state) {
+  const auto& h = bench_hierarchy();
+  const dns::Message q = dns::Message::make_query(
+      1, h.host_names().front(), dns::RRType::kA);
+  const auto addr = h.root_hints().front();
+  for (auto _ : state) benchmark::DoNotOptimize(h.query(addr, q));
+}
+BENCHMARK(BM_AuthServerRespond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

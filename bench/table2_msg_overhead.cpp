@@ -1,0 +1,59 @@
+// Table 2: message overhead — relative change in the number of CS->ANS
+// messages for each scheme vs vanilla, over attack-free full traces.
+// Paper shape: adaptive renewal policies cost a lot (up to ~5x traffic on
+// short-TTL-heavy workloads); plain refresh and long-TTL(7d) are net
+// negative; the combination is negative too while keeping top resilience.
+#include "bench_common.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Table 2", "Message overhead vs vanilla DNS", opts);
+
+  // Average the overhead across the one-week traces, as a single row per
+  // scheme like the paper's table.
+  const auto presets = core::week_trace_presets();
+  std::vector<core::ExperimentResult> baselines;
+  for (const auto& preset : presets) {
+    auto vanilla = resolver::ResilienceConfig::vanilla();
+    vanilla.count_wire_bytes = true;
+    baselines.push_back(core::run_experiment(
+        bench::setup_for(preset, opts, core::AttackSpec::none()), vanilla));
+  }
+
+  metrics::TablePrinter table({"Scheme", "Message overhead", "Byte overhead",
+                               "Renewal fetches"});
+  for (const auto& scheme : core::overhead_table_schemes()) {
+    double overhead_sum = 0;
+    double byte_overhead_sum = 0;
+    std::uint64_t renewals = 0;
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+      auto config = scheme.config;
+      config.count_wire_bytes = true;
+      const auto r = core::run_experiment(
+          bench::setup_for(presets[i], opts, core::AttackSpec::none()), config);
+      overhead_sum += core::message_overhead(baselines[i], r);
+      const double base_bytes = static_cast<double>(
+          baselines[i].totals.bytes_sent + baselines[i].totals.bytes_received);
+      if (base_bytes > 0) {
+        byte_overhead_sum +=
+            (static_cast<double>(r.totals.bytes_sent + r.totals.bytes_received) -
+             base_bytes) /
+            base_bytes;
+      }
+      renewals += r.totals.renewal_fetches;
+    }
+    const double overhead = overhead_sum / static_cast<double>(presets.size());
+    const double byte_overhead =
+        byte_overhead_sum / static_cast<double>(presets.size());
+    table.add_row({scheme.label,
+                   (overhead >= 0 ? "+" : "") +
+                       metrics::TablePrinter::pct(overhead, 1),
+                   (byte_overhead >= 0 ? "+" : "") +
+                       metrics::TablePrinter::pct(byte_overhead, 1),
+                   std::to_string(renewals)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// attack_drill: run the paper's headline experiment end to end on one
+// trace and print a timeline — six quiet days, then a root+TLD DDoS on
+// day 7 — comparing today's DNS against the hardened caching server.
+//
+//   ./attack_drill [attack-hours]   (default 6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "core/scheme_catalog.h"
+#include "metrics/table.h"
+
+using namespace dnsshield;
+
+int main(int argc, char** argv) {
+  const double attack_hours = argc > 1 ? std::atof(argv[1]) : 6.0;
+  if (attack_hours <= 0 || attack_hours > 24) {
+    std::fprintf(stderr, "usage: %s [attack-hours in (0, 24]]\n", argv[0]);
+    return 2;
+  }
+
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::default_hierarchy();
+  setup.workload = core::scaled(core::all_trace_presets()[0].workload, 0.1);
+  setup.attack = core::standard_attack(sim::hours(attack_hours));
+
+  std::printf("Scenario: %u clients behind one caching server; on day 7 a "
+              "DDoS silences the root and every TLD for %.0f hours.\n\n",
+              setup.workload.num_clients, attack_hours);
+
+  const std::vector<core::Scheme> schemes{
+      core::vanilla_scheme(),
+      core::refresh_scheme(),
+      {"refresh+A-LFU(5)",
+       resolver::ResilienceConfig::refresh_renew(
+           resolver::RenewalPolicy::kAdaptiveLfu, 5)},
+      {"combination(3d)", resolver::ResilienceConfig::combination(3)},
+  };
+
+  metrics::TablePrinter table({"Scheme", "SR failures", "CS failures",
+                               "Messages (total)", "Renewal fetches"});
+  for (const auto& scheme : schemes) {
+    const auto r = core::run_experiment(setup, scheme.config);
+    table.add_row({scheme.label,
+                   metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()),
+                   metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()),
+                   std::to_string(r.totals.msgs_sent),
+                   std::to_string(r.totals.renewal_fetches)});
+  }
+  table.print();
+
+  std::puts("\nReading the table: 'SR failures' is the share of end-user "
+            "queries that could not be resolved during the attack; 'CS "
+            "failures' is the share of the caching server's own upstream "
+            "queries that went unanswered. The hardened schemes keep "
+            "infrastructure records cached, so end users barely notice an "
+            "attack that cripples the vanilla configuration.");
+  return 0;
+}

@@ -1,0 +1,219 @@
+// dnsshield_cli: scriptable experiment driver.
+//
+// Runs one caching-server scheme over a synthetic workload (or a replayed
+// trace file) with an optional attack, and reports text or JSON.
+//
+// Examples:
+//   dnsshield_cli --scheme=vanilla --attack=root-tlds --attack-hours=6
+//   dnsshield_cli --scheme=combo --ttl-days=3 --format=json
+//   dnsshield_cli --scheme=renew --policy=a-lfu --credit=5 --days=7
+//   dnsshield_cli --trace=capture.tsv --scheme=refresh --attack=zones:com.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "core/report.h"
+#include "trace/trace_io.h"
+
+using namespace dnsshield;
+
+namespace {
+
+struct CliOptions {
+  std::string scheme = "vanilla";
+  std::string policy = "a-lfu";
+  double credit = 5;
+  double ttl_days = 3;
+  bool dnssec = false;
+
+  std::string trace_path;  // empty = synthetic workload
+  std::uint64_t seed = 7;
+  std::uint32_t clients = 200;
+  double days = 7;
+  double qps = 0.3;
+
+  std::string attack = "root-tlds";  // none|root|root-tlds|zones:a.,b.
+  double attack_start_days = 6;
+  double attack_hours = 6;
+  double strength = 0;
+
+  int slds = 4000;
+  std::string format = "text";  // text|json
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --scheme=S        vanilla|refresh|renew|long-ttl|combo|serve-stale|\n"
+      "                    host-prefetch          (default vanilla)\n"
+      "  --policy=P        lru|lfu|a-lru|a-lfu    (renew/combo; default a-lfu)\n"
+      "  --credit=C        renewal credit         (default 5)\n"
+      "  --ttl-days=D      long-TTL override      (default 3)\n"
+      "  --dnssec          sign the hierarchy and fetch DNSKEYs\n"
+      "  --trace=FILE      replay a TSV trace instead of generating one\n"
+      "  --seed=N --clients=N --days=D --qps=R    synthetic workload knobs\n"
+      "  --attack=A        none|root|root-tlds|zones:a.com,b.net\n"
+      "  --attack-start-days=D --attack-hours=H --strength=F\n"
+      "  --slds=N          synthetic hierarchy size (default 4000)\n"
+      "  --format=F        text|json              (default text)\n",
+      argv0);
+  std::exit(code);
+}
+
+bool take_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0], 0);
+    } else if (std::strcmp(arg, "--dnssec") == 0) {
+      o.dnssec = true;
+    } else if (take_value(arg, "--scheme", o.scheme) ||
+               take_value(arg, "--policy", o.policy) ||
+               take_value(arg, "--trace", o.trace_path) ||
+               take_value(arg, "--attack", o.attack) ||
+               take_value(arg, "--format", o.format)) {
+      // handled
+    } else if (take_value(arg, "--credit", v)) {
+      o.credit = std::atof(v.c_str());
+    } else if (take_value(arg, "--ttl-days", v)) {
+      o.ttl_days = std::atof(v.c_str());
+    } else if (take_value(arg, "--seed", v)) {
+      o.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (take_value(arg, "--clients", v)) {
+      o.clients = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (take_value(arg, "--days", v)) {
+      o.days = std::atof(v.c_str());
+    } else if (take_value(arg, "--qps", v)) {
+      o.qps = std::atof(v.c_str());
+    } else if (take_value(arg, "--attack-start-days", v)) {
+      o.attack_start_days = std::atof(v.c_str());
+    } else if (take_value(arg, "--attack-hours", v)) {
+      o.attack_hours = std::atof(v.c_str());
+    } else if (take_value(arg, "--strength", v)) {
+      o.strength = std::atof(v.c_str());
+    } else if (take_value(arg, "--slds", v)) {
+      o.slds = std::atoi(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n\n", arg);
+      usage(argv[0], 2);
+    }
+  }
+  return o;
+}
+
+resolver::RenewalPolicy parse_policy(const std::string& name) {
+  if (name == "lru") return resolver::RenewalPolicy::kLru;
+  if (name == "lfu") return resolver::RenewalPolicy::kLfu;
+  if (name == "a-lru") return resolver::RenewalPolicy::kAdaptiveLru;
+  if (name == "a-lfu") return resolver::RenewalPolicy::kAdaptiveLfu;
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+resolver::ResilienceConfig make_config(const CliOptions& o) {
+  using resolver::ResilienceConfig;
+  ResilienceConfig c;
+  if (o.scheme == "vanilla") {
+    c = ResilienceConfig::vanilla();
+  } else if (o.scheme == "refresh") {
+    c = ResilienceConfig::refresh();
+  } else if (o.scheme == "renew") {
+    c = ResilienceConfig::refresh_renew(parse_policy(o.policy), o.credit);
+  } else if (o.scheme == "long-ttl") {
+    c = ResilienceConfig::refresh_long_ttl(o.ttl_days);
+  } else if (o.scheme == "combo") {
+    c = ResilienceConfig::combination(o.ttl_days, o.credit);
+    c.renewal = parse_policy(o.policy);
+  } else if (o.scheme == "serve-stale") {
+    c = ResilienceConfig::stale_serving();
+  } else if (o.scheme == "host-prefetch") {
+    c = ResilienceConfig::host_prefetch();
+  } else {
+    std::fprintf(stderr, "unknown scheme: %s\n", o.scheme.c_str());
+    std::exit(2);
+  }
+  c.fetch_dnskey = o.dnssec;
+  return c;
+}
+
+core::AttackSpec make_attack(const CliOptions& o) {
+  const sim::SimTime start = sim::days(o.attack_start_days);
+  const sim::Duration duration = sim::hours(o.attack_hours);
+  core::AttackSpec spec;
+  if (o.attack == "none") {
+    spec = core::AttackSpec::none();
+  } else if (o.attack == "root") {
+    spec = core::AttackSpec::root_only(start, duration);
+  } else if (o.attack == "root-tlds") {
+    spec = core::AttackSpec::root_and_tlds(start, duration);
+  } else if (o.attack.rfind("zones:", 0) == 0) {
+    std::vector<std::string> zones;
+    std::string rest = o.attack.substr(6);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const std::size_t comma = rest.find(',', pos);
+      zones.push_back(rest.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    spec = core::AttackSpec::custom(std::move(zones), start, duration);
+  } else {
+    std::fprintf(stderr, "unknown attack: %s\n", o.attack.c_str());
+    std::exit(2);
+  }
+  spec.strength = o.strength;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse_cli(argc, argv);
+
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::default_hierarchy();
+  setup.hierarchy.num_slds = o.slds;
+  setup.hierarchy.enable_dnssec = o.dnssec;
+  setup.workload.seed = o.seed;
+  setup.workload.num_clients = o.clients;
+  setup.workload.duration = sim::days(o.days);
+  setup.workload.mean_rate_qps = o.qps;
+  setup.attack = make_attack(o);
+
+  const resolver::ResilienceConfig config = make_config(o);
+
+  core::ExperimentResult result;
+  try {
+    if (o.trace_path.empty()) {
+      result = core::run_experiment(setup, config);
+    } else {
+      const auto events = trace::read_trace_file(o.trace_path);
+      result = core::replay_trace(setup, config, events);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (o.format == "json") {
+    std::puts(core::to_json(result).c_str());
+  } else {
+    std::fputs(core::to_text(result).c_str(), stdout);
+  }
+  return 0;
+}

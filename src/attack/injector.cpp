@@ -1,0 +1,52 @@
+#include "attack/injector.h"
+
+#include <stdexcept>
+
+namespace dnsshield::attack {
+
+AttackInjector::AttackInjector() = default;
+
+AttackInjector::AttackInjector(const server::Hierarchy& hierarchy,
+                               AttackScenario scenario)
+    : AttackInjector(hierarchy, std::vector<AttackScenario>{std::move(scenario)}) {}
+
+AttackInjector::AttackInjector(const server::Hierarchy& hierarchy,
+                               std::vector<AttackScenario> scenarios) {
+  for (auto& scenario : scenarios) {
+    Wave wave;
+    std::unordered_set<dns::IpAddr, dns::IpAddrHash> targeted;
+    for (const auto& zone : scenario.target_zones) {
+      for (const auto& addr : hierarchy.servers_of(zone)) {
+        targeted.insert(addr);
+      }
+    }
+    if (scenario.strength <= 0) {
+      wave.blocked = std::move(targeted);  // unbounded attacker
+    } else {
+      // Even split of the flood across targeted addresses; a server
+      // survives when its anycast provisioning absorbs its share.
+      const double share =
+          scenario.strength /
+          static_cast<double>(std::max<std::size_t>(1, targeted.size()));
+      for (const auto& addr : targeted) {
+        const server::AuthServer* server = hierarchy.server_at(addr);
+        if (server != nullptr && share > server->capacity()) {
+          wave.blocked.insert(addr);
+        }
+      }
+    }
+    wave.scenario = std::move(scenario);
+    waves_.push_back(std::move(wave));
+  }
+}
+
+const AttackScenario& AttackInjector::scenario() const {
+  static const AttackScenario kNone;
+  return waves_.empty() ? kNone : waves_.front().scenario;
+}
+
+std::size_t AttackInjector::blocked_server_count() const {
+  return waves_.empty() ? 0 : waves_.front().blocked.size();
+}
+
+}  // namespace dnsshield::attack

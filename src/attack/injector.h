@@ -1,0 +1,61 @@
+// Availability oracle: decides per (server, time) whether a query gets a
+// response, implementing the scenario's outage window.
+#pragma once
+
+#include <unordered_set>
+
+#include "attack/scenario.h"
+#include "dns/rr.h"
+#include "server/hierarchy.h"
+
+namespace dnsshield::attack {
+
+/// Precomputes the set of server addresses knocked out by each scenario.
+/// A server is blocked if it is authoritative for *any* target zone —
+/// collateral damage for other zones it serves is intentional (a flooded
+/// box is down for everyone). Several scenarios (attack waves) can be
+/// active; their outages union.
+class AttackInjector {
+ public:
+  AttackInjector(const server::Hierarchy& hierarchy, AttackScenario scenario);
+
+  /// Multi-wave attacks: each scenario has its own window, targets, and
+  /// strength.
+  AttackInjector(const server::Hierarchy& hierarchy,
+                 std::vector<AttackScenario> scenarios);
+
+  /// No-attack injector: everything is always available.
+  AttackInjector();
+
+  /// True if the server at `address` responds at time `t`.
+  bool is_available(dns::IpAddr address, sim::SimTime t) const {
+    for (const auto& wave : waves_) {
+      if (wave.scenario.active_at(t) && wave.blocked.count(address) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool attack_active(sim::SimTime t) const {
+    for (const auto& wave : waves_) {
+      if (wave.scenario.active_at(t)) return true;
+    }
+    return false;
+  }
+
+  std::size_t wave_count() const { return waves_.size(); }
+
+  /// The first wave (legacy accessor; most experiments have exactly one).
+  const AttackScenario& scenario() const;
+  std::size_t blocked_server_count() const;
+
+ private:
+  struct Wave {
+    AttackScenario scenario;
+    std::unordered_set<dns::IpAddr, dns::IpAddrHash> blocked;
+  };
+  std::vector<Wave> waves_;
+};
+
+}  // namespace dnsshield::attack

@@ -1,0 +1,61 @@
+#include "attack/max_damage.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dnsshield::attack {
+
+using dns::Name;
+
+std::vector<ZoneScore> score_zones(const server::Hierarchy& hierarchy,
+                                   const std::vector<trace::QueryEvent>& trace,
+                                   const MaxDamageParams& params) {
+  std::unordered_map<Name, std::uint64_t, dns::NameHash> counts;
+  const sim::SimTime end = params.window_start + params.window;
+  for (const auto& ev : trace) {
+    if (ev.time < params.window_start || ev.time >= end) continue;
+    // Every zone on the delegation chain from the owning zone to the root
+    // is traversed when resolving this name from a cold cache.
+    Name zone = hierarchy.authoritative_zone_for(ev.qname).origin();
+    for (;;) {
+      if (zone.label_count() >= params.min_depth) ++counts[zone];
+      if (zone.is_root()) break;
+      // Jump to the next enclosing *zone* (not merely the parent name).
+      zone = hierarchy.authoritative_zone_for(zone.parent()).origin();
+    }
+  }
+
+  std::vector<ZoneScore> scores;
+  scores.reserve(counts.size());
+  for (const auto& [zone, count] : counts) scores.push_back({zone, count});
+  std::sort(scores.begin(), scores.end(),
+            [](const ZoneScore& a, const ZoneScore& b) {
+              if (a.subtree_queries != b.subtree_queries) {
+                return a.subtree_queries > b.subtree_queries;
+              }
+              return a.zone < b.zone;  // deterministic tie-break
+            });
+  return scores;
+}
+
+AttackScenario greedy_max_damage(const server::Hierarchy& hierarchy,
+                                 const std::vector<trace::QueryEvent>& trace,
+                                 const MaxDamageParams& params) {
+  AttackScenario scenario;
+  scenario.start = params.window_start;
+  scenario.duration = params.window;
+
+  for (const auto& candidate : score_zones(hierarchy, trace, params)) {
+    if (scenario.target_zones.size() >= params.budget) break;
+    const bool overlaps = std::any_of(
+        scenario.target_zones.begin(), scenario.target_zones.end(),
+        [&](const Name& picked) {
+          return candidate.zone.is_subdomain_of(picked) ||
+                 picked.is_subdomain_of(candidate.zone);
+        });
+    if (!overlaps) scenario.target_zones.push_back(candidate.zone);
+  }
+  return scenario;
+}
+
+}  // namespace dnsshield::attack

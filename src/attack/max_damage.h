@@ -1,0 +1,53 @@
+// Greedy approximation of the paper's "maximum damage attack" (section 6):
+// given a budget of zones the attacker can flood, which targets maximize
+// failed queries?
+//
+// The paper observes that the exact optimum is impractical (it needs every
+// stub-resolver's future queries, and cascading IRR expiries defeat
+// standard optimization). What *is* computable from a single vantage point
+// is the upcoming-query heuristic the paper sketches: count how many
+// queries in the attack window resolve through each zone's subtree, then
+// greedily take the biggest disjoint subtrees. The realized damage is then
+// measured by simulation (bench/ablation_max_damage).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/scenario.h"
+#include "server/hierarchy.h"
+#include "trace/query_event.h"
+
+namespace dnsshield::attack {
+
+struct MaxDamageParams {
+  std::size_t budget = 5;        // zones the attacker can afford to flood
+  sim::SimTime window_start = 0;
+  sim::Duration window = 0;      // scoring window (the planned attack slot)
+
+  /// Skip zones at or above this depth (0 = root). The default of 0 allows
+  /// everything; 2 restricts the search below the TLDs, modelling an
+  /// attacker who cannot overwhelm anycast-provisioned upper zones.
+  std::size_t min_depth = 0;
+};
+
+/// A scored candidate target.
+struct ZoneScore {
+  dns::Name zone;
+  std::uint64_t subtree_queries = 0;  // window queries under the zone
+};
+
+/// Scores every zone by the number of window queries that resolve through
+/// it (query name inside the zone's subtree), descending.
+std::vector<ZoneScore> score_zones(const server::Hierarchy& hierarchy,
+                                   const std::vector<trace::QueryEvent>& trace,
+                                   const MaxDamageParams& params);
+
+/// Greedy target pick: walk the score ranking, taking a zone unless it is
+/// an ancestor or descendant of an already-picked zone (blocking an
+/// ancestor already covers the subtree; a descendant would waste budget).
+AttackScenario greedy_max_damage(const server::Hierarchy& hierarchy,
+                                 const std::vector<trace::QueryEvent>& trace,
+                                 const MaxDamageParams& params);
+
+}  // namespace dnsshield::attack

@@ -1,0 +1,32 @@
+#include "attack/scenario.h"
+
+namespace dnsshield::attack {
+
+using dns::Name;
+
+AttackScenario root_and_tlds(const server::Hierarchy& hierarchy,
+                             sim::SimTime start, sim::Duration duration) {
+  AttackScenario s;
+  s.start = start;
+  s.duration = duration;
+  for (const auto& origin : hierarchy.zone_origins()) {
+    if (origin.is_root() || origin.label_count() == 1) {
+      s.target_zones.push_back(origin);
+    }
+  }
+  return s;
+}
+
+AttackScenario single_zone(Name zone, sim::SimTime start, sim::Duration duration) {
+  AttackScenario s;
+  s.target_zones.push_back(std::move(zone));
+  s.start = start;
+  s.duration = duration;
+  return s;
+}
+
+AttackScenario root_only(sim::SimTime start, sim::Duration duration) {
+  return single_zone(Name::root(), start, duration);
+}
+
+}  // namespace dnsshield::attack

@@ -1,0 +1,43 @@
+// DDoS attack scenarios: which zones' authoritative servers are knocked
+// out, and when.
+#pragma once
+
+#include <vector>
+
+#include "dns/name.h"
+#include "server/hierarchy.h"
+#include "sim/time.h"
+
+namespace dnsshield::attack {
+
+/// A DDoS attack: the authoritative servers of every target zone are
+/// flooded during [start, start + duration).
+///
+/// With strength == 0 (the default) the attacker is unbounded and every
+/// targeted server goes down — the paper's evaluation scenario. A positive
+/// strength models the arms race of section 3.1: the flood is spread
+/// evenly over the targeted addresses and a server survives when its
+/// absorption capacity (anycast provisioning) exceeds its share.
+struct AttackScenario {
+  std::vector<dns::Name> target_zones;
+  sim::SimTime start = 0;
+  sim::Duration duration = 0;
+  double strength = 0;  // 0 = unbounded attacker
+
+  sim::SimTime end() const { return start + duration; }
+  bool active_at(sim::SimTime t) const { return t >= start && t < end(); }
+};
+
+/// The paper's evaluation scenario (section 5.1): the root zone and every
+/// top-level domain are blocked.
+AttackScenario root_and_tlds(const server::Hierarchy& hierarchy,
+                             sim::SimTime start, sim::Duration duration);
+
+/// Attack on a single zone.
+AttackScenario single_zone(dns::Name zone, sim::SimTime start,
+                           sim::Duration duration);
+
+/// Attack on the root only.
+AttackScenario root_only(sim::SimTime start, sim::Duration duration);
+
+}  // namespace dnsshield::attack

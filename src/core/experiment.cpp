@@ -1,0 +1,167 @@
+#include "core/experiment.h"
+
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+
+namespace dnsshield::core {
+
+using resolver::CachingServer;
+
+namespace {
+
+attack::AttackScenario resolve_attack(const AttackSpec& spec,
+                                      const server::Hierarchy& hierarchy) {
+  attack::AttackScenario s;
+  switch (spec.kind) {
+    case AttackSpec::Kind::kNone: return s;
+    case AttackSpec::Kind::kRootAndTlds:
+      s = attack::root_and_tlds(hierarchy, spec.start, spec.duration);
+      break;
+    case AttackSpec::Kind::kRootOnly:
+      s = attack::root_only(spec.start, spec.duration);
+      break;
+    case AttackSpec::Kind::kSingleZone:
+    case AttackSpec::Kind::kCustom:
+      s.start = spec.start;
+      s.duration = spec.duration;
+      for (const auto& zone : spec.zones) {
+        s.target_zones.push_back(dns::Name::parse(zone));
+      }
+      break;
+  }
+  s.strength = spec.strength;
+  return s;
+}
+
+/// A source of time-sorted query events, delivered into a sink.
+using Feeder =
+    std::function<void(const std::function<void(const trace::QueryEvent&)>&)>;
+
+/// The shared experiment core: builds the resolver stack over an existing
+/// hierarchy, pumps the feeder's events through it, and collects results.
+/// `horizon` bounds the run (renewal chains would otherwise self-sustain).
+ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
+                                 const ExperimentSetup& setup,
+                                 const resolver::ResilienceConfig& config,
+                                 const Feeder& feed, sim::Duration horizon) {
+  const attack::AttackScenario scenario = resolve_attack(setup.attack, hierarchy);
+  const bool has_attack = setup.attack.kind != AttackSpec::Kind::kNone;
+  const attack::AttackInjector injector =
+      has_attack ? attack::AttackInjector(hierarchy, scenario)
+                 : attack::AttackInjector();
+
+  sim::EventQueue events;
+  CachingServer cs(hierarchy, injector, events, config);
+
+  ExperimentResult result;
+  result.scheme_label = config.label();
+
+  // Attack-window snapshots: capture totals at the window edges. The
+  // events are scheduled before any renewal events exist, so at equal
+  // timestamps they fire before same-time work (sequence-number order).
+  CachingServer::Stats at_start, at_end;
+  if (has_attack) {
+    events.schedule_at(scenario.start, [&] { at_start = cs.stats(); });
+    events.schedule_at(scenario.end(), [&] { at_end = cs.stats(); });
+  }
+
+  // Self-rescheduling cache-occupancy sampler. The std::function outlives
+  // the event loop (it lives on this frame), so scheduled copies are safe.
+  std::function<void()> sampler;
+  if (setup.occupancy_interval > 0) {
+    sampler = [&] {
+      const auto occ = cs.cache().occupancy(events.now());
+      result.zones_cached.add(events.now(), static_cast<double>(occ.zones));
+      result.rrsets_cached.add(events.now(), static_cast<double>(occ.rrsets));
+      result.records_cached.add(events.now(), static_cast<double>(occ.records));
+      if (events.now() + setup.occupancy_interval <= horizon) {
+        events.schedule_in(setup.occupancy_interval, sampler);
+      }
+    };
+    events.schedule_at(0, sampler);
+  }
+
+  // Stream the workload: the trace drives the clock, renewal/sampling
+  // events interleave via run_until. Trace statistics accumulate on the
+  // fly so the trace never needs to be materialized.
+  std::set<std::uint32_t> clients;
+  std::set<dns::Name> names;
+  std::set<dns::Name> zones;
+  feed([&](const trace::QueryEvent& ev) {
+    events.run_until(ev.time);
+    cs.resolve(ev.qname, ev.qtype);
+    clients.insert(ev.client_id);
+    if (names.insert(ev.qname).second) {
+      zones.insert(hierarchy.authoritative_zone_for(ev.qname).origin());
+    }
+    result.trace_stats.requests_in++;
+    result.trace_stats.duration = ev.time;
+  });
+  events.run_until(horizon);
+
+  result.trace_stats.clients = clients.size();
+  result.trace_stats.names = names.size();
+  result.trace_stats.zones = zones.size();
+  result.totals = cs.stats();
+  result.cache_stats = cs.cache().stats();
+  result.gap_days = cs.gap_days();
+  result.gap_ttl_fraction = cs.gap_ttl_fraction();
+  result.latency = cs.latency_cdf();
+
+  if (has_attack) {
+    // If the trace ended inside the window, close it with the totals.
+    if (scenario.end() > horizon) at_end = cs.stats();
+    WindowStats window;
+    window.sr_queries = at_end.sr_queries - at_start.sr_queries;
+    window.sr_failures = at_end.sr_failures - at_start.sr_failures;
+    window.msgs_sent = at_end.msgs_sent - at_start.msgs_sent;
+    window.msgs_failed = at_end.msgs_failed - at_start.msgs_failed;
+    result.attack_window = window;
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSetup& setup,
+                                const resolver::ResilienceConfig& config) {
+  server::Hierarchy hierarchy = server::build_hierarchy(setup.hierarchy);
+  if (config.long_ttl_override != 0) {
+    hierarchy.override_irr_ttls(config.long_ttl_override);
+  }
+  return run_with_feeder(
+      hierarchy, setup, config,
+      [&](const std::function<void(const trace::QueryEvent&)>& sink) {
+        trace::generate_workload(hierarchy, setup.workload, sink);
+      },
+      setup.workload.duration);
+}
+
+ExperimentResult replay_trace(const ExperimentSetup& setup,
+                              const resolver::ResilienceConfig& config,
+                              const std::vector<trace::QueryEvent>& events) {
+  server::Hierarchy hierarchy = server::build_hierarchy(setup.hierarchy);
+  if (config.long_ttl_override != 0) {
+    hierarchy.override_irr_ttls(config.long_ttl_override);
+  }
+  const sim::Duration horizon = events.empty() ? 0.0 : events.back().time;
+  return run_with_feeder(
+      hierarchy, setup, config,
+      [&](const std::function<void(const trace::QueryEvent&)>& sink) {
+        for (const auto& ev : events) sink(ev);
+      },
+      horizon);
+}
+
+double message_overhead(const ExperimentResult& baseline,
+                        const ExperimentResult& scheme) {
+  if (baseline.totals.msgs_sent == 0) return 0;
+  return (static_cast<double>(scheme.totals.msgs_sent) -
+          static_cast<double>(baseline.totals.msgs_sent)) /
+         static_cast<double>(baseline.totals.msgs_sent);
+}
+
+}  // namespace dnsshield::core

@@ -1,0 +1,121 @@
+// The experiment driver: wires hierarchy, workload, attack, and a caching
+// server together and reproduces the paper's measurement methodology
+// (section 5): warm-up, attack window, failed-query percentages at the SR
+// and CS levels, message counts, gap CDFs, and cache occupancy series.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "attack/injector.h"
+#include "attack/scenario.h"
+#include "metrics/cdf.h"
+#include "metrics/time_series.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+namespace dnsshield::core {
+
+/// Declarative attack description (resolved against the hierarchy at run
+/// time, so one spec works across hierarchy rebuilds).
+struct AttackSpec {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kRootAndTlds,
+    kRootOnly,
+    kSingleZone,
+    kCustom,  // explicit target list (e.g. from the max-damage search)
+  };
+
+  Kind kind = Kind::kNone;
+  std::vector<std::string> zones;  // kSingleZone / kCustom targets
+  sim::SimTime start = 6 * sim::kDay;
+  sim::Duration duration = 6 * sim::kHour;
+  /// Attacker strength in server-capacity units; 0 = unbounded (every
+  /// targeted server goes down). See attack::AttackScenario::strength.
+  double strength = 0;
+
+  static AttackSpec none() { return {}; }
+  static AttackSpec root_and_tlds(sim::SimTime start, sim::Duration duration) {
+    return {Kind::kRootAndTlds, {}, start, duration};
+  }
+  static AttackSpec root_only(sim::SimTime start, sim::Duration duration) {
+    return {Kind::kRootOnly, {}, start, duration};
+  }
+  static AttackSpec single_zone(std::string zone, sim::SimTime start,
+                                sim::Duration duration) {
+    return {Kind::kSingleZone, {std::move(zone)}, start, duration};
+  }
+  static AttackSpec custom(std::vector<std::string> zones, sim::SimTime start,
+                           sim::Duration duration) {
+    return {Kind::kCustom, std::move(zones), start, duration};
+  }
+};
+
+struct ExperimentSetup {
+  server::HierarchyParams hierarchy;
+  trace::WorkloadParams workload;
+  AttackSpec attack;
+
+  /// Cache occupancy sampling interval; 0 disables (Fig. 12 uses 1 hour).
+  sim::Duration occupancy_interval = 0;
+};
+
+/// Counters observed inside the attack window.
+struct WindowStats {
+  std::uint64_t sr_queries = 0;
+  std::uint64_t sr_failures = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_failed = 0;
+
+  /// Fraction of stub-resolver queries that failed (end-user impact).
+  double sr_failure_rate() const {
+    return sr_queries == 0 ? 0.0
+                           : static_cast<double>(sr_failures) /
+                                 static_cast<double>(sr_queries);
+  }
+  /// Fraction of CS->ANS messages that went unanswered.
+  double cs_failure_rate() const {
+    return msgs_sent == 0 ? 0.0
+                          : static_cast<double>(msgs_failed) /
+                                static_cast<double>(msgs_sent);
+  }
+};
+
+struct ExperimentResult {
+  std::string scheme_label;
+  trace::TraceStats trace_stats;
+  resolver::CachingServer::Stats totals;
+  resolver::Cache::Stats cache_stats;
+  std::optional<WindowStats> attack_window;
+  metrics::TimeSeries zones_cached{"zones"};
+  metrics::TimeSeries rrsets_cached{"rrsets"};
+  metrics::TimeSeries records_cached{"records"};
+  metrics::Cdf gap_days;
+  metrics::Cdf gap_ttl_fraction;
+  /// Modelled per-query resolution latency (seconds), whole run.
+  metrics::Cdf latency;
+};
+
+/// Runs one scheme over one setup. Deterministic: the hierarchy and the
+/// workload are regenerated from their seeds on every call, so runs with
+/// different schemes see identical inputs.
+ExperimentResult run_experiment(const ExperimentSetup& setup,
+                                const resolver::ResilienceConfig& config);
+
+/// Like run_experiment, but replays an externally supplied trace (e.g. a
+/// converted real capture) instead of generating the synthetic workload.
+/// The setup's workload parameters are ignored except as documentation;
+/// events must be time-sorted. Query names missing from the hierarchy
+/// resolve to NXDOMAIN, which counts as success.
+ExperimentResult replay_trace(const ExperimentSetup& setup,
+                              const resolver::ResilienceConfig& config,
+                              const std::vector<trace::QueryEvent>& events);
+
+/// Relative message overhead of `scheme` vs `baseline`, as a fraction
+/// (+0.76 = 76% more messages, negative = fewer). Table 2's metric.
+double message_overhead(const ExperimentResult& baseline,
+                        const ExperimentResult& scheme);
+
+}  // namespace dnsshield::core

@@ -1,0 +1,123 @@
+#include "core/fleet.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+
+namespace dnsshield::core {
+
+using resolver::CachingServer;
+
+FleetResult run_fleet(const FleetSetup& setup,
+                      const std::vector<resolver::ResilienceConfig>& configs) {
+  if (setup.fleet_size == 0) throw std::invalid_argument("empty fleet");
+  if (configs.empty()) throw std::invalid_argument("no configs");
+  // Long-TTL is authoritative-side: it applies fleet-wide if ANY config
+  // asks for it (the zone operator publishes one TTL for everyone). Use
+  // the maximum override requested.
+  std::uint32_t ttl_override = 0;
+  for (const auto& c : configs) {
+    ttl_override = std::max(ttl_override, c.long_ttl_override);
+  }
+
+  server::Hierarchy hierarchy = server::build_hierarchy(setup.hierarchy);
+  if (ttl_override != 0) hierarchy.override_irr_ttls(ttl_override);
+
+  const bool has_attack = setup.attack.kind != AttackSpec::Kind::kNone;
+  attack::AttackScenario scenario;
+  if (has_attack) {
+    switch (setup.attack.kind) {
+      case AttackSpec::Kind::kRootAndTlds:
+        scenario = attack::root_and_tlds(hierarchy, setup.attack.start,
+                                         setup.attack.duration);
+        break;
+      case AttackSpec::Kind::kRootOnly:
+        scenario = attack::root_only(setup.attack.start, setup.attack.duration);
+        break;
+      default:
+        scenario.start = setup.attack.start;
+        scenario.duration = setup.attack.duration;
+        for (const auto& z : setup.attack.zones) {
+          scenario.target_zones.push_back(dns::Name::parse(z));
+        }
+        break;
+    }
+    scenario.strength = setup.attack.strength;
+  }
+  const attack::AttackInjector injector =
+      has_attack ? attack::AttackInjector(hierarchy, scenario)
+                 : attack::AttackInjector();
+
+  sim::EventQueue events;
+  std::vector<std::unique_ptr<CachingServer>> fleet;
+  FleetResult result;
+  for (std::size_t i = 0; i < setup.fleet_size; ++i) {
+    const auto& config = configs[i % configs.size()];
+    fleet.push_back(
+        std::make_unique<CachingServer>(hierarchy, injector, events, config));
+    result.scheme_labels.push_back(config.label());
+  }
+
+  std::vector<CachingServer::Stats> at_start(setup.fleet_size);
+  std::vector<CachingServer::Stats> at_end(setup.fleet_size);
+  if (has_attack) {
+    events.schedule_at(scenario.start, [&] {
+      for (std::size_t i = 0; i < fleet.size(); ++i) at_start[i] = fleet[i]->stats();
+    });
+    events.schedule_at(scenario.end(), [&] {
+      for (std::size_t i = 0; i < fleet.size(); ++i) at_end[i] = fleet[i]->stats();
+    });
+  }
+
+  trace::generate_workload(hierarchy, setup.workload,
+                           [&](const trace::QueryEvent& ev) {
+                             events.run_until(ev.time);
+                             CachingServer& cs =
+                                 *fleet[ev.client_id % fleet.size()];
+                             cs.resolve(ev.qname, ev.qtype);
+                           });
+  events.run_until(setup.workload.duration);
+  if (has_attack && scenario.end() > setup.workload.duration) {
+    for (std::size_t i = 0; i < fleet.size(); ++i) at_end[i] = fleet[i]->stats();
+  }
+
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    WindowStats w;
+    if (has_attack) {
+      w.sr_queries = at_end[i].sr_queries - at_start[i].sr_queries;
+      w.sr_failures = at_end[i].sr_failures - at_start[i].sr_failures;
+      w.msgs_sent = at_end[i].msgs_sent - at_start[i].msgs_sent;
+      w.msgs_failed = at_end[i].msgs_failed - at_start[i].msgs_failed;
+    }
+    result.per_server.push_back(w);
+    result.aggregate.sr_queries += w.sr_queries;
+    result.aggregate.sr_failures += w.sr_failures;
+    result.aggregate.msgs_sent += w.msgs_sent;
+    result.aggregate.msgs_failed += w.msgs_failed;
+    result.total_msgs += fleet[i]->stats().msgs_sent;
+  }
+  return result;
+}
+
+FleetResult run_partial_deployment(const FleetSetup& setup,
+                                   const resolver::ResilienceConfig& scheme,
+                                   std::size_t upgraded) {
+  if (upgraded > setup.fleet_size) {
+    throw std::invalid_argument("more upgraded servers than the fleet has");
+  }
+  // configs[i % size] assigns schemes round-robin; build an explicit
+  // vector so exactly `upgraded` servers (the first ones) are upgraded.
+  std::vector<resolver::ResilienceConfig> configs;
+  for (std::size_t i = 0; i < setup.fleet_size; ++i) {
+    configs.push_back(i < upgraded ? scheme
+                                   : resolver::ResilienceConfig::vanilla());
+  }
+  // Partial deployment must not silently turn on the authoritative-side
+  // lever for everyone unless the scheme really carries one; that is the
+  // run_fleet policy (max override), which models the operator upgrade
+  // being independent of resolver upgrades.
+  return run_fleet(setup, configs);
+}
+
+}  // namespace dnsshield::core

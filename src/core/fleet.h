@@ -1,0 +1,46 @@
+// Multi-resolver (fleet) experiments: many caching servers share the same
+// hierarchy, each serving a slice of the client population.
+//
+// The paper stresses that refresh/renewal are *client-side* and
+// *incrementally deployable* (section 4, "Combinations": "the power both
+// to the DNS clients and the DNS operators... by introducing only local
+// changes"). The fleet runner measures exactly that: what fraction of
+// resolvers must upgrade before their users see the benefit — and whether
+// upgraded resolvers impose costs on the rest.
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace dnsshield::core {
+
+struct FleetSetup {
+  server::HierarchyParams hierarchy;
+  trace::WorkloadParams workload;
+  AttackSpec attack;
+
+  /// Number of caching servers; client c is behind server (c % size).
+  std::size_t fleet_size = 4;
+};
+
+struct FleetResult {
+  /// Window stats per caching server, index-aligned with the fleet.
+  std::vector<WindowStats> per_server;
+  /// Aggregate across the fleet.
+  WindowStats aggregate;
+  std::vector<std::string> scheme_labels;
+  std::uint64_t total_msgs = 0;
+};
+
+/// Runs the fleet over one shared hierarchy and one shared trace; caching
+/// server i uses configs[i % configs.size()]. Deterministic.
+FleetResult run_fleet(const FleetSetup& setup,
+                      const std::vector<resolver::ResilienceConfig>& configs);
+
+/// Convenience: `upgraded` of the fleet run `scheme`, the rest vanilla.
+FleetResult run_partial_deployment(const FleetSetup& setup,
+                                   const resolver::ResilienceConfig& scheme,
+                                   std::size_t upgraded);
+
+}  // namespace dnsshield::core

@@ -1,0 +1,73 @@
+#include "core/presets.h"
+
+namespace dnsshield::core {
+
+server::HierarchyParams default_hierarchy() {
+  server::HierarchyParams p;
+  p.seed = 42;
+  p.num_tlds = 8;
+  p.num_slds = 4000;
+  p.num_providers = 12;
+  p.subzone_fraction = 0.08;
+  return p;
+}
+
+server::HierarchyParams small_hierarchy() {
+  server::HierarchyParams p;
+  p.seed = 42;
+  p.num_tlds = 4;
+  p.num_slds = 300;
+  p.num_providers = 4;
+  p.subzone_fraction = 0.1;
+  return p;
+}
+
+namespace {
+
+TracePreset make_preset(std::string name, std::uint64_t seed,
+                        std::uint32_t clients, double qps, double alpha,
+                        sim::Duration duration) {
+  TracePreset p;
+  p.name = std::move(name);
+  p.workload.seed = seed;
+  p.workload.num_clients = clients;
+  p.workload.mean_rate_qps = qps;
+  p.workload.zipf_alpha = alpha;
+  p.workload.duration = duration;
+  return p;
+}
+
+}  // namespace
+
+std::vector<TracePreset> all_trace_presets() {
+  // Client counts and load levels ordered like Table 1's spread: one
+  // heavily loaded server (TRC5), a small department server (TRC4), and a
+  // month-long moderate trace (TRC6).
+  return {
+      make_preset("TRC1", 101, 400, 1.0, 0.90, 7 * sim::kDay),
+      make_preset("TRC2", 102, 250, 0.7, 1.00, 7 * sim::kDay),
+      make_preset("TRC3", 103, 600, 1.3, 0.85, 7 * sim::kDay),
+      make_preset("TRC4", 104, 150, 0.5, 0.95, 7 * sim::kDay),
+      make_preset("TRC5", 105, 800, 1.8, 0.90, 7 * sim::kDay),
+      make_preset("TRC6", 106, 300, 0.7, 0.90, 30 * sim::kDay),
+  };
+}
+
+std::vector<TracePreset> week_trace_presets() {
+  auto presets = all_trace_presets();
+  presets.pop_back();
+  return presets;
+}
+
+TracePreset month_trace_preset() { return all_trace_presets().back(); }
+
+trace::WorkloadParams scaled(trace::WorkloadParams params, double rate_factor) {
+  params.mean_rate_qps *= rate_factor;
+  return params;
+}
+
+AttackSpec standard_attack(sim::Duration duration) {
+  return AttackSpec::root_and_tlds(6 * sim::kDay, duration);
+}
+
+}  // namespace dnsshield::core

@@ -1,0 +1,44 @@
+// Canonical experiment presets mirroring the paper's evaluation setup.
+//
+// The paper drives six university traces (Table 1: five 1-week traces and
+// one 1-month trace, collected behind six caching servers) through its
+// simulator. The presets below are the synthetic stand-ins: same durations
+// and the same ordering of client counts / load levels, scaled so every
+// bench finishes in seconds (see DESIGN.md section 2 on substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace dnsshield::core {
+
+struct TracePreset {
+  std::string name;           // TRC1..TRC6
+  trace::WorkloadParams workload;
+};
+
+/// The shared synthetic hierarchy used by all presets.
+server::HierarchyParams default_hierarchy();
+
+/// A smaller hierarchy for fast tests.
+server::HierarchyParams small_hierarchy();
+
+/// All six trace presets (TRC1-TRC5: 7 days; TRC6: 30 days).
+std::vector<TracePreset> all_trace_presets();
+
+/// The five one-week presets used in Figs. 4-11.
+std::vector<TracePreset> week_trace_presets();
+
+/// The one-month preset used in Fig. 12 / Table 2 memory rows.
+TracePreset month_trace_preset();
+
+/// Scale every preset's query rate (quick modes of the benches).
+trace::WorkloadParams scaled(trace::WorkloadParams params, double rate_factor);
+
+/// The paper's standard attack: root + all TLDs blocked starting at the
+/// beginning of day 7.
+AttackSpec standard_attack(sim::Duration duration);
+
+}  // namespace dnsshield::core

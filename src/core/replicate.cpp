@@ -1,0 +1,51 @@
+#include "core/replicate.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsshield::core {
+
+ReplicationSummary summarize(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("no samples");
+  ReplicationSummary s;
+  s.runs = samples.size();
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0;
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0;
+    for (const double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+ReplicationResult replicate(const ExperimentSetup& setup,
+                            const resolver::ResilienceConfig& config,
+                            std::size_t n) {
+  if (n == 0) throw std::invalid_argument("need at least one replica");
+  ReplicationResult result;
+  std::vector<double> sr, cs, msgs;
+  for (std::size_t i = 0; i < n; ++i) {
+    ExperimentSetup replica = setup;
+    replica.workload.seed = setup.workload.seed + i;
+    result.runs.push_back(run_experiment(replica, config));
+    const auto& r = result.runs.back();
+    sr.push_back(r.attack_window ? r.attack_window->sr_failure_rate() : 0.0);
+    cs.push_back(r.attack_window ? r.attack_window->cs_failure_rate() : 0.0);
+    msgs.push_back(static_cast<double>(r.totals.msgs_sent));
+  }
+  result.sr_failure_rate = summarize(sr);
+  result.cs_failure_rate = summarize(cs);
+  result.msgs_sent = summarize(msgs);
+  return result;
+}
+
+}  // namespace dnsshield::core

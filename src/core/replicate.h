@@ -1,0 +1,40 @@
+// Multi-seed replication: run the same experiment across several workload
+// seeds and summarize the spread, so conclusions do not rest on one draw
+// of the synthetic trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace dnsshield::core {
+
+struct ReplicationSummary {
+  std::size_t runs = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1)
+  double min = 0;
+  double max = 0;
+};
+
+/// Summarizes a vector of samples. Precondition: !samples.empty().
+ReplicationSummary summarize(const std::vector<double>& samples);
+
+struct ReplicationResult {
+  ReplicationSummary sr_failure_rate;  // attack window (zeros if no attack)
+  ReplicationSummary cs_failure_rate;
+  ReplicationSummary msgs_sent;
+  std::vector<ExperimentResult> runs;
+};
+
+/// Runs `n` replicas of the experiment, varying the workload seed
+/// (seed, seed+1, ...), and summarizes the headline metrics. The
+/// hierarchy seed is left alone: the paper's question is variation across
+/// traffic, not across DNS trees (vary setup.hierarchy.seed yourself for
+/// that axis).
+ReplicationResult replicate(const ExperimentSetup& setup,
+                            const resolver::ResilienceConfig& config,
+                            std::size_t n);
+
+}  // namespace dnsshield::core

@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "metrics/json.h"
+#include "metrics/table.h"
+
+namespace dnsshield::core {
+
+std::string to_text(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << "scheme: " << r.scheme_label << '\n';
+  os << "trace: " << r.trace_stats.requests_in << " queries, "
+     << r.trace_stats.clients << " clients, " << r.trace_stats.names
+     << " names, " << r.trace_stats.zones << " zones, "
+     << metrics::TablePrinter::num(sim::to_days(r.trace_stats.duration), 2)
+     << " days\n";
+  os << "messages out: " << r.totals.msgs_sent
+     << " (failed: " << r.totals.msgs_failed
+     << ", renewals: " << r.totals.renewal_fetches
+     << ", prefetches: " << r.totals.host_prefetches << ")\n";
+  os << "sr queries: " << r.totals.sr_queries
+     << " (failed: " << r.totals.sr_failures
+     << ", cache answers: " << r.totals.cache_answer_hits
+     << ", stale serves: " << r.totals.stale_serves << ")\n";
+  if (r.attack_window.has_value()) {
+    os << "attack window: SR failures "
+       << metrics::TablePrinter::pct(r.attack_window->sr_failure_rate())
+       << ", CS failures "
+       << metrics::TablePrinter::pct(r.attack_window->cs_failure_rate())
+       << " (" << r.attack_window->sr_queries << " SR queries, "
+       << r.attack_window->msgs_sent << " messages)\n";
+  }
+  if (!r.latency.empty()) {
+    os << "latency: mean "
+       << metrics::TablePrinter::num(r.latency.mean() * 1000, 1) << "ms, p95 "
+       << metrics::TablePrinter::num(r.latency.quantile(0.95) * 1000, 1)
+       << "ms\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void emit_window(metrics::JsonWriter& w, const WindowStats& window) {
+  w.begin_object();
+  w.key("sr_queries").value(window.sr_queries);
+  w.key("sr_failures").value(window.sr_failures);
+  w.key("sr_failure_rate").value(window.sr_failure_rate());
+  w.key("msgs_sent").value(window.msgs_sent);
+  w.key("msgs_failed").value(window.msgs_failed);
+  w.key("cs_failure_rate").value(window.cs_failure_rate());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const ExperimentResult& r) {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("scheme").value(r.scheme_label);
+
+  w.key("trace").begin_object();
+  w.key("requests_in").value(r.trace_stats.requests_in);
+  w.key("clients").value(static_cast<std::uint64_t>(r.trace_stats.clients));
+  w.key("names").value(static_cast<std::uint64_t>(r.trace_stats.names));
+  w.key("zones").value(static_cast<std::uint64_t>(r.trace_stats.zones));
+  w.key("duration_days").value(sim::to_days(r.trace_stats.duration));
+  w.end_object();
+
+  w.key("totals").begin_object();
+  w.key("sr_queries").value(r.totals.sr_queries);
+  w.key("sr_failures").value(r.totals.sr_failures);
+  w.key("msgs_sent").value(r.totals.msgs_sent);
+  w.key("msgs_failed").value(r.totals.msgs_failed);
+  w.key("cache_answer_hits").value(r.totals.cache_answer_hits);
+  w.key("renewal_fetches").value(r.totals.renewal_fetches);
+  w.key("referrals_followed").value(r.totals.referrals_followed);
+  w.key("stale_serves").value(r.totals.stale_serves);
+  w.key("host_prefetches").value(r.totals.host_prefetches);
+  w.end_object();
+
+  w.key("cache").begin_object();
+  w.key("hits").value(r.cache_stats.hits);
+  w.key("misses").value(r.cache_stats.misses);
+  w.key("insertions").value(r.cache_stats.insertions);
+  w.key("evictions").value(r.cache_stats.evictions);
+  w.end_object();
+
+  w.key("attack_window");
+  if (r.attack_window.has_value()) {
+    emit_window(w, *r.attack_window);
+  } else {
+    w.null();
+  }
+
+  w.key("latency");
+  if (r.latency.empty()) {
+    w.null();
+  } else {
+    w.begin_object();
+    w.key("mean_s").value(r.latency.mean());
+    w.key("p50_s").value(r.latency.quantile(0.5));
+    w.key("p95_s").value(r.latency.quantile(0.95));
+    w.key("p99_s").value(r.latency.quantile(0.99));
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace dnsshield::core

@@ -1,0 +1,17 @@
+// Rendering of experiment results: human-readable text and JSON.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace dnsshield::core {
+
+/// Multi-line human summary of one run (scheme, trace stats, failure
+/// rates, overheads, latency percentiles).
+std::string to_text(const ExperimentResult& result);
+
+/// The same information as a deterministic single-line JSON object.
+std::string to_json(const ExperimentResult& result);
+
+}  // namespace dnsshield::core

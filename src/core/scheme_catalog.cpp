@@ -1,0 +1,52 @@
+#include "core/scheme_catalog.h"
+
+namespace dnsshield::core {
+
+using resolver::RenewalPolicy;
+using resolver::ResilienceConfig;
+
+Scheme vanilla_scheme() { return {"DNS", ResilienceConfig::vanilla()}; }
+
+Scheme refresh_scheme() { return {"Refresh", ResilienceConfig::refresh()}; }
+
+std::vector<Scheme> renewal_schemes(RenewalPolicy policy) {
+  const std::string base(renewal_policy_to_string(policy));
+  std::vector<Scheme> out;
+  for (const double credit : {1.0, 3.0, 5.0}) {
+    out.push_back({base + " " + std::to_string(static_cast<int>(credit)),
+                   ResilienceConfig::refresh_renew(policy, credit)});
+  }
+  return out;
+}
+
+std::vector<Scheme> long_ttl_schemes() {
+  std::vector<Scheme> out;
+  for (const double d : {1.0, 3.0, 5.0, 7.0}) {
+    out.push_back({std::to_string(static_cast<int>(d)) + " Days TTL",
+                   ResilienceConfig::refresh_long_ttl(d)});
+  }
+  return out;
+}
+
+std::vector<Scheme> combination_schemes() {
+  std::vector<Scheme> out;
+  for (const double d : {1.0, 3.0, 5.0, 7.0}) {
+    out.push_back({std::to_string(static_cast<int>(d)) + " Days TTL",
+                   ResilienceConfig::combination(d)});
+  }
+  return out;
+}
+
+std::vector<Scheme> overhead_table_schemes() {
+  return {
+      refresh_scheme(),
+      {"LRU 5", ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 5)},
+      {"LFU 5", ResilienceConfig::refresh_renew(RenewalPolicy::kLfu, 5)},
+      {"A-LRU 5", ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLru, 5)},
+      {"A-LFU 5", ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5)},
+      {"Long-TTL 7d", ResilienceConfig::refresh_long_ttl(7)},
+      {"Combination 3d", ResilienceConfig::combination(3)},
+  };
+}
+
+}  // namespace dnsshield::core

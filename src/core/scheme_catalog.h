@@ -1,0 +1,36 @@
+// The catalogue of caching-server configurations the paper evaluates, with
+// the labels used in its figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resolver/config.h"
+
+namespace dnsshield::core {
+
+struct Scheme {
+  std::string label;
+  resolver::ResilienceConfig config;
+};
+
+/// vanilla (the current DNS baseline).
+Scheme vanilla_scheme();
+
+/// refresh only (Fig. 5).
+Scheme refresh_scheme();
+
+/// refresh + one renewal policy at credits {1, 3, 5} (Figs. 6-9).
+std::vector<Scheme> renewal_schemes(resolver::RenewalPolicy policy);
+
+/// refresh + long TTL at {1, 3, 5, 7} days (Fig. 10).
+std::vector<Scheme> long_ttl_schemes();
+
+/// refresh + A-LFU(5) + long TTL at {1, 3, 5, 7} days (Fig. 11).
+std::vector<Scheme> combination_schemes();
+
+/// Every scheme of Table 2, in the paper's row order: refresh, LRU_5,
+/// LFU_5, A-LRU_5, A-LFU_5, long-TTL(7d), combination(3d, A-LFU_5).
+std::vector<Scheme> overhead_table_schemes();
+
+}  // namespace dnsshield::core

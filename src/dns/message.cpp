@@ -1,0 +1,96 @@
+#include "dns/message.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dnsshield::dns {
+
+std::string_view rcode_to_string(Rcode rc) {
+  switch (rc) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+std::string Question::to_string() const {
+  std::ostringstream os;
+  os << qname.to_string() << " IN " << rrtype_to_string(qtype);
+  return os.str();
+}
+
+Message Message::make_query(std::uint16_t id, Name qname, RRType qtype) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.questions.push_back(Question{std::move(qname), qtype});
+  return m;
+}
+
+Message Message::make_response(const Message& query) {
+  Message m;
+  m.header.id = query.header.id;
+  m.header.qr = true;
+  m.header.rd = query.header.rd;
+  m.questions = query.questions;
+  return m;
+}
+
+namespace {
+
+void append_rrset(std::vector<ResourceRecord>& section, const RRset& set) {
+  for (auto& rr : set.to_records()) section.push_back(std::move(rr));
+}
+
+}  // namespace
+
+void Message::add_answer(const RRset& set) { append_rrset(answers, set); }
+void Message::add_authority(const RRset& set) { append_rrset(authorities, set); }
+void Message::add_additional(const RRset& set) { append_rrset(additionals, set); }
+
+std::vector<RRset> Message::group_rrsets(const std::vector<ResourceRecord>& section) {
+  std::vector<RRset> out;
+  for (const auto& rr : section) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const RRset& s) {
+      return s.name() == rr.name && s.type() == rr.type;
+    });
+    if (it == out.end()) {
+      out.emplace_back(rr.name, rr.type, rr.ttl);
+      it = out.end() - 1;
+    } else if (rr.ttl < it->ttl()) {
+      it->set_ttl(rr.ttl);
+    }
+    it->add(rr.rdata);
+  }
+  return out;
+}
+
+bool Message::is_referral() const {
+  if (!header.qr || header.aa || !answers.empty()) return false;
+  if (header.rcode != Rcode::kNoError) return false;
+  return std::any_of(authorities.begin(), authorities.end(),
+                     [](const ResourceRecord& rr) { return rr.type == RRType::kNS; });
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << ";; id " << header.id << ' ' << (header.qr ? "response" : "query") << ' '
+     << rcode_to_string(header.rcode) << (header.aa ? " aa" : "") << '\n';
+  for (const auto& q : questions) os << ";; question: " << q.to_string() << '\n';
+  for (const auto& rr : answers) os << rr.to_string() << '\n';
+  if (!authorities.empty()) {
+    os << ";; authority:\n";
+    for (const auto& rr : authorities) os << rr.to_string() << '\n';
+  }
+  if (!additionals.empty()) {
+    os << ";; additional:\n";
+    for (const auto& rr : additionals) os << rr.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,88 @@
+// DNS messages: header, question, and the three record sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+
+namespace dnsshield::dns {
+
+/// Response codes (RFC 1035 / 2136 subset).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string_view rcode_to_string(Rcode rc);
+
+/// Operation codes.
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+/// DNS message header (flags modelled as booleans, not raw bits).
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // true = response
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::kA;
+
+  bool operator==(const Question&) const = default;
+  std::string to_string() const;
+};
+
+/// A complete DNS message. The simulator exchanges these in-memory; the
+/// wire codec (dns/wire.h) serializes them for interoperability tests.
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  bool operator==(const Message&) const = default;
+
+  /// Convenience constructors ----------------------------------------------
+
+  static Message make_query(std::uint16_t id, Name qname, RRType qtype);
+
+  /// A positive, authoritative answer skeleton mirroring `query`.
+  static Message make_response(const Message& query);
+
+  /// Appends every record of an RRset to the given section.
+  void add_answer(const RRset& set);
+  void add_authority(const RRset& set);
+  void add_additional(const RRset& set);
+
+  /// Collects the records of `section` back into RRsets, grouping by
+  /// (name, type) and taking the minimum TTL across the group.
+  static std::vector<RRset> group_rrsets(const std::vector<ResourceRecord>& section);
+
+  /// True if the response is a referral: not authoritative for the qname,
+  /// no answers, but NS records in the authority section.
+  bool is_referral() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace dnsshield::dns

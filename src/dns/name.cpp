@@ -1,0 +1,176 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace dnsshield::dns {
+
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxWireLength = 255;
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+void validate_label(std::string_view label) {
+  if (label.empty()) throw std::invalid_argument("empty DNS label");
+  if (label.size() > kMaxLabelLength) {
+    throw std::invalid_argument("DNS label exceeds 63 octets: " + std::string(label));
+  }
+  for (char c : label) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '.') {
+      throw std::invalid_argument("invalid character in DNS label");
+    }
+  }
+}
+
+std::size_t wire_length_of(std::span<const std::string> labels) {
+  std::size_t len = 1;  // terminating root octet
+  for (const auto& l : labels) len += 1 + l.size();
+  return len;
+}
+
+}  // namespace
+
+const Name::Storage& Name::empty_storage() {
+  static const Storage storage = std::make_shared<std::vector<std::string>>();
+  return storage;
+}
+
+Name::Name() : storage_(empty_storage()), start_(0), hash_(compute_hash({})) {}
+
+Name Name::parse(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("empty domain name");
+  if (text == ".") return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  auto labels = std::make_shared<std::vector<std::string>>();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view label =
+        text.substr(start, dot == std::string_view::npos ? std::string_view::npos
+                                                         : dot - start);
+    validate_label(label);
+    labels->push_back(to_lower(label));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  if (wire_length_of(*labels) > kMaxWireLength) {
+    throw std::invalid_argument("domain name exceeds 255 octets");
+  }
+  return Name(std::move(labels), 0);
+}
+
+Name Name::from_labels(std::vector<std::string> labels) {
+  for (auto& l : labels) {
+    validate_label(l);
+    l = to_lower(l);
+  }
+  if (wire_length_of(labels) > kMaxWireLength) {
+    throw std::invalid_argument("domain name exceeds 255 octets");
+  }
+  return Name(std::make_shared<std::vector<std::string>>(std::move(labels)), 0);
+}
+
+Name Name::child(std::string_view label) const {
+  validate_label(label);
+  auto labels = std::make_shared<std::vector<std::string>>();
+  labels->reserve(label_count() + 1);
+  labels->push_back(to_lower(label));
+  const auto span = this->labels();
+  labels->insert(labels->end(), span.begin(), span.end());
+  if (wire_length_of(*labels) > kMaxWireLength) {
+    throw std::invalid_argument("domain name exceeds 255 octets");
+  }
+  return Name(std::move(labels), 0);
+}
+
+Name Name::parent() const {
+  assert(!is_root());
+  return Name(storage_, start_ + 1);
+}
+
+Name Name::suffix(std::size_t count) const {
+  assert(count <= label_count());
+  return Name(storage_, start_ + count);
+}
+
+bool Name::same_labels(const Name& other) const {
+  const auto a = labels();
+  const auto b = other.labels();
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool Name::is_subdomain_of(const Name& other) const {
+  if (other.label_count() > label_count()) return false;
+  // Fast path: a suffix view of the same storage.
+  if (storage_ == other.storage_) {
+    return other.start_ >= start_ &&
+           other.start_ - start_ == label_count() - other.label_count();
+  }
+  const auto a = labels();
+  const auto b = other.labels();
+  return std::equal(b.rbegin(), b.rend(), a.rbegin());
+}
+
+Name Name::common_ancestor(const Name& a, const Name& b) {
+  std::size_t shared = 0;
+  const std::size_t limit = std::min(a.label_count(), b.label_count());
+  while (shared < limit &&
+         a.label(a.label_count() - 1 - shared) ==
+             b.label(b.label_count() - 1 - shared)) {
+    ++shared;
+  }
+  return a.suffix(a.label_count() - shared);
+}
+
+std::size_t Name::wire_length() const { return wire_length_of(labels()); }
+
+std::string Name::to_string() const {
+  if (is_root()) return ".";
+  std::string out;
+  for (const auto& l : labels()) {
+    out += l;
+    out += '.';
+  }
+  return out;
+}
+
+bool Name::operator<(const Name& other) const {
+  // Canonical DNS order: compare label sequences right-to-left.
+  const auto a = labels();
+  const auto b = other.labels();
+  auto ai = a.rbegin();
+  auto bi = b.rbegin();
+  for (; ai != a.rend() && bi != b.rend(); ++ai, ++bi) {
+    if (*ai != *bi) return *ai < *bi;
+  }
+  return a.size() < b.size();
+}
+
+std::size_t Name::compute_hash(std::span<const std::string> labels) {
+  std::size_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const auto& l : labels) {
+    for (char c : l) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // label separator so {"ab","c"} != {"a","bc"}
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.to_string();
+}
+
+}  // namespace dnsshield::dns

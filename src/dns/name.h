@@ -1,0 +1,124 @@
+// Domain names: sequences of case-insensitive labels, root-last.
+//
+// Names are stored as lowercase labels ordered from the leftmost (most
+// specific) label to the rightmost. The root name has zero labels.
+// Example: "www.cs.ucla.edu." -> labels {"www", "cs", "ucla", "edu"}.
+//
+// Representation: an immutable shared label vector plus a start offset.
+// Copying a Name is a refcount bump, and parent()/suffix() — the resolver
+// walks the tree upward on every lookup — allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsshield::dns {
+
+/// An absolute DNS domain name.
+///
+/// Invariants (enforced at construction):
+///  - every label is 1..63 octets;
+///  - total wire length (labels + length octets + root octet) <= 255;
+///  - labels are stored lowercase (DNS names compare case-insensitively).
+class Name {
+ public:
+  /// The root name (zero labels, presentation form ".").
+  Name();
+
+  /// Parses presentation format ("www.ucla.edu" or "www.ucla.edu.", "."
+  /// for the root). Throws std::invalid_argument on malformed input
+  /// (empty labels, oversized labels/name, stray whitespace).
+  static Name parse(std::string_view text);
+
+  /// Builds a name from labels ordered most-specific-first.
+  /// Throws std::invalid_argument if a label or the name is too long.
+  static Name from_labels(std::vector<std::string> labels);
+
+  /// Root name helper, clearer at call sites than Name{}.
+  static Name root() { return Name{}; }
+
+  /// Prepends a label: Name::parse("ucla.edu").child("cs") == "cs.ucla.edu".
+  Name child(std::string_view label) const;
+
+  /// Drops the leftmost label (allocation-free; shares storage).
+  /// Precondition: !is_root().
+  Name parent() const;
+
+  /// Drops the `count` leftmost labels (allocation-free).
+  /// Precondition: count <= label_count().
+  Name suffix(std::size_t count) const;
+
+  bool is_root() const { return start_ == storage_->size(); }
+  std::size_t label_count() const { return storage_->size() - start_; }
+
+  /// Labels from most- to least-specific.
+  std::span<const std::string> labels() const {
+    return {storage_->data() + start_, label_count()};
+  }
+  const std::string& label(std::size_t i) const { return (*storage_)[start_ + i]; }
+
+  /// The leftmost (most specific) label. Precondition: !is_root().
+  const std::string& leftmost_label() const { return (*storage_)[start_]; }
+
+  /// True if *this is `other` or lies underneath it in the tree.
+  /// Every name is a subdomain of the root.
+  bool is_subdomain_of(const Name& other) const;
+
+  /// Strict descendant: subdomain and not equal.
+  bool is_proper_subdomain_of(const Name& other) const {
+    return label_count() > other.label_count() && is_subdomain_of(other);
+  }
+
+  /// Deepest common ancestor of two names (root if they share no suffix).
+  /// Shares `a`'s storage.
+  static Name common_ancestor(const Name& a, const Name& b);
+
+  /// Number of octets this name occupies in uncompressed wire format.
+  std::size_t wire_length() const;
+
+  /// Presentation format with trailing dot ("www.ucla.edu.", "." for root).
+  std::string to_string() const;
+
+  bool operator==(const Name& other) const {
+    if (hash_ != other.hash_) return false;
+    if (storage_ == other.storage_ && start_ == other.start_) return true;
+    return same_labels(other);
+  }
+  bool operator!=(const Name& other) const { return !(*this == other); }
+
+  /// Canonical DNS ordering (right-to-left label comparison), usable as a
+  /// strict weak order for std::map keys.
+  bool operator<(const Name& other) const;
+
+  /// FNV-1a over labels, computed once at construction; pairs with
+  /// std::unordered_map via NameHash.
+  std::size_t hash() const { return hash_; }
+
+ private:
+  using Storage = std::shared_ptr<const std::vector<std::string>>;
+
+  Name(Storage storage, std::size_t start)
+      : storage_(std::move(storage)),
+        start_(start),
+        hash_(compute_hash(labels())) {}
+
+  static const Storage& empty_storage();
+  static std::size_t compute_hash(std::span<const std::string> labels);
+  bool same_labels(const Name& other) const;
+
+  Storage storage_;
+  std::size_t start_ = 0;
+  std::size_t hash_;
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const { return n.hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,245 @@
+#include "dns/rr.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dnsshield::dns {
+
+std::string_view rrtype_to_string(RRType t) {
+  switch (t) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kDS: return "DS";
+    case RRType::kRRSIG: return "RRSIG";
+    case RRType::kNSEC: return "NSEC";
+    case RRType::kDNSKEY: return "DNSKEY";
+    case RRType::kANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+RRType rrtype_from_string(std::string_view s) {
+  std::string upper(s);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  static const std::pair<std::string_view, RRType> kTable[] = {
+      {"A", RRType::kA},         {"NS", RRType::kNS},
+      {"CNAME", RRType::kCNAME}, {"SOA", RRType::kSOA},
+      {"PTR", RRType::kPTR},     {"MX", RRType::kMX},
+      {"TXT", RRType::kTXT},     {"AAAA", RRType::kAAAA},
+      {"DS", RRType::kDS},       {"RRSIG", RRType::kRRSIG},
+      {"NSEC", RRType::kNSEC},   {"DNSKEY", RRType::kDNSKEY},
+      {"ANY", RRType::kANY},
+  };
+  for (const auto& [text, type] : kTable) {
+    if (upper == text) return type;
+  }
+  throw std::invalid_argument("unknown RR type: " + std::string(s));
+}
+
+IpAddr IpAddr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const std::size_t dot = text.find('.', start);
+    const bool last = octet == 3;
+    if (last != (dot == std::string_view::npos)) {
+      throw std::invalid_argument("malformed IPv4 address: " + std::string(text));
+    }
+    const std::string_view part =
+        text.substr(start, last ? std::string_view::npos : dot - start);
+    unsigned v = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), v);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || v > 255 || part.empty()) {
+      throw std::invalid_argument("malformed IPv4 address: " + std::string(text));
+    }
+    value = (value << 8) | v;
+    start = dot + 1;
+  }
+  return IpAddr(value);
+}
+
+std::string IpAddr::to_string() const {
+  std::ostringstream os;
+  os << ((value_ >> 24) & 0xff) << '.' << ((value_ >> 16) & 0xff) << '.'
+     << ((value_ >> 8) & 0xff) << '.' << (value_ & 0xff);
+  return os.str();
+}
+
+Ip6Addr Ip6Addr::parse(std::string_view text) {
+  // Split on ':' allowing one "::" gap.
+  std::vector<std::uint16_t> head, tail;
+  bool seen_gap = false;
+  std::size_t i = 0;
+
+  if (text.size() >= 2 && text.substr(0, 2) == "::") {
+    seen_gap = true;
+    i = 2;
+  }
+  auto fail = [&] [[noreturn]] () {
+    throw std::invalid_argument("malformed IPv6 address: " + std::string(text));
+  };
+  while (i < text.size()) {
+    // Read one hex group.
+    std::size_t end = i;
+    while (end < text.size() && text[end] != ':') ++end;
+    const std::string_view group = text.substr(i, end - i);
+    if (group.empty() || group.size() > 4) fail();
+    unsigned v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(group.data(), group.data() + group.size(), v, 16);
+    if (ec != std::errc{} || ptr != group.data() + group.size()) fail();
+    (seen_gap ? tail : head).push_back(static_cast<std::uint16_t>(v));
+    i = end;
+    if (i == text.size()) break;
+    ++i;  // skip ':'
+    if (i < text.size() && text[i] == ':') {
+      if (seen_gap) fail();  // at most one "::"
+      seen_gap = true;
+      ++i;
+    } else if (i == text.size()) {
+      fail();  // trailing single ':'
+    }
+  }
+
+  const std::size_t groups = head.size() + tail.size();
+  if (seen_gap ? groups >= 8 : groups != 8) fail();
+
+  Bytes bytes{};
+  for (std::size_t g = 0; g < head.size(); ++g) {
+    bytes[2 * g] = static_cast<std::uint8_t>(head[g] >> 8);
+    bytes[2 * g + 1] = static_cast<std::uint8_t>(head[g] & 0xff);
+  }
+  for (std::size_t g = 0; g < tail.size(); ++g) {
+    const std::size_t pos = 8 - tail.size() + g;
+    bytes[2 * pos] = static_cast<std::uint8_t>(tail[g] >> 8);
+    bytes[2 * pos + 1] = static_cast<std::uint8_t>(tail[g] & 0xff);
+  }
+  return Ip6Addr(bytes);
+}
+
+std::string Ip6Addr::to_string() const {
+  std::uint16_t groups[8];
+  for (int g = 0; g < 8; ++g) {
+    groups[g] =
+        static_cast<std::uint16_t>((bytes_[2 * g] << 8) | bytes_[2 * g + 1]);
+  }
+  // Longest run of >= 2 zero groups (leftmost wins ties), per RFC 5952.
+  int best_start = -1, best_len = 0;
+  for (int g = 0; g < 8;) {
+    if (groups[g] != 0) {
+      ++g;
+      continue;
+    }
+    int run = 0;
+    while (g + run < 8 && groups[g + run] == 0) ++run;
+    if (run >= 2 && run > best_len) {
+      best_start = g;
+      best_len = run;
+    }
+    g += run;
+  }
+  std::ostringstream os;
+  os << std::hex << std::nouppercase;
+  for (int g = 0; g < 8; ++g) {
+    if (g == best_start) {
+      os << "::";
+      g += best_len - 1;
+      continue;
+    }
+    if (g != 0 && g != best_start + best_len) os << ':';
+    os << groups[g];
+  }
+  std::string out = os.str();
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool rdata_matches_type(const Rdata& rdata, RRType type) {
+  switch (type) {
+    case RRType::kA: return std::holds_alternative<ARdata>(rdata);
+    case RRType::kAAAA: return std::holds_alternative<AaaaRdata>(rdata);
+    case RRType::kNS: return std::holds_alternative<NsRdata>(rdata);
+    case RRType::kCNAME:
+    case RRType::kPTR: return std::holds_alternative<CnameRdata>(rdata);
+    case RRType::kSOA: return std::holds_alternative<SoaRdata>(rdata);
+    case RRType::kMX: return std::holds_alternative<MxRdata>(rdata);
+    case RRType::kTXT: return std::holds_alternative<TxtRdata>(rdata);
+    default: return std::holds_alternative<OpaqueRdata>(rdata);
+  }
+}
+
+std::string rdata_to_string(const Rdata& rdata) {
+  struct Visitor {
+    std::string operator()(const ARdata& a) const { return a.address.to_string(); }
+    std::string operator()(const AaaaRdata& a) const {
+      return a.address.to_string();
+    }
+    std::string operator()(const NsRdata& ns) const { return ns.nsdname.to_string(); }
+    std::string operator()(const CnameRdata& c) const { return c.target.to_string(); }
+    std::string operator()(const SoaRdata& s) const {
+      std::ostringstream os;
+      os << s.mname.to_string() << ' ' << s.rname.to_string() << ' ' << s.serial
+         << ' ' << s.refresh << ' ' << s.retry << ' ' << s.expire << ' ' << s.minimum;
+      return os.str();
+    }
+    std::string operator()(const MxRdata& m) const {
+      return std::to_string(m.preference) + " " + m.exchange.to_string();
+    }
+    std::string operator()(const TxtRdata& t) const { return "\"" + t.text + "\""; }
+    std::string operator()(const OpaqueRdata& o) const {
+      return "\\# " + std::to_string(o.bytes.size());
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+std::string ResourceRecord::to_string() const {
+  std::ostringstream os;
+  os << name.to_string() << ' ' << ttl << " IN " << rrtype_to_string(type) << ' '
+     << rdata_to_string(rdata);
+  return os.str();
+}
+
+void RRset::add(Rdata rdata) {
+  if (!rdata_matches_type(rdata, type_)) {
+    throw std::invalid_argument("rdata does not match RRset type " +
+                                std::string(rrtype_to_string(type_)));
+  }
+  if (std::find(rdatas_.begin(), rdatas_.end(), rdata) != rdatas_.end()) return;
+  rdatas_.push_back(std::move(rdata));
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas_.size());
+  for (const auto& rd : rdatas_) {
+    out.push_back(ResourceRecord{name_, type_, ttl_, rd});
+  }
+  return out;
+}
+
+bool RRset::same_data(const RRset& other) const {
+  if (name_ != other.name_ || type_ != other.type_ ||
+      rdatas_.size() != other.rdatas_.size()) {
+    return false;
+  }
+  for (const auto& rd : rdatas_) {
+    if (std::find(other.rdatas_.begin(), other.rdatas_.end(), rd) ==
+        other.rdatas_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,200 @@
+// Resource records: typed DNS data with a time-to-live.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace dnsshield::dns {
+
+/// Resource record types (subset relevant to this system; values per IANA).
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kDS = 43,
+  kRRSIG = 46,
+  kNSEC = 47,
+  kDNSKEY = 48,
+  kANY = 255,
+};
+
+std::string_view rrtype_to_string(RRType t);
+
+/// Parses "A", "NS", ... (case-insensitive). Throws std::invalid_argument
+/// on unknown mnemonics.
+RRType rrtype_from_string(std::string_view s);
+
+/// An IPv4 address (host byte order internally).
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t value) : value_(value) {}
+
+  /// Parses dotted-quad "a.b.c.d". Throws std::invalid_argument.
+  static IpAddr parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct IpAddrHash {
+  std::size_t operator()(const IpAddr& a) const {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+/// An IPv6 address (16 octets, network order).
+class Ip6Addr {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ip6Addr() : bytes_{} {}
+  constexpr explicit Ip6Addr(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Parses RFC 4291 text: full form, "::" compression, leading-zero
+  /// suppression ("2001:db8::1"). Embedded IPv4 dotted-quads are not
+  /// supported. Throws std::invalid_argument.
+  static Ip6Addr parse(std::string_view text);
+
+  /// RFC 5952 canonical text: lowercase hex, leading zeros dropped, the
+  /// longest run of >= 2 zero groups compressed to "::".
+  std::string to_string() const;
+
+  const Bytes& bytes() const { return bytes_; }
+
+  auto operator<=>(const Ip6Addr&) const = default;
+
+ private:
+  Bytes bytes_;
+};
+
+// ---- Typed RDATA --------------------------------------------------------
+
+struct ARdata {
+  IpAddr address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  Ip6Addr address;
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nsdname;  // host name of the authoritative server
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;    // primary server
+  Name rname;    // responsible mailbox
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  // negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::string text;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+/// Fallback for types without dedicated modelling (AAAA, DNSSEC records...).
+struct OpaqueRdata {
+  std::vector<std::uint8_t> bytes;
+  bool operator==(const OpaqueRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, SoaRdata,
+                           MxRdata, TxtRdata, OpaqueRdata>;
+
+/// True if the rdata alternative is consistent with the record type.
+bool rdata_matches_type(const Rdata& rdata, RRType type);
+
+/// Human-readable rdata rendering (zone-file-like).
+std::string rdata_to_string(const Rdata& rdata);
+
+// ---- ResourceRecord and RRset -------------------------------------------
+
+/// One resource record: owner name, type, TTL and typed data.
+/// (Class is implicitly IN; the simulator does not model CH/HS.)
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::kA;
+  std::uint32_t ttl = 0;  // seconds
+  Rdata rdata;
+
+  bool operator==(const ResourceRecord&) const = default;
+
+  std::string to_string() const;
+};
+
+/// An RRset: all records sharing (owner name, type). TTLs within an RRset
+/// are uniform (RFC 2181 section 5.2), so the set carries one TTL.
+class RRset {
+ public:
+  RRset() = default;
+  RRset(Name name, RRType type, std::uint32_t ttl)
+      : name_(std::move(name)), type_(type), ttl_(ttl) {}
+
+  const Name& name() const { return name_; }
+  RRType type() const { return type_; }
+  std::uint32_t ttl() const { return ttl_; }
+  void set_ttl(std::uint32_t ttl) { ttl_ = ttl; }
+
+  /// Appends rdata. Throws std::invalid_argument if the alternative does
+  /// not match the set's type. Duplicate rdata is ignored (sets are sets).
+  void add(Rdata rdata);
+
+  const std::vector<Rdata>& rdatas() const { return rdatas_; }
+  bool empty() const { return rdatas_.empty(); }
+  std::size_t size() const { return rdatas_.size(); }
+
+  /// Expands into individual ResourceRecords.
+  std::vector<ResourceRecord> to_records() const;
+
+  /// True when the two sets carry the same name, type, and rdata
+  /// (irrespective of order and TTL) — "identical" in the RFC 2181 sense
+  /// used for deciding whether a child copy replaces a parent copy.
+  bool same_data(const RRset& other) const;
+
+  bool operator==(const RRset&) const = default;
+
+ private:
+  Name name_;
+  RRType type_ = RRType::kA;
+  std::uint32_t ttl_ = 0;
+  std::vector<Rdata> rdatas_;
+};
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,16 @@
+#include "dns/trust.h"
+
+namespace dnsshield::dns {
+
+std::string_view trust_to_string(Trust t) {
+  switch (t) {
+    case Trust::kAdditional: return "additional";
+    case Trust::kAuthorityReferral: return "authority-referral";
+    case Trust::kAuthorityAuthAnswer: return "authority-auth-answer";
+    case Trust::kAnswer: return "answer";
+    case Trust::kAuthAnswer: return "auth-answer";
+  }
+  return "trust?";
+}
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,40 @@
+// RFC 2181 section 5.4.1 data ranking ("credibility").
+//
+// When a cache holds an RRset and a new copy arrives, the new copy replaces
+// the cached one only if its trust rank is >= the cached rank. In
+// particular, a zone's own (child) copy of its NS set outranks the parent's
+// referral copy, which is the mechanism the paper's TTL-refresh scheme
+// builds on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dnsshield::dns {
+
+/// Ordered from least to most credible; larger value = more trusted.
+enum class Trust : std::uint8_t {
+  /// Glue/additional-section data from a non-authoritative response
+  /// (e.g. A records accompanying a referral).
+  kAdditional = 0,
+  /// Authority-section data of a referral: the parent's copy of a child
+  /// zone's NS set.
+  kAuthorityReferral = 1,
+  /// Authority/additional data inside an authoritative answer: the child
+  /// zone's own copy of its NS set.
+  kAuthorityAuthAnswer = 2,
+  /// Records in the answer section of a non-authoritative answer.
+  kAnswer = 3,
+  /// Records in the answer section of an authoritative answer.
+  kAuthAnswer = 4,
+};
+
+std::string_view trust_to_string(Trust t);
+
+/// True if data at rank `candidate` may replace cached data at rank
+/// `cached` (RFC 2181: equal or higher credibility wins).
+constexpr bool may_replace(Trust candidate, Trust cached) {
+  return static_cast<std::uint8_t>(candidate) >= static_cast<std::uint8_t>(cached);
+}
+
+}  // namespace dnsshield::dns

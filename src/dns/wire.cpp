@@ -1,0 +1,349 @@
+#include "dns/wire.h"
+
+#include <cassert>
+#include <map>
+
+namespace dnsshield::dns {
+
+namespace {
+
+constexpr std::uint8_t kPointerTag = 0xc0;
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::size_t kMaxNameOctets = 255;
+
+// ---- Encoder -------------------------------------------------------------
+
+class Encoder {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+  }
+
+  /// Writes a (possibly compressed) domain name. Remembers the offset of
+  /// every suffix written so later occurrences compress to pointers.
+  void name(const Name& n) {
+    // Walk suffixes from the full name down: emit labels until a suffix is
+    // found in the dictionary, then emit a pointer to it.
+    for (std::size_t i = 0; i < n.label_count(); ++i) {
+      const Name suffix = n.suffix(i);
+      const auto it = offsets_.find(suffix);
+      if (it != offsets_.end()) {
+        u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      // Only offsets representable in 14 bits may be used as targets.
+      if (out_.size() < 0x3fff) {
+        offsets_.emplace(suffix, static_cast<std::uint16_t>(out_.size()));
+      }
+      u8(static_cast<std::uint8_t>(n.label(i).size()));
+      for (char c : n.label(i)) u8(static_cast<std::uint8_t>(c));
+    }
+    u8(0);  // root label
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+  /// Patches a previously written u16 at `pos` (used for RDLENGTH).
+  void patch_u16(std::size_t pos, std::uint16_t v) {
+    out_[pos] = static_cast<std::uint8_t>(v >> 8);
+    out_[pos + 1] = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::map<Name, std::uint16_t> offsets_;
+};
+
+void encode_rdata(Encoder& enc, const ResourceRecord& rr) {
+  struct Visitor {
+    Encoder& enc;
+    void operator()(const ARdata& a) const { enc.u32(a.address.value()); }
+    void operator()(const AaaaRdata& a) const {
+      for (const std::uint8_t b : a.address.bytes()) enc.u8(b);
+    }
+    void operator()(const NsRdata& ns) const { enc.name(ns.nsdname); }
+    void operator()(const CnameRdata& c) const { enc.name(c.target); }
+    void operator()(const SoaRdata& s) const {
+      enc.name(s.mname);
+      enc.name(s.rname);
+      enc.u32(s.serial);
+      enc.u32(s.refresh);
+      enc.u32(s.retry);
+      enc.u32(s.expire);
+      enc.u32(s.minimum);
+    }
+    void operator()(const MxRdata& m) const {
+      enc.u16(m.preference);
+      enc.name(m.exchange);
+    }
+    void operator()(const TxtRdata& t) const {
+      // character-strings of <= 255 octets each
+      std::size_t pos = 0;
+      do {
+        const std::size_t chunk = std::min<std::size_t>(255, t.text.size() - pos);
+        enc.u8(static_cast<std::uint8_t>(chunk));
+        for (std::size_t i = 0; i < chunk; ++i) {
+          enc.u8(static_cast<std::uint8_t>(t.text[pos + i]));
+        }
+        pos += chunk;
+      } while (pos < t.text.size());
+    }
+    void operator()(const OpaqueRdata& o) const {
+      for (auto b : o.bytes) enc.u8(b);
+    }
+  };
+  std::visit(Visitor{enc}, rr.rdata);
+}
+
+void encode_record(Encoder& enc, const ResourceRecord& rr) {
+  enc.name(rr.name);
+  enc.u16(static_cast<std::uint16_t>(rr.type));
+  enc.u16(kClassIn);
+  enc.u32(rr.ttl);
+  const std::size_t len_pos = enc.size();
+  enc.u16(0);  // placeholder RDLENGTH
+  const std::size_t start = enc.size();
+  encode_rdata(enc, rr);
+  enc.patch_u16(len_pos, static_cast<std::uint16_t>(enc.size() - start));
+}
+
+// ---- Decoder -------------------------------------------------------------
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return wire_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((wire_[pos_] << 8) | wire_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+
+  Name name() { return name_at(&pos_, /*allow_pointer=*/true); }
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() const { return pos_ == wire_.size(); }
+
+  void seek(std::size_t pos) {
+    if (pos > wire_.size()) throw WireFormatError("seek past end");
+    pos_ = pos;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > wire_.size()) throw WireFormatError("truncated message");
+  }
+
+  /// Reads a name starting at *cursor, following compression pointers.
+  /// Pointers must point strictly backwards, which also bounds recursion.
+  Name name_at(std::size_t* cursor, bool allow_pointer) {
+    std::vector<std::string> labels;
+    std::size_t pos = *cursor;
+    bool jumped = false;
+    std::size_t name_octets = 0;
+    for (;;) {
+      if (pos >= wire_.size()) throw WireFormatError("name runs past end");
+      const std::uint8_t len = wire_[pos];
+      if ((len & kPointerTag) == kPointerTag) {
+        if (!allow_pointer) throw WireFormatError("unexpected compression pointer");
+        if (pos + 1 >= wire_.size()) throw WireFormatError("truncated pointer");
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[pos + 1];
+        if (target >= pos) throw WireFormatError("forward/looping compression pointer");
+        if (!jumped) *cursor = pos + 2;
+        jumped = true;
+        pos = target;
+        continue;
+      }
+      if ((len & kPointerTag) != 0) throw WireFormatError("reserved label type");
+      if (len == 0) {
+        if (!jumped) *cursor = pos + 1;
+        break;
+      }
+      if (pos + 1 + len > wire_.size()) throw WireFormatError("label runs past end");
+      name_octets += len + 1u;
+      if (name_octets + 1 > kMaxNameOctets) throw WireFormatError("name too long");
+      labels.emplace_back(reinterpret_cast<const char*>(wire_.data() + pos + 1), len);
+      pos += 1 + static_cast<std::size_t>(len);
+    }
+    return Name::from_labels(std::move(labels));
+  }
+
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+Rdata decode_rdata(Decoder& dec, RRType type, std::size_t rdlength) {
+  const std::size_t end = dec.pos() + rdlength;
+  Rdata out;
+  switch (type) {
+    case RRType::kA: {
+      if (rdlength != 4) throw WireFormatError("A rdata must be 4 octets");
+      out = ARdata{IpAddr(dec.u32())};
+      break;
+    }
+    case RRType::kAAAA: {
+      if (rdlength != 16) throw WireFormatError("AAAA rdata must be 16 octets");
+      Ip6Addr::Bytes bytes;
+      for (auto& b : bytes) b = dec.u8();
+      out = AaaaRdata{Ip6Addr(bytes)};
+      break;
+    }
+    case RRType::kNS: out = NsRdata{dec.name()}; break;
+    case RRType::kCNAME:
+    case RRType::kPTR: out = CnameRdata{dec.name()}; break;
+    case RRType::kSOA: {
+      SoaRdata soa;
+      soa.mname = dec.name();
+      soa.rname = dec.name();
+      soa.serial = dec.u32();
+      soa.refresh = dec.u32();
+      soa.retry = dec.u32();
+      soa.expire = dec.u32();
+      soa.minimum = dec.u32();
+      out = soa;
+      break;
+    }
+    case RRType::kMX: {
+      MxRdata mx;
+      mx.preference = dec.u16();
+      mx.exchange = dec.name();
+      out = mx;
+      break;
+    }
+    case RRType::kTXT: {
+      TxtRdata txt;
+      while (dec.pos() < end) {
+        const std::uint8_t len = dec.u8();
+        for (std::uint8_t i = 0; i < len; ++i) {
+          txt.text.push_back(static_cast<char>(dec.u8()));
+        }
+      }
+      out = txt;
+      break;
+    }
+    default: {
+      OpaqueRdata o;
+      o.bytes.reserve(rdlength);
+      for (std::size_t i = 0; i < rdlength; ++i) o.bytes.push_back(dec.u8());
+      out = o;
+      break;
+    }
+  }
+  if (dec.pos() != end) throw WireFormatError("rdata length mismatch");
+  return out;
+}
+
+ResourceRecord decode_record(Decoder& dec) {
+  ResourceRecord rr;
+  rr.name = dec.name();
+  rr.type = static_cast<RRType>(dec.u16());
+  const std::uint16_t klass = dec.u16();
+  if (klass != kClassIn) throw WireFormatError("only class IN is supported");
+  rr.ttl = dec.u32();
+  const std::uint16_t rdlength = dec.u16();
+  rr.rdata = decode_rdata(dec, rr.type, rdlength);
+  return rr;
+}
+
+std::uint16_t flags_of(const Header& h) {
+  std::uint16_t f = 0;
+  if (h.qr) f |= 0x8000;
+  f |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.opcode) << 11);
+  if (h.aa) f |= 0x0400;
+  if (h.tc) f |= 0x0200;
+  if (h.rd) f |= 0x0100;
+  if (h.ra) f |= 0x0080;
+  f |= static_cast<std::uint16_t>(h.rcode);
+  return f;
+}
+
+Header header_from_flags(std::uint16_t id, std::uint16_t f) {
+  Header h;
+  h.id = id;
+  h.qr = (f & 0x8000) != 0;
+  h.opcode = static_cast<Opcode>((f >> 11) & 0xf);
+  h.aa = (f & 0x0400) != 0;
+  h.tc = (f & 0x0200) != 0;
+  h.rd = (f & 0x0100) != 0;
+  h.ra = (f & 0x0080) != 0;
+  h.rcode = static_cast<Rcode>(f & 0xf);
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  Encoder enc;
+  enc.u16(msg.header.id);
+  enc.u16(flags_of(msg.header));
+  enc.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.authorities.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.additionals.size()));
+  for (const auto& q : msg.questions) {
+    enc.name(q.qname);
+    enc.u16(static_cast<std::uint16_t>(q.qtype));
+    enc.u16(kClassIn);
+  }
+  for (const auto& rr : msg.answers) encode_record(enc, rr);
+  for (const auto& rr : msg.authorities) encode_record(enc, rr);
+  for (const auto& rr : msg.additionals) encode_record(enc, rr);
+  return enc.take();
+}
+
+Message decode_message(std::span<const std::uint8_t> wire) {
+  Decoder dec(wire);
+  const std::uint16_t id = dec.u16();
+  const std::uint16_t flags = dec.u16();
+  const std::uint16_t qdcount = dec.u16();
+  const std::uint16_t ancount = dec.u16();
+  const std::uint16_t nscount = dec.u16();
+  const std::uint16_t arcount = dec.u16();
+
+  Message msg;
+  msg.header = header_from_flags(id, flags);
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    Question q;
+    q.qname = dec.name();
+    q.qtype = static_cast<RRType>(dec.u16());
+    const std::uint16_t klass = dec.u16();
+    if (klass != kClassIn) throw WireFormatError("only class IN is supported");
+    msg.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < ancount; ++i) msg.answers.push_back(decode_record(dec));
+  for (std::uint16_t i = 0; i < nscount; ++i) {
+    msg.authorities.push_back(decode_record(dec));
+  }
+  for (std::uint16_t i = 0; i < arcount; ++i) {
+    msg.additionals.push_back(decode_record(dec));
+  }
+  if (!dec.at_end()) throw WireFormatError("trailing garbage after message");
+  return msg;
+}
+
+std::size_t encoded_size(const Message& msg) { return encode_message(msg).size(); }
+
+}  // namespace dnsshield::dns

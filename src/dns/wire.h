@@ -1,0 +1,36 @@
+// RFC 1035 wire-format codec with name compression.
+//
+// The simulator exchanges Message objects directly, but the codec makes the
+// library usable against real packets, provides the byte-accurate message
+// sizes used by the overhead accounting, and is exercised heavily by
+// round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace dnsshield::dns {
+
+/// Thrown on malformed wire data (truncation, bad pointers, loops).
+class WireFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes a message, compressing owner names and names inside NS /
+/// CNAME / SOA / MX / PTR rdata (the RFC 1035 "well-known" set).
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Parses a wire-format message. Throws WireFormatError on malformed input:
+/// truncated sections, compression pointers that point forward or form
+/// loops, label overruns, or trailing garbage.
+Message decode_message(std::span<const std::uint8_t> wire);
+
+/// Byte size of the encoded message without materializing it twice.
+std::size_t encoded_size(const Message& msg);
+
+}  // namespace dnsshield::dns

@@ -1,0 +1,85 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace dnsshield::metrics {
+
+void Cdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Cdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  assert(!empty());
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  assert(!empty());
+  ensure_sorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size()));
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double Cdf::min() const {
+  assert(!empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  assert(!empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  assert(!empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  assert(!empty());
+  assert(points >= 2);
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const std::size_t n = samples_.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    const std::size_t rank = (i == points - 1) ? n - 1 : i * (n - 1) / (points - 1);
+    out.emplace_back(samples_[rank],
+                     static_cast<double>(rank + 1) / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::string Cdf::to_table(std::size_t points) const {
+  std::ostringstream os;
+  for (const auto& [value, fraction] : curve(points)) {
+    os << value << '\t' << fraction << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dnsshield::metrics

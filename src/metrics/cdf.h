@@ -1,0 +1,44 @@
+// Empirical distribution utilities: CDF evaluation, quantiles, summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnsshield::metrics {
+
+/// Collects scalar samples and answers distribution queries. Samples are
+/// sorted lazily on first query after an insertion.
+class Cdf {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x. Precondition: !empty().
+  double at(double x) const;
+
+  /// q-quantile for q in [0, 1] (nearest-rank). Precondition: !empty().
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting;
+  /// at most `points` entries. Precondition: !empty(), points >= 2.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+  /// Renders `curve()` as aligned text rows: "value<TAB>fraction".
+  std::string to_table(std::size_t points = 20) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dnsshield::metrics

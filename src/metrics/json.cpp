@@ -1,0 +1,150 @@
+#include "metrics/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dnsshield::metrics {
+
+namespace {
+
+bool needs_comma(const std::string& out) {
+  if (out.empty()) return false;
+  const char last = out.back();
+  return last != '{' && last != '[' && last != ':' && last != ',';
+}
+
+}  // namespace
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Frame::kObjectWantKey) {
+    throw std::logic_error("JSON: value emitted where a key is required");
+  }
+  if (needs_comma(out_)) out_ += ',';
+  if (!stack_.empty() && stack_.back() == Frame::kObjectWantValue) {
+    stack_.back() = Frame::kObjectWantKey;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObjectWantKey);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObjectWantKey) {
+    throw std::logic_error("JSON: end_object outside an object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JSON: end_array outside an array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::kObjectWantKey) {
+    throw std::logic_error("JSON: key outside an object");
+  }
+  if (needs_comma(out_)) out_ += ',';
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  stack_.back() = Frame::kObjectWantValue;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  before_value();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  before_value();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  if (!stack_.empty()) {
+    throw std::logic_error("JSON: document has unclosed containers");
+  }
+  return std::move(out_);
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsshield::metrics

@@ -1,0 +1,59 @@
+// A minimal JSON writer for exporting experiment results.
+//
+// Emits valid, deterministic JSON (keys in insertion order, doubles with
+// round-trip precision, full string escaping). Writing-only by design —
+// the library consumes traces and configs, not JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsshield::metrics {
+
+/// Builds one JSON value tree and renders it.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("scheme").value("vanilla");
+///   w.key("failures").value(0.12);
+///   w.key("series").begin_array().value(1).value(2).end_array();
+///   w.end_object();
+///   std::string text = w.take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// Finishes and returns the document. Throws std::logic_error if any
+  /// container is still open.
+  std::string take();
+
+  /// Escapes a string per RFC 8259 (quotation marks not included).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { kObjectWantKey, kObjectWantValue, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace dnsshield::metrics

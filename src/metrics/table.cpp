@@ -1,0 +1,58 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dnsshield::metrics {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace dnsshield::metrics

@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench prints its rows through TablePrinter so the output of
+// `for b in build/bench/*; do $b; done` is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnsshield::metrics {
+
+/// Collects rows of string cells and renders a column-aligned table with a
+/// header rule. Numeric helpers format with fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Formats a percentage ("12.34%").
+  static std::string pct(double fraction, int precision = 2);
+
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnsshield::metrics

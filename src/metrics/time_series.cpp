@@ -1,0 +1,51 @@
+#include "metrics/time_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dnsshield::metrics {
+
+void TimeSeries::add(sim::SimTime t, double value) {
+  assert(points_.empty() || t >= points_.back().time);
+  points_.push_back(Point{t, value});
+}
+
+double TimeSeries::max_value() const {
+  assert(!points_.empty());
+  return std::max_element(points_.begin(), points_.end(),
+                          [](const Point& a, const Point& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::last_value() const {
+  assert(!points_.empty());
+  return points_.back().value;
+}
+
+double TimeSeries::time_weighted_mean() const {
+  assert(points_.size() >= 2);
+  double weighted = 0;
+  double span = 0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double dt = points_[i + 1].time - points_[i].time;
+    weighted += points_[i].value * dt;
+    span += dt;
+  }
+  return span > 0 ? weighted / span : points_.front().value;
+}
+
+TimeSeries TimeSeries::downsample(std::size_t max_points) const {
+  if (points_.size() <= max_points || max_points == 0) return *this;
+  TimeSeries out(label_);
+  const std::size_t n = points_.size();
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx =
+        (i == max_points - 1) ? n - 1 : i * (n - 1) / (max_points - 1);
+    out.points_.push_back(points_[idx]);
+  }
+  return out;
+}
+
+}  // namespace dnsshield::metrics

@@ -1,0 +1,45 @@
+// Time-stamped sample collection for occupancy plots (Fig. 12 style).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnsshield::metrics {
+
+/// An append-only series of (time, value) points. Times must be added in
+/// non-decreasing order (enforced with an assert in debug builds).
+class TimeSeries {
+ public:
+  struct Point {
+    sim::SimTime time = 0;
+    double value = 0;
+  };
+
+  explicit TimeSeries(std::string label = {}) : label_(std::move(label)) {}
+
+  void add(sim::SimTime t, double value);
+
+  const std::string& label() const { return label_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  double max_value() const;
+  double last_value() const;
+
+  /// Mean of values, time-weighted by the interval to the next point (last
+  /// point weighted 0). Precondition: size() >= 2.
+  double time_weighted_mean() const;
+
+  /// Downsamples to at most `max_points` evenly spaced points.
+  TimeSeries downsample(std::size_t max_points) const;
+
+ private:
+  std::string label_;
+  std::vector<Point> points_;
+};
+
+}  // namespace dnsshield::metrics

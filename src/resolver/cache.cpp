@@ -1,0 +1,174 @@
+#include "resolver/cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dnsshield::resolver {
+
+using dns::RRset;
+using dns::RRType;
+using dns::Trust;
+
+void Cache::touch(const dns::Name& name, RRType type,
+                  const CacheEntry& entry) const {
+  if (entry.in_lru) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  } else {
+    lru_.emplace_front(name, type);
+    entry.lru_pos = lru_.begin();
+    entry.in_lru = true;
+  }
+}
+
+void Cache::evict_if_over_budget() {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_ && !lru_.empty()) {
+    const auto& [name, type] = lru_.back();
+    const auto it = entries_.find(Key{name, type});
+    // Permanent entries (root hints) are never in the LRU list, so the
+    // victim is always evictable.
+    if (it != entries_.end()) entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime now,
+                                  bool is_irr, const dns::Name& irr_zone,
+                                  bool allow_ttl_reset, bool demand) {
+  const Key key{rrset.name(), rrset.type()};
+  const std::uint32_t ttl = std::min(rrset.ttl(), ttl_cap_);
+  auto it = entries_.find(key);
+
+  if (it != entries_.end() && it->second.live_at(now)) {
+    CacheEntry& entry = it->second;
+    if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
+      // Permanent entries (root hints) are never overwritten.
+      return {InsertOutcome::kKeptExisting, &entry};
+    }
+    if (!dns::may_replace(trust, entry.trust)) {
+      ++stats_.rejections;
+      return {InsertOutcome::kRejectedLowerTrust, nullptr};
+    }
+    if (entry.rrset.same_data(rrset)) {
+      entry.trust = std::max(entry.trust, trust);
+      touch(key.name, key.type, entry);
+      if (!allow_ttl_reset) {
+        return {InsertOutcome::kKeptExisting, &entry};
+      }
+      entry.rrset.set_ttl(ttl);
+      entry.expires_at = now + ttl;
+      entry.generation = next_generation_++;
+      entry.demand_hits = demand ? 1 : 0;
+      return {InsertOutcome::kTtlReset, &entry};
+    }
+    entry.rrset = rrset;
+    entry.rrset.set_ttl(ttl);
+    entry.trust = trust;
+    entry.expires_at = now + ttl;
+    entry.inserted_at = now;
+    entry.is_irr = is_irr;
+    entry.irr_zone = irr_zone;
+    entry.generation = next_generation_++;
+    entry.demand_hits = demand ? 1 : 0;
+    touch(key.name, key.type, entry);
+    return {InsertOutcome::kReplaced, &entry};
+  }
+
+  CacheEntry entry;
+  entry.rrset = rrset;
+  entry.rrset.set_ttl(ttl);
+  entry.trust = trust;
+  entry.expires_at = now + ttl;
+  entry.inserted_at = now;
+  entry.is_irr = is_irr;
+  entry.irr_zone = irr_zone;
+  entry.generation = next_generation_++;
+  entry.demand_hits = demand ? 1 : 0;
+  ++stats_.insertions;
+  auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
+  touch(key.name, key.type, pos->second);
+  evict_if_over_budget();
+  return {InsertOutcome::kInstalled, &pos->second};
+}
+
+void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t ttl,
+                            dns::Rcode rcode, sim::SimTime now) {
+  CacheEntry entry;
+  entry.rrset = RRset(name, type, std::min(ttl, ttl_cap_));
+  entry.expires_at = now + std::min(ttl, ttl_cap_);
+  entry.inserted_at = now;
+  entry.trust = Trust::kAuthAnswer;
+  entry.negative = true;
+  entry.neg_rcode = rcode;
+  entry.generation = next_generation_++;
+  ++stats_.insertions;
+  auto [pos, _] = entries_.insert_or_assign(Key{name, type}, std::move(entry));
+  touch(name, type, pos->second);
+  evict_if_over_budget();
+}
+
+void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
+  CacheEntry entry;
+  entry.rrset = rrset;
+  entry.trust = Trust::kAuthAnswer;
+  entry.expires_at = std::numeric_limits<sim::SimTime>::infinity();
+  entry.inserted_at = 0;
+  entry.is_irr = true;
+  entry.irr_zone = irr_zone;
+  entry.generation = next_generation_++;
+  entries_.insert_or_assign(Key{rrset.name(), rrset.type()}, std::move(entry));
+}
+
+const CacheEntry* Cache::lookup(const dns::Name& name, RRType type,
+                                sim::SimTime now) const {
+  const auto it = entries_.find(Key{name, type});
+  if (it == entries_.end() || !it->second.live_at(now)) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  ++it->second.demand_hits;
+  touch(name, type, it->second);
+  return &it->second;
+}
+
+const CacheEntry* Cache::lookup_including_expired(const dns::Name& name,
+                                                  RRType type) const {
+  const auto it = entries_.find(Key{name, type});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Cache::erase(const dns::Name& name, RRType type) {
+  const auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) return;
+  if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+std::size_t Cache::purge_expired(sim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!it->second.live_at(now)) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+Cache::Occupancy Cache::occupancy(sim::SimTime now) const {
+  Occupancy occ;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.live_at(now)) continue;
+    ++occ.rrsets;
+    occ.records += entry.rrset.size();
+    if (key.type == RRType::kNS) ++occ.zones;
+  }
+  return occ;
+}
+
+}  // namespace dnsshield::resolver

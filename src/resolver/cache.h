@@ -1,0 +1,170 @@
+// The caching server's record store.
+//
+// Entries are RRsets keyed by (name, type) with an absolute expiry time,
+// an RFC 2181 trust rank, and an IRR tag. The paper's schemes act on IRR
+// entries only; the insert logic implements the vanilla/refresh TTL
+// semantics (see insert() for the decision table).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/trust.h"
+#include "sim/time.h"
+
+namespace dnsshield::resolver {
+
+/// LRU bookkeeping list: (name, type) keys, most recently used first.
+using LruList = std::list<std::pair<dns::Name, dns::RRType>>;
+
+/// What insert() did with the offered RRset.
+enum class InsertOutcome : std::uint8_t {
+  kInstalled,        // no live entry existed; fresh install
+  kReplaced,         // live entry replaced (data changed, trust sufficient)
+  kTtlReset,         // same data; expiry pushed out (refresh semantics)
+  kKeptExisting,     // same data; expiry left alone (vanilla semantics)
+  kRejectedLowerTrust,
+};
+
+struct CacheEntry {
+  dns::RRset rrset;
+  dns::Trust trust = dns::Trust::kAdditional;
+  sim::SimTime expires_at = 0;
+  sim::SimTime inserted_at = 0;
+  bool is_irr = false;
+  /// RFC 2308 negative entry: the name/type is known NOT to resolve.
+  /// rrset is empty; neg_rcode distinguishes NXDOMAIN from NODATA.
+  bool negative = false;
+  dns::Rcode neg_rcode = dns::Rcode::kNoError;
+  /// For IRR entries: origin of the zone this record navigates to (the NS
+  /// owner, or the zone an address record's host serves). Used for credit
+  /// bookkeeping.
+  dns::Name irr_zone;
+  /// Bumped on every install/replace/reset; renewal events compare it to
+  /// detect stale scheduling.
+  std::uint64_t generation = 0;
+  /// Position in the cache's LRU list (internal bookkeeping; mutable so a
+  /// const lookup can record recency).
+  mutable LruList::iterator lru_pos{};
+  mutable bool in_lru = false;
+  /// Demand lookups served by this incarnation of the entry (reset on
+  /// install/replace/TTL-reset). Drives the end-host prefetch baseline.
+  mutable std::uint32_t demand_hits = 0;
+
+  bool live_at(sim::SimTime t) const { return t < expires_at; }
+};
+
+class Cache {
+ public:
+  /// `ttl_cap` clamps every stored TTL (the 7-day rule). `max_entries`
+  /// bounds the cache; 0 means unbounded. When full, the least recently
+  /// used non-permanent entry is evicted (strict LRU via an access list).
+  explicit Cache(std::uint32_t ttl_cap, std::size_t max_entries = 0)
+      : ttl_cap_(ttl_cap), max_entries_(max_entries) {}
+
+  struct InsertResult {
+    InsertOutcome outcome;
+    const CacheEntry* entry;  // resulting entry; null iff rejected
+  };
+
+  /// Offers an RRset to the cache.
+  ///
+  /// Decision table (entry "live" means not yet expired):
+  ///  - no entry, or expired entry       -> install fresh.
+  ///  - live entry, lower-trust offer    -> reject (RFC 2181).
+  ///  - live entry, different data       -> replace, expiry = now + TTL.
+  ///  - live entry, same data:
+  ///      * allow_ttl_reset              -> push expiry to now + TTL
+  ///                                        (refresh schemes / explicit
+  ///                                        answer-section fetches);
+  ///      * otherwise                    -> keep old expiry, upgrade trust
+  ///                                        (vanilla IRR behaviour).
+  /// `demand` marks inserts caused by a client-driven resolution (they
+  /// count as one use for popularity tracking); renewal/prefetch
+  /// re-fetches pass false.
+  InsertResult insert(const dns::RRset& rrset, dns::Trust trust, sim::SimTime now,
+                      bool is_irr, const dns::Name& irr_zone, bool allow_ttl_reset,
+                      bool demand = true);
+
+  /// Installs an entry that never expires (root hints).
+  void insert_permanent(const dns::RRset& rrset, const dns::Name& irr_zone);
+
+  /// Caches a negative answer (RFC 2308) for (name, type): NXDOMAIN or
+  /// NODATA, valid for `ttl` seconds (already clamped by the SOA minimum
+  /// on the authoritative side). Replaces whatever is cached.
+  void insert_negative(const dns::Name& name, dns::RRType type, std::uint32_t ttl,
+                       dns::Rcode rcode, sim::SimTime now);
+
+  /// Live entry or nullptr. Expired entries are left in place (they hold
+  /// the expiry information the gap recorder wants); call
+  /// lookup_including_expired to see them.
+  const CacheEntry* lookup(const dns::Name& name, dns::RRType type,
+                           sim::SimTime now) const;
+
+  /// Entry regardless of expiry; nullptr if never cached (or evicted).
+  const CacheEntry* lookup_including_expired(const dns::Name& name,
+                                             dns::RRType type) const;
+
+  /// Removes an entry (used once an expired entry's gap is recorded).
+  void erase(const dns::Name& name, dns::RRType type);
+
+  /// Drops every expired entry; returns how many were removed.
+  std::size_t purge_expired(sim::SimTime now);
+
+  // ---- Occupancy (Fig. 12) ------------------------------------------------
+
+  struct Occupancy {
+    std::size_t rrsets = 0;   // live entries
+    std::size_t records = 0;  // live individual RRs
+    std::size_t zones = 0;    // live NS-set entries (= cached zones)
+  };
+  Occupancy occupancy(sim::SimTime now) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  // ---- Statistics ----------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+    }
+  };
+
+  /// Marks the entry as just-used (front of the LRU list), wiring up the
+  /// list node on first touch.
+  void touch(const dns::Name& name, dns::RRType type,
+             const CacheEntry& entry) const;
+  void evict_if_over_budget();
+
+  std::uint32_t ttl_cap_;
+  std::size_t max_entries_;
+  std::unordered_map<Key, CacheEntry, KeyHash> entries_;
+  /// Most-recently-used first. Entries hold their own list iterator.
+  mutable LruList lru_;
+  mutable Stats stats_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,531 @@
+#include "resolver/caching_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "dns/wire.h"
+
+namespace dnsshield::resolver {
+
+using dns::IpAddr;
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::RRset;
+using dns::RRType;
+using dns::Trust;
+
+namespace {
+
+constexpr int kMaxSteps = 40;        // referral iterations per SR query
+constexpr int kMaxSubDepth = 4;      // nested NS-address resolutions
+constexpr int kMaxCnameChase = 8;
+constexpr sim::Duration kRenewalLead = 1.0;  // re-fetch 1s before expiry
+
+}  // namespace
+
+CachingServer::CachingServer(const server::Hierarchy& hierarchy,
+                             const attack::AttackInjector& injector,
+                             sim::EventQueue& events, ResilienceConfig config)
+    : hierarchy_(hierarchy),
+      injector_(injector),
+      events_(events),
+      config_(config),
+      cache_(config.cache_ttl_cap, config.cache_max_entries) {
+  // Compiled-in root hints: the root NS set plus root server addresses,
+  // modelled as permanent cache entries (real resolvers re-prime from
+  // hints whenever needed).
+  const server::Zone* root = hierarchy_.find_zone(Name::root());
+  assert(root != nullptr);
+  cache_.insert_permanent(root->ns_set(), Name::root());
+  for (const auto& host : root->server_hostnames()) {
+    server_zone_.emplace(host, Name::root());
+    if (const RRset* a = root->find_rrset(host, RRType::kA)) {
+      cache_.insert_permanent(*a, Name::root());
+    }
+  }
+}
+
+double CachingServer::zone_credit(const Name& zone) const {
+  const auto it = credits_.find(zone);
+  return it == credits_.end() ? 0.0 : it->second;
+}
+
+void CachingServer::record_gap(const CacheEntry& entry) {
+  const double gap = now() - entry.expires_at;
+  if (gap < 0) return;
+  gap_days_.add(sim::to_days(gap));
+  const double ttl = std::max<double>(entry.rrset.ttl(), 1.0);
+  gap_ttl_fraction_.add(gap / ttl);
+}
+
+const CacheEntry* CachingServer::cache_find(const Name& name, RRType type,
+                                            const Context& ctx) const {
+  if (const CacheEntry* live = cache_.lookup(name, type, now())) return live;
+  if (!ctx.allow_stale) return nullptr;
+  return cache_.lookup_including_expired(name, type);
+}
+
+std::optional<Name> CachingServer::find_deepest_zone(const Name& qname,
+                                                     Context& ctx) {
+  Name cursor = qname;
+  for (;;) {
+    if (ctx.dead_zones.count(cursor) == 0) {
+      const CacheEntry* ns = cache_find(cursor, RRType::kNS, ctx);
+      if (ns != nullptr && !ns->negative) return cursor;
+      // An expired NS entry passed on the way up is exactly the paper's
+      // "time gap": the next demand query arriving after the IRR expired.
+      // A stale-serving cache never discards records (Ballani-Francis).
+      if (!ctx.is_renewal && !config_.serve_stale) {
+        if (const CacheEntry* stale =
+                cache_.lookup_including_expired(cursor, RRType::kNS)) {
+          record_gap(*stale);
+          cache_.erase(cursor, RRType::kNS);
+        }
+      }
+    }
+    if (cursor.is_root()) return std::nullopt;
+    cursor = cursor.parent();
+  }
+}
+
+std::vector<IpAddr> CachingServer::addresses_for_zone(const Name& zone,
+                                                      Context& ctx) {
+  const CacheEntry* ns_entry = cache_find(zone, RRType::kNS, ctx);
+  if (ns_entry == nullptr || ns_entry->negative) return {};
+
+  std::vector<Name> hostnames;
+  for (const auto& rd : ns_entry->rrset.rdatas()) {
+    hostnames.push_back(std::get<dns::NsRdata>(rd).nsdname);
+  }
+
+  std::vector<IpAddr> addrs;
+  auto collect_cached = [&] {
+    addrs.clear();
+    for (const auto& host : hostnames) {
+      const CacheEntry* a = cache_find(host, RRType::kA, ctx);
+      if (a == nullptr || a->negative) continue;
+      for (const auto& rd : a->rrset.rdatas()) {
+        addrs.push_back(std::get<dns::ARdata>(rd).address);
+      }
+    }
+  };
+  collect_cached();
+  if (!addrs.empty()) return addrs;
+
+  // No cached address (out-of-bailiwick servers): resolve one server name.
+  if (ctx.sub_depth >= kMaxSubDepth) return {};
+  for (const auto& host : hostnames) {
+    Context sub;
+    sub.sub_depth = ctx.sub_depth + 1;
+    sub.is_renewal = ctx.is_renewal;
+    sub.allow_stale = ctx.allow_stale;
+    sub.dead_zones = ctx.dead_zones;
+    const ResolveResult r = resolve_internal(host, RRType::kA, sub);
+    ctx.msgs += sub.msgs;
+    ctx.failed += sub.failed;
+    ctx.latency += sub.latency;
+    if (r.success && r.rcode == Rcode::kNoError && !r.answers.empty()) {
+      collect_cached();
+      if (!addrs.empty()) return addrs;
+    }
+  }
+  return addrs;
+}
+
+void CachingServer::earn_credit(const Name& zone, std::uint32_t irr_ttl) {
+  if (!config_.renewal_enabled()) return;
+  double& credit = credits_[zone];
+  credit = credit_after_query(config_, credit, irr_ttl);
+}
+
+void CachingServer::note_irr_inserted(const Name& name, RRType type,
+                                      const CacheEntry& entry) {
+  if (!config_.renewal_enabled()) return;
+  if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) return;
+  // DNSSEC IRRs ride along with the zone's NS renewal (one credit renews
+  // all of a zone's IRRs, per the paper's credit definition) instead of
+  // running chains of their own.
+  if (type == RRType::kDS || type == RRType::kDNSKEY) return;
+  if (!pending_renewals_.insert(RenewalKey{name, type}).second) {
+    return;  // an event is already in flight; it re-reads the expiry on fire
+  }
+  const sim::SimTime due = std::max(entry.expires_at - kRenewalLead, now());
+  events_.schedule_at(due, [this, name, type] { on_renewal_due(name, type); });
+}
+
+void CachingServer::on_renewal_due(const Name& name, RRType type) {
+  const CacheEntry* entry = cache_.lookup_including_expired(name, type);
+  if (entry == nullptr ||
+      entry->expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
+    pending_renewals_.erase(RenewalKey{name, type});
+    return;
+  }
+  const sim::SimTime due = entry->expires_at - kRenewalLead;
+  if (due > now() + 1e-9) {
+    // The entry was refreshed since this event was armed; chase the new
+    // expiry with the same pending slot.
+    events_.schedule_at(due, [this, name, type] { on_renewal_due(name, type); });
+    return;
+  }
+
+  const auto it = credits_.find(entry->irr_zone);
+  if (it == credits_.end() || it->second < 1.0) {
+    pending_renewals_.erase(RenewalKey{name, type});
+    return;  // no credit left: let the IRR expire
+  }
+  it->second -= 1.0;
+  ++stats_.renewal_fetches;
+
+  Context ctx;
+  ctx.is_renewal = true;
+  // Re-fetch through the normal iterative path; the answer re-installs the
+  // IRR with a fresh TTL (and its glue with it).
+  (void)iterate(name, type, ctx);
+
+  // The same credit spend renews the zone's DNSSEC IRRs, when cached.
+  if (type == RRType::kNS) {
+    for (const RRType extra : {RRType::kDNSKEY, RRType::kDS}) {
+      const CacheEntry* e = cache_.lookup_including_expired(name, extra);
+      if (e != nullptr && !e->negative) {
+        Context extra_ctx;
+        extra_ctx.is_renewal = true;
+        (void)iterate(name, extra, extra_ctx);
+      }
+    }
+  }
+
+  const CacheEntry* renewed = cache_.lookup_including_expired(name, type);
+  const sim::SimTime next_due =
+      renewed == nullptr ? 0 : renewed->expires_at - kRenewalLead;
+  if (renewed != nullptr && next_due > now() &&
+      renewed->expires_at != std::numeric_limits<sim::SimTime>::infinity()) {
+    events_.schedule_at(next_due,
+                        [this, name, type] { on_renewal_due(name, type); });
+  } else {
+    pending_renewals_.erase(RenewalKey{name, type});
+  }
+}
+
+void CachingServer::note_host_inserted(const Name& name, RRType type,
+                                       const CacheEntry& entry) {
+  if (!config_.prefetch_hosts) return;
+  if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) return;
+  if (!pending_renewals_.insert(RenewalKey{name, type}).second) return;
+  const sim::SimTime due = std::max(entry.expires_at - kRenewalLead, now());
+  events_.schedule_at(due, [this, name, type] { on_prefetch_due(name, type); });
+}
+
+void CachingServer::on_prefetch_due(const Name& name, RRType type) {
+  const CacheEntry* entry = cache_.lookup_including_expired(name, type);
+  if (entry == nullptr || entry->negative) {
+    pending_renewals_.erase(RenewalKey{name, type});
+    return;
+  }
+  const sim::SimTime due = entry->expires_at - kRenewalLead;
+  if (due > now() + 1e-9) {
+    events_.schedule_at(due, [this, name, type] { on_prefetch_due(name, type); });
+    return;
+  }
+  // Only records that proved popular during this lifetime are prefetched;
+  // the re-fetch resets demand_hits, so an idle record stops after one
+  // speculative extension window.
+  if (entry->demand_hits < config_.prefetch_min_hits) {
+    pending_renewals_.erase(RenewalKey{name, type});
+    return;
+  }
+  ++stats_.host_prefetches;
+  Context ctx;
+  ctx.is_renewal = true;  // no credit, no gap recording
+  (void)iterate(name, type, ctx);
+
+  const CacheEntry* renewed = cache_.lookup_including_expired(name, type);
+  const sim::SimTime next_due =
+      renewed == nullptr ? 0 : renewed->expires_at - kRenewalLead;
+  if (renewed != nullptr && !renewed->negative && next_due > now()) {
+    events_.schedule_at(next_due,
+                        [this, name, type] { on_prefetch_due(name, type); });
+  } else {
+    pending_renewals_.erase(RenewalKey{name, type});
+  }
+}
+
+void CachingServer::ingest(const Message& response, Context& ctx) {
+  const bool aa = response.header.aa;
+
+  // Learn server host names first so address records in this same response
+  // are tagged as IRRs.
+  auto learn_ns_hosts = [&](const std::vector<ResourceRecord>& section) {
+    for (const auto& rr : section) {
+      if (rr.type != RRType::kNS) continue;
+      server_zone_.insert_or_assign(std::get<dns::NsRdata>(rr.rdata).nsdname,
+                                    rr.name);
+    }
+  };
+  learn_ns_hosts(response.answers);
+  learn_ns_hosts(response.authorities);
+
+  auto store = [&](const std::vector<ResourceRecord>& section, Trust trust_rank) {
+    for (const auto& set : Message::group_rrsets(section)) {
+      if (set.type() == RRType::kSOA) continue;  // negatives handled elsewhere
+      bool is_irr = false;
+      Name irr_zone;
+      if (set.type() == RRType::kNS || set.type() == RRType::kDS ||
+          set.type() == RRType::kDNSKEY) {
+        // DS and DNSKEY are the DNSSEC-era infrastructure records
+        // (paper section 6); the schemes treat them like NS sets.
+        is_irr = true;
+        irr_zone = set.name();
+      } else if (set.type() == RRType::kA) {
+        const auto it = server_zone_.find(set.name());
+        if (it != server_zone_.end()) {
+          is_irr = true;
+          irr_zone = it->second;
+        }
+      }
+      // Refresh rule: IRR expiries only move when the scheme allows it or
+      // the copy was explicitly fetched (answer section). Non-IRR data
+      // always takes the fresh TTL.
+      const bool allow_reset =
+          !is_irr || config_.ttl_refresh || trust_rank >= Trust::kAnswer;
+      const auto result = cache_.insert(set, trust_rank, now(), is_irr,
+                                        irr_zone, allow_reset,
+                                        /*demand=*/!ctx.is_renewal);
+      const bool fresh = result.entry != nullptr &&
+                         (result.outcome == InsertOutcome::kInstalled ||
+                          result.outcome == InsertOutcome::kReplaced ||
+                          result.outcome == InsertOutcome::kTtlReset);
+      if (is_irr && fresh) {
+        note_irr_inserted(set.name(), set.type(), *result.entry);
+      }
+      if (!is_irr && fresh && trust_rank >= Trust::kAnswer &&
+          (set.type() == RRType::kA || set.type() == RRType::kCNAME)) {
+        note_host_inserted(set.name(), set.type(), *result.entry);
+      }
+      if (set.type() == RRType::kNS && config_.fetch_dnskey &&
+          result.outcome == InsertOutcome::kInstalled) {
+        // DNSSEC validation needs the zone's key; fetch it once per
+        // (re-)learned zone, asynchronously to this resolution.
+        const Name zone = set.name();
+        if (cache_.lookup(zone, RRType::kDNSKEY, now()) == nullptr) {
+          events_.schedule_at(now(), [this, zone] {
+            if (cache_.lookup(zone, RRType::kDNSKEY, now()) != nullptr) return;
+            Context key_ctx;
+            key_ctx.is_renewal = true;  // no credit, no gap recording
+            (void)iterate(zone, RRType::kDNSKEY, key_ctx);
+          });
+        }
+      }
+    }
+  };
+
+  store(response.answers, aa ? Trust::kAuthAnswer : Trust::kAnswer);
+  store(response.authorities,
+        aa ? Trust::kAuthorityAuthAnswer : Trust::kAuthorityReferral);
+  store(response.additionals, Trust::kAdditional);
+
+  // RFC 2308 negative caching: an authoritative empty answer caches
+  // NXDOMAIN / NODATA for the SOA-advertised negative TTL.
+  if (aa && response.answers.empty() && !response.questions.empty()) {
+    for (const auto& rr : response.authorities) {
+      if (rr.type != RRType::kSOA) continue;
+      const auto& q = response.questions.front();
+      const Rcode rcode = response.header.rcode == Rcode::kNxDomain
+                              ? Rcode::kNxDomain
+                              : Rcode::kNoError;
+      cache_.insert_negative(q.qname, q.qtype, rr.ttl, rcode, now());
+      break;
+    }
+  }
+  (void)ctx;
+}
+
+std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
+                                              Context& ctx) {
+  // DS sets are authoritative on the parent side of the cut, so the walk
+  // for a DS query starts one label up.
+  const Name walk_from = (qtype == RRType::kDS && !qname.is_root())
+                             ? qname.parent()
+                             : qname;
+  while (ctx.steps < kMaxSteps) {
+    ++ctx.steps;
+    const std::optional<Name> zone_opt = find_deepest_zone(walk_from, ctx);
+    if (!zone_opt) return std::nullopt;
+    const Name zone = *zone_opt;
+
+    const std::vector<IpAddr> addrs = addresses_for_zone(zone, ctx);
+    if (addrs.empty()) {
+      ctx.dead_zones.insert(zone);
+      continue;  // climb to an ancestor
+    }
+
+    // Demand consultation of this zone earns renewal credit.
+    if (!ctx.is_renewal) {
+      if (const CacheEntry* ns = cache_.lookup(zone, RRType::kNS, now())) {
+        earn_credit(zone, ns->rrset.ttl());
+      }
+    }
+
+    bool got_response = false;
+    for (const IpAddr addr : addrs) {
+      ++ctx.msgs;
+      ++stats_.msgs_sent;
+      if (!injector_.is_available(addr, now())) {
+        ++ctx.failed;
+        ++stats_.msgs_failed;
+        ctx.latency += latency_model_.timeout;
+        if (config_.count_wire_bytes) {
+          stats_.bytes_sent += dns::encoded_size(
+              Message::make_query(next_query_id_, qname, qtype));
+        }
+        if (query_log_) {
+          query_log_(Exchange{now(), addr, dns::Question{qname, qtype}, false,
+                              false, Rcode::kServFail, ctx.is_renewal});
+        }
+        continue;  // next server of the same zone
+      }
+      ctx.latency += latency_model_.rtt(addr);
+      const Message query = Message::make_query(next_query_id_++, qname, qtype);
+      const Message response = hierarchy_.query(addr, query);
+      if (config_.count_wire_bytes) {
+        stats_.bytes_sent += dns::encoded_size(query);
+        stats_.bytes_received += dns::encoded_size(response);
+      }
+      if (query_log_) {
+        query_log_(Exchange{now(), addr, dns::Question{qname, qtype}, true,
+                            response.is_referral(), response.header.rcode,
+                            ctx.is_renewal});
+      }
+      if (response.header.rcode == Rcode::kRefused) continue;  // lame server
+      got_response = true;
+      ingest(response, ctx);
+
+      if (!response.answers.empty() ||
+          response.header.rcode == Rcode::kNxDomain ||
+          (response.header.aa && response.answers.empty() &&
+           !response.is_referral())) {
+        return response;  // answer, NXDOMAIN, or NODATA
+      }
+      if (response.is_referral()) {
+        // Progress check: the referred zone must be deeper than `zone`.
+        Name referred;
+        bool found = false;
+        for (const auto& rr : response.authorities) {
+          if (rr.type == RRType::kNS) {
+            referred = rr.name;
+            found = true;
+            break;
+          }
+        }
+        if (!found || !referred.is_proper_subdomain_of(zone) ||
+            !qname.is_subdomain_of(referred)) {
+          return std::nullopt;  // lame or looping referral
+        }
+        if (ctx.dead_zones.count(referred) != 0) {
+          return std::nullopt;  // referred into a zone whose servers failed
+        }
+        ++stats_.referrals_followed;
+        break;  // cached child IRRs; outer loop descends
+      }
+      return std::nullopt;  // non-referral, non-answer: give up
+    }
+    if (!got_response) {
+      ctx.dead_zones.insert(zone);
+      continue;  // every server failed: climb and retry via an ancestor
+    }
+  }
+  return std::nullopt;
+}
+
+CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
+                                                             RRType qtype,
+                                                             Context& ctx) {
+  ResolveResult result;
+  while (ctx.cname_depth <= kMaxCnameChase) {
+    // Cache first (expired entries qualify only on the stale pass).
+    if (const CacheEntry* hit = cache_find(qname, qtype, ctx)) {
+      if (hit->negative) {
+        result.success = true;  // cached NXDOMAIN / NODATA (RFC 2308)
+        result.rcode = hit->neg_rcode;
+        result.stale = !hit->live_at(now());
+        break;
+      }
+      for (auto& rr : hit->rrset.to_records()) result.answers.push_back(rr);
+      result.success = true;
+      result.rcode = Rcode::kNoError;
+      result.stale = !hit->live_at(now());
+      break;
+    }
+    if (qtype != RRType::kCNAME) {
+      const CacheEntry* cname = cache_find(qname, RRType::kCNAME, ctx);
+      if (cname != nullptr && !cname->negative) {
+        for (auto& rr : cname->rrset.to_records()) result.answers.push_back(rr);
+        qname = std::get<dns::CnameRdata>(cname->rrset.rdatas().front()).target;
+        ++ctx.cname_depth;
+        continue;
+      }
+    }
+
+    std::optional<Message> response = iterate(qname, qtype, ctx);
+    if (!response && config_.serve_stale && !ctx.allow_stale) {
+      // Ballani-Francis fallback: one more pass, this time allowed to
+      // navigate and answer from expired records.
+      ctx.allow_stale = true;
+      ctx.steps = 0;
+      continue;
+    }
+    if (!response) {
+      result.success = false;
+      result.rcode = Rcode::kServFail;
+      break;
+    }
+    if (response->header.rcode == Rcode::kNxDomain) {
+      result.success = true;  // resolution completed, name does not exist
+      result.rcode = Rcode::kNxDomain;
+      break;
+    }
+    // Collect answers; chase a CNAME if that is all we got.
+    bool has_qtype = false;
+    const ResourceRecord* cname_rr = nullptr;
+    for (const auto& rr : response->answers) {
+      if (rr.name == qname && rr.type == qtype) has_qtype = true;
+      if (rr.name == qname && rr.type == RRType::kCNAME) cname_rr = &rr;
+      result.answers.push_back(rr);
+    }
+    if (has_qtype || cname_rr == nullptr) {
+      result.success = true;  // answer or NODATA
+      result.rcode = Rcode::kNoError;
+      break;
+    }
+    qname = std::get<dns::CnameRdata>(cname_rr->rdata).target;
+    ++ctx.cname_depth;
+  }
+  if (ctx.cname_depth > kMaxCnameChase) {
+    result.success = false;
+    result.rcode = Rcode::kServFail;
+  }
+  result.messages_sent = ctx.msgs;
+  result.messages_failed = ctx.failed;
+  result.from_cache = ctx.msgs == 0;
+  result.latency = ctx.latency;
+  return result;
+}
+
+CachingServer::ResolveResult CachingServer::resolve(const Name& qname,
+                                                    RRType qtype) {
+  ++stats_.sr_queries;
+  Context ctx;
+  ResolveResult result = resolve_internal(qname, qtype, ctx);
+  if (!result.success) {
+    ++stats_.sr_failures;
+  } else if (result.from_cache) {
+    ++stats_.cache_answer_hits;
+  }
+  if (result.stale) ++stats_.stale_serves;
+  latency_cdf_.add(result.latency);
+  return result;
+}
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,191 @@
+// The caching server (CS): an iterative resolver with the paper's
+// resilience schemes wired in.
+//
+// Resolution walks the cached infrastructure records from the query name
+// upward to find the deepest zone it can contact directly, follows
+// referrals and CNAMEs, fails over across a zone's name-servers, and falls
+// back to ancestor zones when every server of a zone is unreachable —
+// exactly the path that makes cached IRRs valuable during an attack.
+//
+// Scheme hooks:
+//  - TTL refresh: responses from a zone's own servers reset the cached
+//    IRR TTLs (vanilla keeps the original expiry).
+//  - TTL renewal: every cached IRR schedules a re-fetch just before its
+//    expiry; the re-fetch happens while the zone still has credit, and
+//    demand queries to the zone earn credit per the configured policy.
+//  - Long TTL is authoritative-side (Hierarchy::override_irr_ttls); the
+//    cache only enforces the 7-day clamp.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "attack/injector.h"
+#include "dns/message.h"
+#include "metrics/cdf.h"
+#include "resolver/cache.h"
+#include "resolver/config.h"
+#include "resolver/latency.h"
+#include "server/hierarchy.h"
+#include "sim/event_queue.h"
+
+namespace dnsshield::resolver {
+
+class CachingServer {
+ public:
+  /// The hierarchy, injector, and event queue must outlive the server.
+  CachingServer(const server::Hierarchy& hierarchy,
+                const attack::AttackInjector& injector, sim::EventQueue& events,
+                ResilienceConfig config);
+
+  struct ResolveResult {
+    bool success = false;          // resolution completed (incl. NXDOMAIN)
+    dns::Rcode rcode = dns::Rcode::kServFail;
+    std::vector<dns::ResourceRecord> answers;
+    int messages_sent = 0;    // CS -> ANS messages this resolution caused
+    int messages_failed = 0;  // of those, sent to unreachable servers
+    bool from_cache = false;  // answered without any message
+    bool stale = false;       // served expired data (serve_stale only)
+    sim::Duration latency = 0;  // modelled wall-clock resolution time
+  };
+
+  /// Resolves one stub-resolver query at the current simulation time.
+  ResolveResult resolve(const dns::Name& qname, dns::RRType qtype);
+
+  /// One CS->ANS exchange, as seen by the query log.
+  struct Exchange {
+    sim::SimTime time = 0;
+    dns::IpAddr server;
+    dns::Question question;
+    bool answered = false;      // false: server unreachable (timeout)
+    bool referral = false;      // response was a downward referral
+    dns::Rcode rcode = dns::Rcode::kServFail;
+    bool is_renewal = false;    // renewal/prefetch traffic, not demand
+  };
+  using QueryLog = std::function<void(const Exchange&)>;
+
+  /// Installs an observer invoked for every upstream exchange (diagnostic
+  /// tooling; pass nullptr to disable). Not used by experiments.
+  void set_query_log(QueryLog log) { query_log_ = std::move(log); }
+
+  // ---- Introspection -------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t sr_queries = 0;
+    std::uint64_t sr_failures = 0;
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t msgs_failed = 0;
+    std::uint64_t cache_answer_hits = 0;  // resolved without any message
+    std::uint64_t renewal_fetches = 0;    // IRR re-fetches performed
+    std::uint64_t referrals_followed = 0;
+    std::uint64_t stale_serves = 0;  // resolutions salvaged by expired data
+    std::uint64_t host_prefetches = 0;  // end-host prefetch re-fetches
+    std::uint64_t bytes_sent = 0;      // wire bytes (count_wire_bytes only)
+    std::uint64_t bytes_received = 0;  // wire bytes (count_wire_bytes only)
+  };
+  const Stats& stats() const { return stats_; }
+
+  const Cache& cache() const { return cache_; }
+  Cache& cache() { return cache_; }
+  const ResilienceConfig& config() const { return config_; }
+
+  /// Current renewal credit of a zone (0 if never queried).
+  double zone_credit(const dns::Name& zone) const;
+
+  /// Time-gap samples (Fig. 3): time between an IRR's expiry and the next
+  /// demand query that needed it, in days and as a fraction of its TTL.
+  const metrics::Cdf& gap_days() const { return gap_days_; }
+  const metrics::Cdf& gap_ttl_fraction() const { return gap_ttl_fraction_; }
+
+  /// Per-SR-query modelled resolution latency (seconds).
+  const metrics::Cdf& latency_cdf() const { return latency_cdf_; }
+
+ private:
+  struct Context {
+    int sub_depth = 0;       // nested NS-address resolutions
+    int steps = 0;           // referral-following iterations (global)
+    int cname_depth = 0;
+    bool is_renewal = false; // renewal fetches earn no credit, record no gaps
+    bool allow_stale = false;  // serve-stale fallback pass is active
+    int msgs = 0;
+    int failed = 0;
+    sim::Duration latency = 0;
+    std::unordered_set<dns::Name, dns::NameHash> dead_zones;
+  };
+
+  /// Live entry, or — on the serve-stale fallback pass — an expired one.
+  const CacheEntry* cache_find(const dns::Name& name, dns::RRType type,
+                               const Context& ctx) const;
+
+  sim::SimTime now() const { return events_.now(); }
+
+  /// Deepest ancestor-or-self of qname with a live cached NS set that is
+  /// not marked dead in this resolution. Records expiry gaps for expired
+  /// NS entries passed on the way (demand resolutions only).
+  /// Returns nullopt when even the root is dead.
+  std::optional<dns::Name> find_deepest_zone(const dns::Name& qname, Context& ctx);
+
+  /// Reachable addresses for a zone's cached NS set; sub-resolves
+  /// out-of-bailiwick server names when no address is cached.
+  std::vector<dns::IpAddr> addresses_for_zone(const dns::Name& zone, Context& ctx);
+
+  /// Iterative resolution: returns the final response (answer / NXDOMAIN /
+  /// NODATA) or nullopt when every usable path failed.
+  std::optional<dns::Message> iterate(const dns::Name& qname, dns::RRType qtype,
+                                      Context& ctx);
+
+  /// Caches every RRset a response carries, applying section trust and the
+  /// refresh rule; schedules renewals for IRR entries.
+  void ingest(const dns::Message& response, Context& ctx);
+
+  /// Inner resolve with shared context (CNAME chase + cache check).
+  ResolveResult resolve_internal(dns::Name qname, dns::RRType qtype, Context& ctx);
+
+  void note_irr_inserted(const dns::Name& name, dns::RRType type,
+                         const CacheEntry& entry);
+  void on_renewal_due(const dns::Name& name, dns::RRType type);
+  void note_host_inserted(const dns::Name& name, dns::RRType type,
+                          const CacheEntry& entry);
+  void on_prefetch_due(const dns::Name& name, dns::RRType type);
+  void earn_credit(const dns::Name& zone, std::uint32_t irr_ttl);
+  void record_gap(const CacheEntry& entry);
+
+  const server::Hierarchy& hierarchy_;
+  const attack::AttackInjector& injector_;
+  sim::EventQueue& events_;
+  ResilienceConfig config_;
+  Cache cache_;
+  Stats stats_;
+
+  /// Host names known to appear in some NS set (their A records are IRRs),
+  /// mapped to the zone they navigate to (for credit bookkeeping).
+  std::unordered_map<dns::Name, dns::Name, dns::NameHash> server_zone_;
+
+  std::unordered_map<dns::Name, double, dns::NameHash> credits_;
+
+  /// IRR cache keys with a renewal event in flight. One event chain per
+  /// entry: refresh resets reuse the pending event instead of piling new
+  /// ones into the queue.
+  struct RenewalKey {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const RenewalKey&) const = default;
+  };
+  struct RenewalKeyHash {
+    std::size_t operator()(const RenewalKey& k) const {
+      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+    }
+  };
+  std::unordered_set<RenewalKey, RenewalKeyHash> pending_renewals_;
+
+  LatencyModel latency_model_;
+  metrics::Cdf gap_days_;
+  metrics::Cdf gap_ttl_fraction_;
+  metrics::Cdf latency_cdf_;
+  QueryLog query_log_;
+
+  std::uint16_t next_query_id_ = 1;
+};
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,117 @@
+#include "resolver/config.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dnsshield::resolver {
+
+std::string_view renewal_policy_to_string(RenewalPolicy p) {
+  switch (p) {
+    case RenewalPolicy::kNone: return "none";
+    case RenewalPolicy::kLru: return "LRU";
+    case RenewalPolicy::kLfu: return "LFU";
+    case RenewalPolicy::kAdaptiveLru: return "A-LRU";
+    case RenewalPolicy::kAdaptiveLfu: return "A-LFU";
+  }
+  return "policy?";
+}
+
+ResilienceConfig ResilienceConfig::vanilla() { return {}; }
+
+ResilienceConfig ResilienceConfig::refresh() {
+  ResilienceConfig c;
+  c.ttl_refresh = true;
+  return c;
+}
+
+ResilienceConfig ResilienceConfig::refresh_renew(RenewalPolicy policy,
+                                                 double credit) {
+  ResilienceConfig c;
+  c.ttl_refresh = true;
+  c.renewal = policy;
+  c.credit = credit;
+  return c;
+}
+
+ResilienceConfig ResilienceConfig::refresh_long_ttl(double ttl_days) {
+  ResilienceConfig c;
+  c.ttl_refresh = true;
+  c.long_ttl_override = static_cast<std::uint32_t>(ttl_days * sim::kDay);
+  return c;
+}
+
+ResilienceConfig ResilienceConfig::combination(double ttl_days, double credit) {
+  ResilienceConfig c = refresh_renew(RenewalPolicy::kAdaptiveLfu, credit);
+  c.long_ttl_override = static_cast<std::uint32_t>(ttl_days * sim::kDay);
+  return c;
+}
+
+ResilienceConfig ResilienceConfig::stale_serving() {
+  ResilienceConfig c;
+  c.serve_stale = true;
+  return c;
+}
+
+ResilienceConfig ResilienceConfig::host_prefetch() {
+  ResilienceConfig c;
+  c.prefetch_hosts = true;
+  return c;
+}
+
+std::string ResilienceConfig::label() const {
+  if (!ttl_refresh && !renewal_enabled() && long_ttl_override == 0) {
+    if (serve_stale) return "serve-stale";
+    if (prefetch_hosts) return "host-prefetch";
+    return "vanilla";
+  }
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << '+';
+    first = false;
+  };
+  if (ttl_refresh) {
+    sep();
+    os << "refresh";
+  }
+  if (renewal_enabled()) {
+    sep();
+    os << renewal_policy_to_string(renewal) << '(' << credit << ')';
+  }
+  if (long_ttl_override != 0) {
+    sep();
+    os << "ttl" << sim::to_days(long_ttl_override) << 'd';
+  }
+  if (fetch_dnskey) {
+    sep();
+    os << "dnssec";
+  }
+  if (serve_stale) {
+    sep();
+    os << "stale";
+  }
+  if (prefetch_hosts) {
+    sep();
+    os << "prefetch";
+  }
+  return os.str();
+}
+
+double credit_after_query(const ResilienceConfig& config, double current_credit,
+                          std::uint32_t irr_ttl) {
+  const double ttl = std::max<std::uint32_t>(irr_ttl, 1);
+  switch (config.renewal) {
+    case RenewalPolicy::kNone: return 0;
+    case RenewalPolicy::kLru: return config.credit;
+    case RenewalPolicy::kLfu:
+      return std::min(current_credit + config.credit, config.max_credit);
+    case RenewalPolicy::kAdaptiveLru:
+      return config.credit * sim::kDay / ttl;
+    case RenewalPolicy::kAdaptiveLfu:
+      return std::min(current_credit + config.credit * sim::kDay / ttl,
+                      config.max_credit);
+  }
+  return 0;
+}
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,104 @@
+// Configuration of the paper's resilience schemes (section 4).
+//
+// A ResilienceConfig describes one caching-server variant:
+//  - vanilla            : no refresh, no renewal (today's DNS);
+//  - TTL refresh        : reset a cached IRR's TTL whenever a response
+//                         from the zone's own servers carries a copy;
+//  - TTL renewal        : re-fetch IRRs just before expiry, gated by a
+//                         per-zone credit (four policies);
+//  - long TTL           : the zone operator publishes larger IRR TTLs
+//                         (applied on the authoritative side, recorded
+//                         here so experiment drivers can do it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace dnsshield::resolver {
+
+/// The paper's four credit policies plus "off".
+enum class RenewalPolicy : std::uint8_t {
+  kNone,
+  kLru,          // credit := C on every query to the zone
+  kLfu,          // credit += C, capped at max_credit
+  kAdaptiveLru,  // credit := C * day/TTL  (zone stays ~C extra days)
+  kAdaptiveLfu,  // credit += C * day/TTL, capped at max_credit
+};
+
+std::string_view renewal_policy_to_string(RenewalPolicy p);
+
+struct ResilienceConfig {
+  bool ttl_refresh = false;
+  RenewalPolicy renewal = RenewalPolicy::kNone;
+  double credit = 0;         // the C parameter
+  double max_credit = 1000;  // the M cap (LFU / A-LFU only)
+
+  /// Authoritative-side IRR TTL override in seconds (0 = off). Not used by
+  /// the caching server itself; the experiment driver applies it via
+  /// Hierarchy::override_irr_ttls before the run.
+  std::uint32_t long_ttl_override = 0;
+
+  /// Caches refuse TTLs above this (the 7-day clamp of section 6 that
+  /// also bounds how long a non-cooperative delegation can linger).
+  std::uint32_t cache_ttl_cap = static_cast<std::uint32_t>(7 * sim::kDay);
+
+  /// Cache entry budget; 0 = unbounded (the paper's section 5.2.2 finds
+  /// tens of MB suffice, i.e. memory is not the binding constraint).
+  /// Bounded caches evict strict-LRU.
+  std::size_t cache_max_entries = 0;
+
+  /// Account message sizes in RFC 1035 wire bytes (runs every exchange
+  /// through the codec; off by default — counting messages is enough for
+  /// Table 2, bytes add the bandwidth view).
+  bool count_wire_bytes = false;
+
+  /// DNSSEC deployment mode (paper §6): fetch a zone's DNSKEY on first
+  /// contact, so the DNSSEC infrastructure records (DNSKEY + the DS sets
+  /// referrals carry) flow through the cache and the schemes cover them.
+  bool fetch_dnskey = false;
+
+  /// Related-work baseline (Ballani & Francis, HotNets'06, paper §7):
+  /// never discard expired records; fall back to them when live
+  /// resolution fails. Violates TTL semantics but needs no TTL changes.
+  /// Off for every scheme the paper proposes.
+  bool serve_stale = false;
+
+  /// Related-work baseline (Cohen & Kaplan, SAINT'01, paper §7):
+  /// proactively re-fetch *end-host* records just before they expire,
+  /// when the dying copy served at least `prefetch_min_hits` lookups.
+  /// The paper argues this is the wrong target — IRRs, not end-host
+  /// records, are what keeps DNS navigable under attack.
+  bool prefetch_hosts = false;
+  std::uint32_t prefetch_min_hits = 2;
+
+  // ---- Named configurations used throughout the evaluation ---------------
+
+  static ResilienceConfig vanilla();
+  static ResilienceConfig refresh();
+  static ResilienceConfig refresh_renew(RenewalPolicy policy, double credit);
+  static ResilienceConfig refresh_long_ttl(double ttl_days);
+  /// The paper's hybrid: refresh + A-LFU renewal + long TTL.
+  static ResilienceConfig combination(double ttl_days, double credit = 5);
+
+  /// The stale-serving related-work baseline (no paper scheme active).
+  static ResilienceConfig stale_serving();
+
+  /// The end-host prefetch related-work baseline (no paper scheme active).
+  static ResilienceConfig host_prefetch();
+
+  /// Human-readable scheme name, e.g. "refresh+A-LFU(3)".
+  std::string label() const;
+
+  bool renewal_enabled() const { return renewal != RenewalPolicy::kNone; }
+
+  bool operator==(const ResilienceConfig&) const = default;
+};
+
+/// Credit bookkeeping per the four policies: returns the zone's new credit
+/// after one demand query, given its IRR TTL. With renewal off, always 0.
+double credit_after_query(const ResilienceConfig& config, double current_credit,
+                          std::uint32_t irr_ttl);
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,38 @@
+// Resolution-latency model.
+//
+// The paper argues that longer-lived IRRs do not just harden DNS — they
+// cut response time, because "costly walks of the DNS tree are avoided"
+// (section 4, Long TTL). To measure that, every CS->ANS exchange is
+// charged a per-server round-trip time, and every query to an unreachable
+// server a retransmission timeout. A resolution's latency is the sum over
+// the messages it caused, matching a serial retry loop.
+#pragma once
+
+#include "dns/rr.h"
+#include "sim/time.h"
+
+namespace dnsshield::resolver {
+
+struct LatencyModel {
+  /// Smallest server RTT (same-coast peer).
+  sim::Duration min_rtt = 0.010;
+  /// RTT spread: per-server RTT = min_rtt + f(server) * spread, where f
+  /// hashes the address into [0,1). Deterministic, so runs stay
+  /// reproducible without threading a PRNG through the resolver.
+  sim::Duration rtt_spread = 0.180;
+  /// Retransmission timer charged per query to an unresponsive server.
+  sim::Duration timeout = 1.5;
+
+  /// Per-server round-trip time.
+  sim::Duration rtt(dns::IpAddr server) const {
+    // SplitMix-style avalanche over the address.
+    std::uint64_t z = (static_cast<std::uint64_t>(server.value()) + 1) *
+                      0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    const double unit = static_cast<double>(z & 0xfffff) / static_cast<double>(0x100000);
+    return min_rtt + unit * rtt_spread;
+  }
+};
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,13 @@
+#include "resolver/stub_resolver.h"
+
+namespace dnsshield::resolver {
+
+CachingServer::ResolveResult StubResolver::query(const dns::Name& qname,
+                                                 dns::RRType qtype) {
+  ++queries_sent_;
+  CachingServer::ResolveResult result = server_->resolve(qname, qtype);
+  if (!result.success) ++failures_;
+  return result;
+}
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,36 @@
+// Stub resolvers (SRs): the clients behind a caching server.
+//
+// An SR forwards every application query to its caching server and keeps
+// per-client success/failure counts. In the simulation the interesting
+// state lives in the CS; the SR layer exists so experiments measure the
+// end-user view (failed SR queries) separately from the CS view (failed
+// CS->ANS messages), the two curves every figure of the paper plots.
+#pragma once
+
+#include <cstdint>
+
+#include "resolver/caching_server.h"
+
+namespace dnsshield::resolver {
+
+class StubResolver {
+ public:
+  StubResolver(std::uint32_t id, CachingServer& server)
+      : id_(id), server_(&server) {}
+
+  std::uint32_t id() const { return id_; }
+
+  /// Issues one query; returns the caching server's result.
+  CachingServer::ResolveResult query(const dns::Name& qname, dns::RRType qtype);
+
+  std::uint64_t queries_sent() const { return queries_sent_; }
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  std::uint32_t id_;
+  CachingServer* server_;
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace dnsshield::resolver

@@ -1,0 +1,34 @@
+#include "server/auth_server.h"
+
+#include <stdexcept>
+
+namespace dnsshield::server {
+
+dns::Message AuthServer::respond(const dns::Message& query) const {
+  if (query.questions.size() != 1) {
+    throw std::invalid_argument("exactly one question expected");
+  }
+  dns::Message response = dns::Message::make_response(query);
+  const dns::Question& q = query.questions.front();
+
+  const Zone* best = nullptr;
+  for (const Zone* z : zones_) {
+    if (!z->in_namespace(q.qname)) continue;
+    // DS data lives on the parent side of the cut; when this server hosts
+    // both parent and child, a DS query at the child apex must be answered
+    // from the parent zone.
+    if (q.qtype == dns::RRType::kDS && z->origin() == q.qname) continue;
+    if (best == nullptr ||
+        z->origin().label_count() > best->origin().label_count()) {
+      best = z;
+    }
+  }
+  if (best == nullptr) {
+    response.header.rcode = dns::Rcode::kRefused;
+    return response;
+  }
+  best->answer(q, response);
+  return response;
+}
+
+}  // namespace dnsshield::server

@@ -1,0 +1,48 @@
+// An authoritative name-server: one address, one or more zones.
+//
+// Availability is not stored here — the attack injector decides per query
+// whether a server responds (see attack/injector.h) so a single hierarchy
+// can be shared across experiment runs.
+#pragma once
+
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "server/zone.h"
+
+namespace dnsshield::server {
+
+class AuthServer {
+ public:
+  AuthServer(dns::Name hostname, dns::IpAddr address)
+      : hostname_(std::move(hostname)), address_(address) {}
+
+  const dns::Name& hostname() const { return hostname_; }
+  dns::IpAddr address() const { return address_; }
+
+  /// Flood-absorption capacity, in attack-strength units. A shared-unicast
+  /// (anycast) deployment with N instances behind one address has capacity
+  /// ~N (RFC 3258; the paper's section 1/3 alternative defense).
+  double capacity() const { return capacity_; }
+  void set_capacity(double capacity) { capacity_ = capacity; }
+
+  /// Registers a zone this server is authoritative for. The pointer must
+  /// outlive the server (zones are owned by the Hierarchy).
+  void serve(const Zone* zone) { zones_.push_back(zone); }
+
+  const std::vector<const Zone*>& zones() const { return zones_; }
+
+  /// Answers a query: picks the deepest served zone whose namespace
+  /// contains the qname and delegates to Zone::answer. Returns REFUSED if
+  /// no served zone matches.
+  dns::Message respond(const dns::Message& query) const;
+
+ private:
+  dns::Name hostname_;
+  dns::IpAddr address_;
+  double capacity_ = 1.0;
+  std::vector<const Zone*> zones_;
+};
+
+}  // namespace dnsshield::server

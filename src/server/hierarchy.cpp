@@ -1,0 +1,219 @@
+#include "server/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnsshield::server {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+namespace {
+
+dns::SoaRdata make_soa(const Name& origin, std::uint32_t negative_ttl) {
+  dns::SoaRdata soa;
+  soa.mname = origin.is_root() ? Name::parse("a.root-servers.net")
+                               : origin.child("ns1");
+  soa.rname = origin.is_root() ? Name::parse("hostmaster.root-servers.net")
+                               : origin.child("hostmaster");
+  soa.serial = 1;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = negative_ttl;
+  return soa;
+}
+
+}  // namespace
+
+Hierarchy::Hierarchy() = default;
+
+Zone& Hierarchy::add_zone(Name origin, std::uint32_t irr_ttl, std::uint32_t soa_ttl,
+                          std::uint32_t negative_ttl) {
+  if (finalized_) throw std::logic_error("hierarchy already finalized");
+  if (zones_.count(origin) != 0) {
+    throw std::invalid_argument("zone already exists: " + origin.to_string());
+  }
+  if (!origin.is_root() && zones_.count(Name::root()) == 0) {
+    throw std::invalid_argument("add the root zone first");
+  }
+  auto zone = std::make_unique<Zone>(origin, make_soa(origin, negative_ttl),
+                                     soa_ttl, irr_ttl);
+  Zone& ref = *zone;
+  zones_.emplace(origin, std::move(zone));
+  return ref;
+}
+
+AuthServer& Hierarchy::add_server(Name hostname, IpAddr address) {
+  if (finalized_) throw std::logic_error("hierarchy already finalized");
+  if (servers_.count(address) != 0) {
+    throw std::invalid_argument("address already in use: " + address.to_string());
+  }
+  auto server = std::make_unique<AuthServer>(std::move(hostname), address);
+  AuthServer& ref = *server;
+  servers_.emplace(address, std::move(server));
+  server_by_hostname_.emplace(ref.hostname(), &ref);
+  return ref;
+}
+
+void Hierarchy::assign(Zone& zone, AuthServer& server) {
+  if (finalized_) throw std::logic_error("hierarchy already finalized");
+  zone.add_name_server(server.hostname(), server.address());
+  server.serve(&zone);
+  zone_servers_[zone.origin()].push_back(server.address());
+}
+
+void Hierarchy::finalize() {
+  if (finalized_) throw std::logic_error("finalize() called twice");
+
+  // Wire each non-root zone into its closest enclosing ancestor zone.
+  for (auto& [origin, zone] : zones_) {
+    if (origin.is_root()) continue;
+    Name cursor = origin.parent();
+    Zone* parent = nullptr;
+    for (;;) {
+      const auto it = zones_.find(cursor);
+      if (it != zones_.end()) {
+        parent = it->second.get();
+        break;
+      }
+      if (cursor.is_root()) break;
+      cursor = cursor.parent();
+    }
+    if (parent == nullptr) {
+      throw std::logic_error("no enclosing zone for " + origin.to_string());
+    }
+    Delegation cut;
+    cut.child = origin;
+    // The parent copy carries the child's IRR TTL: the paper's long-TTL
+    // scheme is the child operator publishing a bigger TTL, which the
+    // parent copy mirrors.
+    cut.ns_set = zone->ns_set();
+    // Signed child (has a DNSKEY at its apex): publish a DS set at the
+    // cut — a DNSSEC-era infrastructure record (paper section 6).
+    if (zone->find_rrset(origin, RRType::kDNSKEY) != nullptr) {
+      RRset ds(origin, RRType::kDS, zone->irr_ttl());
+      const std::uint64_t digest = origin.hash();
+      ds.add(dns::OpaqueRdata{{static_cast<std::uint8_t>(digest >> 8),
+                               static_cast<std::uint8_t>(digest & 0xff), 2, 1}});
+      cut.ds = std::move(ds);
+    }
+    for (const auto& host : zone->server_hostnames()) {
+      if (!host.is_subdomain_of(origin)) continue;  // out of bailiwick: no glue
+      const auto sit = server_by_hostname_.find(host);
+      if (sit == server_by_hostname_.end()) continue;
+      RRset glue(host, RRType::kA, zone->irr_ttl());
+      glue.add(dns::ARdata{sit->second->address()});
+      cut.glue.push_back(std::move(glue));
+    }
+    parent->add_delegation(std::move(cut));
+  }
+
+  // Root hints + host-name universe.
+  const auto rit = zone_servers_.find(Name::root());
+  if (rit == zone_servers_.end() || rit->second.empty()) {
+    throw std::logic_error("root zone has no servers");
+  }
+  root_hints_ = rit->second;
+
+  for (const auto& [origin, zone] : zones_) {
+    for (const auto& host : zone->server_hostnames()) {
+      server_host_names_.push_back(host);
+    }
+  }
+  std::sort(server_host_names_.begin(), server_host_names_.end());
+  server_host_names_.erase(
+      std::unique(server_host_names_.begin(), server_host_names_.end()),
+      server_host_names_.end());
+
+  for (const auto& [origin, zone] : zones_) {
+    for (const auto& [key, set] : zone->records()) {
+      const auto& [name, type] = key;
+      if (type != RRType::kA && type != RRType::kCNAME) continue;
+      if (std::binary_search(server_host_names_.begin(), server_host_names_.end(),
+                             name)) {
+        continue;
+      }
+      host_names_.push_back(name);
+    }
+  }
+  std::sort(host_names_.begin(), host_names_.end());
+  host_names_.erase(std::unique(host_names_.begin(), host_names_.end()),
+                    host_names_.end());
+
+  finalized_ = true;
+}
+
+void Hierarchy::require_finalized() const {
+  if (!finalized_) throw std::logic_error("hierarchy not finalized");
+}
+
+const Zone* Hierarchy::find_zone(const Name& origin) const {
+  const auto it = zones_.find(origin);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+Zone* Hierarchy::find_zone(const Name& origin) {
+  const auto it = zones_.find(origin);
+  return it == zones_.end() ? nullptr : it->second.get();
+}
+
+const Zone& Hierarchy::authoritative_zone_for(const Name& name) const {
+  require_finalized();
+  Name cursor = name;
+  for (;;) {
+    const auto it = zones_.find(cursor);
+    if (it != zones_.end()) return *it->second;
+    if (cursor.is_root()) break;
+    cursor = cursor.parent();
+  }
+  throw std::logic_error("unreachable: root zone must exist");
+}
+
+const AuthServer* Hierarchy::server_at(IpAddr address) const {
+  const auto it = servers_.find(address);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<IpAddr>& Hierarchy::servers_of(const Name& origin) const {
+  static const std::vector<IpAddr> kEmpty;
+  const auto it = zone_servers_.find(origin);
+  return it == zone_servers_.end() ? kEmpty : it->second;
+}
+
+dns::Message Hierarchy::query(IpAddr address, const dns::Message& msg) const {
+  require_finalized();
+  const AuthServer* server = server_at(address);
+  if (server == nullptr) {
+    throw std::invalid_argument("no server at " + address.to_string());
+  }
+  return server->respond(msg);
+}
+
+std::vector<Name> Hierarchy::zone_origins() const {
+  std::vector<Name> out;
+  out.reserve(zones_.size());
+  for (const auto& [origin, zone] : zones_) out.push_back(origin);
+  return out;
+}
+
+void Hierarchy::override_irr_ttls(std::uint32_t ttl) {
+  for (auto& [origin, zone] : zones_) {
+    if (origin.is_root()) {
+      // Root's own NS/hints are compiled into resolvers; only the
+      // delegations it publishes (TLD IRRs) follow the override.
+      std::map<Name, Delegation> cuts = zone->delegations();
+      for (auto& [child, cut] : cuts) {
+        cut.ns_set.set_ttl(ttl);
+        for (auto& g : cut.glue) g.set_ttl(ttl);
+        zone->add_delegation(cut);
+      }
+      continue;
+    }
+    zone->override_irr_ttls(ttl, server_host_names_);
+  }
+}
+
+}  // namespace dnsshield::server

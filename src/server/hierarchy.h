@@ -1,0 +1,108 @@
+// The simulated DNS tree: all zones, all authoritative servers, and the
+// bookkeeping the resolver and the experiment driver need (root hints,
+// zone-of-name lookups, host-name universe for workload generation).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "server/auth_server.h"
+#include "server/zone.h"
+
+namespace dnsshield::server {
+
+/// Owns every Zone and AuthServer of a simulated namespace.
+///
+/// Construction protocol: add zones top-down (parents before children —
+/// add_zone wires the delegation into the parent), attach servers, then
+/// call finalize() once; lookups before finalize() throw.
+class Hierarchy {
+ public:
+  Hierarchy();
+
+  /// Creates a zone. The root zone exists implicitly from construction
+  /// arguments passed here the first time with origin ".". For non-root
+  /// origins the closest enclosing existing zone becomes the parent and a
+  /// delegation cut is installed there (NS/glue filled in by finalize()).
+  /// Throws if the zone already exists or the parent is missing.
+  Zone& add_zone(dns::Name origin, std::uint32_t irr_ttl,
+                 std::uint32_t soa_ttl = 3600, std::uint32_t negative_ttl = 300);
+
+  /// Creates an authoritative server and registers its address.
+  /// Throws if the address is already taken.
+  AuthServer& add_server(dns::Name hostname, dns::IpAddr address);
+
+  /// Declares `server` authoritative for `zone` (adds the NS record to the
+  /// zone and the zone to the server).
+  void assign(Zone& zone, AuthServer& server);
+
+  /// Completes construction: copies each child zone's NS set (+ glue for
+  /// in-bailiwick servers) into the parent's delegation cut. Must be
+  /// called exactly once, after all zones/servers/records exist.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- Lookup (require finalize()) ---------------------------------------
+
+  const Zone* find_zone(const dns::Name& origin) const;
+  Zone* find_zone(const dns::Name& origin);
+
+  /// The zone whose authoritative data holds `name` (deepest enclosing
+  /// zone origin). Never null after finalize(): the root encloses all.
+  const Zone& authoritative_zone_for(const dns::Name& name) const;
+
+  const AuthServer* server_at(dns::IpAddr address) const;
+
+  /// Addresses of the servers authoritative for a zone.
+  const std::vector<dns::IpAddr>& servers_of(const dns::Name& origin) const;
+
+  /// Root server addresses — what a resolver ships as compiled-in hints.
+  const std::vector<dns::IpAddr>& root_hints() const { return root_hints_; }
+
+  /// Sends a query to the server at `address` and returns its response.
+  /// The caller (resolver + attack injector) decides availability; this
+  /// always answers. Throws if no server owns the address.
+  dns::Message query(dns::IpAddr address, const dns::Message& msg) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  std::size_t zone_count() const { return zones_.size(); }
+  std::size_t server_count() const { return servers_.size(); }
+
+  /// All zone origins in canonical order.
+  std::vector<dns::Name> zone_origins() const;
+
+  /// Every host name with an A or CNAME record (the query-able universe),
+  /// excluding name-server host names. Computed by finalize().
+  const std::vector<dns::Name>& host_names() const { return host_names_; }
+
+  /// Hostnames that appear in some zone's NS set (IRR address owners).
+  const std::vector<dns::Name>& server_host_names() const {
+    return server_host_names_;
+  }
+
+  /// Applies the paper's long-TTL scheme: rewrites the TTL of every IRR in
+  /// the tree (NS sets, delegation copies, glue, and server-address A
+  /// records) except the root zone's own IRRs (root hints are static).
+  void override_irr_ttls(std::uint32_t ttl);
+
+ private:
+  void require_finalized() const;
+
+  std::map<dns::Name, std::unique_ptr<Zone>> zones_;
+  std::unordered_map<dns::IpAddr, std::unique_ptr<AuthServer>, dns::IpAddrHash>
+      servers_;
+  std::map<dns::Name, std::vector<dns::IpAddr>> zone_servers_;
+  std::unordered_map<dns::Name, AuthServer*, dns::NameHash> server_by_hostname_;
+  std::vector<dns::IpAddr> root_hints_;
+  std::vector<dns::Name> host_names_;
+  std::vector<dns::Name> server_host_names_;
+  bool finalized_ = false;
+};
+
+}  // namespace dnsshield::server

@@ -1,0 +1,204 @@
+#include "server/hierarchy_builder.h"
+
+#include <string>
+
+#include "sim/rng.h"
+
+namespace dnsshield::server {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+
+namespace {
+
+/// Hands out unique addresses from 10.0.0.1 upward, with matching IPv6
+/// addresses in 2001:db8::/96 for dual-stack hosts.
+class AddressAllocator {
+ public:
+  IpAddr next() { return IpAddr(next_++); }
+
+  /// The v6 twin of a v4 address: 2001:db8::<v4>.
+  static dns::Ip6Addr v6_twin(IpAddr v4) {
+    dns::Ip6Addr::Bytes bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    bytes[2] = 0x0d;
+    bytes[3] = 0xb8;
+    const std::uint32_t v = v4.value();
+    bytes[12] = static_cast<std::uint8_t>(v >> 24);
+    bytes[13] = static_cast<std::uint8_t>(v >> 16);
+    bytes[14] = static_cast<std::uint8_t>(v >> 8);
+    bytes[15] = static_cast<std::uint8_t>(v);
+    return dns::Ip6Addr(bytes);
+  }
+
+ private:
+  std::uint32_t next_ = 0x0a000001;
+};
+
+const char* const kTldNames[] = {"com", "net", "org", "edu", "gov", "uk",
+                                 "de",  "cn",  "jp",  "fr",  "au",  "ca"};
+
+Name tld_name(int i) {
+  constexpr int kKnown = static_cast<int>(std::size(kTldNames));
+  if (i < kKnown) return Name::root().child(kTldNames[i]);
+  return Name::root().child("tld" + std::to_string(i));
+}
+
+/// Populates a zone with end-host records (the query-able universe).
+void add_hosts(Zone& zone, int count, const HierarchyParams& params,
+               const sim::ValueMixture& host_ttls, sim::Rng& rng,
+               AddressAllocator& addrs) {
+  auto add_host = [&](const Name& host) {
+    const auto ttl = static_cast<std::uint32_t>(host_ttls.sample(rng));
+    const IpAddr v4 = addrs.next();
+    zone.add_record(host, RRType::kA, ttl, dns::ARdata{v4});
+    if (rng.bernoulli(params.dual_stack_fraction)) {
+      zone.add_record(host, RRType::kAAAA, ttl,
+                      dns::AaaaRdata{AddressAllocator::v6_twin(v4)});
+    }
+  };
+  const Name www = zone.origin().child("www");
+  add_host(www);
+  for (int j = 1; j < count; ++j) {
+    const Name host = zone.origin().child("host" + std::to_string(j));
+    if (rng.bernoulli(params.cname_fraction)) {
+      zone.add_record(host, RRType::kCNAME,
+                      static_cast<std::uint32_t>(host_ttls.sample(rng)),
+                      dns::CnameRdata{www});
+    } else {
+      add_host(host);
+    }
+  }
+}
+
+/// Creates `count` in-bailiwick servers (ns1.<origin>, ...) for a zone.
+std::vector<AuthServer*> add_in_bailiwick_servers(Hierarchy& h, Zone& zone,
+                                                  int count,
+                                                  AddressAllocator& addrs,
+                                                  double capacity = 1.0) {
+  std::vector<AuthServer*> out;
+  for (int i = 1; i <= count; ++i) {
+    AuthServer& s =
+        h.add_server(zone.origin().child("ns" + std::to_string(i)), addrs.next());
+    s.set_capacity(capacity);
+    h.assign(zone, s);
+    out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace
+
+Hierarchy build_hierarchy(const HierarchyParams& params) {
+  sim::Rng rng(params.seed);
+  AddressAllocator addrs;
+  Hierarchy h;
+
+  auto maybe_sign = [&](Zone& zone) {
+    if (!params.enable_dnssec) return;
+    // A stand-in key blob; content is irrelevant to the caching study.
+    zone.add_record(zone.origin(), RRType::kDNSKEY, zone.irr_ttl(),
+                    dns::OpaqueRdata{{1, 0, 3, 8}});
+  };
+
+  const sim::ValueMixture sld_irr_ttls(params.sld_irr_ttls);
+  const sim::ValueMixture host_ttls(params.host_ttls);
+
+  auto jittered = [&](double ttl) {
+    const double j = params.ttl_jitter;
+    return static_cast<std::uint32_t>(ttl * rng.uniform(1.0 - j, 1.0 + j));
+  };
+
+  // Root zone with the protocol-limited 13 servers. Their host names live
+  // under net. (root-servers.net analogue); resolvers use compiled-in
+  // hints so these A records are informational.
+  Zone& root = h.add_zone(Name::root(), params.root_irr_ttl);
+  maybe_sign(root);
+  for (int i = 0; i < params.root_servers; ++i) {
+    const std::string letter(1, static_cast<char>('a' + i % 26));
+    AuthServer& s = h.add_server(
+        Name::parse(letter + std::to_string(i / 26) + ".root-servers.net"),
+        addrs.next());
+    s.set_capacity(params.root_server_capacity);
+    h.assign(root, s);
+  }
+
+  // TLD zones, each with its own in-bailiwick server set.
+  std::vector<Zone*> tlds;
+  for (int i = 0; i < params.num_tlds; ++i) {
+    Zone& tld = h.add_zone(tld_name(i), jittered(params.tld_irr_ttl));
+    maybe_sign(tld);
+    for (AuthServer* s : add_in_bailiwick_servers(h, tld, params.servers_per_tld, addrs)) {
+      s->set_capacity(params.tld_server_capacity);
+    }
+    tlds.push_back(&tld);
+  }
+
+  // Hosting providers: ordinary SLD zones whose servers also serve many
+  // customer zones (out-of-bailiwick NS for the customers).
+  struct Provider {
+    Zone* zone;
+    std::vector<AuthServer*> servers;
+  };
+  std::vector<Provider> providers;
+  for (int k = 0; k < params.num_providers; ++k) {
+    Zone* tld = tlds[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(tlds.size())))];
+    Zone& pz = h.add_zone(tld->origin().child("dnsprov" + std::to_string(k)),
+                          jittered(sld_irr_ttls.sample(rng)));
+    maybe_sign(pz);
+    auto servers = add_in_bailiwick_servers(h, pz, params.servers_per_provider,
+                                            addrs, params.leaf_server_capacity);
+    add_hosts(pz,
+              static_cast<int>(rng.uniform_int(params.min_hosts_per_zone,
+                                               params.max_hosts_per_zone)),
+              params, host_ttls, rng, addrs);
+    providers.push_back(Provider{&pz, std::move(servers)});
+  }
+
+  // Second-level zones, spread over TLDs with Zipf skew (a few huge TLDs,
+  // a long tail), matching the paper's observation that TLD referral load
+  // dwarfs root referral load.
+  const sim::ZipfDistribution tld_pick(tlds.size(), params.tld_size_skew);
+  std::vector<Zone*> slds;
+  for (int i = 0; i < params.num_slds; ++i) {
+    Zone* tld = tlds[tld_pick.sample(rng)];
+    Zone& sld = h.add_zone(tld->origin().child("dom" + std::to_string(i)),
+                           jittered(sld_irr_ttls.sample(rng)));
+    maybe_sign(sld);
+    if (rng.bernoulli(params.in_bailiwick_fraction) || providers.empty()) {
+      const int n_servers = rng.bernoulli(0.3) ? 3 : 2;
+      add_in_bailiwick_servers(h, sld, n_servers, addrs,
+                               params.leaf_server_capacity);
+    } else {
+      const auto& provider = providers[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(providers.size())))];
+      for (AuthServer* s : provider.servers) h.assign(sld, *s);
+    }
+    add_hosts(sld,
+              static_cast<int>(rng.uniform_int(params.min_hosts_per_zone,
+                                               params.max_hosts_per_zone)),
+              params, host_ttls, rng, addrs);
+    slds.push_back(&sld);
+  }
+
+  // Depth-3 zones: a fraction of SLDs delegate one child zone.
+  for (Zone* sld : slds) {
+    if (!rng.bernoulli(params.subzone_fraction)) continue;
+    Zone& sub = h.add_zone(sld->origin().child("sub"),
+                           jittered(sld_irr_ttls.sample(rng)));
+    maybe_sign(sub);
+    add_in_bailiwick_servers(h, sub, 2, addrs, params.leaf_server_capacity);
+    add_hosts(sub,
+              static_cast<int>(rng.uniform_int(params.min_hosts_per_zone,
+                                               params.max_hosts_per_zone)),
+              params, host_ttls, rng, addrs);
+  }
+
+  h.finalize();
+  return h;
+}
+
+}  // namespace dnsshield::server

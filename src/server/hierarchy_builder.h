@@ -1,0 +1,82 @@
+// Synthesizes a realistic DNS tree: root, TLDs, second-level zones, deeper
+// delegations, hosting-provider name-servers, and empirical TTL mixtures.
+//
+// This replaces the paper's off-line probe of the real 2005 hierarchy (see
+// DESIGN.md section 2). Every knob the paper's results depend on — TTL
+// mixture (minutes..days, mode <= 12h), delegation fan-out, in- vs
+// out-of-bailiwick server placement — is an explicit parameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "server/hierarchy.h"
+#include "sim/distributions.h"
+
+namespace dnsshield::server {
+
+struct HierarchyParams {
+  std::uint64_t seed = 1;
+
+  int root_servers = 13;      // protocol-limited, per the paper
+  int num_tlds = 8;           // com/net/edu/... analogues
+  int servers_per_tld = 4;
+  int num_slds = 4000;        // second-level zones across all TLDs
+  double tld_size_skew = 0.9; // Zipf alpha for SLD-per-TLD imbalance
+
+  /// Fraction of SLDs that delegate one child zone (depth-3).
+  double subzone_fraction = 0.08;
+
+  /// Fraction of SLD zones whose name-servers are in-bailiwick (glue in
+  /// the TLD). The rest use a hosting provider's name-servers, making the
+  /// provider zone part of the infrastructure for its customers.
+  double in_bailiwick_fraction = 0.72;
+  int num_providers = 12;     // hosting-provider zones (one per "company")
+  int servers_per_provider = 3;
+
+  int min_hosts_per_zone = 1;
+  int max_hosts_per_zone = 12;
+
+  /// Fraction of A-bearing hosts that also publish an AAAA record
+  /// (dual-stack deployment). AAAA queries for the rest see NODATA.
+  double dual_stack_fraction = 0.3;
+
+  /// Sign every zone: DNSKEY at each apex, DS at each delegation cut.
+  /// These become infrastructure records too (paper section 6).
+  bool enable_dnssec = false;
+
+  /// Flood-absorption capacity per server (anycast provisioning, RFC
+  /// 3258). Root and TLD operators deploy shared-unicast instances; leaf
+  /// zones typically cannot afford to (the paper's motivation).
+  double root_server_capacity = 1.0;
+  double tld_server_capacity = 1.0;
+  double leaf_server_capacity = 1.0;
+  /// Fraction of hosts published as CNAME to another host in the zone.
+  double cname_fraction = 0.08;
+
+  // TTL mixtures (seconds, weight). Defaults follow the paper's
+  // description: IRR TTLs range from minutes to days with most <= 12h;
+  // TLD IRRs are long; end-host TTLs skew shorter (CDN-style lows).
+  std::vector<sim::ValueMixture::Entry> sld_irr_ttls = {
+      {300, 0.07},   {1800, 0.08},  {3600, 0.15},  {7200, 0.10},
+      {14400, 0.10}, {43200, 0.20}, {86400, 0.20}, {172800, 0.10},
+  };
+  std::vector<sim::ValueMixture::Entry> host_ttls = {
+      {60, 0.05},   {300, 0.15},   {900, 0.10},
+      {3600, 0.30}, {14400, 0.20}, {86400, 0.20},
+  };
+  std::uint32_t root_irr_ttl = 518400;  // 6 days
+  std::uint32_t tld_irr_ttl = 172800;   // 2 days
+
+  /// Per-zone multiplicative TTL jitter (uniform in [1-j, 1+j]). Breaks
+  /// the artificial phase alignment a cold-start simulation would
+  /// otherwise have: with exact 1- and 2-day TTLs, every popular zone
+  /// learned near t=0 would expire exactly at the day-7 attack boundary.
+  double ttl_jitter = 0.1;
+};
+
+/// Builds and finalizes a Hierarchy per the parameters. Deterministic in
+/// params.seed.
+Hierarchy build_hierarchy(const HierarchyParams& params);
+
+}  // namespace dnsshield::server

@@ -1,0 +1,217 @@
+#include "server/zone.h"
+
+#include <stdexcept>
+
+namespace dnsshield::server {
+
+using dns::Message;
+using dns::Name;
+using dns::Question;
+using dns::Rcode;
+using dns::RRset;
+using dns::RRType;
+
+Zone::Zone(Name origin, dns::SoaRdata soa, std::uint32_t soa_ttl,
+           std::uint32_t irr_ttl)
+    : origin_(std::move(origin)),
+      soa_(std::move(soa)),
+      soa_ttl_(soa_ttl),
+      irr_ttl_(irr_ttl),
+      ns_set_(origin_, RRType::kNS, irr_ttl) {
+  const auto key = std::make_pair(origin_, RRType::kSOA);
+  RRset s(origin_, RRType::kSOA, soa_ttl_);
+  s.add(soa_);
+  const auto [it, inserted] = records_.emplace(key, std::move(s));
+  record_index_.emplace(key, &it->second);
+}
+
+Zone::Zone(Zone&& other) noexcept
+    : origin_(std::move(other.origin_)),
+      soa_(std::move(other.soa_)),
+      soa_ttl_(other.soa_ttl_),
+      irr_ttl_(other.irr_ttl_),
+      ns_set_(std::move(other.ns_set_)),
+      server_hostnames_(std::move(other.server_hostnames_)),
+      records_(std::move(other.records_)),
+      delegations_(std::move(other.delegations_)) {
+  // Map nodes are stable across the move, but rebuild the index anyway so
+  // the invariant is self-evidently restored.
+  record_index_.clear();
+  for (const auto& [key, set] : records_) record_index_.emplace(key, &set);
+  other.record_index_.clear();
+}
+
+Zone& Zone::operator=(Zone&& other) noexcept {
+  if (this == &other) return *this;
+  origin_ = std::move(other.origin_);
+  soa_ = std::move(other.soa_);
+  soa_ttl_ = other.soa_ttl_;
+  irr_ttl_ = other.irr_ttl_;
+  ns_set_ = std::move(other.ns_set_);
+  server_hostnames_ = std::move(other.server_hostnames_);
+  records_ = std::move(other.records_);
+  delegations_ = std::move(other.delegations_);
+  record_index_.clear();
+  for (const auto& [key, set] : records_) record_index_.emplace(key, &set);
+  other.record_index_.clear();
+  return *this;
+}
+
+void Zone::add_name_server(const Name& hostname, dns::IpAddr address) {
+  ns_set_.add(dns::NsRdata{hostname});
+  server_hostnames_.push_back(hostname);
+  if (hostname.is_subdomain_of(origin_) && find_delegation(hostname) == nullptr) {
+    add_record(hostname, RRType::kA, irr_ttl_, dns::ARdata{address});
+  }
+}
+
+void Zone::add_record(const Name& name, RRType type, std::uint32_t ttl,
+                      dns::Rdata rdata) {
+  if (!in_namespace(name)) {
+    throw std::invalid_argument("record outside zone: " + name.to_string());
+  }
+  if (find_delegation(name) != nullptr) {
+    throw std::invalid_argument("record below delegation cut: " + name.to_string());
+  }
+  const auto key = std::make_pair(name, type);
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    it = records_.emplace(key, RRset(name, type, ttl)).first;
+    record_index_.emplace(key, &it->second);
+  }
+  it->second.add(std::move(rdata));
+}
+
+void Zone::add_delegation(Delegation delegation) {
+  if (!delegation.child.is_proper_subdomain_of(origin_)) {
+    throw std::invalid_argument("delegation not below zone origin: " +
+                                delegation.child.to_string());
+  }
+  delegations_.insert_or_assign(delegation.child, std::move(delegation));
+}
+
+const RRset* Zone::find_rrset(const Name& name, RRType type) const {
+  // The apex NS set lives beside the record map (it is zone metadata the
+  // paper's schemes manipulate); serve it for explicit NS queries too.
+  if (type == RRType::kNS && name == origin_ && !ns_set_.empty()) {
+    return &ns_set_;
+  }
+  const auto it = record_index_.find(std::make_pair(name, type));
+  return it == record_index_.end() ? nullptr : it->second;
+}
+
+const Delegation* Zone::find_delegation(const Name& qname) const {
+  // Deepest cut first: walk ancestors of qname that lie strictly below the
+  // origin and look each one up among the cuts.
+  Name n = qname;
+  const Delegation* best = nullptr;
+  while (n.is_proper_subdomain_of(origin_)) {
+    const auto it = delegations_.find(n);
+    if (it != delegations_.end()) {
+      best = &it->second;
+      break;  // cuts cannot nest within one zone's data, deepest match wins
+    }
+    n = n.parent();
+  }
+  return best;
+}
+
+Delegation* Zone::find_delegation(const Name& qname) {
+  return const_cast<Delegation*>(
+      static_cast<const Zone*>(this)->find_delegation(qname));
+}
+
+bool Zone::name_exists(const Name& name) const {
+  // Exists if any record sits at the name or anywhere below it (empty
+  // non-terminals exist too).
+  // Canonical Name order keeps a name and its descendants contiguous, so
+  // the first entry at or after (name, 0) tells the whole story.
+  const auto it = records_.lower_bound(std::make_pair(name, static_cast<RRType>(0)));
+  return it != records_.end() && it->first.first.is_subdomain_of(name);
+}
+
+void Zone::append_apex_authority(Message& response) const {
+  // Skip the authority copy when the answer section already carries the
+  // apex NS set (explicit NS queries) — no point duplicating it.
+  const bool ns_in_answer =
+      !response.answers.empty() && response.answers.front().type == RRType::kNS &&
+      response.answers.front().name == origin_;
+  if (!ns_in_answer) response.add_authority(ns_set_);
+  for (const auto& host : server_hostnames_) {
+    if (const RRset* a = find_rrset(host, RRType::kA)) {
+      response.add_additional(*a);
+    }
+  }
+}
+
+void Zone::append_negative(Message& response) const {
+  RRset soa(origin_, RRType::kSOA, std::min(soa_ttl_, soa_.minimum));
+  soa.add(soa_);
+  response.add_authority(soa);
+}
+
+void Zone::answer(const Question& q, Message& response) const {
+  // DS sets live on the parent side of a cut: a DS query for a delegated
+  // child is answered authoritatively here, not referred.
+  if (q.qtype == RRType::kDS) {
+    const auto it = delegations_.find(q.qname);
+    if (it != delegations_.end()) {
+      response.header.aa = true;
+      if (it->second.ds.has_value()) {
+        response.add_answer(*it->second.ds);
+      } else {
+        append_negative(response);
+      }
+      return;
+    }
+  }
+  if (const Delegation* cut = find_delegation(q.qname)) {
+    // Referral: not authoritative, child NS (+ DS) in authority, glue
+    // additional.
+    response.header.aa = false;
+    response.add_authority(cut->ns_set);
+    if (cut->ds.has_value()) response.add_authority(*cut->ds);
+    for (const auto& g : cut->glue) response.add_additional(g);
+    return;
+  }
+
+  response.header.aa = true;
+  if (const RRset* set = find_rrset(q.qname, q.qtype)) {
+    response.add_answer(*set);
+    append_apex_authority(response);
+    return;
+  }
+  // CNAME applies to any qtype other than CNAME itself.
+  if (q.qtype != RRType::kCNAME) {
+    if (const RRset* cname = find_rrset(q.qname, RRType::kCNAME)) {
+      response.add_answer(*cname);
+      append_apex_authority(response);
+      return;
+    }
+  }
+  if (name_exists(q.qname)) {
+    append_negative(response);  // NODATA
+    return;
+  }
+  response.header.rcode = Rcode::kNxDomain;
+  append_negative(response);
+}
+
+void Zone::override_irr_ttls(std::uint32_t ttl,
+                             const std::vector<Name>& server_names) {
+  irr_ttl_ = ttl;
+  ns_set_.set_ttl(ttl);
+  for (auto& [child, cut] : delegations_) {
+    cut.ns_set.set_ttl(ttl);
+    for (auto& g : cut.glue) g.set_ttl(ttl);
+    if (cut.ds.has_value()) cut.ds->set_ttl(ttl);
+  }
+  for (const auto& host : server_names) {
+    const auto it = records_.find(std::make_pair(host, RRType::kA));
+    if (it != records_.end()) it->second.set_ttl(ttl);
+  }
+  const auto dnskey = records_.find(std::make_pair(origin_, RRType::kDNSKEY));
+  if (dnskey != records_.end()) dnskey->second.set_ttl(ttl);
+}
+
+}  // namespace dnsshield::server

@@ -1,0 +1,126 @@
+// An authoritative DNS zone: apex records, authoritative data, delegations.
+//
+// A Zone answers questions the way a real authoritative server would:
+// authoritative answers for names it owns, referrals (with glue) for names
+// below a delegation cut, NXDOMAIN/NODATA with the SOA otherwise.
+// Authoritative answers carry the zone's own NS set in the authority
+// section and server addresses in the additional section — the signal the
+// paper's TTL-refresh scheme consumes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+
+namespace dnsshield::server {
+
+/// A delegation cut: the parent's copy of a child zone's NS set plus any
+/// glue address records needed to reach the child's servers. Under DNSSEC
+/// the cut also carries the child's DS set — an infrastructure record in
+/// the paper's sense (section 6), so the schemes extend to it.
+struct Delegation {
+  dns::Name child;       // origin of the delegated zone
+  dns::RRset ns_set;     // parent-side copy (parent-assigned TTL)
+  std::vector<dns::RRset> glue;  // A RRsets for in-bailiwick server names
+  std::optional<dns::RRset> ds;  // DS set when the child is signed
+};
+
+class Zone {
+ public:
+  /// Creates a zone with its apex SOA. `irr_ttl` is the TTL carried by the
+  /// zone's own NS set and its servers' address records — the knob the
+  /// paper's long-TTL scheme turns.
+  Zone(dns::Name origin, dns::SoaRdata soa, std::uint32_t soa_ttl,
+       std::uint32_t irr_ttl);
+
+  /// Not copyable (record_index_ holds pointers into records_), but
+  /// movable: moves carry the node-based map over and rebuild the index.
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
+  Zone(Zone&& other) noexcept;
+  Zone& operator=(Zone&& other) noexcept;
+
+  const dns::Name& origin() const { return origin_; }
+  const dns::SoaRdata& soa() const { return soa_; }
+  std::uint32_t irr_ttl() const { return irr_ttl_; }
+
+  /// Registers an authoritative name-server for this zone. The address is
+  /// also stored as authoritative A data when the hostname lies inside
+  /// this zone (in bailiwick).
+  void add_name_server(const dns::Name& hostname, dns::IpAddr address);
+
+  /// The zone's own NS set (child copy, TTL = irr_ttl()).
+  const dns::RRset& ns_set() const { return ns_set_; }
+  const std::vector<dns::Name>& server_hostnames() const { return server_hostnames_; }
+
+  /// Adds an authoritative record. Throws std::invalid_argument if `name`
+  /// is not within the zone or falls below an existing delegation.
+  void add_record(const dns::Name& name, dns::RRType type, std::uint32_t ttl,
+                  dns::Rdata rdata);
+
+  /// Adds a delegation cut for a direct or indirect descendant name.
+  void add_delegation(Delegation delegation);
+
+  /// Authoritative lookup (no delegation logic).
+  const dns::RRset* find_rrset(const dns::Name& name, dns::RRType type) const;
+
+  /// The deepest delegation whose cut covers `qname`, or nullptr.
+  const Delegation* find_delegation(const dns::Name& qname) const;
+  Delegation* find_delegation(const dns::Name& qname);
+
+  /// True if `qname` is inside this zone's namespace (at or below origin).
+  bool in_namespace(const dns::Name& qname) const {
+    return qname.is_subdomain_of(origin_);
+  }
+
+  /// True if any authoritative record exists at `name` (for NODATA vs
+  /// NXDOMAIN decisions).
+  bool name_exists(const dns::Name& name) const;
+
+  /// Builds the authoritative response for a question within this zone's
+  /// namespace: answer / referral / NODATA / NXDOMAIN.
+  /// `response` must have been initialized via Message::make_response.
+  void answer(const dns::Question& q, dns::Message& response) const;
+
+  /// Rewrites the TTL of every infrastructure record this zone originates:
+  /// its own NS set, its delegations' NS+glue copies, and A records of
+  /// name-server hostnames held in this zone (listed in `server_names`).
+  void override_irr_ttls(std::uint32_t ttl,
+                         const std::vector<dns::Name>& server_names);
+
+  const std::map<std::pair<dns::Name, dns::RRType>, dns::RRset>& records() const {
+    return records_;
+  }
+  const std::map<dns::Name, Delegation>& delegations() const { return delegations_; }
+
+ private:
+  void append_apex_authority(dns::Message& response) const;
+  void append_negative(dns::Message& response) const;
+
+  dns::Name origin_;
+  dns::SoaRdata soa_;
+  std::uint32_t soa_ttl_;
+  std::uint32_t irr_ttl_;
+  dns::RRset ns_set_;
+  std::vector<dns::Name> server_hostnames_;
+  /// Ordered map: canonical Name order keeps subtrees contiguous, which
+  /// name_exists() relies on. Node-based, so the hash index below holds
+  /// stable pointers.
+  std::map<std::pair<dns::Name, dns::RRType>, dns::RRset> records_;
+  struct KeyHash {
+    std::size_t operator()(const std::pair<dns::Name, dns::RRType>& k) const {
+      return k.first.hash() * 31 + static_cast<std::size_t>(k.second);
+    }
+  };
+  /// O(1) exact-match index over records_ (the per-query hot path).
+  std::unordered_map<std::pair<dns::Name, dns::RRType>, const dns::RRset*, KeyHash>
+      record_index_;
+  std::map<dns::Name, Delegation> delegations_;
+};
+
+}  // namespace dnsshield::server

@@ -1,0 +1,325 @@
+#include "server/zone_file.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace dnsshield::server {
+
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRType;
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw ZoneFileError("zone file line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Splits a line into whitespace-separated tokens; '"..."' forms one token
+/// (TXT strings); ';' starts a comment.
+std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == ';') break;  // comment
+    if (line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string::npos) fail(line_no, "unterminated string");
+      tokens.push_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[end])) &&
+           line[end] != ';') {
+      ++end;
+    }
+    tokens.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+/// Resolves a possibly relative name against the origin.
+Name resolve_name(const std::string& text, const Name& origin,
+                  std::size_t line_no) {
+  try {
+    if (text == "@") return origin;
+    if (!text.empty() && text.back() == '.') return Name::parse(text);
+    // Relative: append the origin's labels.
+    Name relative = Name::parse(text + ".");
+    std::vector<std::string> labels(relative.labels().begin(),
+                                    relative.labels().end());
+    labels.insert(labels.end(), origin.labels().begin(), origin.labels().end());
+    return Name::from_labels(std::move(labels));
+  } catch (const std::invalid_argument& e) {
+    fail(line_no, std::string("bad name '") + text + "': " + e.what());
+  }
+}
+
+std::uint32_t parse_u32(const std::string& text, std::size_t line_no,
+                        const char* what) {
+  std::uint32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(line_no, std::string("bad ") + what + ": " + text);
+  }
+  return v;
+}
+
+dns::Rdata parse_rdata(RRType type, const std::vector<std::string>& tokens,
+                       std::size_t index, const Name& origin,
+                       std::size_t line_no) {
+  auto need = [&](std::size_t n) {
+    if (tokens.size() - index < n) fail(line_no, "missing rdata fields");
+  };
+  switch (type) {
+    case RRType::kA: {
+      need(1);
+      try {
+        return dns::ARdata{dns::IpAddr::parse(tokens[index])};
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    }
+    case RRType::kNS:
+      need(1);
+      return dns::NsRdata{resolve_name(tokens[index], origin, line_no)};
+    case RRType::kCNAME:
+    case RRType::kPTR:
+      need(1);
+      return dns::CnameRdata{resolve_name(tokens[index], origin, line_no)};
+    case RRType::kMX:
+      need(2);
+      return dns::MxRdata{
+          static_cast<std::uint16_t>(parse_u32(tokens[index], line_no, "preference")),
+          resolve_name(tokens[index + 1], origin, line_no)};
+    case RRType::kTXT:
+      need(1);
+      return dns::TxtRdata{tokens[index]};
+    case RRType::kSOA: {
+      need(7);
+      dns::SoaRdata soa;
+      soa.mname = resolve_name(tokens[index], origin, line_no);
+      soa.rname = resolve_name(tokens[index + 1], origin, line_no);
+      soa.serial = parse_u32(tokens[index + 2], line_no, "serial");
+      soa.refresh = parse_u32(tokens[index + 3], line_no, "refresh");
+      soa.retry = parse_u32(tokens[index + 4], line_no, "retry");
+      soa.expire = parse_u32(tokens[index + 5], line_no, "expire");
+      soa.minimum = parse_u32(tokens[index + 6], line_no, "minimum");
+      return soa;
+    }
+    default: fail(line_no, "unsupported record type in zone file");
+  }
+}
+
+}  // namespace
+
+ZoneFileContents parse_zone_file(std::istream& in, const Name& default_origin) {
+  ZoneFileContents contents;
+  contents.origin = default_origin;
+
+  std::string line;
+  std::size_t line_no = 0;
+  Name previous_owner = default_origin;
+  bool have_owner = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const bool line_starts_blank =
+        !line.empty() && std::isspace(static_cast<unsigned char>(line[0]));
+    const auto tokens = tokenize(line, line_no);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) fail(line_no, "$ORIGIN needs one argument");
+      contents.origin = resolve_name(tokens[1], contents.origin, line_no);
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2) fail(line_no, "$TTL needs one argument");
+      contents.default_ttl = parse_u32(tokens[1], line_no, "$TTL");
+      continue;
+    }
+    if (tokens[0].front() == '$') fail(line_no, "unknown directive " + tokens[0]);
+
+    // <owner> [ttl] [IN] <type> <rdata...>; a leading blank repeats the
+    // previous owner.
+    std::size_t index = 0;
+    Name owner = previous_owner;
+    if (!line_starts_blank) {
+      owner = resolve_name(tokens[index++], contents.origin, line_no);
+    } else if (!have_owner) {
+      fail(line_no, "record without an owner");
+    }
+
+    std::uint32_t ttl = contents.default_ttl;
+    if (index < tokens.size() &&
+        std::all_of(tokens[index].begin(), tokens[index].end(),
+                    [](unsigned char c) { return std::isdigit(c); })) {
+      ttl = parse_u32(tokens[index++], line_no, "ttl");
+    }
+    if (index < tokens.size() && (tokens[index] == "IN" || tokens[index] == "in")) {
+      ++index;
+    }
+    if (index >= tokens.size()) fail(line_no, "missing record type");
+    RRType type;
+    try {
+      type = dns::rrtype_from_string(tokens[index]);
+    } catch (const std::invalid_argument&) {
+      fail(line_no, "unknown record type " + tokens[index]);
+    }
+    ++index;
+
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.type = type;
+    rr.ttl = ttl;
+    rr.rdata = parse_rdata(type, tokens, index, contents.origin, line_no);
+    contents.records.push_back(std::move(rr));
+    previous_owner = owner;
+    have_owner = true;
+  }
+  return contents;
+}
+
+Zone load_zone(const ZoneFileContents& contents) {
+  const Name& origin = contents.origin;
+
+  // Locate the apex SOA.
+  const dns::SoaRdata* soa = nullptr;
+  std::uint32_t soa_ttl = contents.default_ttl;
+  for (const auto& rr : contents.records) {
+    if (rr.type != RRType::kSOA) continue;
+    if (rr.name != origin) throw ZoneFileError("SOA must sit at the apex");
+    if (soa != nullptr) throw ZoneFileError("duplicate SOA");
+    soa = &std::get<dns::SoaRdata>(rr.rdata);
+    soa_ttl = rr.ttl;
+  }
+  if (soa == nullptr) throw ZoneFileError("zone file has no SOA");
+
+  // Apex NS records define the zone's servers; the NS TTL doubles as the
+  // zone's IRR TTL.
+  std::uint32_t irr_ttl = contents.default_ttl;
+  std::vector<Name> apex_servers;
+  for (const auto& rr : contents.records) {
+    if (rr.type == RRType::kNS && rr.name == origin) {
+      apex_servers.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+      irr_ttl = rr.ttl;
+    }
+  }
+  if (apex_servers.empty()) throw ZoneFileError("zone file has no apex NS");
+
+  Zone zone(origin, *soa, soa_ttl, irr_ttl);
+
+  auto find_a = [&](const Name& host) -> const ResourceRecord* {
+    for (const auto& rr : contents.records) {
+      if (rr.type == RRType::kA && rr.name == host) return &rr;
+    }
+    return nullptr;
+  };
+
+  for (const auto& host : apex_servers) {
+    const ResourceRecord* a = find_a(host);
+    if (host.is_subdomain_of(origin) && a == nullptr) {
+      throw ZoneFileError("in-bailiwick server " + host.to_string() +
+                          " has no A record (missing glue)");
+    }
+    zone.add_name_server(host,
+                         a != nullptr
+                             ? std::get<dns::ARdata>(a->rdata).address
+                             : dns::IpAddr());
+  }
+
+  // Non-apex NS sets are delegation cuts.
+  std::vector<Name> cut_names;
+  for (const auto& rr : contents.records) {
+    if (rr.type == RRType::kNS && rr.name != origin &&
+        std::find(cut_names.begin(), cut_names.end(), rr.name) == cut_names.end()) {
+      cut_names.push_back(rr.name);
+    }
+  }
+  for (const auto& cut_name : cut_names) {
+    Delegation cut;
+    cut.child = cut_name;
+    cut.ns_set = dns::RRset(cut_name, RRType::kNS, 0);
+    std::vector<Name> cut_servers;
+    for (const auto& rr : contents.records) {
+      if (rr.type == RRType::kNS && rr.name == cut_name) {
+        cut.ns_set.set_ttl(rr.ttl);
+        cut.ns_set.add(rr.rdata);
+        cut_servers.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+      }
+    }
+    for (const auto& host : cut_servers) {
+      if (!host.is_subdomain_of(cut_name)) continue;
+      if (const ResourceRecord* a = find_a(host)) {
+        dns::RRset glue(host, RRType::kA, a->ttl);
+        glue.add(a->rdata);
+        cut.glue.push_back(std::move(glue));
+      }
+    }
+    zone.add_delegation(std::move(cut));
+  }
+
+  // Everything else is authoritative data (skip apex SOA/NS, delegation
+  // NS, glue under cuts, and server glue already installed).
+  for (const auto& rr : contents.records) {
+    if (rr.type == RRType::kSOA || rr.type == RRType::kNS) continue;
+    if (zone.find_delegation(rr.name) != nullptr) continue;  // glue
+    if (rr.type == RRType::kA &&
+        std::find(apex_servers.begin(), apex_servers.end(), rr.name) !=
+            apex_servers.end()) {
+      continue;  // apex server glue, installed via add_name_server
+    }
+    if (!rr.name.is_subdomain_of(origin)) {
+      throw ZoneFileError("record outside the zone: " + rr.name.to_string());
+    }
+    zone.add_record(rr.name, rr.type, rr.ttl, rr.rdata);
+  }
+  return zone;
+}
+
+Zone load_zone_file(const std::string& path, const Name& origin) {
+  std::ifstream in(path);
+  if (!in) throw ZoneFileError("cannot open: " + path);
+  const ZoneFileContents contents = parse_zone_file(in, origin);
+  return load_zone(contents);
+}
+
+std::string to_zone_file(const Zone& zone) {
+  std::ostringstream os;
+  os << "$ORIGIN " << zone.origin().to_string() << '\n';
+
+  // Apex SOA first (canonical), then apex NS + glue.
+  const dns::RRset* soa = zone.find_rrset(zone.origin(), RRType::kSOA);
+  if (soa != nullptr) {
+    for (const auto& rr : soa->to_records()) os << rr.to_string() << '\n';
+  }
+  for (const auto& rr : zone.ns_set().to_records()) os << rr.to_string() << '\n';
+
+  for (const auto& [key, set] : zone.records()) {
+    if (key.second == RRType::kSOA) continue;
+    for (const auto& rr : set.to_records()) os << rr.to_string() << '\n';
+  }
+  for (const auto& [child, cut] : zone.delegations()) {
+    for (const auto& rr : cut.ns_set.to_records()) os << rr.to_string() << '\n';
+    if (cut.ds.has_value()) {
+      // DS rdata is opaque in this model; re-emitting it as master-file
+      // text is not supported, so it is intentionally skipped.
+    }
+    for (const auto& glue : cut.glue) {
+      for (const auto& rr : glue.to_records()) os << rr.to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dnsshield::server

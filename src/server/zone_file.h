@@ -1,0 +1,56 @@
+// RFC 1035 master-file ("zone file") parsing and serialization.
+//
+// Supported subset (one record per line):
+//   $ORIGIN <name>            sets the origin (relative-name suffix)
+//   $TTL <seconds>            default TTL for records without one
+//   <owner> [ttl] [IN] <type> <rdata...>
+// with '@' for the origin, names relative unless they end in '.', ';'
+// comments, and blank lines. Multi-line records (parentheses) are not
+// supported. Record types: SOA, NS, A, CNAME, MX, TXT, PTR.
+//
+// load_zone() assembles a server::Zone: the apex SOA and NS set become
+// zone metadata, non-apex NS records become delegation cuts (with their
+// below-cut A records attached as glue), everything else becomes
+// authoritative data.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dns/rr.h"
+#include "server/zone.h"
+
+namespace dnsshield::server {
+
+class ZoneFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raw parse result: every record in file order, plus directives seen.
+struct ZoneFileContents {
+  dns::Name origin;
+  std::uint32_t default_ttl = 3600;
+  std::vector<dns::ResourceRecord> records;
+};
+
+/// Parses master-file text. `default_origin` applies until a $ORIGIN
+/// directive appears; pass the zone's apex. Throws ZoneFileError with a
+/// line number on malformed input.
+ZoneFileContents parse_zone_file(std::istream& in, const dns::Name& default_origin);
+
+/// Builds an answerable Zone from parsed contents. Requirements: exactly
+/// one SOA at the apex; at least one apex NS; in-bailiwick apex servers
+/// need a matching A record (glue). Throws ZoneFileError on violations.
+Zone load_zone(const ZoneFileContents& contents);
+
+/// Convenience: parse + load from a file path.
+Zone load_zone_file(const std::string& path, const dns::Name& origin);
+
+/// Serializes a Zone back to master-file text (round-trips through
+/// parse_zone_file / load_zone).
+std::string to_zone_file(const Zone& zone);
+
+}  // namespace dnsshield::server

@@ -1,0 +1,78 @@
+#include "sim/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dnsshield::sim {
+
+namespace {
+
+std::vector<double> extract_weights(const std::vector<ValueMixture::Entry>& entries) {
+  std::vector<double> w;
+  w.reserve(entries.size());
+  for (const auto& e : entries) w.push_back(e.weight);
+  return w;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha) : alpha_(alpha) {
+  assert(n > 0);
+  assert(alpha >= 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  assert(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+CategoricalDistribution::CategoricalDistribution(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  cdf_.resize(weights.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i] >= 0);
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  assert(acc > 0);
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t CategoricalDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double CategoricalDistribution::probability(std::size_t i) const {
+  assert(i < cdf_.size());
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+ValueMixture::ValueMixture(std::vector<Entry> entries)
+    : entries_(std::move(entries)), categorical_(extract_weights(entries_)) {}
+
+double ValueMixture::sample(Rng& rng) const {
+  return entries_[categorical_.sample(rng)].value;
+}
+
+}  // namespace dnsshield::sim

@@ -1,0 +1,75 @@
+// Non-trivial sampling distributions used by the workload generator and the
+// synthetic hierarchy builder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace dnsshield::sim {
+
+/// Zipf distribution over ranks {0, 1, ..., n-1}: P(rank k) proportional to
+/// 1 / (k+1)^alpha. Sampling is O(log n) via binary search over the
+/// precomputed CDF; construction is O(n).
+class ZipfDistribution {
+ public:
+  /// Preconditions: n > 0, alpha >= 0 (alpha == 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Draw a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  double alpha_;
+};
+
+/// Categorical distribution over arbitrary weights, sampled in O(log n).
+///
+/// Used for e.g. the TTL mixture ("10% of zones use 5-minute TTLs, ...").
+class CategoricalDistribution {
+ public:
+  /// Preconditions: !weights.empty(), all weights >= 0, sum > 0.
+  explicit CategoricalDistribution(const std::vector<double>& weights);
+
+  /// Draw an index in [0, weights.size()).
+  std::size_t sample(Rng& rng) const;
+
+  /// Normalized probability of index i.
+  double probability(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// A weighted empirical mixture of point values: pairs of (value, weight).
+/// Convenience wrapper around CategoricalDistribution returning the value.
+class ValueMixture {
+ public:
+  struct Entry {
+    double value = 0;
+    double weight = 0;
+  };
+
+  explicit ValueMixture(std::vector<Entry> entries);
+
+  double sample(Rng& rng) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  CategoricalDistribution categorical_;
+};
+
+}  // namespace dnsshield::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace dnsshield::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy) and pop first.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++fired_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace dnsshield::sim

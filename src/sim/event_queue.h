@@ -1,0 +1,76 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+//
+// Events scheduled for the same instant fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), which keeps runs
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnsshield::sim {
+
+/// A min-heap of (time, callback) pairs plus the simulation clock.
+///
+/// Typical driver loop:
+///   EventQueue q;
+///   q.schedule_at(t0, [&] { ... });
+///   q.run();                       // or run_until(t_end)
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time: the timestamp of the most recently fired
+  /// event (0 before any event fires).
+  SimTime now() const { return now_; }
+
+  /// Schedule a callback at an absolute time. Scheduling in the past (i.e.
+  /// before now()) fires the event at the current time instead, preserving
+  /// the non-decreasing clock invariant.
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedule a callback `delay` seconds from now.
+  void schedule_in(Duration delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Fire the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run while the earliest event is at time <= t_end; then set now to
+  /// t_end. Events scheduled exactly at t_end do fire.
+  void run_until(SimTime t_end);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Total number of events fired so far.
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace dnsshield::sim

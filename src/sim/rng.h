@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component of the simulator draws from an explicitly
+// seeded Rng so that experiments are bit-reproducible across runs and
+// platforms. The generator is xoshiro256** seeded via SplitMix64, which is
+// fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dnsshield::sim {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state and as a
+/// cheap standalone mixing function (e.g. for deriving per-entity seeds).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the simulator's primary PRNG.
+///
+/// Not thread-safe; each simulated entity owns its own instance (derive
+/// sub-seeds with derive_seed so streams are independent).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses rejection sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  /// Precondition: rate > 0.
+  double exponential(double rate);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Pareto-distributed value with scale x_min and shape alpha.
+  /// Preconditions: x_min > 0, alpha > 0.
+  double pareto(double x_min, double alpha);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element. Precondition: !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives an independent sub-seed from a master seed and a stream index,
+/// so that entity #i's random stream does not overlap entity #j's.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
+
+}  // namespace dnsshield::sim

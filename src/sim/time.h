@@ -1,0 +1,33 @@
+// Simulation time: seconds since experiment start, as a double.
+//
+// All simulator components share this single time base. Helper constants
+// and conversions keep experiment configuration readable ("attack starts at
+// days(6)" rather than "518400").
+#pragma once
+
+#include <cstdint>
+
+namespace dnsshield::sim {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// Duration in seconds.
+using Duration = double;
+
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+inline constexpr Duration kDay = 86400.0;
+inline constexpr Duration kWeek = 7.0 * kDay;
+
+/// Convert a count of minutes/hours/days to seconds.
+constexpr Duration minutes(double m) { return m * kMinute; }
+constexpr Duration hours(double h) { return h * kHour; }
+constexpr Duration days(double d) { return d * kDay; }
+
+/// Convert seconds to fractional days/hours (for reporting).
+constexpr double to_days(Duration s) { return s / kDay; }
+constexpr double to_hours(Duration s) { return s / kHour; }
+
+}  // namespace dnsshield::sim

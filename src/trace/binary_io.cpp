@@ -1,0 +1,140 @@
+#include "trace/binary_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace dnsshield::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'N', 'S', 'B'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) throw TraceFormatError("binary trace: truncated varint");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw TraceFormatError("binary trace: varint overflow");
+  }
+  return v;
+}
+
+std::uint64_t to_micros(sim::SimTime t) {
+  return static_cast<std::uint64_t>(std::llround(t * 1e6));
+}
+
+}  // namespace
+
+void write_trace_binary(std::ostream& out, const std::vector<QueryEvent>& events) {
+  out.write(kMagic, sizeof kMagic);
+  out.put(static_cast<char>(kVersion));
+
+  std::unordered_map<dns::Name, std::uint64_t, dns::NameHash> name_ids;
+  std::uint64_t prev_micros = 0;
+  for (const auto& ev : events) {
+    const std::uint64_t micros = to_micros(ev.time);
+    if (micros < prev_micros) {
+      throw TraceFormatError("binary trace: events not time-sorted");
+    }
+    put_varint(out, micros - prev_micros);
+    prev_micros = micros;
+    put_varint(out, ev.client_id);
+    const auto it = name_ids.find(ev.qname);
+    if (it != name_ids.end()) {
+      put_varint(out, it->second);
+    } else {
+      const std::uint64_t id = name_ids.size();
+      name_ids.emplace(ev.qname, id);
+      put_varint(out, id);  // id == table size introduces the name
+      const std::string text = ev.qname.to_string();
+      put_varint(out, text.size());
+      out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+    put_varint(out, static_cast<std::uint64_t>(ev.qtype));
+  }
+}
+
+std::size_t for_each_query_binary(
+    std::istream& in, const std::function<void(const QueryEvent&)>& sink) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (in.gcount() != sizeof magic || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw TraceFormatError("binary trace: bad magic");
+  }
+  const int version = in.get();
+  if (version != kVersion) throw TraceFormatError("binary trace: bad version");
+
+  std::vector<dns::Name> names;
+  std::uint64_t micros = 0;
+  std::size_t count = 0;
+  for (;;) {
+    // Peek for EOF before committing to an event.
+    if (in.peek() == EOF) break;
+    QueryEvent ev;
+    micros += get_varint(in);
+    ev.time = static_cast<sim::SimTime>(micros) * 1e-6;
+    ev.client_id = static_cast<std::uint32_t>(get_varint(in));
+    const std::uint64_t id = get_varint(in);
+    if (id < names.size()) {
+      ev.qname = names[id];
+    } else if (id == names.size()) {
+      const std::uint64_t len = get_varint(in);
+      if (len == 0 || len > 256) {
+        throw TraceFormatError("binary trace: bad name length");
+      }
+      std::string text(len, '\0');
+      in.read(text.data(), static_cast<std::streamsize>(len));
+      if (static_cast<std::uint64_t>(in.gcount()) != len) {
+        throw TraceFormatError("binary trace: truncated name");
+      }
+      try {
+        names.push_back(dns::Name::parse(text));
+      } catch (const std::invalid_argument& e) {
+        throw TraceFormatError(std::string("binary trace: ") + e.what());
+      }
+      ev.qname = names.back();
+    } else {
+      throw TraceFormatError("binary trace: name id out of range");
+    }
+    ev.qtype = static_cast<dns::RRType>(get_varint(in));
+    sink(ev);
+    ++count;
+  }
+  return count;
+}
+
+std::vector<QueryEvent> read_trace_binary(std::istream& in) {
+  std::vector<QueryEvent> events;
+  for_each_query_binary(in, [&](const QueryEvent& ev) { events.push_back(ev); });
+  return events;
+}
+
+void write_trace_binary_file(const std::string& path,
+                             const std::vector<QueryEvent>& events) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceFormatError("cannot open for writing: " + path);
+  write_trace_binary(out, events);
+}
+
+std::vector<QueryEvent> read_trace_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceFormatError("cannot open: " + path);
+  return read_trace_binary(in);
+}
+
+}  // namespace dnsshield::trace

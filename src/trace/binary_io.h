@@ -1,0 +1,40 @@
+// Compact binary trace format.
+//
+// Month-long captures are millions of events; the TSV format costs
+// ~50 bytes per query. The binary format stores LEB128 varints, time
+// deltas in microseconds, and an incremental name table (each distinct
+// name's text is written once), typically 4-8 bytes per query.
+//
+// Layout:
+//   magic "DNSB", version u8
+//   per event:
+//     varint  time delta in microseconds from the previous event
+//     varint  client id
+//     varint  name id; id == names-seen-so-far introduces a new name,
+//             followed by varint length + presentation text (no dot)
+//     varint  qtype
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/query_event.h"
+#include "trace/trace_io.h"
+
+namespace dnsshield::trace {
+
+void write_trace_binary(std::ostream& out, const std::vector<QueryEvent>& events);
+void write_trace_binary_file(const std::string& path,
+                             const std::vector<QueryEvent>& events);
+
+/// Throws TraceFormatError on malformed input.
+std::vector<QueryEvent> read_trace_binary(std::istream& in);
+std::vector<QueryEvent> read_trace_binary_file(const std::string& path);
+
+/// Streaming read; returns the number of events.
+std::size_t for_each_query_binary(
+    std::istream& in, const std::function<void(const QueryEvent&)>& sink);
+
+}  // namespace dnsshield::trace

@@ -1,0 +1,21 @@
+// One stub-resolver query as captured in (or synthesized into) a trace.
+#pragma once
+
+#include <cstdint>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "sim/time.h"
+
+namespace dnsshield::trace {
+
+struct QueryEvent {
+  sim::SimTime time = 0;        // seconds from trace start
+  std::uint32_t client_id = 0;  // stub-resolver identifier
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kA;
+
+  bool operator==(const QueryEvent&) const = default;
+};
+
+}  // namespace dnsshield::trace

@@ -1,0 +1,107 @@
+#include "trace/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace dnsshield::trace {
+
+namespace {
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t tab = line.find('\t', start);
+    fields.push_back(line.substr(start, tab == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : tab - start));
+    if (tab == std::string_view::npos) break;
+    start = tab + 1;
+  }
+  return fields;
+}
+
+QueryEvent parse_line(std::string_view line, std::size_t line_no,
+                      sim::SimTime prev_time) {
+  const auto fields = split_tabs(line);
+  if (fields.size() != 4) {
+    throw TraceFormatError("line " + std::to_string(line_no) +
+                           ": expected 4 tab-separated fields");
+  }
+  QueryEvent ev;
+  try {
+    ev.time = std::stod(std::string(fields[0]));
+  } catch (const std::exception&) {
+    throw TraceFormatError("line " + std::to_string(line_no) + ": bad time");
+  }
+  if (ev.time < prev_time) {
+    throw TraceFormatError("line " + std::to_string(line_no) +
+                           ": time goes backwards");
+  }
+  std::uint32_t client = 0;
+  const auto [ptr, ec] =
+      std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(), client);
+  if (ec != std::errc{} || ptr != fields[1].data() + fields[1].size()) {
+    throw TraceFormatError("line " + std::to_string(line_no) + ": bad client id");
+  }
+  ev.client_id = client;
+  try {
+    ev.qname = dns::Name::parse(fields[2]);
+    ev.qtype = dns::rrtype_from_string(fields[3]);
+  } catch (const std::invalid_argument& e) {
+    throw TraceFormatError("line " + std::to_string(line_no) + ": " + e.what());
+  }
+  return ev;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<QueryEvent>& events) {
+  // max_digits10 keeps the round-trip through text exact.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "# dnsshield trace: time\tclient\tqname\tqtype\n";
+  for (const auto& ev : events) {
+    out << ev.time << '\t' << ev.client_id << '\t' << ev.qname.to_string() << '\t'
+        << dns::rrtype_to_string(ev.qtype) << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const std::vector<QueryEvent>& events) {
+  std::ofstream out(path);
+  if (!out) throw TraceFormatError("cannot open for writing: " + path);
+  write_trace(out, events);
+}
+
+std::size_t for_each_query(std::istream& in,
+                           const std::function<void(const QueryEvent&)>& sink) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t count = 0;
+  sim::SimTime prev_time = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const QueryEvent ev = parse_line(line, line_no, prev_time);
+    prev_time = ev.time;
+    sink(ev);
+    ++count;
+  }
+  return count;
+}
+
+std::vector<QueryEvent> read_trace(std::istream& in) {
+  std::vector<QueryEvent> events;
+  for_each_query(in, [&](const QueryEvent& ev) { events.push_back(ev); });
+  return events;
+}
+
+std::vector<QueryEvent> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceFormatError("cannot open: " + path);
+  return read_trace(in);
+}
+
+}  // namespace dnsshield::trace

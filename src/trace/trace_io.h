@@ -1,0 +1,37 @@
+// Trace persistence: a line-oriented TSV format so real captures can be
+// converted in and synthetic traces can be inspected with standard tools.
+//
+// Format, one query per line:
+//   <time-seconds> \t <client-id> \t <qname> \t <qtype>
+// Lines starting with '#' are comments. Times must be non-decreasing.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/query_event.h"
+
+namespace dnsshield::trace {
+
+/// Thrown on malformed trace lines (wrong field count, bad numbers,
+/// invalid names, time going backwards).
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_trace(std::ostream& out, const std::vector<QueryEvent>& events);
+void write_trace_file(const std::string& path, const std::vector<QueryEvent>& events);
+
+std::vector<QueryEvent> read_trace(std::istream& in);
+std::vector<QueryEvent> read_trace_file(const std::string& path);
+
+/// Streaming read: invokes `sink` per event without materializing the
+/// whole trace. Returns the number of events read.
+std::size_t for_each_query(std::istream& in,
+                           const std::function<void(const QueryEvent&)>& sink);
+
+}  // namespace dnsshield::trace

@@ -1,0 +1,72 @@
+// Synthetic stub-resolver workload generation.
+//
+// Replaces the paper's captured university traces (TRC1..TRC6, Table 1).
+// The generator reproduces the properties the paper's results hinge on:
+//  - Zipf-skewed name popularity (a few very hot names, a long tail);
+//  - partial overlap of interest between clients behind one caching
+//    server (a shared-popularity component plus per-client private sets);
+//  - diurnal load modulation;
+//  - Poisson arrivals within the modulated rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "server/hierarchy.h"
+#include "trace/query_event.h"
+
+namespace dnsshield::trace {
+
+struct WorkloadParams {
+  std::uint64_t seed = 7;
+
+  std::uint32_t num_clients = 200;
+  sim::Duration duration = 7 * sim::kDay;
+  double mean_rate_qps = 1.0;  // aggregate stub-resolver query rate
+
+  /// Zipf skew of global name popularity.
+  double zipf_alpha = 0.9;
+
+  /// Probability a query draws from the global popularity distribution;
+  /// otherwise it draws from the client's private interest set.
+  double shared_fraction = 0.7;
+
+  /// Number of names in each client's private interest set.
+  std::uint32_t private_set_size = 40;
+
+  /// Diurnal modulation amplitude in [0, 1): rate(t) scales by
+  /// 1 + a * sin(2*pi*t/day).
+  double diurnal_amplitude = 0.5;
+
+  /// Fraction of queries that ask for AAAA instead of A (dual-stack
+  /// clients; names without an AAAA record see cached NODATA). Must be
+  /// in [0, 1].
+  double aaaa_fraction = 0.12;
+};
+
+/// Generates a complete trace over the hierarchy's host-name universe.
+/// Deterministic in params.seed. Events are time-sorted.
+std::vector<QueryEvent> generate_workload(const server::Hierarchy& hierarchy,
+                                          const WorkloadParams& params);
+
+/// Streaming variant for long traces.
+void generate_workload(const server::Hierarchy& hierarchy,
+                       const WorkloadParams& params,
+                       const std::function<void(const QueryEvent&)>& sink);
+
+// ---- Trace statistics (Table 1 columns) ----------------------------------
+
+struct TraceStats {
+  std::size_t clients = 0;       // distinct stub-resolvers
+  std::size_t requests_in = 0;   // queries from stubs to the caching server
+  std::size_t names = 0;         // distinct query names
+  std::size_t zones = 0;         // distinct zones the names live in
+  sim::Duration duration = 0;    // time of last query
+};
+
+/// Computes trace statistics; zone attribution uses the hierarchy.
+TraceStats compute_stats(const server::Hierarchy& hierarchy,
+                         const std::vector<QueryEvent>& events);
+
+}  // namespace dnsshield::trace

@@ -1,0 +1,124 @@
+#include "attack/injector.h"
+#include "attack/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "server/hierarchy_builder.h"
+
+namespace dnsshield::attack {
+namespace {
+
+using dns::Name;
+
+const server::Hierarchy& test_hierarchy() {
+  static const server::Hierarchy h = [] {
+    server::HierarchyParams p;
+    p.seed = 5;
+    p.num_tlds = 3;
+    p.num_slds = 40;
+    p.num_providers = 2;
+    return server::build_hierarchy(p);
+  }();
+  return h;
+}
+
+TEST(ScenarioTest, ActiveWindowIsHalfOpen) {
+  AttackScenario s;
+  s.start = 100;
+  s.duration = 50;
+  EXPECT_FALSE(s.active_at(99.9));
+  EXPECT_TRUE(s.active_at(100));
+  EXPECT_TRUE(s.active_at(149.9));
+  EXPECT_FALSE(s.active_at(150));
+  EXPECT_DOUBLE_EQ(s.end(), 150);
+}
+
+TEST(ScenarioTest, RootAndTldsTargetsUpperHierarchy) {
+  const auto s = root_and_tlds(test_hierarchy(), 0, 60);
+  // Root + 3 TLDs.
+  EXPECT_EQ(s.target_zones.size(), 4u);
+  bool has_root = false;
+  for (const auto& z : s.target_zones) {
+    EXPECT_LE(z.label_count(), 1u);
+    has_root |= z.is_root();
+  }
+  EXPECT_TRUE(has_root);
+}
+
+TEST(ScenarioTest, SingleZoneAndRootOnly) {
+  const auto s = single_zone(Name::parse("a.com"), 5, 10);
+  ASSERT_EQ(s.target_zones.size(), 1u);
+  EXPECT_EQ(s.target_zones[0], Name::parse("a.com"));
+  const auto r = root_only(5, 10);
+  ASSERT_EQ(r.target_zones.size(), 1u);
+  EXPECT_TRUE(r.target_zones[0].is_root());
+}
+
+TEST(InjectorTest, DefaultInjectorAlwaysAvailable) {
+  const AttackInjector inj;
+  EXPECT_TRUE(inj.is_available(dns::IpAddr(1), 0));
+  EXPECT_TRUE(inj.is_available(dns::IpAddr(1), 1e9));
+  EXPECT_FALSE(inj.attack_active(0));
+}
+
+TEST(InjectorTest, BlocksTargetServersOnlyDuringWindow) {
+  const auto& h = test_hierarchy();
+  const auto s = root_only(100, 50);
+  const AttackInjector inj(h, s);
+  const dns::IpAddr root_addr = h.root_hints().front();
+  EXPECT_TRUE(inj.is_available(root_addr, 99));
+  EXPECT_FALSE(inj.is_available(root_addr, 100));
+  EXPECT_FALSE(inj.is_available(root_addr, 149));
+  EXPECT_TRUE(inj.is_available(root_addr, 150));
+  EXPECT_EQ(inj.blocked_server_count(), h.root_hints().size());
+}
+
+TEST(InjectorTest, NonTargetServersStayUp) {
+  const auto& h = test_hierarchy();
+  const auto s = root_only(0, 1000);
+  const AttackInjector inj(h, s);
+  // Find some SLD zone's server.
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.label_count() == 2) {
+      EXPECT_TRUE(inj.is_available(h.servers_of(origin).front(), 10));
+      return;
+    }
+  }
+  FAIL() << "no SLD found";
+}
+
+TEST(InjectorTest, RootAndTldAttackBlocksWholeTopOfTree) {
+  const auto& h = test_hierarchy();
+  const AttackInjector inj(h, root_and_tlds(h, 0, 100));
+  for (const auto& origin : h.zone_origins()) {
+    const bool should_block = origin.label_count() <= 1;
+    for (const auto addr : h.servers_of(origin)) {
+      if (should_block) {
+        EXPECT_FALSE(inj.is_available(addr, 50)) << origin.to_string();
+      }
+    }
+  }
+}
+
+TEST(InjectorTest, ProviderAttackIsCollateralForHostedZones) {
+  // Blocking a provider zone blocks every zone its servers carry.
+  const auto& h = test_hierarchy();
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.label_count() != 2) continue;
+    const auto& addrs = h.servers_of(origin);
+    // A hosted zone shares its provider's addresses; attack the provider.
+    const server::AuthServer* srv = h.server_at(addrs.front());
+    if (srv->zones().size() < 2) continue;
+    const Name provider = srv->zones().front()->origin();
+    const AttackInjector inj(h, single_zone(provider, 0, 10));
+    for (const server::Zone* hosted : srv->zones()) {
+      EXPECT_FALSE(inj.is_available(addrs.front(), 5))
+          << "server of " << hosted->origin().to_string();
+    }
+    return;
+  }
+  GTEST_SKIP() << "no provider-hosted zone in this hierarchy";
+}
+
+}  // namespace
+}  // namespace dnsshield::attack

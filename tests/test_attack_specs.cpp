@@ -1,0 +1,90 @@
+// AttackSpec resolution inside the experiment driver.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+
+namespace dnsshield::core {
+namespace {
+
+ExperimentSetup base_setup() {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 2;
+  setup.workload.num_clients = 20;
+  setup.workload.duration = 2 * sim::kDay;
+  setup.workload.mean_rate_qps = 0.05;
+  return setup;
+}
+
+TEST(AttackSpecTest, FactoriesPopulateFields) {
+  const auto none = AttackSpec::none();
+  EXPECT_EQ(none.kind, AttackSpec::Kind::kNone);
+
+  const auto root = AttackSpec::root_only(100, 200);
+  EXPECT_EQ(root.kind, AttackSpec::Kind::kRootOnly);
+  EXPECT_DOUBLE_EQ(root.start, 100);
+  EXPECT_DOUBLE_EQ(root.duration, 200);
+
+  const auto tlds = AttackSpec::root_and_tlds(5, 6);
+  EXPECT_EQ(tlds.kind, AttackSpec::Kind::kRootAndTlds);
+
+  const auto single = AttackSpec::single_zone("a.com.", 1, 2);
+  EXPECT_EQ(single.kind, AttackSpec::Kind::kSingleZone);
+  ASSERT_EQ(single.zones.size(), 1u);
+
+  const auto custom = AttackSpec::custom({"a.com.", "b.org."}, 1, 2);
+  EXPECT_EQ(custom.kind, AttackSpec::Kind::kCustom);
+  EXPECT_EQ(custom.zones.size(), 2u);
+}
+
+TEST(AttackSpecTest, RootOnlyBarelyHurtsThanksToHints) {
+  // With permanent root hints and long TLD TTLs, a root-only outage is a
+  // non-event compared to root+TLDs — the paper's §3.2 position argument.
+  auto setup = base_setup();
+  setup.attack = AttackSpec::root_only(sim::days(1), sim::hours(6));
+  const auto root_only =
+      run_experiment(setup, resolver::ResilienceConfig::vanilla());
+
+  setup.attack = AttackSpec::root_and_tlds(sim::days(1), sim::hours(6));
+  const auto root_tlds =
+      run_experiment(setup, resolver::ResilienceConfig::vanilla());
+
+  EXPECT_LT(root_only.attack_window->sr_failure_rate(),
+            0.3 * root_tlds.attack_window->sr_failure_rate());
+}
+
+TEST(AttackSpecTest, CustomZonesOnlyHurtTheirSubtrees) {
+  auto setup = base_setup();
+  // Attack one leaf zone: aggregate damage must be tiny.
+  const server::Hierarchy h = server::build_hierarchy(setup.hierarchy);
+  std::string victim;
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.label_count() == 2) {
+      victim = origin.to_string();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  setup.attack = AttackSpec::custom({victim}, sim::days(1), sim::hours(6));
+  const auto r = run_experiment(setup, resolver::ResilienceConfig::vanilla());
+  EXPECT_LT(r.attack_window->sr_failure_rate(), 0.15);
+}
+
+TEST(AttackSpecTest, StrengthZeroMeansUnbounded) {
+  auto setup = base_setup();
+  setup.attack = AttackSpec::root_and_tlds(sim::days(1), sim::hours(6));
+  setup.attack.strength = 0;
+  const auto unbounded =
+      run_experiment(setup, resolver::ResilienceConfig::vanilla());
+
+  // A feeble attacker (strength 1 spread over dozens of servers) blocks
+  // nothing.
+  setup.attack.strength = 1;
+  const auto feeble = run_experiment(setup, resolver::ResilienceConfig::vanilla());
+  EXPECT_GT(unbounded.attack_window->sr_failure_rate(), 0.2);
+  EXPECT_DOUBLE_EQ(feeble.attack_window->sr_failure_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace dnsshield::core

@@ -1,0 +1,102 @@
+#include "server/auth_server.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::server {
+namespace {
+
+using dns::IpAddr;
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+class AuthServerTest : public ::testing::Test {
+ protected:
+  AuthServerTest()
+      : parent_(Name::parse("com"), make_soa("com"), 3600, 7200),
+        child_(Name::parse("kid.com"), make_soa("kid.com"), 3600, 3600),
+        server_(Name::parse("ns1.com"), IpAddr::parse("10.0.0.1")) {
+    parent_.add_name_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.1"));
+    child_.add_name_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.1"));
+    child_.add_record(Name::parse("www.kid.com"), RRType::kA, 300,
+                      dns::ARdata{IpAddr::parse("10.1.1.1")});
+    Delegation cut;
+    cut.child = Name::parse("kid.com");
+    cut.ns_set = child_.ns_set();
+    dns::RRset ds(Name::parse("kid.com"), RRType::kDS, 3600);
+    ds.add(dns::OpaqueRdata{{1, 2, 3, 4}});
+    cut.ds = std::move(ds);
+    parent_.add_delegation(std::move(cut));
+    server_.serve(&parent_);
+    server_.serve(&child_);
+  }
+
+  static dns::SoaRdata make_soa(const std::string& origin) {
+    dns::SoaRdata soa;
+    soa.mname = Name::parse("ns1." + origin);
+    soa.rname = Name::parse("h." + origin);
+    soa.minimum = 300;
+    return soa;
+  }
+
+  Message ask(const std::string& qname, RRType qtype) {
+    return server_.respond(Message::make_query(1, Name::parse(qname), qtype));
+  }
+
+  Zone parent_;
+  Zone child_;
+  AuthServer server_;
+};
+
+TEST_F(AuthServerTest, PicksDeepestServedZone) {
+  // Both zones live on this server: the child must answer its own names
+  // rather than the parent emitting a referral.
+  const Message r = ask("www.kid.com", RRType::kA);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_EQ(r.answers.size(), 1u);
+}
+
+TEST_F(AuthServerTest, ParentAnswersItsOwnNames) {
+  const Message r = ask("com", RRType::kSOA);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kSOA);
+}
+
+TEST_F(AuthServerTest, RefusesUnservedNamespace) {
+  const Message r = ask("www.example.org", RRType::kA);
+  EXPECT_EQ(r.header.rcode, Rcode::kRefused);
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST_F(AuthServerTest, DsAtChildApexComesFromParentSide) {
+  // Even though the child zone is served here (and is deeper), the DS
+  // query must be answered from the parent's cut data.
+  const Message r = ask("kid.com", RRType::kDS);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::kDS);
+}
+
+TEST_F(AuthServerTest, NonDsApexQueryStillPrefersChild) {
+  const Message r = ask("kid.com", RRType::kNS);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kNS);
+}
+
+TEST_F(AuthServerTest, RejectsMultiQuestionQueries) {
+  Message q = Message::make_query(1, Name::parse("a.com"), RRType::kA);
+  q.questions.push_back(q.questions.front());
+  EXPECT_THROW(server_.respond(q), std::invalid_argument);
+}
+
+TEST_F(AuthServerTest, CapacityDefaultsToOne) {
+  EXPECT_DOUBLE_EQ(server_.capacity(), 1.0);
+  server_.set_capacity(30);
+  EXPECT_DOUBLE_EQ(server_.capacity(), 30.0);
+}
+
+}  // namespace
+}  // namespace dnsshield::server

@@ -1,0 +1,126 @@
+#include "trace/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+namespace dnsshield::trace {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+std::vector<QueryEvent> sample_events() {
+  return {
+      {0.5, 1, Name::parse("www.a.com"), RRType::kA},
+      {1.25, 2, Name::parse("mail.b.org"), RRType::kMX},
+      {1.25, 1, Name::parse("www.a.com"), RRType::kAAAA},
+      {900.000001, 3, Name::parse("deep.sub.c.net"), RRType::kA},
+  };
+}
+
+TEST(BinaryTraceTest, RoundTrip) {
+  std::stringstream buf;
+  write_trace_binary(buf, sample_events());
+  const auto reloaded = read_trace_binary(buf);
+  ASSERT_EQ(reloaded.size(), 4u);
+  for (std::size_t i = 0; i < reloaded.size(); ++i) {
+    EXPECT_EQ(reloaded[i].client_id, sample_events()[i].client_id);
+    EXPECT_EQ(reloaded[i].qname, sample_events()[i].qname);
+    EXPECT_EQ(reloaded[i].qtype, sample_events()[i].qtype);
+    EXPECT_NEAR(reloaded[i].time, sample_events()[i].time, 1e-6);
+  }
+}
+
+TEST(BinaryTraceTest, EmptyTraceRoundTrips) {
+  std::stringstream buf;
+  write_trace_binary(buf, {});
+  EXPECT_TRUE(read_trace_binary(buf).empty());
+}
+
+TEST(BinaryTraceTest, MuchSmallerThanTsv) {
+  server::HierarchyParams p;
+  p.seed = 2;
+  p.num_tlds = 2;
+  p.num_slds = 40;
+  p.num_providers = 1;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  WorkloadParams wp;
+  wp.seed = 3;
+  wp.num_clients = 30;
+  wp.duration = sim::days(1);
+  wp.mean_rate_qps = 0.5;
+  const auto events = generate_workload(h, wp);
+
+  std::stringstream tsv, bin;
+  write_trace(tsv, events);
+  write_trace_binary(bin, events);
+  EXPECT_LT(bin.str().size() * 3, tsv.str().size())
+      << "binary should be at least 3x smaller";
+
+  // And it round-trips the whole workload faithfully.
+  const auto reloaded = read_trace_binary(bin);
+  ASSERT_EQ(reloaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); i += 97) {
+    EXPECT_EQ(reloaded[i].qname, events[i].qname);
+    EXPECT_NEAR(reloaded[i].time, events[i].time, 1e-6);
+  }
+}
+
+TEST(BinaryTraceTest, StreamingCountsEvents) {
+  std::stringstream buf;
+  write_trace_binary(buf, sample_events());
+  std::size_t n = 0;
+  EXPECT_EQ(for_each_query_binary(buf, [&](const QueryEvent&) { ++n; }), 4u);
+  EXPECT_EQ(n, 4u);
+}
+
+TEST(BinaryTraceTest, RejectsBadMagicAndVersion) {
+  std::stringstream bad("XXXX");
+  EXPECT_THROW(read_trace_binary(bad), TraceFormatError);
+
+  std::stringstream buf;
+  write_trace_binary(buf, sample_events());
+  std::string bytes = buf.str();
+  bytes[4] = 99;  // version
+  std::stringstream versioned(bytes);
+  EXPECT_THROW(read_trace_binary(versioned), TraceFormatError);
+}
+
+TEST(BinaryTraceTest, RejectsTruncation) {
+  std::stringstream buf;
+  write_trace_binary(buf, sample_events());
+  const std::string bytes = buf.str();
+  // Any strict prefix (beyond the header) must either parse fewer events
+  // or throw — never crash or fabricate data.
+  for (std::size_t cut = 5; cut < bytes.size(); cut += 3) {
+    std::stringstream prefix(bytes.substr(0, cut));
+    try {
+      const auto events = read_trace_binary(prefix);
+      EXPECT_LE(events.size(), 4u);
+    } catch (const TraceFormatError&) {
+    }
+  }
+}
+
+TEST(BinaryTraceTest, RejectsUnsortedInput) {
+  std::vector<QueryEvent> unsorted{
+      {5.0, 1, Name::parse("a.com"), RRType::kA},
+      {1.0, 1, Name::parse("b.com"), RRType::kA},
+  };
+  std::stringstream buf;
+  EXPECT_THROW(write_trace_binary(buf, unsorted), TraceFormatError);
+}
+
+TEST(BinaryTraceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_bin_test.dnsb";
+  write_trace_binary_file(path, sample_events());
+  EXPECT_EQ(read_trace_binary_file(path).size(), 4u);
+  EXPECT_THROW(read_trace_binary_file("/nonexistent/x.dnsb"), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace dnsshield::trace

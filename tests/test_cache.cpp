@@ -1,0 +1,197 @@
+#include "resolver/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+using dns::Trust;
+
+RRset ns_set(const std::string& zone, const std::string& host,
+             std::uint32_t ttl) {
+  RRset set(Name::parse(zone), RRType::kNS, ttl);
+  set.add(dns::NsRdata{Name::parse(host)});
+  return set;
+}
+
+RRset a_set(const std::string& host, std::uint32_t addr, std::uint32_t ttl) {
+  RRset set(Name::parse(host), RRType::kA, ttl);
+  set.add(dns::ARdata{IpAddr(addr)});
+  return set;
+}
+
+constexpr std::uint32_t kCap = 7 * 86400;
+
+TEST(CacheTest, InstallAndLookup) {
+  Cache cache(kCap);
+  const auto r = cache.insert(a_set("www.a.com", 1, 600), Trust::kAuthAnswer, 100,
+                              false, Name(), true);
+  EXPECT_EQ(r.outcome, InsertOutcome::kInstalled);
+  const CacheEntry* hit = cache.lookup(Name::parse("www.a.com"), RRType::kA, 200);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->expires_at, 700.0);
+}
+
+TEST(CacheTest, ExpiryHonored) {
+  Cache cache(kCap);
+  cache.insert(a_set("www.a.com", 1, 600), Trust::kAuthAnswer, 0, false, Name(),
+               true);
+  EXPECT_NE(cache.lookup(Name::parse("www.a.com"), RRType::kA, 599.9), nullptr);
+  EXPECT_EQ(cache.lookup(Name::parse("www.a.com"), RRType::kA, 600.0), nullptr);
+  // The stale entry is still visible to the gap recorder.
+  EXPECT_NE(cache.lookup_including_expired(Name::parse("www.a.com"), RRType::kA),
+            nullptr);
+}
+
+TEST(CacheTest, TtlCapClampsLongTtls) {
+  Cache cache(3600);
+  const auto r = cache.insert(a_set("w.a.com", 1, 86400), Trust::kAuthAnswer, 0,
+                              false, Name(), true);
+  EXPECT_DOUBLE_EQ(r.entry->expires_at, 3600.0);
+  EXPECT_EQ(r.entry->rrset.ttl(), 3600u);
+}
+
+TEST(CacheTest, LowerTrustRejectedWhileLive) {
+  Cache cache(kCap);
+  cache.insert(ns_set("a.com", "ns1.a.com", 600), Trust::kAuthorityAuthAnswer, 0,
+               true, Name::parse("a.com"), true);
+  // A parent referral copy with different data must not clobber it.
+  const auto r = cache.insert(ns_set("a.com", "evil.a.com", 600),
+                              Trust::kAuthorityReferral, 10, true,
+                              Name::parse("a.com"), true);
+  EXPECT_EQ(r.outcome, InsertOutcome::kRejectedLowerTrust);
+  const CacheEntry* hit = cache.lookup(Name::parse("a.com"), RRType::kNS, 10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(std::get<dns::NsRdata>(hit->rrset.rdatas()[0]).nsdname,
+            Name::parse("ns1.a.com"));
+  EXPECT_EQ(cache.stats().rejections, 1u);
+}
+
+TEST(CacheTest, LowerTrustAcceptedAfterExpiry) {
+  Cache cache(kCap);
+  cache.insert(ns_set("a.com", "ns1.a.com", 100), Trust::kAuthorityAuthAnswer, 0,
+               true, Name::parse("a.com"), true);
+  const auto r =
+      cache.insert(ns_set("a.com", "ns2.a.com", 100), Trust::kAuthorityReferral,
+                   200, true, Name::parse("a.com"), true);
+  EXPECT_EQ(r.outcome, InsertOutcome::kInstalled);
+}
+
+TEST(CacheTest, SameDataWithoutResetKeepsExpiry) {
+  // Vanilla IRR behaviour: a fresh same-data copy does NOT extend life.
+  Cache cache(kCap);
+  cache.insert(ns_set("a.com", "ns1.a.com", 600), Trust::kAuthorityReferral, 0,
+               true, Name::parse("a.com"), false);
+  const auto r = cache.insert(ns_set("a.com", "ns1.a.com", 600),
+                              Trust::kAuthorityAuthAnswer, 500, true,
+                              Name::parse("a.com"), false);
+  EXPECT_EQ(r.outcome, InsertOutcome::kKeptExisting);
+  EXPECT_DOUBLE_EQ(r.entry->expires_at, 600.0);
+  // Trust was still upgraded to the child copy.
+  EXPECT_EQ(r.entry->trust, Trust::kAuthorityAuthAnswer);
+}
+
+TEST(CacheTest, SameDataWithResetExtendsExpiry) {
+  // Refresh behaviour: the same copy pushes the expiry out.
+  Cache cache(kCap);
+  cache.insert(ns_set("a.com", "ns1.a.com", 600), Trust::kAuthorityAuthAnswer, 0,
+               true, Name::parse("a.com"), true);
+  const auto r = cache.insert(ns_set("a.com", "ns1.a.com", 600),
+                              Trust::kAuthorityAuthAnswer, 500, true,
+                              Name::parse("a.com"), true);
+  EXPECT_EQ(r.outcome, InsertOutcome::kTtlReset);
+  EXPECT_DOUBLE_EQ(r.entry->expires_at, 1100.0);
+}
+
+TEST(CacheTest, DifferentDataReplacesAndResets) {
+  Cache cache(kCap);
+  const auto first = cache.insert(ns_set("a.com", "ns1.a.com", 600),
+                                  Trust::kAuthorityAuthAnswer, 0, true,
+                                  Name::parse("a.com"), false);
+  const std::uint64_t first_generation = first.entry->generation;
+  const auto r = cache.insert(ns_set("a.com", "ns9.a.com", 600),
+                              Trust::kAuthorityAuthAnswer, 100, true,
+                              Name::parse("a.com"), false);
+  EXPECT_EQ(r.outcome, InsertOutcome::kReplaced);
+  EXPECT_DOUBLE_EQ(r.entry->expires_at, 700.0);
+  EXPECT_GT(r.entry->generation, first_generation);
+}
+
+TEST(CacheTest, GenerationBumpsOnEveryChange) {
+  Cache cache(kCap);
+  const auto a = cache.insert(a_set("w.a.com", 1, 100), Trust::kAuthAnswer, 0,
+                              false, Name(), true);
+  const std::uint64_t g1 = a.entry->generation;
+  const auto b = cache.insert(a_set("w.a.com", 1, 100), Trust::kAuthAnswer, 10,
+                              false, Name(), true);
+  EXPECT_GT(b.entry->generation, g1);
+}
+
+TEST(CacheTest, PermanentEntriesNeverExpireNorYield) {
+  Cache cache(kCap);
+  cache.insert_permanent(ns_set(".", "a.root-servers.net", 1), Name::root());
+  EXPECT_NE(cache.lookup(Name::root(), RRType::kNS, 1e12), nullptr);
+  const auto r = cache.insert(ns_set(".", "evil.example", 10), Trust::kAuthAnswer,
+                              5, true, Name::root(), true);
+  EXPECT_EQ(r.outcome, InsertOutcome::kKeptExisting);
+  const CacheEntry* hit = cache.lookup(Name::root(), RRType::kNS, 100);
+  EXPECT_EQ(std::get<dns::NsRdata>(hit->rrset.rdatas()[0]).nsdname,
+            Name::parse("a.root-servers.net"));
+}
+
+TEST(CacheTest, EraseRemovesEntry) {
+  Cache cache(kCap);
+  cache.insert(a_set("w.a.com", 1, 100), Trust::kAuthAnswer, 0, false, Name(),
+               true);
+  cache.erase(Name::parse("w.a.com"), RRType::kA);
+  EXPECT_EQ(cache.lookup_including_expired(Name::parse("w.a.com"), RRType::kA),
+            nullptr);
+}
+
+TEST(CacheTest, PurgeExpiredSweeps) {
+  Cache cache(kCap);
+  cache.insert(a_set("a.x.com", 1, 100), Trust::kAuthAnswer, 0, false, Name(), true);
+  cache.insert(a_set("b.x.com", 2, 500), Trust::kAuthAnswer, 0, false, Name(), true);
+  EXPECT_EQ(cache.purge_expired(200), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheTest, OccupancyCountsLiveStateOnly) {
+  Cache cache(kCap);
+  cache.insert(ns_set("a.com", "ns1.a.com", 1000), Trust::kAuthorityAuthAnswer, 0,
+               true, Name::parse("a.com"), true);
+  RRset two(Name::parse("b.com"), RRType::kNS, 50);
+  two.add(dns::NsRdata{Name::parse("ns1.b.com")});
+  two.add(dns::NsRdata{Name::parse("ns2.b.com")});
+  cache.insert(two, Trust::kAuthorityAuthAnswer, 0, true, Name::parse("b.com"),
+               true);
+  cache.insert(a_set("w.a.com", 1, 1000), Trust::kAuthAnswer, 0, false, Name(),
+               true);
+
+  const auto at10 = cache.occupancy(10);
+  EXPECT_EQ(at10.rrsets, 3u);
+  EXPECT_EQ(at10.records, 4u);
+  EXPECT_EQ(at10.zones, 2u);
+
+  const auto at100 = cache.occupancy(100);  // b.com NS expired
+  EXPECT_EQ(at100.rrsets, 2u);
+  EXPECT_EQ(at100.zones, 1u);
+}
+
+TEST(CacheTest, HitMissStats) {
+  Cache cache(kCap);
+  cache.insert(a_set("w.a.com", 1, 100), Trust::kAuthAnswer, 0, false, Name(), true);
+  cache.lookup(Name::parse("w.a.com"), RRType::kA, 10);
+  cache.lookup(Name::parse("w.a.com"), RRType::kA, 200);  // expired
+  cache.lookup(Name::parse("z.a.com"), RRType::kA, 10);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

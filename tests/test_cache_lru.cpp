@@ -1,0 +1,124 @@
+// Bounded-cache (strict LRU) behaviour.
+#include <gtest/gtest.h>
+
+#include "resolver/cache.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+using dns::Trust;
+
+RRset a_set(const std::string& host, std::uint32_t addr) {
+  RRset set(Name::parse(host), RRType::kA, 3600);
+  set.add(dns::ARdata{IpAddr(addr)});
+  return set;
+}
+
+void put(Cache& cache, const std::string& host, std::uint32_t addr,
+         sim::SimTime now = 0) {
+  cache.insert(a_set(host, addr), Trust::kAuthAnswer, now, false, Name(), true);
+}
+
+TEST(CacheLruTest, EvictsOldestWhenFull) {
+  Cache cache(86400, 3);
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);
+  put(cache, "c.x.com", 3);
+  put(cache, "d.x.com", 4);  // evicts a.x.com
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.lookup(Name::parse("a.x.com"), RRType::kA, 1), nullptr);
+  EXPECT_NE(cache.lookup(Name::parse("d.x.com"), RRType::kA, 1), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheLruTest, LookupPromotes) {
+  Cache cache(86400, 3);
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);
+  put(cache, "c.x.com", 3);
+  cache.lookup(Name::parse("a.x.com"), RRType::kA, 1);  // promote a
+  put(cache, "d.x.com", 4);                             // evicts b, not a
+  EXPECT_NE(cache.lookup(Name::parse("a.x.com"), RRType::kA, 1), nullptr);
+  EXPECT_EQ(cache.lookup(Name::parse("b.x.com"), RRType::kA, 1), nullptr);
+}
+
+TEST(CacheLruTest, ReinsertPromotes) {
+  Cache cache(86400, 3);
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);
+  put(cache, "c.x.com", 3);
+  put(cache, "a.x.com", 1, /*now=*/1);  // same data, touch
+  put(cache, "d.x.com", 4);
+  EXPECT_NE(cache.lookup(Name::parse("a.x.com"), RRType::kA, 1), nullptr);
+  EXPECT_EQ(cache.lookup(Name::parse("b.x.com"), RRType::kA, 1), nullptr);
+}
+
+TEST(CacheLruTest, PermanentEntriesAreNotEvictable) {
+  Cache cache(86400, 2);
+  RRset hints(Name::root(), RRType::kNS, 1);
+  hints.add(dns::NsRdata{Name::parse("a.root-servers.net")});
+  cache.insert_permanent(hints, Name::root());
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);
+  put(cache, "c.x.com", 3);
+  put(cache, "d.x.com", 4);
+  // Root hints survive arbitrary churn.
+  EXPECT_NE(cache.lookup(Name::root(), RRType::kNS, 1e9), nullptr);
+}
+
+TEST(CacheLruTest, EraseAndPurgeKeepLruConsistent) {
+  Cache cache(86400, 4);
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);
+  cache.erase(Name::parse("a.x.com"), RRType::kA);
+  // Expired entry purged out from under the LRU list.
+  cache.insert(RRset(Name::parse("e.x.com"), RRType::kA, 10), Trust::kAuthAnswer,
+               0, false, Name(), true);
+  cache.purge_expired(100);
+  // Subsequent churn must not trip over stale list nodes.
+  for (int i = 0; i < 20; ++i) {
+    put(cache, "h" + std::to_string(i) + ".x.com", static_cast<std::uint32_t>(i));
+  }
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(CacheLruTest, UnboundedNeverEvicts) {
+  Cache cache(86400, 0);
+  for (int i = 0; i < 1000; ++i) {
+    put(cache, "h" + std::to_string(i) + ".x.com", static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheLruTest, NegativeEntriesParticipateInLru) {
+  Cache cache(86400, 2);
+  cache.insert_negative(Name::parse("nx.x.com"), RRType::kA, 300,
+                        dns::Rcode::kNxDomain, 0);
+  put(cache, "a.x.com", 1);
+  put(cache, "b.x.com", 2);  // evicts the negative entry
+  EXPECT_EQ(cache.lookup_including_expired(Name::parse("nx.x.com"), RRType::kA),
+            nullptr);
+}
+
+class CacheBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheBudgetSweep, SizeNeverExceedsBudget) {
+  const std::size_t budget = GetParam();
+  Cache cache(86400, budget);
+  for (int i = 0; i < 500; ++i) {
+    put(cache, "h" + std::to_string(i % 300) + ".x.com",
+        static_cast<std::uint32_t>(i));
+    EXPECT_LE(cache.size(), budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CacheBudgetSweep,
+                         ::testing::Values(1, 2, 7, 64, 299));
+
+}  // namespace
+}  // namespace dnsshield::resolver

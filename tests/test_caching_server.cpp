@@ -1,0 +1,331 @@
+#include "resolver/caching_server.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+#include "server/hierarchy.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using attack::AttackInjector;
+using attack::AttackScenario;
+using dns::IpAddr;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using server::AuthServer;
+using server::Hierarchy;
+using server::Zone;
+
+/// Hand-built fixture tree:
+///   .  ->  com  ->  example.com (in-bailiwick, TTL 600)
+///               ->  hosted.com  (served by dnsprov.com's servers, TTL 400)
+///               ->  dnsprov.com (in-bailiwick provider, TTL 900)
+class CachingServerTest : public ::testing::Test {
+ protected:
+  CachingServerTest() {
+    Zone& root = h_.add_zone(Name::root(), 518400);
+    h_.assign(root, h_.add_server(Name::parse("a.root-servers.net"),
+                                  IpAddr::parse("10.0.0.1")));
+
+    Zone& com = h_.add_zone(Name::parse("com"), 172800);
+    h_.assign(com, h_.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2")));
+
+    Zone& example = h_.add_zone(Name::parse("example.com"), 600);
+    h_.assign(example, h_.add_server(Name::parse("ns1.example.com"),
+                                     IpAddr::parse("10.0.0.3")));
+    example.add_record(Name::parse("www.example.com"), RRType::kA, 300,
+                       dns::ARdata{IpAddr::parse("10.1.0.1")});
+    example.add_record(Name::parse("alias.example.com"), RRType::kCNAME, 300,
+                       dns::CnameRdata{Name::parse("www.example.com")});
+
+    Zone& prov = h_.add_zone(Name::parse("dnsprov.com"), 900);
+    AuthServer& prov_srv =
+        h_.add_server(Name::parse("ns1.dnsprov.com"), IpAddr::parse("10.0.0.4"));
+    h_.assign(prov, prov_srv);
+    prov.add_record(Name::parse("www.dnsprov.com"), RRType::kA, 300,
+                    dns::ARdata{IpAddr::parse("10.1.0.2")});
+
+    Zone& hosted = h_.add_zone(Name::parse("hosted.com"), 400);
+    h_.assign(hosted, prov_srv);  // out-of-bailiwick NS
+    hosted.add_record(Name::parse("www.hosted.com"), RRType::kA, 300,
+                      dns::ARdata{IpAddr::parse("10.1.0.3")});
+
+    h_.finalize();
+  }
+
+  CachingServer make_cs(const ResilienceConfig& config) {
+    return CachingServer(h_, injector_, events_, config);
+  }
+
+  Hierarchy h_;
+  AttackInjector injector_;  // no attack by default
+  sim::EventQueue events_;
+};
+
+TEST_F(CachingServerTest, ColdResolutionWalksFromRoot) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  // root -> com -> example.com
+  EXPECT_EQ(r.messages_sent, 3);
+  EXPECT_EQ(r.messages_failed, 0);
+  EXPECT_FALSE(r.from_cache);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kA);
+  EXPECT_EQ(cs.stats().referrals_followed, 2u);
+}
+
+TEST_F(CachingServerTest, WarmResolutionHitsCache) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const auto r = cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.from_cache);
+  EXPECT_EQ(r.messages_sent, 0);
+  EXPECT_EQ(cs.stats().cache_answer_hits, 1u);
+}
+
+TEST_F(CachingServerTest, SecondNameInZoneUsesCachedIrrs) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const auto r = cs.resolve(Name::parse("alias.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  // Straight to example.com's server: 1 message for the CNAME... plus the
+  // target is already cached.
+  EXPECT_EQ(r.messages_sent, 1);
+}
+
+TEST_F(CachingServerTest, CnameChaseAcrossCacheAndWire) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("alias.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  // Answer chain contains the CNAME and the target A.
+  bool saw_cname = false, saw_a = false;
+  for (const auto& rr : r.answers) {
+    saw_cname |= rr.type == RRType::kCNAME;
+    saw_a |= rr.type == RRType::kA;
+  }
+  EXPECT_TRUE(saw_cname);
+  EXPECT_TRUE(saw_a);
+}
+
+TEST_F(CachingServerTest, OutOfBailiwickNsResolvedRecursively) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.hosted.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  // Walk: root, com (referral to hosted.com with no glue), then resolve
+  // ns1.dnsprov.com (com referral is cached; dnsprov.com query), then the
+  // hosted.com query itself.
+  EXPECT_GE(r.messages_sent, 4);
+  // The provider's server address is now cached as an IRR.
+  const CacheEntry* a = cs.cache().lookup(Name::parse("ns1.dnsprov.com"),
+                                          RRType::kA, events_.now());
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->is_irr);
+}
+
+TEST_F(CachingServerTest, NxDomainIsSuccessfulResolution) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("nope.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+  EXPECT_EQ(cs.stats().sr_failures, 0u);
+}
+
+TEST_F(CachingServerTest, NsEntriesAreIrrTagged) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const CacheEntry* ns =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  ASSERT_NE(ns, nullptr);
+  EXPECT_TRUE(ns->is_irr);
+  EXPECT_EQ(ns->irr_zone, Name::parse("example.com"));
+  // Glue address also tagged.
+  const CacheEntry* glue = cs.cache().lookup(Name::parse("ns1.example.com"),
+                                             RRType::kA, events_.now());
+  ASSERT_NE(glue, nullptr);
+  EXPECT_TRUE(glue->is_irr);
+}
+
+TEST_F(CachingServerTest, VanillaDoesNotRefreshIrrTtl) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const CacheEntry* before =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  const double expiry_before = before->expires_at;
+
+  // 400s later (inside the 600s IRR TTL, past the 300s A TTL) the answer
+  // from example.com carries a fresh IRR copy; vanilla must NOT extend.
+  events_.run_until(400);
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const CacheEntry* after =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  ASSERT_NE(after, nullptr);
+  EXPECT_DOUBLE_EQ(after->expires_at, expiry_before);
+}
+
+TEST_F(CachingServerTest, RefreshExtendsIrrTtl) {
+  CachingServer cs = make_cs(ResilienceConfig::refresh());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  events_.run_until(400);
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const CacheEntry* after =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  ASSERT_NE(after, nullptr);
+  EXPECT_DOUBLE_EQ(after->expires_at, 400.0 + 600.0);
+  // End-host records are untouched by the refresh scheme's IRR rule: the
+  // re-fetched A record took its own fresh TTL in both schemes.
+}
+
+TEST_F(CachingServerTest, RefreshKeepsIrrAliveUnderSteadyTraffic) {
+  CachingServer cs = make_cs(ResilienceConfig::refresh());
+  // Query every 400s for 10 cycles; the 600s IRR must stay cached while
+  // vanilla would have dropped it after 600s.
+  for (int i = 0; i <= 10; ++i) {
+    events_.run_until(i * 400.0);
+    cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  }
+  const CacheEntry* ns =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  EXPECT_NE(ns, nullptr);
+  EXPECT_EQ(cs.gap_days().count(), 0u);  // never expired before a query
+
+  // Vanilla control: same pattern drops and re-learns the IRR.
+  sim::EventQueue events2;
+  CachingServer vanilla(h_, injector_, events2, ResilienceConfig::vanilla());
+  for (int i = 0; i <= 10; ++i) {
+    events2.run_until(i * 400.0);
+    vanilla.resolve(Name::parse("www.example.com"), RRType::kA);
+  }
+  EXPECT_GT(vanilla.gap_days().count(), 0u);
+}
+
+TEST_F(CachingServerTest, RenewalRefetchesBeforeExpiry) {
+  CachingServer cs =
+      make_cs(ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 3));
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_GT(cs.zone_credit(Name::parse("example.com")), 0.0);
+
+  // No further demand. The renewal engine must keep the IRR alive for
+  // ~credit * TTL past the natural expiry.
+  events_.run_until(600 + 3 * 600 - 10);
+  const CacheEntry* ns =
+      cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
+  EXPECT_NE(ns, nullptr);
+  EXPECT_GE(cs.stats().renewal_fetches, 3u);
+
+  // After the credit runs out the IRR finally expires.
+  events_.run_until(600 + 5 * 600);
+  EXPECT_EQ(cs.cache().lookup(Name::parse("example.com"), RRType::kNS,
+                              events_.now()),
+            nullptr);
+}
+
+TEST_F(CachingServerTest, RenewalCreditsAreSpentNotFree) {
+  CachingServer cs =
+      make_cs(ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 2));
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  const double credit0 = cs.zone_credit(Name::parse("example.com"));
+  events_.run_until(600 * 2);  // one renewal consumed
+  EXPECT_LT(cs.zone_credit(Name::parse("example.com")), credit0);
+}
+
+TEST_F(CachingServerTest, VanillaSchedulesNoRenewals) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  events_.run_until(sim::days(1));
+  EXPECT_EQ(cs.stats().renewal_fetches, 0u);
+}
+
+TEST_F(CachingServerTest, CachedChildIrrSurvivesUpstreamAttack) {
+  // Root + com go down at t=100 for an hour. example.com was cached at
+  // t=0, its IRR (600s) is alive at t=150, so resolution still works —
+  // the paper's core mechanism.
+  const AttackScenario scenario =
+      attack::root_and_tlds(h_, 100.0, sim::hours(1));
+  const AttackInjector injector(h_, scenario);
+  CachingServer cs(h_, injector, events_, ResilienceConfig::vanilla());
+
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  events_.run_until(150.0);
+  const auto ok = cs.resolve(Name::parse("alias.example.com"), RRType::kA);
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(ok.messages_failed, 0);
+
+  // An uncached zone needs the upper hierarchy and fails.
+  const auto fail = cs.resolve(Name::parse("www.hosted.com"), RRType::kA);
+  EXPECT_FALSE(fail.success);
+  EXPECT_GT(fail.messages_failed, 0);
+  EXPECT_EQ(fail.rcode, Rcode::kServFail);
+}
+
+TEST_F(CachingServerTest, ExpiredIrrMeansFailureDuringAttack) {
+  const AttackScenario scenario =
+      attack::root_and_tlds(h_, 1000.0, sim::hours(2));
+  const AttackInjector injector(h_, scenario);
+  CachingServer cs(h_, injector, events_, ResilienceConfig::vanilla());
+
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  events_.run_until(1200.0);  // IRR (600s) has expired; attack is on
+  const auto r = cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_FALSE(r.success);
+
+  // With refresh+renewal the same pattern survives.
+  sim::EventQueue events2;
+  CachingServer cs2(h_, injector, events2,
+                    ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 5));
+  cs2.resolve(Name::parse("www.example.com"), RRType::kA);
+  events2.run_until(1200.0);
+  EXPECT_TRUE(cs2.resolve(Name::parse("www.example.com"), RRType::kA).success);
+}
+
+TEST_F(CachingServerTest, RenewalFailsWhileZoneItselfAttacked) {
+  const AttackScenario scenario =
+      attack::single_zone(Name::parse("example.com"), 500.0, sim::hours(1));
+  const AttackInjector injector(h_, scenario);
+  CachingServer cs(h_, injector, events_,
+                   ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 5));
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  // Renewal at ~599 runs into the attacked zone; the re-fetch falls back
+  // to com's referral (parent copy, no TTL extension of the child copy),
+  // so by t=700 the IRR is gone.
+  events_.run_until(700.0);
+  EXPECT_EQ(cs.cache().lookup(Name::parse("example.com"), RRType::kNS,
+                              events_.now()),
+            nullptr);
+}
+
+TEST_F(CachingServerTest, GapRecorderMeasuresExpiryToNextQuery) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);  // IRR expires at 600
+  events_.run_until(600.0 + sim::days(1));
+  cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  ASSERT_GE(cs.gap_days().count(), 1u);
+  EXPECT_NEAR(cs.gap_days().max(), 1.0, 0.01);
+  // Fraction of TTL: one day / 600s = 144.
+  EXPECT_NEAR(cs.gap_ttl_fraction().max(), 86400.0 / 600.0, 0.5);
+}
+
+TEST_F(CachingServerTest, RootHintsNeverExpire) {
+  CachingServer cs = make_cs(ResilienceConfig::vanilla());
+  events_.run_until(sim::days(365));
+  const auto r = cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+}
+
+TEST_F(CachingServerTest, StatsCountMessagesAndFailures) {
+  const AttackScenario scenario = attack::root_and_tlds(h_, 0.0, sim::hours(1));
+  const AttackInjector injector(h_, scenario);
+  CachingServer cs(h_, injector, events_, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.example.com"), RRType::kA);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(cs.stats().sr_queries, 1u);
+  EXPECT_EQ(cs.stats().sr_failures, 1u);
+  EXPECT_EQ(cs.stats().msgs_sent, cs.stats().msgs_failed);
+  EXPECT_GT(cs.stats().msgs_failed, 0u);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

@@ -1,0 +1,119 @@
+#include "resolver/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::resolver {
+namespace {
+
+TEST(ConfigTest, VanillaIsAllOff) {
+  const ResilienceConfig c = ResilienceConfig::vanilla();
+  EXPECT_FALSE(c.ttl_refresh);
+  EXPECT_FALSE(c.renewal_enabled());
+  EXPECT_EQ(c.long_ttl_override, 0u);
+  EXPECT_EQ(c.label(), "vanilla");
+}
+
+TEST(ConfigTest, FactoryLabels) {
+  EXPECT_EQ(ResilienceConfig::refresh().label(), "refresh");
+  EXPECT_EQ(
+      ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5).label(),
+      "refresh+A-LFU(5)");
+  EXPECT_EQ(ResilienceConfig::refresh_long_ttl(3).label(), "refresh+ttl3d");
+  EXPECT_EQ(ResilienceConfig::combination(3).label(), "refresh+A-LFU(5)+ttl3d");
+}
+
+TEST(ConfigTest, LongTtlFactorySetsSeconds) {
+  EXPECT_EQ(ResilienceConfig::refresh_long_ttl(3).long_ttl_override,
+            3u * 86400u);
+}
+
+TEST(ConfigTest, CacheCapDefaultsToSevenDays) {
+  EXPECT_EQ(ResilienceConfig::vanilla().cache_ttl_cap, 7u * 86400u);
+}
+
+TEST(CreditTest, NonePolicyEarnsNothing) {
+  EXPECT_DOUBLE_EQ(credit_after_query(ResilienceConfig::vanilla(), 5.0, 3600), 0);
+}
+
+TEST(CreditTest, LruSetsCredit) {
+  const auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 3);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 0, 3600), 3.0);
+  // LRU resets rather than accumulates.
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 2.5, 3600), 3.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 100, 3600), 3.0);
+}
+
+TEST(CreditTest, LfuAccumulatesWithCap) {
+  auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kLfu, 3);
+  c.max_credit = 10;
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 0, 3600), 3.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 3, 3600), 6.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 9, 3600), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 10, 3600), 10.0);
+}
+
+TEST(CreditTest, AdaptiveLruNormalizesByTtl) {
+  const auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLru, 3);
+  // credit * TTL == C days of extra caching, independent of the TTL.
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 0, 86400) * 86400, 3 * 86400.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 0, 300) * 300, 3 * 86400.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 7, 300) * 300, 3 * 86400.0);  // reset
+}
+
+TEST(CreditTest, AdaptiveLfuAccumulatesNormalized) {
+  auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 1);
+  c.max_credit = 1e9;
+  const double one_day_of_renewals = credit_after_query(c, 0, 3600);
+  EXPECT_DOUBLE_EQ(one_day_of_renewals, 24.0);
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 24, 3600), 48.0);
+}
+
+TEST(CreditTest, AdaptiveLfuRespectsCap) {
+  auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5);
+  c.max_credit = 100;
+  EXPECT_DOUBLE_EQ(credit_after_query(c, 0, 60), 100.0);
+}
+
+TEST(CreditTest, ZeroTtlDoesNotDivideByZero) {
+  const auto c = ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLru, 1);
+  EXPECT_GT(credit_after_query(c, 0, 0), 0);
+}
+
+TEST(ConfigTest, PolicyNames) {
+  EXPECT_EQ(renewal_policy_to_string(RenewalPolicy::kNone), "none");
+  EXPECT_EQ(renewal_policy_to_string(RenewalPolicy::kLru), "LRU");
+  EXPECT_EQ(renewal_policy_to_string(RenewalPolicy::kLfu), "LFU");
+  EXPECT_EQ(renewal_policy_to_string(RenewalPolicy::kAdaptiveLru), "A-LRU");
+  EXPECT_EQ(renewal_policy_to_string(RenewalPolicy::kAdaptiveLfu), "A-LFU");
+}
+
+struct PolicyCase {
+  RenewalPolicy policy;
+  double credit;
+};
+
+class PolicySweep : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicySweep, CreditIsNonNegativeAndMonotoneInC) {
+  auto lo = ResilienceConfig::refresh_renew(GetParam().policy, GetParam().credit);
+  auto hi =
+      ResilienceConfig::refresh_renew(GetParam().policy, GetParam().credit * 2);
+  for (std::uint32_t ttl : {60u, 300u, 3600u, 86400u, 604800u}) {
+    const double a = credit_after_query(lo, 1.0, ttl);
+    const double b = credit_after_query(hi, 1.0, ttl);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, b) << "ttl " << ttl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Values(PolicyCase{RenewalPolicy::kLru, 1},
+                      PolicyCase{RenewalPolicy::kLru, 5},
+                      PolicyCase{RenewalPolicy::kLfu, 1},
+                      PolicyCase{RenewalPolicy::kLfu, 5},
+                      PolicyCase{RenewalPolicy::kAdaptiveLru, 3},
+                      PolicyCase{RenewalPolicy::kAdaptiveLfu, 3}));
+
+}  // namespace
+}  // namespace dnsshield::resolver

@@ -1,0 +1,118 @@
+#include "sim/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dnsshield::sim {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution zipf(100, 0.9);
+  double sum = 0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  const ZipfDistribution zipf(50, 1.1);
+  for (std::size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  const ZipfDistribution zipf(7, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatchesPmf) {
+  const ZipfDistribution zipf(20, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, TopRankDominatesWithHighAlpha) {
+  const ZipfDistribution zipf(1000, 1.2);
+  EXPECT_GT(zipf.pmf(0), 50 * zipf.pmf(100));
+}
+
+TEST(ZipfTest, SingleElement) {
+  const ZipfDistribution zipf(1, 0.9);
+  Rng rng(3);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+}
+
+TEST(CategoricalTest, ProbabilitiesNormalized) {
+  const CategoricalDistribution cat({1.0, 3.0, 6.0});
+  EXPECT_NEAR(cat.probability(0), 0.1, 1e-9);
+  EXPECT_NEAR(cat.probability(1), 0.3, 1e-9);
+  EXPECT_NEAR(cat.probability(2), 0.6, 1e-9);
+}
+
+TEST(CategoricalTest, ZeroWeightNeverSampled) {
+  const CategoricalDistribution cat({1.0, 0.0, 1.0});
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(cat.sample(rng), 1u);
+}
+
+TEST(CategoricalTest, EmpiricalFrequencies) {
+  const CategoricalDistribution cat({2.0, 8.0});
+  Rng rng(5);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += cat.sample(rng) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.8, 0.01);
+}
+
+TEST(ValueMixtureTest, SamplesOnlyListedValues) {
+  const ValueMixture mix({{300, 0.5}, {3600, 0.5}});
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = mix.sample(rng);
+    EXPECT_TRUE(v == 300 || v == 3600);
+  }
+}
+
+TEST(ValueMixtureTest, WeightsRespected) {
+  const ValueMixture mix({{1, 0.9}, {2, 0.1}});
+  Rng rng(7);
+  int twos = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) twos += mix.sample(rng) == 2;
+  EXPECT_NEAR(static_cast<double>(twos) / n, 0.1, 0.01);
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, CdfEndsAtOneAndSamplingAgrees) {
+  const double alpha = GetParam();
+  const ZipfDistribution zipf(500, alpha);
+  Rng rng(8);
+  // Head mass: empirical frequency of rank 0 tracks pmf(0) at any alpha.
+  int zero = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) zero += zipf.sample(rng) == 0;
+  EXPECT_NEAR(static_cast<double>(zero) / n, zipf.pmf(0), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace dnsshield::sim

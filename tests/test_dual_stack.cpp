@@ -1,0 +1,128 @@
+// Dual-stack (IPv6) behaviour: AAAA records in the hierarchy, AAAA
+// queries in the workload, and resolution incl. the NODATA path.
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+namespace dnsshield {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+server::HierarchyParams v6_params() {
+  server::HierarchyParams p;
+  p.seed = 77;
+  p.num_tlds = 2;
+  p.num_slds = 60;
+  p.num_providers = 2;
+  p.dual_stack_fraction = 0.5;
+  return p;
+}
+
+TEST(DualStackTest, BuilderPublishesAaaaForAFraction) {
+  const server::Hierarchy h = server::build_hierarchy(v6_params());
+  int with_v6 = 0, with_v4 = 0;
+  for (const auto& name : h.host_names()) {
+    const server::Zone& z = h.authoritative_zone_for(name);
+    if (z.find_rrset(name, RRType::kA) == nullptr) continue;  // CNAME
+    ++with_v4;
+    if (z.find_rrset(name, RRType::kAAAA) != nullptr) ++with_v6;
+  }
+  ASSERT_GT(with_v4, 100);
+  const double fraction = static_cast<double>(with_v6) / with_v4;
+  EXPECT_NEAR(fraction, 0.5, 0.1);
+}
+
+TEST(DualStackTest, V6TwinSharesTtlAndMapsV4) {
+  const server::Hierarchy h = server::build_hierarchy(v6_params());
+  for (const auto& name : h.host_names()) {
+    const server::Zone& z = h.authoritative_zone_for(name);
+    const auto* a = z.find_rrset(name, RRType::kA);
+    const auto* aaaa = z.find_rrset(name, RRType::kAAAA);
+    if (a == nullptr || aaaa == nullptr) continue;
+    EXPECT_EQ(a->ttl(), aaaa->ttl());
+    const auto v4 = std::get<dns::ARdata>(a->rdatas()[0]).address;
+    const auto v6 = std::get<dns::AaaaRdata>(aaaa->rdatas()[0]).address;
+    // 2001:db8::<v4>
+    EXPECT_EQ(v6.bytes()[0], 0x20);
+    EXPECT_EQ(v6.bytes()[12], static_cast<std::uint8_t>(v4.value() >> 24));
+    EXPECT_EQ(v6.bytes()[15], static_cast<std::uint8_t>(v4.value() & 0xff));
+    return;  // one pair suffices
+  }
+  FAIL() << "no dual-stack host found";
+}
+
+TEST(DualStackTest, ZeroFractionMeansNoAaaa) {
+  auto p = v6_params();
+  p.dual_stack_fraction = 0;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  for (const auto& name : h.host_names()) {
+    EXPECT_EQ(h.authoritative_zone_for(name).find_rrset(name, RRType::kAAAA),
+              nullptr);
+  }
+}
+
+TEST(DualStackTest, AaaaResolvesEndToEnd) {
+  const server::Hierarchy h = server::build_hierarchy(v6_params());
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  resolver::CachingServer cs(h, no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  // Find a dual-stack host and resolve its AAAA.
+  for (const auto& name : h.host_names()) {
+    const server::Zone& z = h.authoritative_zone_for(name);
+    if (z.find_rrset(name, RRType::kAAAA) == nullptr) continue;
+    const auto r = cs.resolve(name, RRType::kAAAA);
+    ASSERT_TRUE(r.success);
+    ASSERT_FALSE(r.answers.empty());
+    EXPECT_EQ(r.answers[0].type, RRType::kAAAA);
+    return;
+  }
+  FAIL() << "no dual-stack host found";
+}
+
+TEST(DualStackTest, V4OnlyHostYieldsCachedNodata) {
+  const server::Hierarchy h = server::build_hierarchy(v6_params());
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  resolver::CachingServer cs(h, no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  for (const auto& name : h.host_names()) {
+    const server::Zone& z = h.authoritative_zone_for(name);
+    if (z.find_rrset(name, RRType::kA) == nullptr ||
+        z.find_rrset(name, RRType::kAAAA) != nullptr) {
+      continue;
+    }
+    const auto first = cs.resolve(name, RRType::kAAAA);
+    EXPECT_TRUE(first.success);
+    EXPECT_TRUE(first.answers.empty());  // NODATA
+    const auto second = cs.resolve(name, RRType::kAAAA);
+    EXPECT_EQ(second.messages_sent, 0) << "NODATA should be cached";
+    return;
+  }
+  FAIL() << "no v4-only host found";
+}
+
+TEST(DualStackTest, WorkloadMixesQueryTypes) {
+  const server::Hierarchy h = server::build_hierarchy(v6_params());
+  trace::WorkloadParams wp;
+  wp.seed = 5;
+  wp.num_clients = 20;
+  wp.duration = sim::days(1);
+  wp.mean_rate_qps = 0.5;
+  wp.aaaa_fraction = 0.25;
+  const auto events = trace::generate_workload(h, wp);
+  std::size_t aaaa = 0;
+  for (const auto& ev : events) aaaa += ev.qtype == RRType::kAAAA;
+  EXPECT_NEAR(static_cast<double>(aaaa) / events.size(), 0.25, 0.03);
+
+  wp.aaaa_fraction = 1.5;
+  EXPECT_THROW(trace::generate_workload(h, wp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnsshield

@@ -1,0 +1,125 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dnsshield::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NowAdvancesWithEvents) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(4.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.5);
+}
+
+TEST(EventQueueTest, SchedulingInPastClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.schedule_at(10.0, [&] {
+    q.schedule_at(3.0, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(3.0, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // events at exactly t fire
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(7.0);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, FiredCountsEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(i, [] {});
+  q.run();
+  EXPECT_EQ(q.fired(), 5u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) q.schedule_in(1.0, step);
+  };
+  q.schedule_at(0.0, step);
+  q.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueueTest, RunUntilSeesEventsScheduledDuringRun) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_at(1.0, [&] {
+    fired.push_back(q.now());
+    q.schedule_in(0.5, [&] { fired.push_back(q.now()); });
+  });
+  q.run_until(2.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[1], 1.5);
+}
+
+TEST(TimeHelpersTest, Conversions) {
+  EXPECT_DOUBLE_EQ(minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(hours(3), 10800.0);
+  EXPECT_DOUBLE_EQ(days(1), 86400.0);
+  EXPECT_DOUBLE_EQ(to_days(kWeek), 7.0);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+}
+
+}  // namespace
+}  // namespace dnsshield::sim

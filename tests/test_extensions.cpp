@@ -1,0 +1,339 @@
+// Tests for the extensions beyond the paper's mainline: the serve-stale
+// related-work baseline, RFC 2308 negative caching, the max-damage attack
+// search (paper section 6), and DNSSEC infrastructure records.
+#include <gtest/gtest.h>
+
+#include "attack/max_damage.h"
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+namespace dnsshield {
+namespace {
+
+using attack::AttackInjector;
+using attack::AttackScenario;
+using dns::IpAddr;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using resolver::CachingServer;
+using resolver::ResilienceConfig;
+using server::Hierarchy;
+
+Hierarchy small_tree(bool dnssec = false) {
+  server::HierarchyParams p;
+  p.seed = 21;
+  p.num_tlds = 2;
+  p.num_slds = 30;
+  p.num_providers = 2;
+  p.enable_dnssec = dnssec;
+  return server::build_hierarchy(p);
+}
+
+// ---- Serve-stale baseline --------------------------------------------------
+
+TEST(ServeStaleTest, ExpiredRecordsSalvageResolutionDuringAttack) {
+  const Hierarchy h = small_tree();
+  const AttackScenario scenario =
+      attack::root_and_tlds(h, sim::days(1), sim::hours(6));
+  const AttackInjector injector(h, scenario);
+  const Name name = h.host_names().front();
+
+  // Vanilla control: everything expired by day 1 -> failure.
+  sim::EventQueue ev1;
+  CachingServer vanilla(h, injector, ev1, ResilienceConfig::vanilla());
+  vanilla.resolve(name, RRType::kA);
+  ev1.run_until(sim::days(1) + sim::hours(1));
+  EXPECT_FALSE(vanilla.resolve(name, RRType::kA).success);
+
+  // Stale-serving: the expired records answer.
+  sim::EventQueue ev2;
+  CachingServer stale(h, injector, ev2, ResilienceConfig::stale_serving());
+  stale.resolve(name, RRType::kA);
+  ev2.run_until(sim::days(1) + sim::hours(1));
+  const auto r = stale.resolve(name, RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.stale);
+  EXPECT_EQ(stale.stats().stale_serves, 1u);
+}
+
+TEST(ServeStaleTest, PrefersLiveDataWhenAvailable) {
+  const Hierarchy h = small_tree();
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::stale_serving());
+  const Name name = h.host_names().front();
+  cs.resolve(name, RRType::kA);
+  events.run_until(sim::days(2));  // everything expired, but servers are up
+  const auto r = cs.resolve(name, RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_FALSE(r.stale);
+  EXPECT_GT(r.messages_sent, 0);
+}
+
+TEST(ServeStaleTest, LabelAndFactory) {
+  EXPECT_EQ(ResilienceConfig::stale_serving().label(), "serve-stale");
+  EXPECT_TRUE(ResilienceConfig::stale_serving().serve_stale);
+  EXPECT_FALSE(ResilienceConfig::stale_serving().ttl_refresh);
+}
+
+// ---- Negative caching -------------------------------------------------------
+
+TEST(NegativeCacheTest, RepeatNxDomainAnsweredFromCache) {
+  const Hierarchy h = small_tree();
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const Name bogus = h.host_names().front().parent().child("no-such-host");
+
+  const auto first = cs.resolve(bogus, RRType::kA);
+  EXPECT_TRUE(first.success);
+  EXPECT_EQ(first.rcode, Rcode::kNxDomain);
+  EXPECT_GT(first.messages_sent, 0);
+
+  const auto second = cs.resolve(bogus, RRType::kA);
+  EXPECT_EQ(second.rcode, Rcode::kNxDomain);
+  EXPECT_EQ(second.messages_sent, 0) << "should hit the negative cache";
+}
+
+TEST(NegativeCacheTest, NegativeEntryExpires) {
+  const Hierarchy h = small_tree();
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const Name bogus = h.host_names().front().parent().child("no-such-host");
+  cs.resolve(bogus, RRType::kA);
+  events.run_until(sim::hours(2));  // past the 300s negative TTL
+  const auto r = cs.resolve(bogus, RRType::kA);
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+  EXPECT_GT(r.messages_sent, 0);
+}
+
+TEST(NegativeCacheTest, NodataCachedPerType) {
+  const Hierarchy h = small_tree();
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const Name host = h.host_names().front();
+  // MX at an existing host: NODATA.
+  const auto first = cs.resolve(host, RRType::kMX);
+  EXPECT_TRUE(first.success);
+  EXPECT_EQ(first.rcode, Rcode::kNoError);
+  EXPECT_TRUE(first.answers.empty());
+  const auto second = cs.resolve(host, RRType::kMX);
+  EXPECT_EQ(second.messages_sent, 0);
+  // The A record is unaffected by the MX NODATA entry.
+  EXPECT_FALSE(cs.resolve(host, RRType::kA).answers.empty());
+}
+
+// ---- Max-damage search -------------------------------------------------------
+
+class MaxDamageTest : public ::testing::Test {
+ protected:
+  MaxDamageTest() : hierarchy_(small_tree()) {
+    trace::WorkloadParams wp;
+    wp.seed = 4;
+    wp.num_clients = 30;
+    wp.duration = sim::days(1);
+    wp.mean_rate_qps = 0.4;
+    trace_ = trace::generate_workload(hierarchy_, wp);
+  }
+  Hierarchy hierarchy_;
+  std::vector<trace::QueryEvent> trace_;
+};
+
+TEST_F(MaxDamageTest, ScoresAreDescendingAndRootedAtRoot) {
+  attack::MaxDamageParams params;
+  params.window_start = 0;
+  params.window = sim::days(1);
+  const auto scores = attack::score_zones(hierarchy_, trace_, params);
+  ASSERT_FALSE(scores.empty());
+  // Root sees every query, so it must rank first.
+  EXPECT_TRUE(scores.front().zone.is_root());
+  EXPECT_EQ(scores.front().subtree_queries, trace_.size());
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1].subtree_queries, scores[i].subtree_queries);
+  }
+}
+
+TEST_F(MaxDamageTest, MinDepthExcludesUpperHierarchy) {
+  attack::MaxDamageParams params;
+  params.window = sim::days(1);
+  params.min_depth = 2;
+  for (const auto& s : attack::score_zones(hierarchy_, trace_, params)) {
+    EXPECT_GE(s.zone.label_count(), 2u);
+  }
+}
+
+TEST_F(MaxDamageTest, GreedyPicksDisjointSubtreesWithinBudget) {
+  attack::MaxDamageParams params;
+  params.window = sim::days(1);
+  params.budget = 4;
+  params.min_depth = 1;  // skip the root so several picks are possible
+  const auto scenario = attack::greedy_max_damage(hierarchy_, trace_, params);
+  EXPECT_LE(scenario.target_zones.size(), 4u);
+  EXPECT_GE(scenario.target_zones.size(), 2u);
+  for (std::size_t i = 0; i < scenario.target_zones.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_FALSE(scenario.target_zones[i].is_subdomain_of(
+          scenario.target_zones[j]));
+      EXPECT_FALSE(scenario.target_zones[j].is_subdomain_of(
+          scenario.target_zones[i]));
+    }
+  }
+}
+
+TEST_F(MaxDamageTest, RootAloneConsumesBudgetOne) {
+  attack::MaxDamageParams params;
+  params.window = sim::days(1);
+  params.budget = 3;
+  const auto scenario = attack::greedy_max_damage(hierarchy_, trace_, params);
+  // Root is the top score and subsumes everything else.
+  ASSERT_EQ(scenario.target_zones.size(), 1u);
+  EXPECT_TRUE(scenario.target_zones.front().is_root());
+}
+
+TEST(MaxDamageExperimentTest, GreedyBelowTldBeatsRandomSingleZone) {
+  // The heuristic's picks should hurt at least as much as an arbitrary
+  // zone of the same budget when the upper hierarchy is off-limits.
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::small_hierarchy();
+  setup.workload.seed = 10;
+  setup.workload.num_clients = 40;
+  setup.workload.duration = 2 * sim::kDay;
+  setup.workload.mean_rate_qps = 0.1;
+
+  const Hierarchy h = server::build_hierarchy(setup.hierarchy);
+  const auto trace = trace::generate_workload(h, setup.workload);
+
+  attack::MaxDamageParams params;
+  params.budget = 3;
+  params.min_depth = 2;
+  params.window_start = 1 * sim::kDay;
+  params.window = 6 * sim::kHour;
+  const auto greedy = attack::greedy_max_damage(h, trace, params);
+  ASSERT_FALSE(greedy.target_zones.empty());
+
+  std::vector<std::string> greedy_zones;
+  for (const auto& z : greedy.target_zones) {
+    greedy_zones.push_back(z.to_string());
+  }
+  setup.attack = core::AttackSpec::custom(greedy_zones, params.window_start,
+                                          params.window);
+  const auto greedy_result =
+      core::run_experiment(setup, ResilienceConfig::vanilla());
+
+  // Baseline: one arbitrary low-traffic zone.
+  setup.attack = core::AttackSpec::custom({"dom0.gov."}, params.window_start,
+                                          params.window);
+  const auto random_result =
+      core::run_experiment(setup, ResilienceConfig::vanilla());
+
+  EXPECT_GE(greedy_result.attack_window->sr_failures,
+            random_result.attack_window->sr_failures);
+}
+
+// ---- DNSSEC infrastructure records -----------------------------------------
+
+TEST(DnssecTest, SignedHierarchyPublishesKeysAndDs) {
+  const Hierarchy h = small_tree(/*dnssec=*/true);
+  for (const auto& origin : h.zone_origins()) {
+    EXPECT_NE(h.find_zone(origin)->find_rrset(origin, RRType::kDNSKEY), nullptr)
+        << origin.to_string();
+    if (origin.is_root()) continue;
+    const server::Zone& parent = h.authoritative_zone_for(origin.parent());
+    const server::Delegation* cut = parent.find_delegation(origin);
+    ASSERT_NE(cut, nullptr) << origin.to_string();
+    EXPECT_TRUE(cut->ds.has_value()) << origin.to_string();
+  }
+}
+
+TEST(DnssecTest, ReferralCarriesDs) {
+  const Hierarchy h = small_tree(/*dnssec=*/true);
+  const Name host = h.host_names().front();
+  const auto q = dns::Message::make_query(1, host, RRType::kA);
+  const auto r = h.query(h.root_hints().front(), q);
+  ASSERT_TRUE(r.is_referral());
+  bool has_ds = false;
+  for (const auto& rr : r.authorities) has_ds |= rr.type == RRType::kDS;
+  EXPECT_TRUE(has_ds);
+}
+
+TEST(DnssecTest, DsQueryAnsweredByParentSide) {
+  const Hierarchy h = small_tree(/*dnssec=*/true);
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const Name zone = h.host_names().front().parent();
+  const auto r = cs.resolve(zone, RRType::kDS);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers.front().type, RRType::kDS);
+}
+
+TEST(DnssecTest, DnskeyFetchedOnFirstContactAndIrrTagged) {
+  const Hierarchy h = small_tree(/*dnssec=*/true);
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  ResilienceConfig config = ResilienceConfig::refresh();
+  config.fetch_dnskey = true;
+  CachingServer cs(h, no_attack, events, config);
+
+  const Name host = h.host_names().front();
+  cs.resolve(host, RRType::kA);
+  events.run_until(events.now() + 1);  // let the key fetch fire
+
+  const auto* key =
+      cs.cache().lookup(host.parent(), RRType::kDNSKEY, events.now());
+  ASSERT_NE(key, nullptr);
+  EXPECT_TRUE(key->is_irr);
+  const auto* ds = cs.cache().lookup(host.parent(), RRType::kDS, events.now());
+  ASSERT_NE(ds, nullptr) << "referral DS should be cached";
+  EXPECT_TRUE(ds->is_irr);
+}
+
+TEST(DnssecTest, SchemesRenewDnssecIrrs) {
+  const Hierarchy h = small_tree(/*dnssec=*/true);
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  ResilienceConfig config =
+      ResilienceConfig::refresh_renew(resolver::RenewalPolicy::kLru, 5);
+  config.fetch_dnskey = true;
+  CachingServer cs(h, no_attack, events, config);
+
+  const Name host = h.host_names().front();
+  cs.resolve(host, RRType::kA);
+  const Name zone = host.parent();
+  const std::uint32_t ttl = h.find_zone(zone)->irr_ttl();
+  events.run_until(ttl + 10.0);  // one renewal period past the key's TTL
+  EXPECT_NE(cs.cache().lookup(zone, RRType::kDNSKEY, events.now()), nullptr)
+      << "renewal should keep the DNSKEY alive past its TTL";
+}
+
+TEST(DnssecTest, UnsignedHierarchyYieldsNoKeys) {
+  const Hierarchy h = small_tree(/*dnssec=*/false);
+  const AttackInjector no_attack;
+  sim::EventQueue events;
+  ResilienceConfig config = ResilienceConfig::vanilla();
+  config.fetch_dnskey = true;
+  CachingServer cs(h, no_attack, events, config);
+  const Name host = h.host_names().front();
+  EXPECT_TRUE(cs.resolve(host, RRType::kA).success);
+  events.run_until(events.now() + 1);
+  const auto* key =
+      cs.cache().lookup(host.parent(), RRType::kDNSKEY, events.now());
+  ASSERT_NE(key, nullptr);  // the NODATA is negatively cached
+  EXPECT_TRUE(key->negative);
+}
+
+TEST(DnssecTest, ConfigLabelMentionsModes) {
+  ResilienceConfig c = ResilienceConfig::refresh();
+  c.fetch_dnskey = true;
+  EXPECT_EQ(c.label(), "refresh+dnssec");
+}
+
+}  // namespace
+}  // namespace dnsshield

@@ -1,0 +1,99 @@
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.h"
+
+namespace dnsshield::core {
+namespace {
+
+using resolver::RenewalPolicy;
+using resolver::ResilienceConfig;
+
+FleetSetup small_fleet_setup() {
+  FleetSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 13;
+  setup.workload.num_clients = 40;
+  setup.workload.duration = 7 * sim::kDay;
+  setup.workload.mean_rate_qps = 0.06;
+  setup.attack = standard_attack(sim::hours(6));
+  setup.fleet_size = 4;
+  return setup;
+}
+
+TEST(FleetTest, SplitsClientsAcrossServers) {
+  const auto r = run_fleet(small_fleet_setup(), {ResilienceConfig::vanilla()});
+  ASSERT_EQ(r.per_server.size(), 4u);
+  for (const auto& w : r.per_server) {
+    EXPECT_GT(w.sr_queries, 0u) << "every server must see traffic";
+  }
+  std::uint64_t sum = 0;
+  for (const auto& w : r.per_server) sum += w.sr_queries;
+  EXPECT_EQ(sum, r.aggregate.sr_queries);
+}
+
+TEST(FleetTest, ValidatesArguments) {
+  FleetSetup setup = small_fleet_setup();
+  setup.fleet_size = 0;
+  EXPECT_THROW(run_fleet(setup, {ResilienceConfig::vanilla()}),
+               std::invalid_argument);
+  EXPECT_THROW(run_fleet(small_fleet_setup(), {}), std::invalid_argument);
+  EXPECT_THROW(run_partial_deployment(small_fleet_setup(),
+                                      ResilienceConfig::refresh(), 9),
+               std::invalid_argument);
+}
+
+TEST(FleetTest, UpgradedServersProtectTheirOwnUsers) {
+  const auto setup = small_fleet_setup();
+  const auto scheme =
+      ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5);
+  const auto half = run_partial_deployment(setup, scheme, 2);
+  ASSERT_EQ(half.per_server.size(), 4u);
+  const double upgraded =
+      (half.per_server[0].sr_failure_rate() + half.per_server[1].sr_failure_rate()) /
+      2;
+  const double vanilla =
+      (half.per_server[2].sr_failure_rate() + half.per_server[3].sr_failure_rate()) /
+      2;
+  EXPECT_LT(upgraded, 0.4 * vanilla);
+}
+
+TEST(FleetTest, NoCrossResolverCoupling) {
+  // A vanilla server's failure rate is (nearly) the same whether its
+  // neighbours upgraded or not: the schemes are strictly local.
+  const auto setup = small_fleet_setup();
+  const auto scheme =
+      ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5);
+  const auto none = run_partial_deployment(setup, scheme, 0);
+  const auto three = run_partial_deployment(setup, scheme, 3);
+  // Server 3 is vanilla in both runs and sees the identical trace slice.
+  EXPECT_EQ(none.per_server[3].sr_failures, three.per_server[3].sr_failures);
+  EXPECT_EQ(none.per_server[3].sr_queries, three.per_server[3].sr_queries);
+}
+
+TEST(FleetTest, AggregateImprovesMonotonicallyWithDeployment) {
+  const auto setup = small_fleet_setup();
+  const auto scheme =
+      ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5);
+  double previous = 1.0;
+  for (std::size_t upgraded : {0u, 2u, 4u}) {
+    const auto r = run_partial_deployment(setup, scheme, upgraded);
+    const double rate = r.aggregate.sr_failure_rate();
+    EXPECT_LE(rate, previous + 0.02) << upgraded << " upgraded";
+    previous = rate;
+  }
+}
+
+TEST(FleetTest, MixedConfigsAssignRoundRobin) {
+  const auto r = run_fleet(small_fleet_setup(),
+                           {ResilienceConfig::vanilla(), ResilienceConfig::refresh()});
+  ASSERT_EQ(r.scheme_labels.size(), 4u);
+  EXPECT_EQ(r.scheme_labels[0], "vanilla");
+  EXPECT_EQ(r.scheme_labels[1], "refresh");
+  EXPECT_EQ(r.scheme_labels[2], "vanilla");
+  EXPECT_EQ(r.scheme_labels[3], "refresh");
+}
+
+}  // namespace
+}  // namespace dnsshield::core

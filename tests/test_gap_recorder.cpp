@@ -1,0 +1,95 @@
+// Figure-3 gap recorder semantics: exactly one sample per expiry episode,
+// demand-driven walks only.
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+using server::Hierarchy;
+
+Hierarchy tiny() {
+  Hierarchy h;
+  server::Zone& root = h.add_zone(Name::root(), 518400);
+  h.assign(root, h.add_server(Name::parse("a.root-servers.net"),
+                              IpAddr::parse("10.0.0.1")));
+  server::Zone& com = h.add_zone(Name::parse("com"), 172800);
+  h.assign(com, h.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2")));
+  server::Zone& leaf = h.add_zone(Name::parse("gap.com"), 600);
+  h.assign(leaf,
+           h.add_server(Name::parse("ns1.gap.com"), IpAddr::parse("10.0.0.3")));
+  leaf.add_record(Name::parse("www.gap.com"), RRType::kA, 60,
+                  dns::ARdata{IpAddr::parse("10.1.1.1")});
+  h.finalize();
+  return h;
+}
+
+class GapRecorderTest : public ::testing::Test {
+ protected:
+  GapRecorderTest() : h_(tiny()) {}
+  Hierarchy h_;
+  attack::AttackInjector no_attack_;
+  sim::EventQueue events_;
+};
+
+TEST_F(GapRecorderTest, OneSamplePerExpiryEpisode) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);  // IRR expires at 600
+  events_.run_until(1000);
+  // Three queries in quick succession after the expiry: the first records
+  // the gap and evicts the stale entry; the later ones see a live re-learnt
+  // IRR and record nothing.
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  events_.run_until(1030);
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  EXPECT_EQ(cs.gap_days().count(), 1u);
+  EXPECT_NEAR(cs.gap_days().max() * 86400.0, 400.0, 1.0);
+}
+
+TEST_F(GapRecorderTest, EverySubsequentEpisodeCountsAgain) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::vanilla());
+  for (int episode = 0; episode < 4; ++episode) {
+    cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+    events_.run_until(events_.now() + 700);  // outlive the 600s IRR
+  }
+  // Episodes after the first re-learn: 3 gaps (first resolve had no prior
+  // expiry to measure).
+  EXPECT_EQ(cs.gap_days().count(), 3u);
+}
+
+TEST_F(GapRecorderTest, RenewalWalksDoNotRecordGaps) {
+  CachingServer cs(h_, no_attack_, events_,
+                   ResilienceConfig::refresh_renew(RenewalPolicy::kLru, 5));
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  // Renewals keep firing with no demand; they must not pollute the CDF.
+  events_.run_until(600 * 4);
+  EXPECT_EQ(cs.gap_days().count(), 0u);
+}
+
+TEST_F(GapRecorderTest, StaleServingCacheRecordsNothing) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::stale_serving());
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  events_.run_until(2000);
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  // Ballani-style caches never discard, so "expiry" has no gap semantics.
+  EXPECT_EQ(cs.gap_days().count(), 0u);
+}
+
+TEST_F(GapRecorderTest, FractionUsesTheEntrysOwnTtl) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  events_.run_until(600 + 300);  // gap of 300s on a 600s TTL
+  cs.resolve(Name::parse("www.gap.com"), RRType::kA);
+  ASSERT_EQ(cs.gap_ttl_fraction().count(), 1u);
+  EXPECT_NEAR(cs.gap_ttl_fraction().max(), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

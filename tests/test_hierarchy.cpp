@@ -1,0 +1,151 @@
+#include "server/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "server/hierarchy_builder.h"
+
+namespace dnsshield::server {
+namespace {
+
+using dns::IpAddr;
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+
+/// A tiny hand-built tree: . -> com -> example.com, with in-bailiwick
+/// servers everywhere.
+Hierarchy tiny_tree() {
+  Hierarchy h;
+  Zone& root = h.add_zone(Name::root(), 518400);
+  AuthServer& root_srv =
+      h.add_server(Name::parse("a.root-servers.net"), IpAddr::parse("10.0.0.1"));
+  h.assign(root, root_srv);
+
+  Zone& com = h.add_zone(Name::parse("com"), 172800);
+  AuthServer& com_srv =
+      h.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2"));
+  h.assign(com, com_srv);
+
+  Zone& example = h.add_zone(Name::parse("example.com"), 86400);
+  AuthServer& ex_srv =
+      h.add_server(Name::parse("ns1.example.com"), IpAddr::parse("10.0.0.3"));
+  h.assign(example, ex_srv);
+  example.add_record(Name::parse("www.example.com"), RRType::kA, 3600,
+                     dns::ARdata{IpAddr::parse("10.1.1.1")});
+
+  h.finalize();
+  return h;
+}
+
+TEST(HierarchyTest, FinalizeWiresDelegations) {
+  const Hierarchy h = tiny_tree();
+  const Zone* root = h.find_zone(Name::root());
+  ASSERT_NE(root, nullptr);
+  const Delegation* com_cut = root->find_delegation(Name::parse("com"));
+  ASSERT_NE(com_cut, nullptr);
+  EXPECT_EQ(com_cut->ns_set.name(), Name::parse("com"));
+  ASSERT_EQ(com_cut->glue.size(), 1u);
+  EXPECT_EQ(com_cut->glue[0].name(), Name::parse("ns1.com"));
+
+  const Zone* com = h.find_zone(Name::parse("com"));
+  ASSERT_NE(com, nullptr);
+  EXPECT_NE(com->find_delegation(Name::parse("www.example.com")), nullptr);
+}
+
+TEST(HierarchyTest, RootHintsPopulated) {
+  const Hierarchy h = tiny_tree();
+  ASSERT_EQ(h.root_hints().size(), 1u);
+  EXPECT_EQ(h.root_hints()[0], IpAddr::parse("10.0.0.1"));
+}
+
+TEST(HierarchyTest, AuthoritativeZoneForFindsDeepest) {
+  const Hierarchy h = tiny_tree();
+  EXPECT_EQ(h.authoritative_zone_for(Name::parse("www.example.com")).origin(),
+            Name::parse("example.com"));
+  EXPECT_EQ(h.authoritative_zone_for(Name::parse("other.com")).origin(),
+            Name::parse("com"));
+  EXPECT_TRUE(h.authoritative_zone_for(Name::parse("dk")).origin().is_root());
+}
+
+TEST(HierarchyTest, ServersOfReturnsAssignments) {
+  const Hierarchy h = tiny_tree();
+  EXPECT_EQ(h.servers_of(Name::parse("example.com")).size(), 1u);
+  EXPECT_TRUE(h.servers_of(Name::parse("unknown.zone")).empty());
+}
+
+TEST(HierarchyTest, QueryWalksToReferralAndAnswer) {
+  const Hierarchy h = tiny_tree();
+  const Message q =
+      Message::make_query(1, Name::parse("www.example.com"), RRType::kA);
+
+  const Message from_root = h.query(IpAddr::parse("10.0.0.1"), q);
+  EXPECT_TRUE(from_root.is_referral());
+
+  const Message from_leaf = h.query(IpAddr::parse("10.0.0.3"), q);
+  EXPECT_TRUE(from_leaf.header.aa);
+  ASSERT_EQ(from_leaf.answers.size(), 1u);
+}
+
+TEST(HierarchyTest, QueryUnknownAddressThrows) {
+  const Hierarchy h = tiny_tree();
+  const Message q = Message::make_query(1, Name::parse("x.com"), RRType::kA);
+  EXPECT_THROW(h.query(IpAddr::parse("10.99.99.99"), q), std::invalid_argument);
+}
+
+TEST(HierarchyTest, HostNamesExcludeServerNames) {
+  const Hierarchy h = tiny_tree();
+  ASSERT_EQ(h.host_names().size(), 1u);
+  EXPECT_EQ(h.host_names()[0], Name::parse("www.example.com"));
+  EXPECT_EQ(h.server_host_names().size(), 3u);
+}
+
+TEST(HierarchyTest, DuplicateZoneRejected) {
+  Hierarchy h;
+  h.add_zone(Name::root(), 100);
+  EXPECT_THROW(h.add_zone(Name::root(), 100), std::invalid_argument);
+}
+
+TEST(HierarchyTest, NonRootFirstRejected) {
+  Hierarchy h;
+  EXPECT_THROW(h.add_zone(Name::parse("com"), 100), std::invalid_argument);
+}
+
+TEST(HierarchyTest, DuplicateAddressRejected) {
+  Hierarchy h;
+  h.add_zone(Name::root(), 100);
+  h.add_server(Name::parse("a.x"), IpAddr(1));
+  EXPECT_THROW(h.add_server(Name::parse("b.x"), IpAddr(1)), std::invalid_argument);
+}
+
+TEST(HierarchyTest, DoubleFinalizeRejected) {
+  Hierarchy h = tiny_tree();
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(HierarchyTest, LookupsBeforeFinalizeThrow) {
+  Hierarchy h;
+  h.add_zone(Name::root(), 100);
+  EXPECT_THROW(h.authoritative_zone_for(Name::parse("a.com")), std::logic_error);
+}
+
+TEST(HierarchyTest, FinalizeWithoutRootServersThrows) {
+  Hierarchy h;
+  h.add_zone(Name::root(), 100);
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(HierarchyTest, OverrideIrrTtlsReachesDelegationsAndZones) {
+  Hierarchy h = tiny_tree();
+  h.override_irr_ttls(259200);
+  EXPECT_EQ(h.find_zone(Name::parse("example.com"))->ns_set().ttl(), 259200u);
+  const Delegation* cut =
+      h.find_zone(Name::root())->find_delegation(Name::parse("com"));
+  ASSERT_NE(cut, nullptr);
+  EXPECT_EQ(cut->ns_set.ttl(), 259200u);
+  // Root's own NS set is hint material and stays put.
+  EXPECT_EQ(h.find_zone(Name::root())->ns_set().ttl(), 518400u);
+}
+
+}  // namespace
+}  // namespace dnsshield::server

@@ -1,0 +1,175 @@
+#include "server/hierarchy_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dnsshield::server {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+HierarchyParams small_params() {
+  HierarchyParams p;
+  p.seed = 7;
+  p.num_tlds = 4;
+  p.num_slds = 120;
+  p.num_providers = 3;
+  p.subzone_fraction = 0.2;
+  return p;
+}
+
+TEST(HierarchyBuilderTest, BuildsExpectedZoneCount) {
+  const HierarchyParams p = small_params();
+  const Hierarchy h = build_hierarchy(p);
+  // root + TLDs + providers + SLDs + some subzones.
+  const std::size_t baseline =
+      1 + static_cast<std::size_t>(p.num_tlds + p.num_providers + p.num_slds);
+  EXPECT_GE(h.zone_count(), baseline);
+  EXPECT_LE(h.zone_count(), baseline + static_cast<std::size_t>(p.num_slds));
+}
+
+TEST(HierarchyBuilderTest, DeterministicForSeed) {
+  const Hierarchy a = build_hierarchy(small_params());
+  const Hierarchy b = build_hierarchy(small_params());
+  EXPECT_EQ(a.zone_count(), b.zone_count());
+  EXPECT_EQ(a.server_count(), b.server_count());
+  EXPECT_EQ(a.host_names(), b.host_names());
+  EXPECT_EQ(a.zone_origins(), b.zone_origins());
+}
+
+TEST(HierarchyBuilderTest, DifferentSeedsDiffer) {
+  HierarchyParams p2 = small_params();
+  p2.seed = 8;
+  const Hierarchy a = build_hierarchy(small_params());
+  const Hierarchy b = build_hierarchy(p2);
+  EXPECT_NE(a.host_names(), b.host_names());
+}
+
+TEST(HierarchyBuilderTest, RootHasThirteenServers) {
+  const Hierarchy h = build_hierarchy(small_params());
+  EXPECT_EQ(h.root_hints().size(), 13u);
+}
+
+TEST(HierarchyBuilderTest, EveryZoneHasServersAndDelegationPath) {
+  const Hierarchy h = build_hierarchy(small_params());
+  for (const auto& origin : h.zone_origins()) {
+    EXPECT_FALSE(h.servers_of(origin).empty()) << origin.to_string();
+    if (origin.is_root()) continue;
+    // Some ancestor zone must hold a delegation covering this origin.
+    Name cursor = origin.parent();
+    const Zone* parent = nullptr;
+    for (;;) {
+      parent = h.find_zone(cursor);
+      if (parent != nullptr || cursor.is_root()) break;
+      cursor = cursor.parent();
+    }
+    ASSERT_NE(parent, nullptr) << origin.to_string();
+    EXPECT_NE(parent->find_delegation(origin), nullptr) << origin.to_string();
+  }
+}
+
+TEST(HierarchyBuilderTest, MixesInAndOutOfBailiwickZones) {
+  const Hierarchy h = build_hierarchy(small_params());
+  int in_bailiwick = 0, out_of_bailiwick = 0;
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.is_root() || origin.label_count() != 2) continue;
+    const Zone* z = h.find_zone(origin);
+    bool any_inside = false;
+    for (const auto& host : z->server_hostnames()) {
+      any_inside |= host.is_subdomain_of(origin);
+    }
+    (any_inside ? in_bailiwick : out_of_bailiwick)++;
+  }
+  EXPECT_GT(in_bailiwick, 0);
+  EXPECT_GT(out_of_bailiwick, 0);
+}
+
+TEST(HierarchyBuilderTest, SldIrrTtlsComeFromJitteredMixture) {
+  const HierarchyParams p = small_params();
+  const Hierarchy h = build_hierarchy(p);
+  // Each TTL must be within the jitter band of some mixture point.
+  std::vector<double> anchors;
+  for (const auto& e : p.sld_irr_ttls) anchors.push_back(e.value);
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.is_root() || origin.label_count() < 2) continue;
+    const double ttl = h.find_zone(origin)->irr_ttl();
+    const bool near_anchor =
+        std::any_of(anchors.begin(), anchors.end(), [&](double a) {
+          return ttl >= a * (1 - p.ttl_jitter) - 1 &&
+                 ttl <= a * (1 + p.ttl_jitter) + 1;
+        });
+    EXPECT_TRUE(near_anchor) << origin.to_string() << " ttl " << ttl;
+  }
+}
+
+TEST(HierarchyBuilderTest, JitterDesynchronizesEqualTtls) {
+  const HierarchyParams p = small_params();
+  const Hierarchy h = build_hierarchy(p);
+  std::set<std::uint32_t> tld_ttls;
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.label_count() == 1) {
+      tld_ttls.insert(h.find_zone(origin)->irr_ttl());
+    }
+  }
+  EXPECT_GT(tld_ttls.size(), 1u) << "TLD TTLs must not all coincide";
+}
+
+TEST(HierarchyBuilderTest, TldAndRootTtls) {
+  const HierarchyParams p = small_params();
+  const Hierarchy h = build_hierarchy(p);
+  EXPECT_EQ(h.find_zone(dns::Name::root())->irr_ttl(), p.root_irr_ttl);
+  for (const auto& origin : h.zone_origins()) {
+    if (origin.label_count() == 1) {
+      const double ttl = h.find_zone(origin)->irr_ttl();
+      EXPECT_GE(ttl, p.tld_irr_ttl * (1 - p.ttl_jitter) - 1);
+      EXPECT_LE(ttl, p.tld_irr_ttl * (1 + p.ttl_jitter) + 1);
+    }
+  }
+}
+
+TEST(HierarchyBuilderTest, HostUniverseNonEmptyAndQueryable) {
+  const Hierarchy h = build_hierarchy(small_params());
+  ASSERT_GT(h.host_names().size(), 100u);
+  // Every universe name resolves to A or CNAME data in its zone.
+  int checked = 0;
+  for (const auto& name : h.host_names()) {
+    const Zone& z = h.authoritative_zone_for(name);
+    EXPECT_TRUE(z.find_rrset(name, RRType::kA) != nullptr ||
+                z.find_rrset(name, RRType::kCNAME) != nullptr)
+        << name.to_string();
+    if (++checked == 200) break;
+  }
+}
+
+TEST(HierarchyBuilderTest, CnamesPointToLiveTargets) {
+  const Hierarchy h = build_hierarchy(small_params());
+  int cnames = 0;
+  for (const auto& name : h.host_names()) {
+    const Zone& z = h.authoritative_zone_for(name);
+    const auto* cname = z.find_rrset(name, RRType::kCNAME);
+    if (cname == nullptr) continue;
+    ++cnames;
+    const Name target = std::get<dns::CnameRdata>(cname->rdatas()[0]).target;
+    EXPECT_NE(z.find_rrset(target, RRType::kA), nullptr) << name.to_string();
+  }
+  EXPECT_GT(cnames, 0);
+}
+
+class BuilderScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderScaleSweep, ScalesWithoutViolatingInvariants) {
+  HierarchyParams p = small_params();
+  p.num_slds = GetParam();
+  const Hierarchy h = build_hierarchy(p);
+  EXPECT_GE(h.zone_count(),
+            static_cast<std::size_t>(p.num_slds + p.num_tlds + 1));
+  EXPECT_GT(h.host_names().size(), static_cast<std::size_t>(p.num_slds));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BuilderScaleSweep,
+                         ::testing::Values(10, 50, 200, 800));
+
+}  // namespace
+}  // namespace dnsshield::server

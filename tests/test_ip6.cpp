@@ -1,0 +1,83 @@
+#include "dns/rr.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::dns {
+namespace {
+
+struct RoundTrip {
+  const char* in;
+  const char* canonical;
+};
+class Ip6RoundTripTest : public ::testing::TestWithParam<RoundTrip> {};
+
+TEST_P(Ip6RoundTripTest, ParsesAndCanonicalizes) {
+  const Ip6Addr a = Ip6Addr::parse(GetParam().in);
+  EXPECT_EQ(a.to_string(), GetParam().canonical);
+  // Canonical text re-parses to the same address.
+  EXPECT_EQ(Ip6Addr::parse(a.to_string()), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ip6RoundTripTest,
+    ::testing::Values(
+        RoundTrip{"2001:db8::1", "2001:db8::1"},
+        RoundTrip{"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+        RoundTrip{"::", "::"}, RoundTrip{"::1", "::1"},
+        RoundTrip{"1::", "1::"},
+        RoundTrip{"fe80::aaaa:bbbb:cccc:dddd", "fe80::aaaa:bbbb:cccc:dddd"},
+        RoundTrip{"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+        RoundTrip{"0:0:1:0:0:0:0:1", "0:0:1::1"},     // longest run wins
+        RoundTrip{"1:0:0:2:0:0:0:3", "1:0:0:2::3"},   // later longer run
+        RoundTrip{"ABCD::EF01", "abcd::ef01"}));      // lowercase output
+
+struct BadIp6 {
+  const char* text;
+};
+class Ip6MalformedTest : public ::testing::TestWithParam<BadIp6> {};
+
+TEST_P(Ip6MalformedTest, Rejects) {
+  EXPECT_THROW(Ip6Addr::parse(GetParam().text), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ip6MalformedTest,
+    ::testing::Values(BadIp6{""}, BadIp6{":"}, BadIp6{":::"},
+                      BadIp6{"1:2:3"},                      // too few groups
+                      BadIp6{"1:2:3:4:5:6:7:8:9"},          // too many
+                      BadIp6{"1::2::3"},                    // two gaps
+                      BadIp6{"12345::1"},                   // oversized group
+                      BadIp6{"g::1"},                       // bad hex
+                      BadIp6{"1:2:3:4:5:6:7:"},             // trailing colon
+                      BadIp6{"1:2:3:4:5:6:7:8::"}));        // gap with 8 groups
+
+TEST(Ip6AddrTest, DefaultIsAllZeros) {
+  EXPECT_EQ(Ip6Addr().to_string(), "::");
+}
+
+TEST(Ip6AddrTest, BytesAreNetworkOrder) {
+  const Ip6Addr a = Ip6Addr::parse("2001:db8::1");
+  EXPECT_EQ(a.bytes()[0], 0x20);
+  EXPECT_EQ(a.bytes()[1], 0x01);
+  EXPECT_EQ(a.bytes()[2], 0x0d);
+  EXPECT_EQ(a.bytes()[3], 0xb8);
+  EXPECT_EQ(a.bytes()[15], 0x01);
+}
+
+TEST(Ip6AddrTest, OrderingIsLexicographic) {
+  EXPECT_LT(Ip6Addr::parse("::1"), Ip6Addr::parse("::2"));
+  EXPECT_LT(Ip6Addr::parse("::ffff"), Ip6Addr::parse("1::"));
+}
+
+TEST(Ip6AddrTest, SingleZeroGroupIsNotCompressed) {
+  // RFC 5952: "::" must not shorten a lone zero group.
+  EXPECT_EQ(Ip6Addr::parse("1:0:2:3:4:5:6:7").to_string(), "1:0:2:3:4:5:6:7");
+}
+
+TEST(AaaaRdataTest, FormatsAsAddress) {
+  EXPECT_EQ(rdata_to_string(AaaaRdata{Ip6Addr::parse("2001:db8::5")}),
+            "2001:db8::5");
+}
+
+}  // namespace
+}  // namespace dnsshield::dns

@@ -1,0 +1,101 @@
+#include "metrics/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::metrics {
+namespace {
+
+TEST(JsonWriterTest, SimpleObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("dnsshield");
+  w.key("count").value(std::uint64_t{3});
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            R"({"name":"dnsshield","count":3,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("series").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("inner").begin_object();
+  w.key("a").begin_array().end_array();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"series":[1,2,3],"inner":{"a":[]}})");
+}
+
+TEST(JsonWriterTest, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array().value("x").value(-5).end_array();
+  EXPECT_EQ(w.take(), R"(["x",-5])");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.take(), "[null,null]");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripPrecision) {
+  JsonWriter w;
+  w.begin_array().value(0.1).end_array();
+  const std::string text = w.take();
+  // %.17g representation parses back to exactly 0.1's double.
+  EXPECT_EQ(std::stod(text.substr(1, text.size() - 2)), 0.1);
+}
+
+struct EscapeCase {
+  const char* in;
+  const char* out;
+};
+class JsonEscapeTest : public ::testing::TestWithParam<EscapeCase> {};
+
+TEST_P(JsonEscapeTest, Escapes) {
+  EXPECT_EQ(JsonWriter::escape(GetParam().in), GetParam().out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonEscapeTest,
+    ::testing::Values(EscapeCase{"plain", "plain"},
+                      EscapeCase{"quo\"te", "quo\\\"te"},
+                      EscapeCase{"back\\slash", "back\\\\slash"},
+                      EscapeCase{"new\nline", "new\\nline"},
+                      EscapeCase{"tab\there", "tab\\there"},
+                      EscapeCase{"\x01", "\\u0001"},
+                      EscapeCase{"", ""}));
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value where key expected
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.take(), std::logic_error);  // unclosed container
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield::metrics

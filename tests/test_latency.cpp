@@ -1,0 +1,109 @@
+#include "resolver/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "attack/scenario.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+
+TEST(LatencyModelTest, RttWithinConfiguredBand) {
+  const LatencyModel model;
+  for (std::uint32_t a = 1; a < 5000; a += 7) {
+    const double rtt = model.rtt(IpAddr(a));
+    EXPECT_GE(rtt, model.min_rtt);
+    EXPECT_LT(rtt, model.min_rtt + model.rtt_spread);
+  }
+}
+
+TEST(LatencyModelTest, RttDeterministicPerServer) {
+  const LatencyModel model;
+  EXPECT_DOUBLE_EQ(model.rtt(IpAddr(42)), model.rtt(IpAddr(42)));
+  EXPECT_NE(model.rtt(IpAddr(42)), model.rtt(IpAddr(43)));
+}
+
+TEST(LatencyModelTest, RttSpreadCoversTheBand) {
+  const LatencyModel model;
+  double lo = 1e9, hi = 0;
+  for (std::uint32_t a = 1; a < 2000; ++a) {
+    const double rtt = model.rtt(IpAddr(a));
+    lo = std::min(lo, rtt);
+    hi = std::max(hi, rtt);
+  }
+  EXPECT_LT(lo, model.min_rtt + 0.1 * model.rtt_spread);
+  EXPECT_GT(hi, model.min_rtt + 0.9 * model.rtt_spread);
+}
+
+class ResolutionLatencyTest : public ::testing::Test {
+ protected:
+  ResolutionLatencyTest() {
+    server::HierarchyParams p;
+    p.seed = 9;
+    p.num_tlds = 2;
+    p.num_slds = 20;
+    p.num_providers = 1;
+    hierarchy_ = server::build_hierarchy(p);
+  }
+  server::Hierarchy hierarchy_;
+  sim::EventQueue events_;
+};
+
+TEST_F(ResolutionLatencyTest, ColdWalkCostsMoreThanWarmHit) {
+  attack::AttackInjector no_attack;
+  CachingServer cs(hierarchy_, no_attack, events_,
+                   ResilienceConfig::vanilla());
+  const Name name = hierarchy_.host_names().front();
+  const auto cold = cs.resolve(name, RRType::kA);
+  EXPECT_GT(cold.latency, 0.02);  // at least a couple of RTTs
+  const auto warm = cs.resolve(name, RRType::kA);
+  EXPECT_DOUBLE_EQ(warm.latency, 0.0);
+}
+
+TEST_F(ResolutionLatencyTest, DeadServersChargeTimeouts) {
+  const attack::AttackScenario scenario =
+      attack::root_and_tlds(hierarchy_, 0, sim::hours(1));
+  const attack::AttackInjector injector(hierarchy_, scenario);
+  CachingServer cs(hierarchy_, injector, events_, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(hierarchy_.host_names().front(), RRType::kA);
+  EXPECT_FALSE(r.success);
+  // 13 dead root servers at 1.5s each, at minimum.
+  EXPECT_GE(r.latency, 13 * 1.5);
+}
+
+TEST_F(ResolutionLatencyTest, CdfAccumulatesPerQuery) {
+  attack::AttackInjector no_attack;
+  CachingServer cs(hierarchy_, no_attack, events_,
+                   ResilienceConfig::vanilla());
+  for (int i = 0; i < 5; ++i) {
+    cs.resolve(hierarchy_.host_names()[static_cast<std::size_t>(i)], RRType::kA);
+  }
+  EXPECT_EQ(cs.latency_cdf().count(), 5u);
+  EXPECT_GT(cs.latency_cdf().mean(), 0.0);
+}
+
+TEST_F(ResolutionLatencyTest, CachedIrrsShortenTheWalk) {
+  attack::AttackInjector no_attack;
+  CachingServer cs(hierarchy_, no_attack, events_,
+                   ResilienceConfig::vanilla());
+  // Two hosts in the same zone: the second resolution reuses the zone's
+  // IRRs and must be strictly cheaper than the first (fewer hops).
+  const Name first = hierarchy_.host_names().front();
+  const Name sibling = first.parent().child("www");
+  const auto cold = cs.resolve(first, RRType::kA);
+  const auto warm_zone = cs.resolve(sibling, RRType::kA);
+  ASSERT_TRUE(cold.success);
+  ASSERT_TRUE(warm_zone.success);
+  if (warm_zone.messages_sent > 0) {
+    EXPECT_LT(warm_zone.latency, cold.latency);
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

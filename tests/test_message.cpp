@@ -1,0 +1,94 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::dns {
+namespace {
+
+TEST(MessageTest, MakeQuerySetsFields) {
+  const Message q = Message::make_query(42, Name::parse("www.a.com"), RRType::kA);
+  EXPECT_EQ(q.header.id, 42);
+  EXPECT_FALSE(q.header.qr);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].qname, Name::parse("www.a.com"));
+  EXPECT_EQ(q.questions[0].qtype, RRType::kA);
+}
+
+TEST(MessageTest, MakeResponseMirrorsQuery) {
+  const Message q = Message::make_query(7, Name::parse("b.com"), RRType::kNS);
+  const Message r = Message::make_response(q);
+  EXPECT_EQ(r.header.id, 7);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.questions, q.questions);
+}
+
+TEST(MessageTest, AddSectionsExpandRRsets) {
+  Message m;
+  RRset ns(Name::parse("a.com"), RRType::kNS, 300);
+  ns.add(NsRdata{Name::parse("ns1.a.com")});
+  ns.add(NsRdata{Name::parse("ns2.a.com")});
+  m.add_authority(ns);
+  EXPECT_EQ(m.authorities.size(), 2u);
+}
+
+TEST(MessageTest, GroupRRsetsRegroups) {
+  Message m;
+  m.answers.push_back({Name::parse("a.com"), RRType::kA, 100, ARdata{IpAddr(1)}});
+  m.answers.push_back({Name::parse("a.com"), RRType::kA, 50, ARdata{IpAddr(2)}});
+  m.answers.push_back(
+      {Name::parse("b.com"), RRType::kA, 200, ARdata{IpAddr(3)}});
+  const auto sets = Message::group_rrsets(m.answers);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].size(), 2u);
+  EXPECT_EQ(sets[0].ttl(), 50u);  // min TTL across the group
+  EXPECT_EQ(sets[1].size(), 1u);
+}
+
+TEST(MessageTest, ReferralDetection) {
+  Message m;
+  m.header.qr = true;
+  m.header.aa = false;
+  m.authorities.push_back(
+      {Name::parse("a.com"), RRType::kNS, 300, NsRdata{Name::parse("ns1.a.com")}});
+  EXPECT_TRUE(m.is_referral());
+
+  Message with_answer = m;
+  with_answer.answers.push_back(
+      {Name::parse("w.a.com"), RRType::kA, 60, ARdata{IpAddr(1)}});
+  EXPECT_FALSE(with_answer.is_referral());
+
+  Message authoritative = m;
+  authoritative.header.aa = true;
+  EXPECT_FALSE(authoritative.is_referral());
+
+  Message not_response = m;
+  not_response.header.qr = false;
+  EXPECT_FALSE(not_response.is_referral());
+
+  Message soa_only;
+  soa_only.header.qr = true;
+  soa_only.authorities.push_back(
+      {Name::parse("a.com"), RRType::kSOA, 300, SoaRdata{}});
+  EXPECT_FALSE(soa_only.is_referral());
+}
+
+TEST(MessageTest, RcodeStrings) {
+  EXPECT_EQ(rcode_to_string(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(rcode_to_string(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_EQ(rcode_to_string(Rcode::kServFail), "SERVFAIL");
+}
+
+TEST(MessageTest, ToStringMentionsSections) {
+  Message m = Message::make_query(1, Name::parse("x.com"), RRType::kA);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("x.com."), std::string::npos);
+  EXPECT_NE(text.find("query"), std::string::npos);
+}
+
+TEST(QuestionTest, ToString) {
+  EXPECT_EQ((Question{Name::parse("a.b.com"), RRType::kMX}).to_string(),
+            "a.b.com. IN MX");
+}
+
+}  // namespace
+}  // namespace dnsshield::dns

@@ -1,0 +1,131 @@
+#include "metrics/cdf.h"
+#include "metrics/table.h"
+#include "metrics/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::metrics {
+namespace {
+
+TEST(CdfTest, AtComputesFractionLeq) {
+  Cdf cdf;
+  cdf.add_all({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+}
+
+TEST(CdfTest, QuantileNearestRank) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0), 1);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 51);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1), 100);
+  EXPECT_NEAR(cdf.quantile(0.9), 91, 1);
+}
+
+TEST(CdfTest, MinMaxMean) {
+  Cdf cdf;
+  cdf.add_all({4, 1, 7});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 7);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 4);
+}
+
+TEST(CdfTest, SortingIsLazyButCorrectAfterInterleavedAdds) {
+  Cdf cdf;
+  cdf.add(5);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5);
+  cdf.add(2);  // after a query
+  EXPECT_DOUBLE_EQ(cdf.min(), 2);
+}
+
+TEST(CdfTest, CurveIsMonotone) {
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add((i * 37) % 101);
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CdfTest, ToTableHasRequestedRows) {
+  Cdf cdf;
+  cdf.add_all({1, 2, 3, 4, 5, 6, 7, 8});
+  const std::string table = cdf.to_table(4);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(TimeSeriesTest, AddAndQuery) {
+  TimeSeries ts("cached");
+  ts.add(0, 10);
+  ts.add(5, 30);
+  ts.add(10, 20);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 30);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 20);
+  EXPECT_EQ(ts.label(), "cached");
+}
+
+TEST(TimeSeriesTest, TimeWeightedMean) {
+  TimeSeries ts;
+  ts.add(0, 10);   // holds for 10s
+  ts.add(10, 20);  // holds for 10s
+  ts.add(20, 0);   // terminal
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 15.0);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsEndpoints) {
+  TimeSeries ts;
+  for (int i = 0; i <= 100; ++i) ts.add(i, i * 2);
+  const TimeSeries small = ts.downsample(11);
+  ASSERT_EQ(small.size(), 11u);
+  EXPECT_DOUBLE_EQ(small.points().front().time, 0);
+  EXPECT_DOUBLE_EQ(small.points().back().time, 100);
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries ts;
+  ts.add(0, 1);
+  ts.add(1, 2);
+  EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines equal length (aligned).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t nl = out.find('\n', start);
+    const std::size_t len = nl - start;
+    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    prev = len;
+    start = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace dnsshield::metrics

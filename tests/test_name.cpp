@@ -1,0 +1,168 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace dnsshield::dns {
+namespace {
+
+TEST(NameTest, ParsesSimpleName) {
+  const Name n = Name::parse("www.ucla.edu");
+  EXPECT_EQ(n.label_count(), 3u);
+  EXPECT_EQ(n.labels()[0], "www");
+  EXPECT_EQ(n.labels()[1], "ucla");
+  EXPECT_EQ(n.labels()[2], "edu");
+}
+
+TEST(NameTest, TrailingDotIsOptional) {
+  EXPECT_EQ(Name::parse("ucla.edu."), Name::parse("ucla.edu"));
+}
+
+TEST(NameTest, ParsesRoot) {
+  const Name root = Name::parse(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root, Name::root());
+  EXPECT_EQ(root.label_count(), 0u);
+}
+
+TEST(NameTest, ComparisonIsCaseInsensitive) {
+  EXPECT_EQ(Name::parse("WWW.UCLA.EDU"), Name::parse("www.ucla.edu"));
+  EXPECT_EQ(Name::parse("WWW.UCLA.EDU").hash(), Name::parse("www.ucla.edu").hash());
+}
+
+TEST(NameTest, ToStringUsesPresentationFormat) {
+  EXPECT_EQ(Name::parse("www.ucla.edu").to_string(), "www.ucla.edu.");
+  EXPECT_EQ(Name::root().to_string(), ".");
+}
+
+TEST(NameTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Name::parse("cs.ucla.edu");
+  EXPECT_EQ(os.str(), "cs.ucla.edu.");
+}
+
+TEST(NameTest, ChildPrependsLabel) {
+  const Name edu = Name::parse("edu");
+  EXPECT_EQ(edu.child("ucla"), Name::parse("ucla.edu"));
+  EXPECT_EQ(Name::root().child("com"), Name::parse("com"));
+}
+
+TEST(NameTest, ParentDropsLeftmostLabel) {
+  EXPECT_EQ(Name::parse("www.ucla.edu").parent(), Name::parse("ucla.edu"));
+  EXPECT_TRUE(Name::parse("edu").parent().is_root());
+}
+
+TEST(NameTest, SubdomainRelation) {
+  const Name edu = Name::parse("edu");
+  const Name ucla = Name::parse("ucla.edu");
+  EXPECT_TRUE(ucla.is_subdomain_of(edu));
+  EXPECT_TRUE(ucla.is_subdomain_of(ucla));
+  EXPECT_TRUE(ucla.is_subdomain_of(Name::root()));
+  EXPECT_FALSE(edu.is_subdomain_of(ucla));
+  EXPECT_FALSE(Name::parse("ucla.com").is_subdomain_of(edu));
+}
+
+TEST(NameTest, ProperSubdomainExcludesSelf) {
+  const Name ucla = Name::parse("ucla.edu");
+  EXPECT_TRUE(ucla.is_proper_subdomain_of(Name::parse("edu")));
+  EXPECT_FALSE(ucla.is_proper_subdomain_of(ucla));
+}
+
+TEST(NameTest, SubdomainComparesWholeLabels) {
+  // "aucla.edu" is not a subdomain of "ucla.edu" despite the suffix text.
+  EXPECT_FALSE(Name::parse("aucla.edu").is_subdomain_of(Name::parse("ucla.edu")));
+}
+
+TEST(NameTest, CommonAncestor) {
+  EXPECT_EQ(Name::common_ancestor(Name::parse("www.cs.ucla.edu"),
+                                  Name::parse("mail.ucla.edu")),
+            Name::parse("ucla.edu"));
+  EXPECT_TRUE(Name::common_ancestor(Name::parse("a.com"), Name::parse("a.org"))
+                  .is_root());
+  EXPECT_EQ(Name::common_ancestor(Name::parse("a.com"), Name::parse("a.com")),
+            Name::parse("a.com"));
+}
+
+TEST(NameTest, WireLength) {
+  EXPECT_EQ(Name::root().wire_length(), 1u);
+  // 3www4ucla3edu0 = 1+3 + 1+4 + 1+3 + 1
+  EXPECT_EQ(Name::parse("www.ucla.edu").wire_length(), 14u);
+}
+
+TEST(NameTest, CanonicalOrderGroupsSubtrees) {
+  std::map<Name, int> m;
+  m[Name::parse("dom.com")] = 1;
+  m[Name::parse("a.dom.com")] = 2;
+  m[Name::parse("z.a.dom.com")] = 3;
+  m[Name::parse("dom2.com")] = 4;
+  m[Name::parse("com")] = 5;
+  auto it = m.begin();
+  EXPECT_EQ(it->second, 5);  // com
+  ++it;
+  EXPECT_EQ(it->second, 1);  // dom.com
+  ++it;
+  EXPECT_EQ(it->second, 2);  // a.dom.com
+  ++it;
+  EXPECT_EQ(it->second, 3);  // z.a.dom.com
+  ++it;
+  EXPECT_EQ(it->second, 4);  // dom2.com
+}
+
+TEST(NameTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Name, NameHash> set;
+  set.insert(Name::parse("a.com"));
+  set.insert(Name::parse("A.COM"));
+  set.insert(Name::parse("b.com"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(NameTest, HashSeparatesLabelBoundaries) {
+  EXPECT_NE(Name::from_labels({"ab", "c"}).hash(),
+            Name::from_labels({"a", "bc"}).hash());
+}
+
+TEST(NameTest, FromLabelsLowercases) {
+  EXPECT_EQ(Name::from_labels({"WWW", "Ucla", "EDU"}),
+            Name::parse("www.ucla.edu"));
+}
+
+struct InvalidNameCase {
+  const char* text;
+};
+
+class InvalidNameTest : public ::testing::TestWithParam<InvalidNameCase> {};
+
+TEST_P(InvalidNameTest, ParseRejects) {
+  EXPECT_THROW(Name::parse(GetParam().text), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, InvalidNameTest,
+    ::testing::Values(InvalidNameCase{""}, InvalidNameCase{".."},
+                      InvalidNameCase{"a..b"}, InvalidNameCase{".a"},
+                      InvalidNameCase{"a b.com"}, InvalidNameCase{"a\tb.com"}));
+
+TEST(NameTest, RejectsOversizedLabel) {
+  const std::string big(64, 'x');
+  EXPECT_THROW(Name::parse(big + ".com"), std::invalid_argument);
+  EXPECT_NO_THROW(Name::parse(std::string(63, 'x') + ".com"));
+}
+
+TEST(NameTest, RejectsOversizedName) {
+  // Four 63-octet labels exceed 255 octets of wire space.
+  const std::string label(63, 'y');
+  const std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_THROW(Name::parse(too_long), std::invalid_argument);
+  EXPECT_THROW(Name::parse(too_long).child("z"), std::invalid_argument);
+}
+
+TEST(NameTest, ChildRejectsInvalidLabel) {
+  EXPECT_THROW(Name::parse("com").child(""), std::invalid_argument);
+  EXPECT_THROW(Name::parse("com").child("a.b"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnsshield::dns

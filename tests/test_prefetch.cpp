@@ -1,0 +1,106 @@
+// End-host prefetch baseline (Cohen-Kaplan analogue) behaviour.
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+using server::Hierarchy;
+
+/// One-zone fixture with a short-TTL host record.
+class PrefetchTest : public ::testing::Test {
+ protected:
+  PrefetchTest() {
+    server::Zone& root = h_.add_zone(Name::root(), 518400);
+    h_.assign(root, h_.add_server(Name::parse("a.root-servers.net"),
+                                  IpAddr::parse("10.0.0.1")));
+    server::Zone& com = h_.add_zone(Name::parse("com"), 172800);
+    h_.assign(com, h_.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2")));
+    server::Zone& zone = h_.add_zone(Name::parse("shop.com"), 86400);
+    h_.assign(zone, h_.add_server(Name::parse("ns1.shop.com"),
+                                  IpAddr::parse("10.0.0.3")));
+    zone.add_record(Name::parse("www.shop.com"), RRType::kA, 600,
+                    dns::ARdata{IpAddr::parse("10.1.1.1")});
+    h_.finalize();
+  }
+  Hierarchy h_;
+  attack::AttackInjector no_attack_;
+  sim::EventQueue events_;
+};
+
+TEST_F(PrefetchTest, PopularRecordStaysWarm) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::host_prefetch());
+  const Name www = Name::parse("www.shop.com");
+  // Two demand hits within the record's 600s lifetime -> popular.
+  cs.resolve(www, RRType::kA);
+  events_.run_until(100);
+  cs.resolve(www, RRType::kA);
+  // Past the original expiry the prefetch has already renewed it.
+  events_.run_until(700);
+  const auto r = cs.resolve(www, RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.from_cache);
+  EXPECT_GE(cs.stats().host_prefetches, 1u);
+}
+
+TEST_F(PrefetchTest, UnpopularRecordIsNotPrefetched) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::host_prefetch());
+  const Name www = Name::parse("www.shop.com");
+  cs.resolve(www, RRType::kA);  // a single hit: below the threshold
+  events_.run_until(700);
+  EXPECT_EQ(cs.stats().host_prefetches, 0u);
+  const auto r = cs.resolve(www, RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_FALSE(r.from_cache);  // had to re-fetch on demand
+}
+
+TEST_F(PrefetchTest, PrefetchStopsWhenDemandStops) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::host_prefetch());
+  const Name www = Name::parse("www.shop.com");
+  cs.resolve(www, RRType::kA);
+  events_.run_until(50);
+  cs.resolve(www, RRType::kA);
+  // Demand ceases. One speculative extension happens (the lifetime that
+  // saw 2 hits), after which hit counts start at zero and prefetching
+  // stops — bounded speculation, not an immortal cache.
+  events_.run_until(sim::days(2));
+  EXPECT_LE(cs.stats().host_prefetches, 2u);
+  EXPECT_EQ(cs.cache().lookup(www, RRType::kA, events_.now()), nullptr);
+}
+
+TEST_F(PrefetchTest, VanillaNeverPrefetches) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::vanilla());
+  const Name www = Name::parse("www.shop.com");
+  cs.resolve(www, RRType::kA);
+  events_.run_until(100);
+  cs.resolve(www, RRType::kA);
+  events_.run_until(sim::days(1));
+  EXPECT_EQ(cs.stats().host_prefetches, 0u);
+}
+
+TEST_F(PrefetchTest, PrefetchLeavesIrrSemanticsAlone) {
+  CachingServer cs(h_, no_attack_, events_, ResilienceConfig::host_prefetch());
+  const Name www = Name::parse("www.shop.com");
+  cs.resolve(www, RRType::kA);
+  events_.run_until(100);
+  cs.resolve(www, RRType::kA);
+  const CacheEntry* ns =
+      cs.cache().lookup(Name::parse("shop.com"), RRType::kNS, events_.now());
+  ASSERT_NE(ns, nullptr);
+  const double expiry = ns->expires_at;
+  events_.run_until(650);  // prefetch has fired once by now
+  const CacheEntry* ns_after =
+      cs.cache().lookup(Name::parse("shop.com"), RRType::kNS, events_.now());
+  ASSERT_NE(ns_after, nullptr);
+  // host-prefetch alone is not an IRR scheme: no TTL refresh on the NS.
+  EXPECT_DOUBLE_EQ(ns_after->expires_at, expiry);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

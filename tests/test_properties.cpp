@@ -1,0 +1,305 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// (seeded) inputs, swept with TEST_P over seeds.
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "attack/scenario.h"
+#include "dns/wire.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy_builder.h"
+#include "sim/rng.h"
+
+namespace dnsshield {
+namespace {
+
+using dns::IpAddr;
+using dns::Message;
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRType;
+
+// ---- Name algebra ------------------------------------------------------------
+
+Name random_name(sim::Rng& rng, int max_labels = 5) {
+  const int n = static_cast<int>(rng.uniform_int(0, max_labels));
+  std::vector<std::string> labels;
+  for (int i = 0; i < n; ++i) {
+    std::string label;
+    const int len = static_cast<int>(rng.uniform_int(1, 10));
+    for (int j = 0; j < len; ++j) {
+      label += static_cast<char>('a' + rng.next_below(26));
+    }
+    labels.push_back(std::move(label));
+  }
+  return Name::from_labels(std::move(labels));
+}
+
+class NamePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NamePropertyTest, AlgebraHolds) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Name n = random_name(rng);
+    // parse/to_string round trip
+    EXPECT_EQ(Name::parse(n.to_string()), n);
+    // suffix(0) is identity; suffix(all) is root
+    EXPECT_EQ(n.suffix(0), n);
+    EXPECT_TRUE(n.suffix(n.label_count()).is_root());
+    // child then parent is identity
+    EXPECT_EQ(n.child("xy").parent(), n);
+    // every suffix is an ancestor
+    for (std::size_t k = 0; k <= n.label_count(); ++k) {
+      EXPECT_TRUE(n.is_subdomain_of(n.suffix(k)));
+    }
+    // common ancestor is symmetric and an ancestor of both
+    const Name m = random_name(rng);
+    const Name ca = Name::common_ancestor(n, m);
+    EXPECT_EQ(ca, Name::common_ancestor(m, n));
+    EXPECT_TRUE(n.is_subdomain_of(ca));
+    EXPECT_TRUE(m.is_subdomain_of(ca));
+    // ordering is a strict weak order w.r.t. equality
+    EXPECT_FALSE(n < n);
+    if (n != m) EXPECT_TRUE((n < m) != (m < n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NamePropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 99ull));
+
+// ---- Wire codec fuzzing -------------------------------------------------------
+
+ResourceRecord random_record(sim::Rng& rng) {
+  ResourceRecord rr;
+  rr.name = random_name(rng);
+  rr.ttl = static_cast<std::uint32_t>(rng.next_below(1u << 24));
+  switch (rng.next_below(7)) {
+    case 0:
+      rr.type = RRType::kA;
+      rr.rdata = dns::ARdata{IpAddr(static_cast<std::uint32_t>(rng.next_u64()))};
+      break;
+    case 1:
+      rr.type = RRType::kNS;
+      rr.rdata = dns::NsRdata{random_name(rng)};
+      break;
+    case 2:
+      rr.type = RRType::kCNAME;
+      rr.rdata = dns::CnameRdata{random_name(rng)};
+      break;
+    case 3:
+      rr.type = RRType::kMX;
+      rr.rdata = dns::MxRdata{static_cast<std::uint16_t>(rng.next_below(65536)),
+                              random_name(rng)};
+      break;
+    case 4: {
+      std::string text;
+      const auto len = rng.next_below(300);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        text += static_cast<char>('a' + rng.next_below(26));
+      }
+      rr.type = RRType::kTXT;
+      rr.rdata = dns::TxtRdata{std::move(text)};
+      break;
+    }
+    case 5: {
+      dns::Ip6Addr::Bytes bytes;
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_below(256));
+      rr.type = RRType::kAAAA;
+      rr.rdata = dns::AaaaRdata{dns::Ip6Addr(bytes)};
+      break;
+    }
+    default: {
+      dns::OpaqueRdata o;
+      const auto len = rng.next_below(40);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        o.bytes.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+      }
+      rr.type = RRType::kDNSKEY;
+      rr.rdata = std::move(o);
+      break;
+    }
+  }
+  return rr;
+}
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomMessagesRoundTrip) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.header.id = static_cast<std::uint16_t>(rng.next_below(65536));
+    m.header.qr = rng.bernoulli(0.5);
+    m.header.aa = rng.bernoulli(0.5);
+    m.header.rd = rng.bernoulli(0.5);
+    m.header.rcode = static_cast<dns::Rcode>(rng.next_below(6));
+    if (rng.bernoulli(0.9)) {
+      m.questions.push_back(
+          {random_name(rng), rng.bernoulli(0.5) ? RRType::kA : RRType::kNS});
+    }
+    const auto n_ans = rng.next_below(4);
+    for (std::uint64_t k = 0; k < n_ans; ++k) m.answers.push_back(random_record(rng));
+    const auto n_auth = rng.next_below(3);
+    for (std::uint64_t k = 0; k < n_auth; ++k) {
+      m.authorities.push_back(random_record(rng));
+    }
+    const auto n_add = rng.next_below(3);
+    for (std::uint64_t k = 0; k < n_add; ++k) {
+      m.additionals.push_back(random_record(rng));
+    }
+    EXPECT_EQ(dns::decode_message(dns::encode_message(m)), m);
+  }
+}
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashTheDecoder) {
+  sim::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    try {
+      const Message m = dns::decode_message(junk);
+      // If it decoded, it must re-encode and decode to the same message.
+      EXPECT_EQ(dns::decode_message(dns::encode_message(m)), m);
+    } catch (const dns::WireFormatError&) {
+      // rejection is the expected outcome for junk
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, TruncationsNeverCrashTheDecoder) {
+  sim::Rng rng(GetParam() + 2000);
+  Message m;
+  m.questions.push_back({Name::parse("www.example.com"), RRType::kA});
+  for (int k = 0; k < 3; ++k) m.answers.push_back(random_record(rng));
+  const auto wire = dns::encode_message(m);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(wire.begin(),
+                                     wire.begin() + static_cast<long>(cut));
+    try {
+      (void)dns::decode_message(prefix);
+    } catch (const dns::WireFormatError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Values(11ull, 12ull, 13ull));
+
+// ---- Resolver invariants ------------------------------------------------------
+
+class ResolverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResolverPropertyTest, EveryNameResolvesWithoutAttack) {
+  server::HierarchyParams p;
+  p.seed = GetParam();
+  p.num_tlds = 3;
+  p.num_slds = 40;
+  p.num_providers = 2;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  resolver::CachingServer cs(h, no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  sim::Rng rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const Name& name = rng.pick(h.host_names());
+    const auto r = cs.resolve(name, RRType::kA);
+    EXPECT_TRUE(r.success) << name.to_string();
+    EXPECT_EQ(r.messages_failed, 0);
+    EXPECT_FALSE(r.answers.empty()) << name.to_string();
+    // The final answer chain ends in an address.
+    bool has_a = false;
+    for (const auto& rr : r.answers) has_a |= rr.type == RRType::kA;
+    EXPECT_TRUE(has_a) << name.to_string();
+  }
+  // Accounting is self-consistent.
+  EXPECT_EQ(cs.stats().sr_queries, 200u);
+  EXPECT_EQ(cs.stats().sr_failures, 0u);
+  EXPECT_GE(cs.stats().msgs_sent, cs.stats().referrals_followed);
+}
+
+TEST_P(ResolverPropertyTest, TotalBlackoutFailsEveryColdResolution) {
+  server::HierarchyParams p;
+  p.seed = GetParam();
+  p.num_tlds = 2;
+  p.num_slds = 20;
+  p.num_providers = 1;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  // Attack everything, including every leaf zone.
+  attack::AttackScenario scenario;
+  scenario.start = 0;
+  scenario.duration = sim::days(30);
+  scenario.target_zones = h.zone_origins();
+  const attack::AttackInjector injector(h, scenario);
+  sim::EventQueue events;
+  resolver::CachingServer cs(h, injector, events,
+                             resolver::ResilienceConfig::vanilla());
+  sim::Rng rng(GetParam() + 5);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = cs.resolve(rng.pick(h.host_names()), RRType::kA);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.messages_sent, r.messages_failed);
+  }
+}
+
+TEST_P(ResolverPropertyTest, SchemesNeverServeExpiredDataUnlessStale) {
+  // For every scheme except serve-stale, any answered record must have
+  // been inside its TTL at answer time (checked via the cache's entries).
+  server::HierarchyParams p;
+  p.seed = GetParam();
+  p.num_tlds = 2;
+  p.num_slds = 15;
+  p.num_providers = 1;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  for (const auto& config :
+       {resolver::ResilienceConfig::vanilla(), resolver::ResilienceConfig::refresh(),
+        resolver::ResilienceConfig::combination(3)}) {
+    sim::EventQueue events;
+    attack::AttackInjector no_attack;
+    resolver::CachingServer cs(h, no_attack, events, config);
+    sim::Rng rng(GetParam() + 77);
+    for (int i = 0; i < 100; ++i) {
+      events.run_until(events.now() + rng.uniform(0, sim::hours(2)));
+      const auto r = cs.resolve(rng.pick(h.host_names()), RRType::kA);
+      ASSERT_TRUE(r.success);
+      EXPECT_FALSE(r.stale) << config.label();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResolverPropertyTest,
+                         ::testing::Values(21ull, 22ull, 23ull));
+
+// ---- Determinism across the whole stack ---------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalTranscripts) {
+  auto run = [] {
+    server::HierarchyParams p;
+    p.seed = 31;
+    p.num_tlds = 2;
+    p.num_slds = 25;
+    p.num_providers = 1;
+    const server::Hierarchy h = server::build_hierarchy(p);
+    sim::EventQueue events;
+    const attack::AttackInjector injector(
+        h, attack::root_and_tlds(h, sim::hours(5), sim::hours(2)));
+    resolver::CachingServer cs(
+        h, injector, events,
+        resolver::ResilienceConfig::refresh_renew(
+            resolver::RenewalPolicy::kAdaptiveLfu, 3));
+    sim::Rng rng(77);
+    std::vector<std::uint64_t> transcript;
+    for (int i = 0; i < 150; ++i) {
+      events.run_until(events.now() + rng.exponential(1.0 / 200));
+      const auto r = cs.resolve(rng.pick(h.host_names()), RRType::kA);
+      transcript.push_back((static_cast<std::uint64_t>(r.success) << 32) |
+                           static_cast<std::uint64_t>(r.messages_sent));
+    }
+    transcript.push_back(cs.stats().msgs_sent);
+    transcript.push_back(cs.stats().renewal_fetches);
+    return transcript;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dnsshield

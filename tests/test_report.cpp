@@ -1,0 +1,99 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.h"
+
+namespace dnsshield::core {
+namespace {
+
+const ExperimentResult& sample_result() {
+  static const ExperimentResult result = [] {
+    ExperimentSetup setup;
+    setup.hierarchy = small_hierarchy();
+    setup.workload.seed = 3;
+    setup.workload.num_clients = 20;
+    setup.workload.duration = sim::days(1);
+    setup.workload.mean_rate_qps = 0.05;
+    setup.attack = AttackSpec::root_and_tlds(sim::hours(12), sim::hours(3));
+    return run_experiment(setup, resolver::ResilienceConfig::refresh());
+  }();
+  return result;
+}
+
+TEST(ReportTest, TextMentionsKeyFigures) {
+  const std::string text = to_text(sample_result());
+  EXPECT_NE(text.find("scheme: refresh"), std::string::npos);
+  EXPECT_NE(text.find("attack window"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+  EXPECT_NE(text.find("messages out"), std::string::npos);
+}
+
+TEST(ReportTest, JsonIsWellFormedAndComplete) {
+  const std::string json = to_json(sample_result());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"scheme\"", "\"trace\"", "\"totals\"", "\"cache\"",
+        "\"attack_window\"", "\"latency\"", "\"sr_failure_rate\"",
+        "\"msgs_sent\"", "\"evictions\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Balanced braces/brackets (cheap well-formedness check; strings in the
+  // report contain no braces).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportTest, JsonNullWindowWithoutAttack) {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 3;
+  setup.workload.num_clients = 10;
+  setup.workload.duration = sim::hours(2);
+  setup.workload.mean_rate_qps = 0.05;
+  setup.attack = AttackSpec::none();
+  const auto r = run_experiment(setup, resolver::ResilienceConfig::vanilla());
+  EXPECT_NE(to_json(r).find("\"attack_window\":null"), std::string::npos);
+}
+
+TEST(ReplayTest, ReplayMatchesGeneratedRun) {
+  // Generating a workload and replaying the same events must produce the
+  // same counters.
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 5;
+  setup.workload.num_clients = 15;
+  setup.workload.duration = sim::hours(12);
+  setup.workload.mean_rate_qps = 0.1;
+  setup.attack = AttackSpec::none();
+
+  const server::Hierarchy h = server::build_hierarchy(setup.hierarchy);
+  const auto events = trace::generate_workload(h, setup.workload);
+
+  const auto generated =
+      run_experiment(setup, resolver::ResilienceConfig::refresh());
+  const auto replayed =
+      replay_trace(setup, resolver::ResilienceConfig::refresh(), events);
+  EXPECT_EQ(replayed.trace_stats.requests_in, generated.trace_stats.requests_in);
+  EXPECT_EQ(replayed.totals.msgs_sent, generated.totals.msgs_sent);
+  EXPECT_EQ(replayed.totals.sr_failures, generated.totals.sr_failures);
+}
+
+TEST(ReplayTest, UnknownNamesResolveToNxDomain) {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.attack = AttackSpec::none();
+  std::vector<trace::QueryEvent> events{
+      {1.0, 0, dns::Name::parse("not-in-hierarchy.com"), dns::RRType::kA},
+  };
+  const auto r =
+      replay_trace(setup, resolver::ResilienceConfig::vanilla(), events);
+  EXPECT_EQ(r.totals.sr_queries, 1u);
+  EXPECT_EQ(r.totals.sr_failures, 0u);  // NXDOMAIN counts as resolved
+}
+
+}  // namespace
+}  // namespace dnsshield::core

@@ -1,0 +1,201 @@
+// Edge cases and guard rails of the caching server: lame referrals,
+// recursion depth caps, bounded caches in live resolution, apex queries,
+// and refresh monotonicity.
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "attack/scenario.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using server::AuthServer;
+using server::Hierarchy;
+using server::Zone;
+
+Hierarchy linear_tree() {
+  Hierarchy h;
+  Zone& root = h.add_zone(Name::root(), 518400);
+  h.assign(root, h.add_server(Name::parse("a.root-servers.net"),
+                              IpAddr::parse("10.0.0.1")));
+  Zone& com = h.add_zone(Name::parse("com"), 172800);
+  h.assign(com, h.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2")));
+  Zone& leaf = h.add_zone(Name::parse("leaf.com"), 600);
+  h.assign(leaf,
+           h.add_server(Name::parse("ns1.leaf.com"), IpAddr::parse("10.0.0.3")));
+  leaf.add_record(Name::parse("www.leaf.com"), RRType::kA, 300,
+                  dns::ARdata{IpAddr::parse("10.1.1.1")});
+  h.finalize();
+  return h;
+}
+
+TEST(ResolverEdgeTest, ApexNsQueryAnsweredAuthoritatively) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("leaf.com"), RRType::kNS);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kNS);
+}
+
+TEST(ResolverEdgeTest, ApexSoaQueryWorks) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("leaf.com"), RRType::kSOA);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kSOA);
+}
+
+TEST(ResolverEdgeTest, QueryForUnknownTldIsNxDomain) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.nowhere.zz"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rcode, Rcode::kNxDomain);
+}
+
+TEST(ResolverEdgeTest, BoundedCacheStillResolves) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  ResilienceConfig config = ResilienceConfig::vanilla();
+  config.cache_max_entries = 2;  // brutally small
+  CachingServer cs(h, no_attack, events, config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(cs.resolve(Name::parse("www.leaf.com"), RRType::kA).success);
+  }
+  EXPECT_GT(cs.cache().stats().evictions, 0u);
+}
+
+TEST(ResolverEdgeTest, RefreshNeverShortensIrrExpiry) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::refresh());
+  double last_expiry = 0;
+  for (int i = 0; i < 8; ++i) {
+    events.run_until(i * 200.0);
+    cs.resolve(Name::parse("www.leaf.com"), RRType::kA);
+    const CacheEntry* ns =
+        cs.cache().lookup(Name::parse("leaf.com"), RRType::kNS, events.now());
+    ASSERT_NE(ns, nullptr);
+    EXPECT_GE(ns->expires_at, last_expiry);
+    last_expiry = ns->expires_at;
+  }
+}
+
+TEST(ResolverEdgeTest, PartialServerFailureFailsOver) {
+  // Two servers for a zone; one is down; resolution must succeed with one
+  // failed message at most per consultation.
+  Hierarchy h;
+  Zone& root = h.add_zone(Name::root(), 518400);
+  h.assign(root, h.add_server(Name::parse("a.root-servers.net"),
+                              IpAddr::parse("10.0.0.1")));
+  Zone& com = h.add_zone(Name::parse("com"), 172800);
+  h.assign(com, h.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2")));
+  h.assign(com, h.add_server(Name::parse("ns2.com"), IpAddr::parse("10.0.0.3")));
+  Zone& leaf = h.add_zone(Name::parse("two.com"), 3600);
+  h.assign(leaf,
+           h.add_server(Name::parse("ns1.two.com"), IpAddr::parse("10.0.0.4")));
+  AuthServer& ns2 =
+      h.add_server(Name::parse("ns2.two.com"), IpAddr::parse("10.0.0.5"));
+  ns2.set_capacity(2.0);  // provisioned to absorb its flood share
+  h.assign(leaf, ns2);
+  leaf.add_record(Name::parse("www.two.com"), RRType::kA, 300,
+                  dns::ARdata{IpAddr::parse("10.1.0.1")});
+  h.finalize();
+
+  // Capacity-limited strike on two.com: share = 1.5 per server, so ns1
+  // (capacity 1) dies and ns2 (capacity 2) survives.
+  attack::AttackScenario scenario =
+      attack::single_zone(Name::parse("two.com"), 0, sim::days(1));
+  scenario.strength = 3.0;
+  const attack::AttackInjector injector(h, scenario);
+
+  sim::EventQueue events;
+  CachingServer cs(h, injector, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.two.com"), RRType::kA);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.messages_failed, 1);  // had to step over the dead server
+}
+
+TEST(ResolverEdgeTest, CnameLoopIsBounded) {
+  Hierarchy h;
+  Zone& root = h.add_zone(Name::root(), 518400);
+  h.assign(root, h.add_server(Name::parse("a.root-servers.net"),
+                              IpAddr::parse("10.0.0.1")));
+  Zone& zone = h.add_zone(Name::parse("loop.test"), 3600);
+  h.assign(zone,
+           h.add_server(Name::parse("ns1.loop.test"), IpAddr::parse("10.0.0.2")));
+  zone.add_record(Name::parse("a.loop.test"), RRType::kCNAME, 300,
+                  dns::CnameRdata{Name::parse("b.loop.test")});
+  zone.add_record(Name::parse("b.loop.test"), RRType::kCNAME, 300,
+                  dns::CnameRdata{Name::parse("a.loop.test")});
+  h.finalize();
+
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("a.loop.test"), RRType::kA);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.rcode, Rcode::kServFail);
+  EXPECT_LT(r.messages_sent, 30);  // bounded, no infinite chase
+}
+
+TEST(ResolverEdgeTest, ProviderServesParentAndChildConsistently) {
+  // One server authoritative for both com and sub.com: queries must be
+  // answered from the deepest zone, and resolution through it works.
+  Hierarchy h;
+  Zone& root = h.add_zone(Name::root(), 518400);
+  h.assign(root, h.add_server(Name::parse("a.root-servers.net"),
+                              IpAddr::parse("10.0.0.1")));
+  Zone& com = h.add_zone(Name::parse("com"), 172800);
+  AuthServer& shared =
+      h.add_server(Name::parse("ns1.com"), IpAddr::parse("10.0.0.2"));
+  h.assign(com, shared);
+  Zone& child = h.add_zone(Name::parse("both.com"), 3600);
+  h.assign(child, shared);
+  child.add_record(Name::parse("www.both.com"), RRType::kA, 300,
+                   dns::ARdata{IpAddr::parse("10.1.0.9")});
+  h.finalize();
+
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  const auto r = cs.resolve(Name::parse("www.both.com"), RRType::kA);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(std::get<dns::ARdata>(r.answers[0].rdata).address,
+            IpAddr::parse("10.1.0.9"));
+}
+
+TEST(ResolverEdgeTest, StatsConsistencyInvariants) {
+  const Hierarchy h = linear_tree();
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  cs.resolve(Name::parse("www.leaf.com"), RRType::kA);
+  cs.resolve(Name::parse("www.leaf.com"), RRType::kA);
+  cs.resolve(Name::parse("leaf.com"), RRType::kMX);  // NODATA
+  const auto& s = cs.stats();
+  EXPECT_EQ(s.sr_queries, 3u);
+  EXPECT_LE(s.sr_failures, s.sr_queries);
+  EXPECT_LE(s.msgs_failed, s.msgs_sent);
+  EXPECT_LE(s.cache_answer_hits, s.sr_queries);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

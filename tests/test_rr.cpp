@@ -1,0 +1,133 @@
+#include "dns/rr.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::dns {
+namespace {
+
+TEST(RRTypeTest, RoundTripsMnemonics) {
+  for (RRType t : {RRType::kA, RRType::kNS, RRType::kCNAME, RRType::kSOA,
+                   RRType::kPTR, RRType::kMX, RRType::kTXT, RRType::kAAAA,
+                   RRType::kDS, RRType::kRRSIG, RRType::kNSEC, RRType::kDNSKEY,
+                   RRType::kANY}) {
+    EXPECT_EQ(rrtype_from_string(rrtype_to_string(t)), t);
+  }
+}
+
+TEST(RRTypeTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(rrtype_from_string("cname"), RRType::kCNAME);
+  EXPECT_EQ(rrtype_from_string("Ns"), RRType::kNS);
+}
+
+TEST(RRTypeTest, RejectsUnknown) {
+  EXPECT_THROW(rrtype_from_string("FROB"), std::invalid_argument);
+  EXPECT_THROW(rrtype_from_string(""), std::invalid_argument);
+}
+
+TEST(IpAddrTest, ParsesDottedQuad) {
+  EXPECT_EQ(IpAddr::parse("10.0.0.1").value(), 0x0a000001u);
+  EXPECT_EQ(IpAddr::parse("255.255.255.255").value(), 0xffffffffu);
+  EXPECT_EQ(IpAddr::parse("0.0.0.0").value(), 0u);
+}
+
+TEST(IpAddrTest, ToStringRoundTrips) {
+  for (const char* text : {"10.0.0.1", "192.168.17.254", "1.2.3.4"}) {
+    EXPECT_EQ(IpAddr::parse(text).to_string(), text);
+  }
+}
+
+struct BadAddr {
+  const char* text;
+};
+class IpAddrMalformed : public ::testing::TestWithParam<BadAddr> {};
+
+TEST_P(IpAddrMalformed, Rejects) {
+  EXPECT_THROW(IpAddr::parse(GetParam().text), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, IpAddrMalformed,
+                         ::testing::Values(BadAddr{""}, BadAddr{"1.2.3"},
+                                           BadAddr{"1.2.3.4.5"},
+                                           BadAddr{"256.1.1.1"},
+                                           BadAddr{"a.b.c.d"}, BadAddr{"1..2.3"},
+                                           BadAddr{"1.2.3.4 "}));
+
+TEST(RdataTest, MatchesType) {
+  EXPECT_TRUE(rdata_matches_type(ARdata{IpAddr(1)}, RRType::kA));
+  EXPECT_FALSE(rdata_matches_type(ARdata{IpAddr(1)}, RRType::kNS));
+  EXPECT_TRUE(rdata_matches_type(NsRdata{Name::parse("ns1.com")}, RRType::kNS));
+  EXPECT_TRUE(rdata_matches_type(CnameRdata{Name::parse("a.com")}, RRType::kPTR));
+  EXPECT_TRUE(rdata_matches_type(AaaaRdata{}, RRType::kAAAA));
+  EXPECT_FALSE(rdata_matches_type(OpaqueRdata{{1, 2}}, RRType::kAAAA));
+  EXPECT_TRUE(rdata_matches_type(OpaqueRdata{{1, 2}}, RRType::kDNSKEY));
+  EXPECT_FALSE(rdata_matches_type(OpaqueRdata{{1, 2}}, RRType::kA));
+}
+
+TEST(RdataTest, ToStringFormats) {
+  EXPECT_EQ(rdata_to_string(ARdata{IpAddr::parse("10.1.2.3")}), "10.1.2.3");
+  EXPECT_EQ(rdata_to_string(NsRdata{Name::parse("ns1.ucla.edu")}),
+            "ns1.ucla.edu.");
+  EXPECT_EQ(rdata_to_string(TxtRdata{"hello"}), "\"hello\"");
+  EXPECT_EQ(rdata_to_string(MxRdata{10, Name::parse("mx.a.com")}), "10 mx.a.com.");
+}
+
+TEST(ResourceRecordTest, ToStringLooksLikeZoneFile) {
+  const ResourceRecord rr{Name::parse("www.a.com"), RRType::kA, 3600,
+                          ARdata{IpAddr::parse("10.0.0.9")}};
+  EXPECT_EQ(rr.to_string(), "www.a.com. 3600 IN A 10.0.0.9");
+}
+
+TEST(RRsetTest, AddRejectsMismatchedRdata) {
+  RRset set(Name::parse("a.com"), RRType::kNS, 300);
+  EXPECT_THROW(set.add(ARdata{IpAddr(1)}), std::invalid_argument);
+}
+
+TEST(RRsetTest, AddDeduplicates) {
+  RRset set(Name::parse("a.com"), RRType::kA, 300);
+  set.add(ARdata{IpAddr(1)});
+  set.add(ARdata{IpAddr(1)});
+  set.add(ARdata{IpAddr(2)});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RRsetTest, ToRecordsExpands) {
+  RRset set(Name::parse("a.com"), RRType::kNS, 600);
+  set.add(NsRdata{Name::parse("ns1.a.com")});
+  set.add(NsRdata{Name::parse("ns2.a.com")});
+  const auto records = set.to_records();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& rr : records) {
+    EXPECT_EQ(rr.name, set.name());
+    EXPECT_EQ(rr.type, RRType::kNS);
+    EXPECT_EQ(rr.ttl, 600u);
+  }
+}
+
+TEST(RRsetTest, SameDataIgnoresOrderAndTtl) {
+  RRset a(Name::parse("z.com"), RRType::kNS, 300);
+  a.add(NsRdata{Name::parse("ns1.z.com")});
+  a.add(NsRdata{Name::parse("ns2.z.com")});
+  RRset b(Name::parse("z.com"), RRType::kNS, 9999);
+  b.add(NsRdata{Name::parse("ns2.z.com")});
+  b.add(NsRdata{Name::parse("ns1.z.com")});
+  EXPECT_TRUE(a.same_data(b));
+}
+
+TEST(RRsetTest, SameDataDetectsDifferences) {
+  RRset a(Name::parse("z.com"), RRType::kNS, 300);
+  a.add(NsRdata{Name::parse("ns1.z.com")});
+  RRset b(Name::parse("z.com"), RRType::kNS, 300);
+  b.add(NsRdata{Name::parse("ns9.z.com")});
+  EXPECT_FALSE(a.same_data(b));
+
+  RRset c(Name::parse("other.com"), RRType::kNS, 300);
+  c.add(NsRdata{Name::parse("ns1.z.com")});
+  EXPECT_FALSE(a.same_data(c));
+
+  RRset d = a;
+  d.add(NsRdata{Name::parse("ns2.z.com")});
+  EXPECT_FALSE(a.same_data(d));
+}
+
+}  // namespace
+}  // namespace dnsshield::dns

@@ -1,0 +1,70 @@
+// Long-horizon soak: a 30-day run per scheme over a small world, checking
+// global invariants that only show up over many TTL generations.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+
+namespace dnsshield::core {
+namespace {
+
+using resolver::RenewalPolicy;
+using resolver::ResilienceConfig;
+
+struct SoakCase {
+  const char* label;
+  ResilienceConfig config;
+};
+
+class SoakTest : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(SoakTest, ThirtyDaysOfInvariants) {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.hierarchy.num_slds = 120;
+  setup.workload.seed = 99;
+  setup.workload.num_clients = 30;
+  setup.workload.duration = 30 * sim::kDay;
+  setup.workload.mean_rate_qps = 0.02;
+  setup.attack = AttackSpec::none();
+  setup.occupancy_interval = sim::hours(12);
+
+  const auto r = run_experiment(setup, GetParam().config);
+
+  // No failures without an attack, ever.
+  EXPECT_EQ(r.totals.sr_failures, 0u);
+  EXPECT_EQ(r.totals.msgs_failed, 0u);
+
+  // Counters stay mutually consistent over ~50k queries.
+  EXPECT_EQ(r.totals.sr_queries, r.trace_stats.requests_in);
+  EXPECT_GE(r.totals.sr_queries, r.totals.cache_answer_hits);
+  EXPECT_GT(r.totals.msgs_sent, 0u);
+
+  // The cache stays bounded by the universe: every (name,type) in play is
+  // finite, so occupancy must plateau rather than grow without bound.
+  ASSERT_GE(r.rrsets_cached.size(), 59u);
+  const auto& points = r.rrsets_cached.points();
+  const double mid = points[points.size() / 2].value;
+  const double end = points.back().value;
+  EXPECT_LT(end, mid * 1.5) << "occupancy must plateau, not keep climbing";
+
+  // Latency distribution is sane: cache answers dominate eventually.
+  EXPECT_LT(r.latency.quantile(0.5), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SoakTest,
+    ::testing::Values(
+        SoakCase{"vanilla", ResilienceConfig::vanilla()},
+        SoakCase{"refresh", ResilienceConfig::refresh()},
+        SoakCase{"alfu5",
+                 ResilienceConfig::refresh_renew(RenewalPolicy::kAdaptiveLfu, 5)},
+        SoakCase{"combo3", ResilienceConfig::combination(3)},
+        SoakCase{"stale", ResilienceConfig::stale_serving()},
+        SoakCase{"prefetch", ResilienceConfig::host_prefetch()}),
+    [](const ::testing::TestParamInfo<SoakCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace dnsshield::core

@@ -1,0 +1,60 @@
+#include "resolver/stub_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "attack/scenario.h"
+#include "server/hierarchy_builder.h"
+
+namespace dnsshield::resolver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+TEST(StubResolverTest, CountsQueriesAndFailures) {
+  server::HierarchyParams p;
+  p.seed = 1;
+  p.num_tlds = 2;
+  p.num_slds = 10;
+  p.num_providers = 1;
+  const server::Hierarchy h = server::build_hierarchy(p);
+
+  sim::EventQueue events;
+  // Attack everything from the start: every cold resolution fails.
+  const attack::AttackInjector injector(
+      h, attack::root_and_tlds(h, 0, sim::days(30)));
+  CachingServer cs(h, injector, events, ResilienceConfig::vanilla());
+
+  StubResolver sr(7, cs);
+  EXPECT_EQ(sr.id(), 7u);
+  const Name name = h.host_names().front();
+  const auto r = sr.query(name, RRType::kA);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(sr.queries_sent(), 1u);
+  EXPECT_EQ(sr.failures(), 1u);
+
+  // Two stubs behind the same CS share its cache and stats.
+  StubResolver sr2(8, cs);
+  sr2.query(name, RRType::kA);
+  EXPECT_EQ(cs.stats().sr_queries, 2u);
+  EXPECT_EQ(sr2.failures(), 1u);
+}
+
+TEST(StubResolverTest, SuccessPathCountsNoFailure) {
+  server::HierarchyParams p;
+  p.seed = 2;
+  p.num_tlds = 2;
+  p.num_slds = 10;
+  p.num_providers = 1;
+  const server::Hierarchy h = server::build_hierarchy(p);
+  sim::EventQueue events;
+  const attack::AttackInjector no_attack;
+  CachingServer cs(h, no_attack, events, ResilienceConfig::vanilla());
+  StubResolver sr(1, cs);
+  EXPECT_TRUE(sr.query(h.host_names().front(), RRType::kA).success);
+  EXPECT_EQ(sr.failures(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsshield::resolver

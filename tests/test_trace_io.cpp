@@ -1,0 +1,76 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dnsshield::trace {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+std::vector<QueryEvent> sample_events() {
+  return {
+      {0.5, 1, Name::parse("www.a.com"), RRType::kA},
+      {1.25, 2, Name::parse("mail.b.org"), RRType::kMX},
+      {1.25, 1, Name::parse("www.a.com"), RRType::kA},
+      {900.0, 3, Name::parse("deep.sub.c.net"), RRType::kAAAA},
+  };
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  std::stringstream buf;
+  write_trace(buf, sample_events());
+  EXPECT_EQ(read_trace(buf), sample_events());
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream buf("# header\n\n1.0\t7\twww.x.com\tA\n# tail\n");
+  const auto events = read_trace(buf);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].client_id, 7u);
+  EXPECT_EQ(events[0].qname, Name::parse("www.x.com"));
+}
+
+TEST(TraceIoTest, StreamingCountsEvents) {
+  std::stringstream buf;
+  write_trace(buf, sample_events());
+  std::size_t seen = 0;
+  const std::size_t n = for_each_query(buf, [&](const QueryEvent&) { ++seen; });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(seen, 4u);
+}
+
+struct BadLine {
+  const char* text;
+};
+class TraceIoMalformed : public ::testing::TestWithParam<BadLine> {};
+
+TEST_P(TraceIoMalformed, Rejects) {
+  std::stringstream buf(GetParam().text);
+  EXPECT_THROW(read_trace(buf), TraceFormatError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceIoMalformed,
+    ::testing::Values(BadLine{"1.0\t1\twww.a.com\n"},            // 3 fields
+                      BadLine{"1.0\t1\twww.a.com\tA\textra\n"},  // 5 fields
+                      BadLine{"abc\t1\twww.a.com\tA\n"},         // bad time
+                      BadLine{"1.0\t-1\twww.a.com\tA\n"},        // bad client
+                      BadLine{"1.0\t1\t..bad..\tA\n"},           // bad name
+                      BadLine{"1.0\t1\twww.a.com\tFROB\n"},      // bad type
+                      BadLine{"5.0\t1\ta.com\tA\n1.0\t1\tb.com\tA\n"}));  // unsorted
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_io_test.tsv";
+  write_trace_file(path, sample_events());
+  EXPECT_EQ(read_trace_file(path), sample_events());
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.tsv"), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace dnsshield::trace

@@ -1,0 +1,46 @@
+#include "dns/trust.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::dns {
+namespace {
+
+TEST(TrustTest, RankingOrder) {
+  EXPECT_LT(static_cast<int>(Trust::kAdditional),
+            static_cast<int>(Trust::kAuthorityReferral));
+  EXPECT_LT(static_cast<int>(Trust::kAuthorityReferral),
+            static_cast<int>(Trust::kAuthorityAuthAnswer));
+  EXPECT_LT(static_cast<int>(Trust::kAuthorityAuthAnswer),
+            static_cast<int>(Trust::kAnswer));
+  EXPECT_LT(static_cast<int>(Trust::kAnswer), static_cast<int>(Trust::kAuthAnswer));
+}
+
+TEST(TrustTest, EqualTrustMayReplace) {
+  for (Trust t : {Trust::kAdditional, Trust::kAuthorityReferral,
+                  Trust::kAuthorityAuthAnswer, Trust::kAnswer, Trust::kAuthAnswer}) {
+    EXPECT_TRUE(may_replace(t, t));
+  }
+}
+
+TEST(TrustTest, ChildCopyOutranksParentReferral) {
+  // The RFC 2181 rule the paper's refresh scheme leans on.
+  EXPECT_TRUE(may_replace(Trust::kAuthorityAuthAnswer, Trust::kAuthorityReferral));
+  EXPECT_FALSE(may_replace(Trust::kAuthorityReferral, Trust::kAuthorityAuthAnswer));
+}
+
+TEST(TrustTest, GlueNeverOverwritesAnswers) {
+  EXPECT_FALSE(may_replace(Trust::kAdditional, Trust::kAnswer));
+  EXPECT_FALSE(may_replace(Trust::kAdditional, Trust::kAuthAnswer));
+  EXPECT_TRUE(may_replace(Trust::kAuthAnswer, Trust::kAdditional));
+}
+
+TEST(TrustTest, ToStringCoversAll) {
+  for (Trust t : {Trust::kAdditional, Trust::kAuthorityReferral,
+                  Trust::kAuthorityAuthAnswer, Trust::kAnswer, Trust::kAuthAnswer}) {
+    EXPECT_FALSE(std::string(trust_to_string(t)).empty());
+    EXPECT_EQ(std::string(trust_to_string(t)).find('?'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield::dns

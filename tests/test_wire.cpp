@@ -1,0 +1,216 @@
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::dns {
+namespace {
+
+Message sample_response() {
+  Message q = Message::make_query(0x1234, Name::parse("www.ucla.edu"), RRType::kA);
+  q.header.rd = true;
+  Message r = Message::make_response(q);
+  r.header.aa = true;
+  r.header.ra = true;
+  r.answers.push_back({Name::parse("www.ucla.edu"), RRType::kA, 14400,
+                       ARdata{IpAddr::parse("10.3.2.1")}});
+  r.authorities.push_back({Name::parse("ucla.edu"), RRType::kNS, 86400,
+                           NsRdata{Name::parse("ns1.ucla.edu")}});
+  r.authorities.push_back({Name::parse("ucla.edu"), RRType::kNS, 86400,
+                           NsRdata{Name::parse("ns2.ucla.edu")}});
+  r.additionals.push_back({Name::parse("ns1.ucla.edu"), RRType::kA, 86400,
+                           ARdata{IpAddr::parse("10.0.0.1")}});
+  r.additionals.push_back({Name::parse("ns2.ucla.edu"), RRType::kA, 86400,
+                           ARdata{IpAddr::parse("10.0.0.2")}});
+  return r;
+}
+
+TEST(WireTest, QueryRoundTrip) {
+  const Message q = Message::make_query(9, Name::parse("a.b.c.example"), RRType::kNS);
+  EXPECT_EQ(decode_message(encode_message(q)), q);
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  const Message r = sample_response();
+  EXPECT_EQ(decode_message(encode_message(r)), r);
+}
+
+TEST(WireTest, RootNameRoundTrip) {
+  const Message q = Message::make_query(1, Name::root(), RRType::kNS);
+  const Message d = decode_message(encode_message(q));
+  EXPECT_TRUE(d.questions[0].qname.is_root());
+}
+
+TEST(WireTest, HeaderFlagsRoundTrip) {
+  Message m = Message::make_query(0xffff, Name::parse("x.y"), RRType::kA);
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.rd = true;
+  m.header.ra = true;
+  m.header.rcode = Rcode::kNxDomain;
+  m.header.opcode = Opcode::kUpdate;
+  EXPECT_EQ(decode_message(encode_message(m)).header, m.header);
+}
+
+TEST(WireTest, CompressionShrinksRepeatedNames) {
+  const Message r = sample_response();
+  const auto wire = encode_message(r);
+  // Uncompressed, "ucla.edu" suffixes would repeat 6 times; compressed
+  // output must be far below that.
+  std::size_t uncompressed = 12;  // header
+  for (const auto& q : r.questions) uncompressed += q.qname.wire_length() + 4;
+  auto record_size = [](const ResourceRecord& rr) {
+    std::size_t s = rr.name.wire_length() + 10;
+    if (const auto* ns = std::get_if<NsRdata>(&rr.rdata)) {
+      s += ns->nsdname.wire_length();
+    } else {
+      s += 4;
+    }
+    return s;
+  };
+  for (const auto& rr : r.answers) uncompressed += record_size(rr);
+  for (const auto& rr : r.authorities) uncompressed += record_size(rr);
+  for (const auto& rr : r.additionals) uncompressed += record_size(rr);
+  EXPECT_LT(wire.size(), uncompressed);
+  EXPECT_EQ(encoded_size(r), wire.size());
+}
+
+TEST(WireTest, SoaRoundTrip) {
+  Message m = Message::make_query(2, Name::parse("z.com"), RRType::kSOA);
+  Message r = Message::make_response(m);
+  SoaRdata soa;
+  soa.mname = Name::parse("ns1.z.com");
+  soa.rname = Name::parse("hostmaster.z.com");
+  soa.serial = 2026070700;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  r.answers.push_back({Name::parse("z.com"), RRType::kSOA, 3600, soa});
+  EXPECT_EQ(decode_message(encode_message(r)), r);
+}
+
+TEST(WireTest, MxAndTxtRoundTrip) {
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back({Name::parse("z.com"), RRType::kMX, 3600,
+                       MxRdata{10, Name::parse("mail.z.com")}});
+  r.answers.push_back({Name::parse("z.com"), RRType::kTXT, 3600,
+                       TxtRdata{"v=spf1 -all"}});
+  EXPECT_EQ(decode_message(encode_message(r)), r);
+}
+
+TEST(WireTest, LongTxtSplitsIntoCharacterStrings) {
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back(
+      {Name::parse("t.com"), RRType::kTXT, 60, TxtRdata{std::string(700, 'x')}});
+  const Message d = decode_message(encode_message(r));
+  EXPECT_EQ(std::get<TxtRdata>(d.answers[0].rdata).text, std::string(700, 'x'));
+}
+
+TEST(WireTest, OpaqueRdataRoundTrip) {
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back({Name::parse("signed.com"), RRType::kDNSKEY, 60,
+                       OpaqueRdata{{0x01, 0x00, 0x03, 0x08, 0xab, 0xcd}}});
+  EXPECT_EQ(decode_message(encode_message(r)), r);
+}
+
+TEST(WireTest, AaaaRoundTrip) {
+  Message r;
+  r.header.qr = true;
+  r.answers.push_back({Name::parse("v6.com"), RRType::kAAAA, 60,
+                       AaaaRdata{Ip6Addr::parse("2001:db8::1")}});
+  EXPECT_EQ(decode_message(encode_message(r)), r);
+}
+
+TEST(WireTest, RejectsBadAaaaLength) {
+  auto r = Message();
+  r.header.qr = true;
+  r.answers.push_back({Name::parse("v6.com"), RRType::kAAAA, 60,
+                       AaaaRdata{Ip6Addr::parse("::1")}});
+  auto wire = encode_message(r);
+  // Shrink the RDLENGTH field (last record): corrupting it must be caught.
+  wire[wire.size() - 17] = 0;
+  wire[wire.size() - 16] = 8;
+  wire.resize(wire.size() - 8);
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, EmptyMessageRoundTrip) {
+  Message m;
+  EXPECT_EQ(decode_message(encode_message(m)), m);
+}
+
+TEST(WireTest, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> wire{0x00, 0x01, 0x00};
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsTruncatedRecord) {
+  auto wire = encode_message(sample_response());
+  wire.resize(wire.size() - 3);
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsTrailingGarbage) {
+  auto wire = encode_message(sample_response());
+  wire.push_back(0x00);
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsForwardCompressionPointer) {
+  // Header + one question whose name is a pointer to itself.
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;                      // qdcount = 1
+  wire.push_back(0xc0);             // pointer ...
+  wire.push_back(12);               // ... to itself (offset 12 = this byte)
+  wire.push_back(0x00);
+  wire.push_back(0x01);             // qtype A
+  wire.push_back(0x00);
+  wire.push_back(0x01);             // class IN
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsReservedLabelType) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;  // qdcount = 1
+  wire.push_back(0x80);  // reserved label tag (10xxxxxx)
+  wire.push_back(0x00);
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsBadARdataLength) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[7] = 1;  // ancount = 1
+  wire.push_back(0);  // owner = root
+  wire.push_back(0x00); wire.push_back(0x01);  // type A
+  wire.push_back(0x00); wire.push_back(0x01);  // class IN
+  for (int i = 0; i < 4; ++i) wire.push_back(0);  // ttl
+  wire.push_back(0x00); wire.push_back(0x02);  // rdlength = 2 (invalid for A)
+  wire.push_back(1); wire.push_back(2);
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+TEST(WireTest, RejectsNonInClass) {
+  auto wire = encode_message(Message::make_query(1, Name::parse("a.b"), RRType::kA));
+  wire[wire.size() - 1] = 3;  // class CH
+  EXPECT_THROW(decode_message(wire), WireFormatError);
+}
+
+class WireRoundTripSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WireRoundTripSweep, NamesSurviveEncoding) {
+  const Message q = Message::make_query(5, Name::parse(GetParam()), RRType::kA);
+  EXPECT_EQ(decode_message(encode_message(q)).questions[0].qname,
+            Name::parse(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, WireRoundTripSweep,
+    ::testing::Values(".", "com", "example.com", "a.b.c.d.e.f.g.h",
+                      "xn--nxasmq6b.example", "very-long-label-with-dashes.org"));
+
+}  // namespace
+}  // namespace dnsshield::dns

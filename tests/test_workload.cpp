@@ -1,0 +1,165 @@
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "server/hierarchy_builder.h"
+
+namespace dnsshield::trace {
+namespace {
+
+using dns::Name;
+
+const server::Hierarchy& test_hierarchy() {
+  static const server::Hierarchy h = [] {
+    server::HierarchyParams p;
+    p.seed = 3;
+    p.num_tlds = 3;
+    p.num_slds = 80;
+    p.num_providers = 2;
+    return server::build_hierarchy(p);
+  }();
+  return h;
+}
+
+WorkloadParams quick_params() {
+  WorkloadParams p;
+  p.seed = 11;
+  p.num_clients = 20;
+  p.duration = 6 * sim::kHour;
+  p.mean_rate_qps = 0.5;
+  // mean_rate_qps is a full-day mean; zero the diurnal term so short
+  // windows see exactly that rate.
+  p.diurnal_amplitude = 0;
+  return p;
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto a = generate_workload(test_hierarchy(), quick_params());
+  const auto b = generate_workload(test_hierarchy(), quick_params());
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadParams p2 = quick_params();
+  p2.seed = 12;
+  EXPECT_NE(generate_workload(test_hierarchy(), quick_params()),
+            generate_workload(test_hierarchy(), p2));
+}
+
+TEST(WorkloadTest, EventCountTracksRate) {
+  const auto events = generate_workload(test_hierarchy(), quick_params());
+  const double expected = quick_params().mean_rate_qps * quick_params().duration;
+  EXPECT_GT(events.size(), expected * 0.85);
+  EXPECT_LT(events.size(), expected * 1.15);
+}
+
+TEST(WorkloadTest, TimesSortedAndWithinDuration) {
+  const auto events = generate_workload(test_hierarchy(), quick_params());
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  EXPECT_GE(events.front().time, 0.0);
+  EXPECT_LT(events.back().time, quick_params().duration);
+}
+
+TEST(WorkloadTest, ClientIdsInRange) {
+  const auto events = generate_workload(test_hierarchy(), quick_params());
+  for (const auto& ev : events) {
+    EXPECT_LT(ev.client_id, quick_params().num_clients);
+  }
+}
+
+TEST(WorkloadTest, NamesComeFromHierarchyUniverse) {
+  const auto events = generate_workload(test_hierarchy(), quick_params());
+  const auto& universe = test_hierarchy().host_names();
+  for (std::size_t i = 0; i < std::min<std::size_t>(events.size(), 100); ++i) {
+    EXPECT_TRUE(std::binary_search(universe.begin(), universe.end(),
+                                   events[i].qname))
+        << events[i].qname.to_string();
+  }
+}
+
+TEST(WorkloadTest, PopularitySkewIsZipfLike) {
+  WorkloadParams p = quick_params();
+  p.duration = 2 * sim::kDay;
+  p.mean_rate_qps = 1.0;
+  p.zipf_alpha = 1.0;
+  const auto events = generate_workload(test_hierarchy(), p);
+  std::map<Name, int> counts;
+  for (const auto& ev : events) ++counts[ev.qname];
+  int top = 0;
+  for (const auto& [name, c] : counts) top = std::max(top, c);
+  // The hottest of ~1000 names must dwarf the mean under Zipf(1.0).
+  const double mean = static_cast<double>(events.size()) /
+                      static_cast<double>(counts.size());
+  EXPECT_GT(top, 10 * mean);
+}
+
+TEST(WorkloadTest, DiurnalModulationShiftsLoad) {
+  WorkloadParams p = quick_params();
+  p.duration = 2 * sim::kDay;
+  p.mean_rate_qps = 2.0;
+  p.diurnal_amplitude = 0.9;
+  const auto events = generate_workload(test_hierarchy(), p);
+  // First quarter of each day (sin rising) must carry more load than the
+  // third quarter (sin negative).
+  std::size_t peak = 0, trough = 0;
+  for (const auto& ev : events) {
+    const double phase = std::fmod(ev.time, sim::kDay) / sim::kDay;
+    if (phase < 0.25) ++peak;
+    if (phase >= 0.5 && phase < 0.75) ++trough;
+  }
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(WorkloadTest, StreamingMatchesMaterialized) {
+  std::vector<QueryEvent> streamed;
+  generate_workload(test_hierarchy(), quick_params(),
+                    [&](const QueryEvent& ev) { streamed.push_back(ev); });
+  EXPECT_EQ(streamed, generate_workload(test_hierarchy(), quick_params()));
+}
+
+TEST(WorkloadTest, ValidatesParameters) {
+  WorkloadParams p = quick_params();
+  p.num_clients = 0;
+  EXPECT_THROW(generate_workload(test_hierarchy(), p), std::invalid_argument);
+  p = quick_params();
+  p.mean_rate_qps = 0;
+  EXPECT_THROW(generate_workload(test_hierarchy(), p), std::invalid_argument);
+  p = quick_params();
+  p.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_workload(test_hierarchy(), p), std::invalid_argument);
+}
+
+TEST(TraceStatsTest, CountsDistinctEntities) {
+  const auto events = generate_workload(test_hierarchy(), quick_params());
+  const TraceStats stats = compute_stats(test_hierarchy(), events);
+  EXPECT_EQ(stats.requests_in, events.size());
+  EXPECT_GT(stats.clients, 0u);
+  EXPECT_LE(stats.clients, quick_params().num_clients);
+  EXPECT_GT(stats.names, 0u);
+  EXPECT_GE(stats.names, stats.zones);
+  EXPECT_GT(stats.zones, 1u);
+  EXPECT_DOUBLE_EQ(stats.duration, events.back().time);
+}
+
+class WorkloadRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorkloadRateSweep, ThinningPreservesMeanRate) {
+  WorkloadParams p = quick_params();
+  p.mean_rate_qps = GetParam();
+  p.duration = 1 * sim::kDay;
+  const auto events = generate_workload(test_hierarchy(), p);
+  const double expected = p.mean_rate_qps * p.duration;
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, expected * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, WorkloadRateSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0));
+
+}  // namespace
+}  // namespace dnsshield::trace

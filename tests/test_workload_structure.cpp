@@ -1,0 +1,137 @@
+// Structural properties of the workload generator that the experiments
+// lean on: client interest overlap and the shared/private split.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "server/hierarchy_builder.h"
+#include "trace/workload.h"
+
+namespace dnsshield::trace {
+namespace {
+
+using dns::Name;
+
+const server::Hierarchy& structure_hierarchy() {
+  static const server::Hierarchy h = [] {
+    server::HierarchyParams p;
+    p.seed = 44;
+    p.num_tlds = 3;
+    p.num_slds = 150;
+    p.num_providers = 2;
+    return server::build_hierarchy(p);
+  }();
+  return h;
+}
+
+WorkloadParams base_params() {
+  WorkloadParams p;
+  p.seed = 9;
+  p.num_clients = 10;
+  p.duration = 4 * sim::kDay;
+  p.mean_rate_qps = 0.6;
+  p.diurnal_amplitude = 0;
+  return p;
+}
+
+/// Jaccard overlap of two clients' name sets.
+double overlap(const std::set<Name>& a, const std::set<Name>& b) {
+  std::size_t inter = 0;
+  for (const auto& n : a) inter += b.count(n);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::set<Name>> per_client_names(const WorkloadParams& params) {
+  std::vector<std::set<Name>> sets(params.num_clients);
+  generate_workload(structure_hierarchy(), params, [&](const QueryEvent& ev) {
+    sets[ev.client_id].insert(ev.qname);
+  });
+  return sets;
+}
+
+TEST(WorkloadStructureTest, SharedFractionDrivesClientOverlap) {
+  auto mostly_shared = base_params();
+  mostly_shared.shared_fraction = 0.95;
+  auto mostly_private = base_params();
+  mostly_private.shared_fraction = 0.05;
+  mostly_private.private_set_size = 200;
+
+  const auto shared_sets = per_client_names(mostly_shared);
+  const auto private_sets = per_client_names(mostly_private);
+
+  double shared_overlap = 0, private_overlap = 0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < shared_sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < shared_sets.size(); ++j) {
+      shared_overlap += overlap(shared_sets[i], shared_sets[j]);
+      private_overlap += overlap(private_sets[i], private_sets[j]);
+      ++pairs;
+    }
+  }
+  EXPECT_GT(shared_overlap / pairs, 1.5 * (private_overlap / pairs))
+      << "shared-population queries must overlap more across clients";
+}
+
+TEST(WorkloadStructureTest, PrivateSetsAreClientSpecificButPopularityBiased) {
+  auto params = base_params();
+  params.shared_fraction = 0.0;
+  params.private_set_size = 30;
+  const auto sets = per_client_names(params);
+  // Each client touches at most its private-set size of names.
+  for (const auto& s : sets) {
+    EXPECT_LE(s.size(), 30u);
+    EXPECT_GT(s.size(), 2u);
+  }
+  // But clients differ (not one global list).
+  EXPECT_NE(sets[0], sets[1]);
+}
+
+TEST(WorkloadStructureTest, ZipfAlphaControlsConcentration) {
+  auto flat = base_params();
+  flat.zipf_alpha = 0.2;
+  auto steep = base_params();
+  steep.zipf_alpha = 1.3;
+
+  auto top_share = [&](const WorkloadParams& p) {
+    std::map<Name, std::size_t> counts;
+    std::size_t total = 0;
+    generate_workload(structure_hierarchy(), p, [&](const QueryEvent& ev) {
+      ++counts[ev.qname];
+      ++total;
+    });
+    std::size_t top = 0;
+    for (const auto& [name, c] : counts) top = std::max(top, c);
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  EXPECT_GT(top_share(steep), 3 * top_share(flat));
+}
+
+TEST(WorkloadStructureTest, DistinctSeedsDistinctHotNames) {
+  auto a = base_params();
+  auto b = base_params();
+  b.seed = 10;
+  std::map<Name, std::size_t> ca, cb;
+  generate_workload(structure_hierarchy(), a,
+                    [&](const QueryEvent& ev) { ++ca[ev.qname]; });
+  generate_workload(structure_hierarchy(), b,
+                    [&](const QueryEvent& ev) { ++cb[ev.qname]; });
+  auto hottest = [](const std::map<Name, std::size_t>& counts) {
+    Name best;
+    std::size_t top = 0;
+    for (const auto& [name, c] : counts) {
+      if (c > top) {
+        top = c;
+        best = name;
+      }
+    }
+    return best;
+  };
+  // The popularity permutation depends on the seed, so the hottest name
+  // (almost surely) differs.
+  EXPECT_NE(hottest(ca), hottest(cb));
+}
+
+}  // namespace
+}  // namespace dnsshield::trace

@@ -1,0 +1,190 @@
+#include "server/zone.h"
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::server {
+namespace {
+
+using dns::IpAddr;
+using dns::Message;
+using dns::Name;
+using dns::Question;
+using dns::Rcode;
+using dns::RRset;
+using dns::RRType;
+
+Zone make_zone(const std::string& origin, std::uint32_t irr_ttl = 3600) {
+  dns::SoaRdata soa;
+  soa.mname = Name::parse("ns1." + origin);
+  soa.rname = Name::parse("hostmaster." + origin);
+  soa.minimum = 300;
+  return Zone(Name::parse(origin), soa, 3600, irr_ttl);
+}
+
+Message ask(const Zone& zone, const std::string& qname,
+            RRType qtype = RRType::kA) {
+  const Message query = Message::make_query(1, Name::parse(qname), qtype);
+  Message response = Message::make_response(query);
+  zone.answer(query.questions[0], response);
+  return response;
+}
+
+TEST(ZoneTest, ApexSoaExistsOnConstruction) {
+  const Zone z = make_zone("ucla.edu");
+  EXPECT_NE(z.find_rrset(Name::parse("ucla.edu"), RRType::kSOA), nullptr);
+}
+
+TEST(ZoneTest, AddNameServerBuildsNsSetAndGlue) {
+  Zone z = make_zone("ucla.edu", 7200);
+  z.add_name_server(Name::parse("ns1.ucla.edu"), IpAddr::parse("10.0.0.1"));
+  z.add_name_server(Name::parse("ns.offsite.net"), IpAddr::parse("10.0.0.2"));
+  EXPECT_EQ(z.ns_set().size(), 2u);
+  EXPECT_EQ(z.ns_set().ttl(), 7200u);
+  // In-bailiwick server gets an authoritative A record; off-site does not.
+  EXPECT_NE(z.find_rrset(Name::parse("ns1.ucla.edu"), RRType::kA), nullptr);
+  EXPECT_EQ(z.find_rrset(Name::parse("ns.offsite.net"), RRType::kA), nullptr);
+}
+
+TEST(ZoneTest, AddRecordRejectsOutOfZoneNames) {
+  Zone z = make_zone("ucla.edu");
+  EXPECT_THROW(z.add_record(Name::parse("www.mit.edu"), RRType::kA, 60,
+                            dns::ARdata{IpAddr(1)}),
+               std::invalid_argument);
+}
+
+TEST(ZoneTest, AddRecordRejectsNamesBelowDelegation) {
+  Zone z = make_zone("ucla.edu");
+  Delegation cut;
+  cut.child = Name::parse("cs.ucla.edu");
+  cut.ns_set = RRset(cut.child, RRType::kNS, 3600);
+  cut.ns_set.add(dns::NsRdata{Name::parse("ns1.cs.ucla.edu")});
+  z.add_delegation(cut);
+  EXPECT_THROW(z.add_record(Name::parse("www.cs.ucla.edu"), RRType::kA, 60,
+                            dns::ARdata{IpAddr(1)}),
+               std::invalid_argument);
+}
+
+TEST(ZoneTest, DelegationMustBeBelowOrigin) {
+  Zone z = make_zone("ucla.edu");
+  Delegation cut;
+  cut.child = Name::parse("mit.edu");
+  EXPECT_THROW(z.add_delegation(cut), std::invalid_argument);
+  Delegation self;
+  self.child = Name::parse("ucla.edu");
+  EXPECT_THROW(z.add_delegation(self), std::invalid_argument);
+}
+
+TEST(ZoneTest, FindDelegationCoversDescendants) {
+  Zone z = make_zone("edu");
+  Delegation cut;
+  cut.child = Name::parse("ucla.edu");
+  cut.ns_set = RRset(cut.child, RRType::kNS, 3600);
+  cut.ns_set.add(dns::NsRdata{Name::parse("ns1.ucla.edu")});
+  z.add_delegation(cut);
+  EXPECT_NE(z.find_delegation(Name::parse("ucla.edu")), nullptr);
+  EXPECT_NE(z.find_delegation(Name::parse("www.cs.ucla.edu")), nullptr);
+  EXPECT_EQ(z.find_delegation(Name::parse("mit.edu")), nullptr);
+  EXPECT_EQ(z.find_delegation(Name::parse("edu")), nullptr);
+}
+
+TEST(ZoneTest, AuthoritativeAnswerCarriesZoneIrrs) {
+  Zone z = make_zone("ucla.edu");
+  z.add_name_server(Name::parse("ns1.ucla.edu"), IpAddr::parse("10.0.0.1"));
+  z.add_record(Name::parse("www.ucla.edu"), RRType::kA, 600,
+               dns::ARdata{IpAddr::parse("10.9.9.9")});
+  const Message r = ask(z, "www.ucla.edu");
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::kA);
+  // Authority carries the zone's own NS set; additional carries addresses.
+  ASSERT_FALSE(r.authorities.empty());
+  EXPECT_EQ(r.authorities[0].type, RRType::kNS);
+  ASSERT_FALSE(r.additionals.empty());
+  EXPECT_EQ(r.additionals[0].name, Name::parse("ns1.ucla.edu"));
+}
+
+TEST(ZoneTest, ReferralForDelegatedName) {
+  Zone z = make_zone("edu");
+  Delegation cut;
+  cut.child = Name::parse("ucla.edu");
+  cut.ns_set = RRset(cut.child, RRType::kNS, 7200);
+  cut.ns_set.add(dns::NsRdata{Name::parse("ns1.ucla.edu")});
+  RRset glue(Name::parse("ns1.ucla.edu"), RRType::kA, 7200);
+  glue.add(dns::ARdata{IpAddr::parse("10.0.0.1")});
+  cut.glue.push_back(glue);
+  z.add_delegation(cut);
+
+  const Message r = ask(z, "www.ucla.edu");
+  EXPECT_FALSE(r.header.aa);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_TRUE(r.is_referral());
+  ASSERT_EQ(r.authorities.size(), 1u);
+  EXPECT_EQ(r.authorities[0].name, Name::parse("ucla.edu"));
+  ASSERT_EQ(r.additionals.size(), 1u);
+  EXPECT_EQ(r.additionals[0].name, Name::parse("ns1.ucla.edu"));
+}
+
+TEST(ZoneTest, NxDomainCarriesSoa) {
+  Zone z = make_zone("ucla.edu");
+  const Message r = ask(z, "nope.ucla.edu");
+  EXPECT_EQ(r.header.rcode, Rcode::kNxDomain);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_FALSE(r.authorities.empty());
+  EXPECT_EQ(r.authorities[0].type, RRType::kSOA);
+}
+
+TEST(ZoneTest, NodataForExistingNameWrongType) {
+  Zone z = make_zone("ucla.edu");
+  z.add_record(Name::parse("www.ucla.edu"), RRType::kA, 600,
+               dns::ARdata{IpAddr(7)});
+  const Message r = ask(z, "www.ucla.edu", RRType::kMX);
+  EXPECT_EQ(r.header.rcode, Rcode::kNoError);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_FALSE(r.authorities.empty());
+  EXPECT_EQ(r.authorities[0].type, RRType::kSOA);
+}
+
+TEST(ZoneTest, CnameAnsweredForOtherTypes) {
+  Zone z = make_zone("ucla.edu");
+  z.add_record(Name::parse("alias.ucla.edu"), RRType::kCNAME, 600,
+               dns::CnameRdata{Name::parse("www.ucla.edu")});
+  const Message r = ask(z, "alias.ucla.edu", RRType::kA);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::kCNAME);
+}
+
+TEST(ZoneTest, NameExistsSeesEmptyNonTerminals) {
+  Zone z = make_zone("ucla.edu");
+  z.add_record(Name::parse("a.b.ucla.edu"), RRType::kA, 60, dns::ARdata{IpAddr(1)});
+  EXPECT_TRUE(z.name_exists(Name::parse("a.b.ucla.edu")));
+  EXPECT_TRUE(z.name_exists(Name::parse("b.ucla.edu")));  // empty non-terminal
+  EXPECT_FALSE(z.name_exists(Name::parse("c.ucla.edu")));
+}
+
+TEST(ZoneTest, OverrideIrrTtlsRewritesInfrastructureOnly) {
+  Zone z = make_zone("ucla.edu", 3600);
+  z.add_name_server(Name::parse("ns1.ucla.edu"), IpAddr::parse("10.0.0.1"));
+  z.add_record(Name::parse("www.ucla.edu"), RRType::kA, 600,
+               dns::ARdata{IpAddr(9)});
+  Delegation cut;
+  cut.child = Name::parse("cs.ucla.edu");
+  cut.ns_set = RRset(cut.child, RRType::kNS, 3600);
+  cut.ns_set.add(dns::NsRdata{Name::parse("ns1.cs.ucla.edu")});
+  RRset glue(Name::parse("ns1.cs.ucla.edu"), RRType::kA, 3600);
+  glue.add(dns::ARdata{IpAddr(2)});
+  cut.glue.push_back(glue);
+  z.add_delegation(cut);
+
+  z.override_irr_ttls(259200, {Name::parse("ns1.ucla.edu")});
+  EXPECT_EQ(z.irr_ttl(), 259200u);
+  EXPECT_EQ(z.ns_set().ttl(), 259200u);
+  EXPECT_EQ(z.find_rrset(Name::parse("ns1.ucla.edu"), RRType::kA)->ttl(), 259200u);
+  EXPECT_EQ(z.delegations().at(Name::parse("cs.ucla.edu")).ns_set.ttl(), 259200u);
+  EXPECT_EQ(z.delegations().at(Name::parse("cs.ucla.edu")).glue[0].ttl(), 259200u);
+  // End-host record untouched (the paper: CDN/load-balancing TTLs intact).
+  EXPECT_EQ(z.find_rrset(Name::parse("www.ucla.edu"), RRType::kA)->ttl(), 600u);
+}
+
+}  // namespace
+}  // namespace dnsshield::server

@@ -1,0 +1,168 @@
+#include "server/zone_file.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dnsshield::server {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+
+constexpr const char* kSample = R"($ORIGIN example.com.
+$TTL 3600
+@       86400  IN  SOA  ns1 hostmaster 2026070701 7200 900 1209600 300
+@       7200   IN  NS   ns1
+@       7200   IN  NS   ns.offsite.net.
+ns1     7200   IN  A    10.0.0.1
+www     600    IN  A    10.1.1.1
+alias          IN  CNAME www
+mail    3600   IN  MX   10 mail
+mail    3600   IN  A    10.1.1.2
+txt     60     IN  TXT  "v=spf1 -all"
+; a delegated child zone
+cs      7200   IN  NS   ns1.cs
+ns1.cs  7200   IN  A    10.2.0.1
+)";
+
+ZoneFileContents parse_sample() {
+  std::istringstream in(kSample);
+  return parse_zone_file(in, Name::parse("example.com"));
+}
+
+TEST(ZoneFileParseTest, ParsesAllRecords) {
+  const auto contents = parse_sample();
+  EXPECT_EQ(contents.origin, Name::parse("example.com"));
+  EXPECT_EQ(contents.default_ttl, 3600u);
+  EXPECT_EQ(contents.records.size(), 11u);
+}
+
+TEST(ZoneFileParseTest, RelativeAndAbsoluteNames) {
+  const auto contents = parse_sample();
+  EXPECT_EQ(contents.records[1].name, Name::parse("example.com"));  // '@'
+  EXPECT_EQ(contents.records[3].name, Name::parse("ns1.example.com"));
+  // Absolute name untouched.
+  EXPECT_EQ(std::get<dns::NsRdata>(contents.records[2].rdata).nsdname,
+            Name::parse("ns.offsite.net"));
+  // Relative rdata name expanded.
+  EXPECT_EQ(std::get<dns::CnameRdata>(contents.records[5].rdata).target,
+            Name::parse("www.example.com"));
+}
+
+TEST(ZoneFileParseTest, DefaultTtlApplies) {
+  const auto contents = parse_sample();
+  // 'alias' has no TTL -> $TTL 3600.
+  EXPECT_EQ(contents.records[5].ttl, 3600u);
+  EXPECT_EQ(contents.records[4].ttl, 600u);
+}
+
+TEST(ZoneFileParseTest, BlankOwnerRepeatsPrevious) {
+  std::istringstream in("www 600 IN A 10.0.0.1\n    600 IN A 10.0.0.2\n");
+  const auto contents = parse_zone_file(in, Name::parse("z.com"));
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[1].name, Name::parse("www.z.com"));
+}
+
+TEST(ZoneFileParseTest, OriginDirectiveSwitches) {
+  std::istringstream in(
+      "$ORIGIN a.com.\nwww 60 IN A 10.0.0.1\n$ORIGIN b.com.\nwww 60 IN A "
+      "10.0.0.2\n");
+  const auto contents = parse_zone_file(in, Name::root());
+  EXPECT_EQ(contents.records[0].name, Name::parse("www.a.com"));
+  EXPECT_EQ(contents.records[1].name, Name::parse("www.b.com"));
+}
+
+struct BadZoneLine {
+  const char* text;
+};
+class ZoneFileMalformed : public ::testing::TestWithParam<BadZoneLine> {};
+
+TEST_P(ZoneFileMalformed, Rejects) {
+  std::istringstream in(GetParam().text);
+  EXPECT_THROW(parse_zone_file(in, Name::parse("z.com")), ZoneFileError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ZoneFileMalformed,
+    ::testing::Values(BadZoneLine{"$ORIGIN\n"},                  // no arg
+                      BadZoneLine{"$TTL abc\n"},                 // bad ttl
+                      BadZoneLine{"$FROB 1\n"},                  // bad directive
+                      BadZoneLine{"www 60 IN\n"},                // no type
+                      BadZoneLine{"www 60 IN FROB 1.2.3.4\n"},   // bad type
+                      BadZoneLine{"www 60 IN A 999.1.1.1\n"},    // bad rdata
+                      BadZoneLine{"www 60 IN MX 10\n"},          // short rdata
+                      BadZoneLine{"www 60 IN TXT \"open\n"},     // bad string
+                      BadZoneLine{"  60 IN A 1.2.3.4\n"}));      // no owner yet
+
+TEST(ZoneFileLoadTest, BuildsAnswerableZone) {
+  const Zone zone = load_zone(parse_sample());
+  EXPECT_EQ(zone.origin(), Name::parse("example.com"));
+  EXPECT_EQ(zone.ns_set().size(), 2u);
+  EXPECT_EQ(zone.irr_ttl(), 7200u);
+
+  // Authoritative answer straight from the loaded zone.
+  const auto q =
+      dns::Message::make_query(1, Name::parse("www.example.com"), RRType::kA);
+  dns::Message r = dns::Message::make_response(q);
+  zone.answer(q.questions[0], r);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(r.answers[0].rdata).address,
+            IpAddr::parse("10.1.1.1"));
+
+  // The delegation works, with glue.
+  const auto q2 =
+      dns::Message::make_query(2, Name::parse("x.cs.example.com"), RRType::kA);
+  dns::Message r2 = dns::Message::make_response(q2);
+  zone.answer(q2.questions[0], r2);
+  EXPECT_TRUE(r2.is_referral());
+  ASSERT_FALSE(r2.additionals.empty());
+  EXPECT_EQ(r2.additionals[0].name, Name::parse("ns1.cs.example.com"));
+}
+
+TEST(ZoneFileLoadTest, RequiresSoaAndNs) {
+  std::istringstream no_soa("@ 60 IN NS ns1\nns1 60 IN A 1.2.3.4\n");
+  EXPECT_THROW(load_zone(parse_zone_file(no_soa, Name::parse("z.com"))),
+               ZoneFileError);
+  std::istringstream no_ns("@ 60 IN SOA ns1 h 1 2 3 4 5\n");
+  EXPECT_THROW(load_zone(parse_zone_file(no_ns, Name::parse("z.com"))),
+               ZoneFileError);
+}
+
+TEST(ZoneFileLoadTest, InBailiwickServerNeedsGlue) {
+  std::istringstream in("@ 60 IN SOA ns1 h 1 2 3 4 5\n@ 60 IN NS ns1\n");
+  EXPECT_THROW(load_zone(parse_zone_file(in, Name::parse("z.com"))),
+               ZoneFileError);
+}
+
+TEST(ZoneFileLoadTest, OutOfZoneRecordRejected) {
+  std::istringstream in(
+      "@ 60 IN SOA ns1 h 1 2 3 4 5\n@ 60 IN NS ns1\nns1 60 IN A 1.2.3.4\n"
+      "www.other.org. 60 IN A 1.2.3.5\n");
+  EXPECT_THROW(load_zone(parse_zone_file(in, Name::parse("z.com"))),
+               ZoneFileError);
+}
+
+TEST(ZoneFileRoundTripTest, SerializeParseLoadAgain) {
+  const Zone zone = load_zone(parse_sample());
+  const std::string text = to_zone_file(zone);
+
+  std::istringstream in(text);
+  const Zone reloaded = load_zone(parse_zone_file(in, zone.origin()));
+  EXPECT_EQ(reloaded.origin(), zone.origin());
+  EXPECT_TRUE(reloaded.ns_set().same_data(zone.ns_set()));
+  EXPECT_EQ(reloaded.records().size(), zone.records().size());
+  EXPECT_EQ(reloaded.delegations().size(), zone.delegations().size());
+
+  // Spot-check an answer from the reloaded zone.
+  const auto q =
+      dns::Message::make_query(1, Name::parse("alias.example.com"), RRType::kA);
+  dns::Message r = dns::Message::make_response(q);
+  reloaded.answer(q.questions[0], r);
+  ASSERT_FALSE(r.answers.empty());
+  EXPECT_EQ(r.answers[0].type, RRType::kCNAME);
+}
+
+}  // namespace
+}  // namespace dnsshield::server

@@ -1,0 +1,74 @@
+// Zone move semantics: the record index must survive moves (load_zone and
+// factory helpers return zones by value).
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "server/zone.h"
+
+namespace dnsshield::server {
+namespace {
+
+using dns::IpAddr;
+using dns::Name;
+using dns::RRType;
+
+Zone make_zone() {
+  dns::SoaRdata soa;
+  soa.mname = Name::parse("ns1.m.com");
+  soa.rname = Name::parse("h.m.com");
+  soa.minimum = 300;
+  Zone z(Name::parse("m.com"), soa, 3600, 7200);
+  z.add_name_server(Name::parse("ns1.m.com"), IpAddr::parse("10.0.0.1"));
+  z.add_record(Name::parse("www.m.com"), RRType::kA, 600,
+               dns::ARdata{IpAddr::parse("10.1.1.1")});
+  Delegation cut;
+  cut.child = Name::parse("kid.m.com");
+  cut.ns_set = dns::RRset(cut.child, RRType::kNS, 3600);
+  cut.ns_set.add(dns::NsRdata{Name::parse("ns1.kid.m.com")});
+  z.add_delegation(std::move(cut));
+  return z;
+}
+
+void expect_fully_functional(const Zone& z) {
+  EXPECT_EQ(z.origin(), Name::parse("m.com"));
+  // The hash index answers exact lookups...
+  ASSERT_NE(z.find_rrset(Name::parse("www.m.com"), RRType::kA), nullptr);
+  ASSERT_NE(z.find_rrset(Name::parse("m.com"), RRType::kSOA), nullptr);
+  EXPECT_EQ(z.find_rrset(Name::parse("zzz.m.com"), RRType::kA), nullptr);
+  // ...and answering still works end to end.
+  const auto q = dns::Message::make_query(1, Name::parse("www.m.com"), RRType::kA);
+  dns::Message r = dns::Message::make_response(q);
+  z.answer(q.questions[0], r);
+  EXPECT_EQ(r.answers.size(), 1u);
+  EXPECT_NE(z.find_delegation(Name::parse("x.kid.m.com")), nullptr);
+}
+
+TEST(ZoneMoveTest, MoveConstructedZoneWorks) {
+  Zone original = make_zone();
+  Zone moved(std::move(original));
+  expect_fully_functional(moved);
+}
+
+TEST(ZoneMoveTest, MoveAssignedZoneWorks) {
+  dns::SoaRdata soa;
+  soa.mname = Name::parse("ns1.other.org");
+  soa.rname = Name::parse("h.other.org");
+  Zone target(Name::parse("other.org"), soa, 60, 60);
+  Zone source = make_zone();
+  target = std::move(source);
+  expect_fully_functional(target);
+}
+
+TEST(ZoneMoveTest, MutationAfterMoveKeepsIndexCoherent) {
+  Zone moved(make_zone());
+  moved.add_record(Name::parse("new.m.com"), RRType::kA, 60,
+                   dns::ARdata{IpAddr::parse("10.2.2.2")});
+  ASSERT_NE(moved.find_rrset(Name::parse("new.m.com"), RRType::kA), nullptr);
+  moved.override_irr_ttls(259200, {Name::parse("ns1.m.com")});
+  EXPECT_EQ(moved.find_rrset(Name::parse("ns1.m.com"), RRType::kA)->ttl(),
+            259200u);
+}
+
+}  // namespace
+}  // namespace dnsshield::server
