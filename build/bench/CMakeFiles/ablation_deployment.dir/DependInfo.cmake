@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_deployment.cpp" "bench/CMakeFiles/ablation_deployment.dir/ablation_deployment.cpp.o" "gcc" "bench/CMakeFiles/ablation_deployment.dir/ablation_deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnsshield_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsshield_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/dnsshield_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dnsshield_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dnsshield_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsshield_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dnsshield_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsshield_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

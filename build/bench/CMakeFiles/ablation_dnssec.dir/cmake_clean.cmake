@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dnssec.dir/ablation_dnssec.cpp.o"
+  "CMakeFiles/ablation_dnssec.dir/ablation_dnssec.cpp.o.d"
+  "ablation_dnssec"
+  "ablation_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

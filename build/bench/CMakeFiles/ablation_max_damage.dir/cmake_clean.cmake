@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_max_damage.dir/ablation_max_damage.cpp.o"
+  "CMakeFiles/ablation_max_damage.dir/ablation_max_damage.cpp.o.d"
+  "ablation_max_damage"
+  "ablation_max_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_max_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

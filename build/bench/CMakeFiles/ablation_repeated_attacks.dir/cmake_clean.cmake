@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repeated_attacks.dir/ablation_repeated_attacks.cpp.o"
+  "CMakeFiles/ablation_repeated_attacks.dir/ablation_repeated_attacks.cpp.o.d"
+  "ablation_repeated_attacks"
+  "ablation_repeated_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repeated_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stale_vs_irr.dir/ablation_stale_vs_irr.cpp.o"
+  "CMakeFiles/ablation_stale_vs_irr.dir/ablation_stale_vs_irr.cpp.o.d"
+  "ablation_stale_vs_irr"
+  "ablation_stale_vs_irr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stale_vs_irr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

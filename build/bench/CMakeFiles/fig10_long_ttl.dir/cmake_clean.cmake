@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_long_ttl.dir/fig10_long_ttl.cpp.o"
+  "CMakeFiles/fig10_long_ttl.dir/fig10_long_ttl.cpp.o.d"
+  "fig10_long_ttl"
+  "fig10_long_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_long_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

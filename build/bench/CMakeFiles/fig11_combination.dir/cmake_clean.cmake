@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_combination.dir/fig11_combination.cpp.o"
+  "CMakeFiles/fig11_combination.dir/fig11_combination.cpp.o.d"
+  "fig11_combination"
+  "fig11_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

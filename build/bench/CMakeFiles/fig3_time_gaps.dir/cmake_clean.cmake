@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_time_gaps.dir/fig3_time_gaps.cpp.o"
+  "CMakeFiles/fig3_time_gaps.dir/fig3_time_gaps.cpp.o.d"
+  "fig3_time_gaps"
+  "fig3_time_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vanilla.dir/fig4_vanilla.cpp.o"
+  "CMakeFiles/fig4_vanilla.dir/fig4_vanilla.cpp.o.d"
+  "fig4_vanilla"
+  "fig4_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_refresh.dir/fig5_refresh.cpp.o"
+  "CMakeFiles/fig5_refresh.dir/fig5_refresh.cpp.o.d"
+  "fig5_refresh"
+  "fig5_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

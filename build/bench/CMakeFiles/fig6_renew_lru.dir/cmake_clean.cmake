@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_renew_lru.dir/fig6_renew_lru.cpp.o"
+  "CMakeFiles/fig6_renew_lru.dir/fig6_renew_lru.cpp.o.d"
+  "fig6_renew_lru"
+  "fig6_renew_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_renew_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

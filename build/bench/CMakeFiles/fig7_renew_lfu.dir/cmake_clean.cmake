@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_renew_lfu.dir/fig7_renew_lfu.cpp.o"
+  "CMakeFiles/fig7_renew_lfu.dir/fig7_renew_lfu.cpp.o.d"
+  "fig7_renew_lfu"
+  "fig7_renew_lfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_renew_lfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

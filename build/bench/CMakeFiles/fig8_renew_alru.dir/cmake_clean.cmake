@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_renew_alru.dir/fig8_renew_alru.cpp.o"
+  "CMakeFiles/fig8_renew_alru.dir/fig8_renew_alru.cpp.o.d"
+  "fig8_renew_alru"
+  "fig8_renew_alru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_renew_alru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_renew_alfu.dir/fig9_renew_alfu.cpp.o"
+  "CMakeFiles/fig9_renew_alfu.dir/fig9_renew_alfu.cpp.o.d"
+  "fig9_renew_alfu"
+  "fig9_renew_alfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_renew_alfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_msg_overhead.dir/table2_msg_overhead.cpp.o"
+  "CMakeFiles/table2_msg_overhead.dir/table2_msg_overhead.cpp.o.d"
+  "table2_msg_overhead"
+  "table2_msg_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_msg_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

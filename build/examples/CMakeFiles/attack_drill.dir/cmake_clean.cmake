@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_drill.dir/attack_drill.cpp.o"
+  "CMakeFiles/attack_drill.dir/attack_drill.cpp.o.d"
+  "attack_drill"
+  "attack_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

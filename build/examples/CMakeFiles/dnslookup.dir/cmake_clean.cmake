@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnslookup.dir/dnslookup.cpp.o"
+  "CMakeFiles/dnslookup.dir/dnslookup.cpp.o.d"
+  "dnslookup"
+  "dnslookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnslookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

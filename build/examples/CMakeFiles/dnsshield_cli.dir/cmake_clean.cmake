@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_cli.dir/dnsshield_cli.cpp.o"
+  "CMakeFiles/dnsshield_cli.dir/dnsshield_cli.cpp.o.d"
+  "dnsshield_cli"
+  "dnsshield_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_toolkit.dir/trace_toolkit.cpp.o"
+  "CMakeFiles/trace_toolkit.dir/trace_toolkit.cpp.o.d"
+  "trace_toolkit"
+  "trace_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

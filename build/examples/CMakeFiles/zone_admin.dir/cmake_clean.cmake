@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_admin.dir/zone_admin.cpp.o"
+  "CMakeFiles/zone_admin.dir/zone_admin.cpp.o.d"
+  "zone_admin"
+  "zone_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

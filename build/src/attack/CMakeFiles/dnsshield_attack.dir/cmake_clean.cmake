@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_attack.dir/injector.cpp.o"
+  "CMakeFiles/dnsshield_attack.dir/injector.cpp.o.d"
+  "CMakeFiles/dnsshield_attack.dir/max_damage.cpp.o"
+  "CMakeFiles/dnsshield_attack.dir/max_damage.cpp.o.d"
+  "CMakeFiles/dnsshield_attack.dir/scenario.cpp.o"
+  "CMakeFiles/dnsshield_attack.dir/scenario.cpp.o.d"
+  "libdnsshield_attack.a"
+  "libdnsshield_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

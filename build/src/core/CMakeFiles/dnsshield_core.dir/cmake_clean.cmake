@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_core.dir/experiment.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dnsshield_core.dir/fleet.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/dnsshield_core.dir/presets.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/presets.cpp.o.d"
+  "CMakeFiles/dnsshield_core.dir/replicate.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/replicate.cpp.o.d"
+  "CMakeFiles/dnsshield_core.dir/report.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/report.cpp.o.d"
+  "CMakeFiles/dnsshield_core.dir/scheme_catalog.cpp.o"
+  "CMakeFiles/dnsshield_core.dir/scheme_catalog.cpp.o.d"
+  "libdnsshield_core.a"
+  "libdnsshield_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_dns.dir/message.cpp.o"
+  "CMakeFiles/dnsshield_dns.dir/message.cpp.o.d"
+  "CMakeFiles/dnsshield_dns.dir/name.cpp.o"
+  "CMakeFiles/dnsshield_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dnsshield_dns.dir/rr.cpp.o"
+  "CMakeFiles/dnsshield_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/dnsshield_dns.dir/trust.cpp.o"
+  "CMakeFiles/dnsshield_dns.dir/trust.cpp.o.d"
+  "CMakeFiles/dnsshield_dns.dir/wire.cpp.o"
+  "CMakeFiles/dnsshield_dns.dir/wire.cpp.o.d"
+  "libdnsshield_dns.a"
+  "libdnsshield_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/dnsshield_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/dnsshield_metrics.dir/json.cpp.o"
+  "CMakeFiles/dnsshield_metrics.dir/json.cpp.o.d"
+  "CMakeFiles/dnsshield_metrics.dir/table.cpp.o"
+  "CMakeFiles/dnsshield_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/dnsshield_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/dnsshield_metrics.dir/time_series.cpp.o.d"
+  "libdnsshield_metrics.a"
+  "libdnsshield_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

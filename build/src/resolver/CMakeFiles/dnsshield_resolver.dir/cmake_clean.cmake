@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_resolver.dir/cache.cpp.o"
+  "CMakeFiles/dnsshield_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/dnsshield_resolver.dir/caching_server.cpp.o"
+  "CMakeFiles/dnsshield_resolver.dir/caching_server.cpp.o.d"
+  "CMakeFiles/dnsshield_resolver.dir/config.cpp.o"
+  "CMakeFiles/dnsshield_resolver.dir/config.cpp.o.d"
+  "CMakeFiles/dnsshield_resolver.dir/stub_resolver.cpp.o"
+  "CMakeFiles/dnsshield_resolver.dir/stub_resolver.cpp.o.d"
+  "libdnsshield_resolver.a"
+  "libdnsshield_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

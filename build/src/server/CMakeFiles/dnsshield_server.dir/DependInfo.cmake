@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/auth_server.cpp" "src/server/CMakeFiles/dnsshield_server.dir/auth_server.cpp.o" "gcc" "src/server/CMakeFiles/dnsshield_server.dir/auth_server.cpp.o.d"
+  "/root/repo/src/server/hierarchy.cpp" "src/server/CMakeFiles/dnsshield_server.dir/hierarchy.cpp.o" "gcc" "src/server/CMakeFiles/dnsshield_server.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/server/hierarchy_builder.cpp" "src/server/CMakeFiles/dnsshield_server.dir/hierarchy_builder.cpp.o" "gcc" "src/server/CMakeFiles/dnsshield_server.dir/hierarchy_builder.cpp.o.d"
+  "/root/repo/src/server/zone.cpp" "src/server/CMakeFiles/dnsshield_server.dir/zone.cpp.o" "gcc" "src/server/CMakeFiles/dnsshield_server.dir/zone.cpp.o.d"
+  "/root/repo/src/server/zone_file.cpp" "src/server/CMakeFiles/dnsshield_server.dir/zone_file.cpp.o" "gcc" "src/server/CMakeFiles/dnsshield_server.dir/zone_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsshield_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsshield_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

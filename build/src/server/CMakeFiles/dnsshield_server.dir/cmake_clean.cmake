@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_server.dir/auth_server.cpp.o"
+  "CMakeFiles/dnsshield_server.dir/auth_server.cpp.o.d"
+  "CMakeFiles/dnsshield_server.dir/hierarchy.cpp.o"
+  "CMakeFiles/dnsshield_server.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dnsshield_server.dir/hierarchy_builder.cpp.o"
+  "CMakeFiles/dnsshield_server.dir/hierarchy_builder.cpp.o.d"
+  "CMakeFiles/dnsshield_server.dir/zone.cpp.o"
+  "CMakeFiles/dnsshield_server.dir/zone.cpp.o.d"
+  "CMakeFiles/dnsshield_server.dir/zone_file.cpp.o"
+  "CMakeFiles/dnsshield_server.dir/zone_file.cpp.o.d"
+  "libdnsshield_server.a"
+  "libdnsshield_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsshield_server.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_sim.dir/distributions.cpp.o"
+  "CMakeFiles/dnsshield_sim.dir/distributions.cpp.o.d"
+  "CMakeFiles/dnsshield_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dnsshield_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dnsshield_sim.dir/rng.cpp.o"
+  "CMakeFiles/dnsshield_sim.dir/rng.cpp.o.d"
+  "libdnsshield_sim.a"
+  "libdnsshield_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

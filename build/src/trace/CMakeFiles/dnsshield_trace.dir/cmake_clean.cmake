@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsshield_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/dnsshield_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/dnsshield_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/dnsshield_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/dnsshield_trace.dir/workload.cpp.o"
+  "CMakeFiles/dnsshield_trace.dir/workload.cpp.o.d"
+  "libdnsshield_trace.a"
+  "libdnsshield_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsshield_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

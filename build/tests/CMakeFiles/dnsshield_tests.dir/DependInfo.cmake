@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attack.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_attack.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_attack.cpp.o.d"
+  "/root/repo/tests/test_attack_specs.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_attack_specs.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_attack_specs.cpp.o.d"
+  "/root/repo/tests/test_auth_server.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_auth_server.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_auth_server.cpp.o.d"
+  "/root/repo/tests/test_binary_io.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_binary_io.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_binary_io.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cache_lru.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_cache_lru.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_cache_lru.cpp.o.d"
+  "/root/repo/tests/test_caching_server.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_caching_server.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_caching_server.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_dual_stack.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_dual_stack.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_dual_stack.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fleet.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_fleet.cpp.o.d"
+  "/root/repo/tests/test_gap_recorder.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_gap_recorder.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_gap_recorder.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_hierarchy_builder.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_hierarchy_builder.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_hierarchy_builder.cpp.o.d"
+  "/root/repo/tests/test_ip6.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_ip6.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_ip6.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_message.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_message.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_message.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_multiwave.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_multiwave.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_multiwave.cpp.o.d"
+  "/root/repo/tests/test_name.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_name.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_name.cpp.o.d"
+  "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_prefetch.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_resolver_edge.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_resolver_edge.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_resolver_edge.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rr.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_rr.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_rr.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_stub_resolver.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_stub_resolver.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_stub_resolver.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_trust.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_trust.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_trust.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_wire_integration.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_wire_integration.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_wire_integration.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_workload_structure.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_workload_structure.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_workload_structure.cpp.o.d"
+  "/root/repo/tests/test_zone.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_zone.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_zone.cpp.o.d"
+  "/root/repo/tests/test_zone_file.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_zone_file.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_zone_file.cpp.o.d"
+  "/root/repo/tests/test_zone_move.cpp" "tests/CMakeFiles/dnsshield_tests.dir/test_zone_move.cpp.o" "gcc" "tests/CMakeFiles/dnsshield_tests.dir/test_zone_move.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnsshield_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsshield_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/dnsshield_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dnsshield_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dnsshield_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsshield_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dnsshield_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsshield_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

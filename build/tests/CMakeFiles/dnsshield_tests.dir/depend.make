@@ -1,0 +1,2 @@
+# Empty dependencies file for dnsshield_tests.
+# This may be replaced when dependencies are built.
