@@ -1,26 +1,32 @@
 // Shared plumbing for the per-table/per-figure reproduction harnesses.
 //
 // Every binary accepts:
-//   --quick      tiny workload (seconds; sanity-check the shape)
-//   --full       the full preset workload (paper-scale synthetic traces)
-//   --scale=X    explicit rate multiplier
+//   --quick        tiny workload (seconds; sanity-check the shape)
+//   --full         the full preset workload (paper-scale synthetic traces)
+//   --scale=X      explicit rate multiplier
+//   --series-out=F append each run's full JSON report (with the hourly
+//                  per-phase time series) to F, one line per run
 // with a moderate default chosen so the whole bench/ directory runs in a
 // few minutes on one core.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/presets.h"
+#include "core/report.h"
 #include "core/scheme_catalog.h"
+#include "metrics/json.h"
 #include "metrics/table.h"
 
 namespace dnsshield::bench {
 
 struct BenchOptions {
   double rate_factor = 0.15;
+  std::string series_out;  // empty = no series dump
 };
 
 inline BenchOptions parse_args(int argc, char** argv) {
@@ -33,8 +39,11 @@ inline BenchOptions parse_args(int argc, char** argv) {
       opts.rate_factor = 1.0;
     } else if (arg.rfind("--scale=", 0) == 0) {
       opts.rate_factor = std::stod(arg.substr(8));
+    } else if (arg.rfind("--series-out=", 0) == 0) {
+      opts.series_out = arg.substr(13);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick|--full|--scale=X]\n", argv[0]);
+      std::printf("usage: %s [--quick|--full|--scale=X] [--series-out=F]\n",
+                  argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -42,6 +51,21 @@ inline BenchOptions parse_args(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// Appends one run's report to the series file (JSONL: {"tag":...,
+/// "result":<to_json object>}). No-op when --series-out was not given.
+inline void dump_series(const BenchOptions& opts, const std::string& tag,
+                        const core::ExperimentResult& result) {
+  if (opts.series_out.empty()) return;
+  std::ofstream out(opts.series_out, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot open series output: %s\n",
+                 opts.series_out.c_str());
+    std::exit(1);
+  }
+  out << "{\"tag\":\"" << metrics::JsonWriter::escape(tag)
+      << "\",\"result\":" << core::to_json(result) << "}\n";
 }
 
 inline void print_header(const char* id, const char* title,
@@ -52,7 +76,8 @@ inline void print_header(const char* id, const char* title,
               opts.rate_factor);
 }
 
-/// A preset's experiment setup with the scaled workload.
+/// A preset's experiment setup with the scaled workload. With --series-out
+/// the run also collects the hourly per-phase report dump_series() emits.
 inline core::ExperimentSetup setup_for(const core::TracePreset& preset,
                                        const BenchOptions& opts,
                                        core::AttackSpec attack) {
@@ -60,6 +85,9 @@ inline core::ExperimentSetup setup_for(const core::TracePreset& preset,
   setup.hierarchy = core::default_hierarchy();
   setup.workload = core::scaled(preset.workload, opts.rate_factor);
   setup.attack = attack;
+  if (!opts.series_out.empty()) {
+    setup.report_interval = sim::kHour;
+  }
   return setup;
 }
 

@@ -26,6 +26,10 @@ inline void run_duration_figure(const core::Scheme& scheme,
       const auto setup =
           setup_for(preset, opts, core::standard_attack(sim::hours(d)));
       const auto r = core::run_experiment(setup, scheme.config);
+      dump_series(opts,
+                  scheme.label + "/" + preset.name + "/" +
+                      metrics::TablePrinter::num(d, 0) + "h",
+                  r);
       sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
       cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
     }
@@ -54,6 +58,7 @@ inline void run_scheme_figure(const std::vector<core::Scheme>& schemes,
       const auto setup =
           setup_for(preset, opts, core::standard_attack(sim::hours(attack_hours)));
       const auto r = core::run_experiment(setup, scheme.config);
+      dump_series(opts, scheme.label + "/" + preset.name, r);
       sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
       cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
     }

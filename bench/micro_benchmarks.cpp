@@ -1,10 +1,25 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the simulator:
-// name handling, wire codec, cache operations, resolution, sampling.
+// name handling, wire codec, cache operations, resolution, sampling, and
+// the observability layer (metrics registry, tracer).
+//
+// After the registered benchmarks run, main() executes a tracing-overhead
+// guard: an end-to-end experiment is timed with and without the full
+// instrumentation stack (ring tracer + hourly run report), and the binary
+// fails loudly (non-zero exit) if enabled tracing costs more than 5% of
+// the resolve-loop wall time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
 #include "attack/injector.h"
+#include "core/experiment.h"
 #include "core/presets.h"
 #include "dns/wire.h"
+#include "metrics/registry.h"
+#include "metrics/tracer.h"
 #include "resolver/caching_server.h"
 #include "server/hierarchy_builder.h"
 #include "sim/distributions.h"
@@ -144,6 +159,186 @@ void BM_AuthServerRespond(benchmark::State& state) {
 }
 BENCHMARK(BM_AuthServerRespond);
 
+// ---- Observability layer ---------------------------------------------------
+
+void BM_RegistryCounterInc(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  metrics::Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_RegistryCounterInc);
+
+void BM_RegistryHistogramObserve(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  metrics::Histogram& h = registry.histogram(
+      "bench.latency", {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0});
+  double v = 0;
+  for (auto _ : state) {
+    v += 0.0137;
+    if (v > 2.0) v = 0;
+    h.observe(v);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_RegistryHistogramObserve);
+
+void BM_TracerEmitRing(benchmark::State& state) {
+  metrics::Tracer tracer;
+  tracer.enable_ring(8192);
+  double t = 0;
+  for (auto _ : state) {
+    t += 1;
+    tracer.emit(t, metrics::TraceEventType::kCacheHit, "www.cs.ucla.edu", "A");
+  }
+  benchmark::DoNotOptimize(tracer.emitted());
+}
+BENCHMARK(BM_TracerEmitRing);
+
+/// The warm resolve loop with the full instrumentation stack attached —
+/// compare against BM_ResolveWarm to see the per-query enabled-tracing cost.
+void BM_ResolveWarmInstrumented(benchmark::State& state) {
+  sim::EventQueue events;
+  attack::AttackInjector no_attack;
+  resolver::CachingServer cs(bench_hierarchy(), no_attack, events,
+                             resolver::ResilienceConfig::vanilla());
+  metrics::MetricsRegistry registry;
+  metrics::Tracer tracer;
+  tracer.enable_ring(4096);
+  cs.set_instrumentation(&registry, &tracer);
+  const dns::Name name = bench_hierarchy().host_names().front();
+  cs.resolve(name, dns::RRType::kA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.resolve(name, dns::RRType::kA));
+  }
+}
+BENCHMARK(BM_ResolveWarmInstrumented);
+
+// ---- Tracing-overhead guard ------------------------------------------------
+//
+// The per-emit cost above is tens of nanoseconds, which would dominate a
+// ~100ns warm cache hit; what the 5% budget is defined over is the real
+// resolve loop — an end-to-end experiment where each query also pays for
+// workload delivery, event-queue churn, and (during the attack) timeout
+// and failover work. The guard times that loop with and without the full
+// instrumentation stack and fails the binary if tracing costs > 5%.
+
+// CPU time, not wall time: the guard's verdict shouldn't flip because the
+// machine was busy with something else.
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+core::ExperimentSetup guard_setup() {
+  core::ExperimentSetup setup;
+  // The default hierarchy — the same one every figure bench resolves
+  // against — so the guard's denominator is the real per-query cost.
+  setup.hierarchy = core::default_hierarchy();
+  setup.workload.seed = 11;
+  setup.workload.num_clients = 120;
+  setup.workload.duration = sim::days(2);
+  setup.workload.mean_rate_qps = 0.6;
+  setup.attack = core::AttackSpec::root_and_tlds(sim::days(1), sim::hours(6));
+  return setup;
+}
+
+int run_tracing_overhead_guard() {
+  const auto config =
+      resolver::ResilienceConfig::refresh_renew(resolver::RenewalPolicy::kAdaptiveLfu, 5);
+
+  // The hierarchy build is identical in both runs and is not part of the
+  // resolve loop; measure it separately so it can be subtracted.
+  double build_s = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    const double t0 = cpu_seconds();
+    const auto h = server::build_hierarchy(guard_setup().hierarchy);
+    benchmark::DoNotOptimize(&h);
+    build_s = std::min(build_s, cpu_seconds() - t0);
+  }
+
+  const auto run_plain = [&](std::uint64_t* out_queries) {
+    const auto setup = guard_setup();
+    const double t0 = cpu_seconds();
+    const auto r = core::run_experiment(setup, config);
+    const double el = cpu_seconds() - t0;
+    *out_queries = r.totals.sr_queries;
+    return el;
+  };
+  const auto run_traced = [&](std::uint64_t* out_events) {
+    auto setup = guard_setup();
+    metrics::Tracer tracer;
+    tracer.enable_ring(4096);
+    setup.tracer = &tracer;
+    setup.report_interval = sim::kHour;
+    const double t0 = cpu_seconds();
+    const auto r = core::run_experiment(setup, config);
+    const double el = cpu_seconds() - t0;
+    benchmark::DoNotOptimize(&r);
+    *out_events = tracer.emitted();
+    return el;
+  };
+
+  std::uint64_t queries = 0, traced_events = 0;
+  // Warm-up (page cache, allocator arenas) — not timed.
+  (void)run_traced(&traced_events);
+
+  // Compare within a rep (back-to-back runs share machine state), then
+  // take the smallest delta across reps: run-to-run frequency drift is
+  // larger than the overhead being measured.
+  double plain_s = 1e9, delta_s = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double p = run_plain(&queries);
+    const double t = run_traced(&traced_events);
+    plain_s = std::min(plain_s, p);
+    delta_s = std::min(delta_s, t - p);
+  }
+
+  const double plain_loop = std::max(plain_s - build_s, 1e-9);
+  const double traced_loop = plain_loop + delta_s;
+  const double overhead = delta_s / plain_loop;
+
+  std::printf("\n--- tracing overhead guard ---\n");
+  std::printf("resolve loop: %llu queries; plain %.3fs, instrumented %.3fs "
+              "(ring tracer + hourly report, %llu events; hierarchy build "
+              "%.3fs subtracted)\n",
+              static_cast<unsigned long long>(queries), plain_loop, traced_loop,
+              static_cast<unsigned long long>(traced_events), build_s);
+  if (traced_events == 0) {
+    std::printf("TRACING OVERHEAD GUARD: FAIL — instrumented run emitted no "
+                "events (guard measured nothing)\n");
+    return 1;
+  }
+  if (overhead > 0.05) {
+    std::printf("TRACING OVERHEAD GUARD: FAIL — enabled tracing costs %.1f%% "
+                "of the resolve loop (budget: 5%%)\n",
+                overhead * 100);
+    return 1;
+  }
+  std::printf("TRACING OVERHEAD GUARD: PASS — enabled tracing costs %.1f%% "
+              "of the resolve loop (budget: 5%%)\n",
+              overhead * 100);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool skip_guard = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-overhead-guard") == 0) {
+      skip_guard = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return skip_guard ? 0 : run_tracing_overhead_guard();
+}

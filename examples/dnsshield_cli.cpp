@@ -8,9 +8,11 @@
 //   dnsshield_cli --scheme=combo --ttl-days=3 --format=json
 //   dnsshield_cli --scheme=renew --policy=a-lfu --credit=5 --days=7
 //   dnsshield_cli --trace=capture.tsv --scheme=refresh --attack=zones:com.
+//   dnsshield_cli --scheme=renew --metrics-out=run.json --trace-out=run.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "core/experiment.h"
 #include "core/presets.h"
 #include "core/report.h"
+#include "metrics/tracer.h"
 #include "trace/trace_io.h"
 
 using namespace dnsshield;
@@ -44,6 +47,10 @@ struct CliOptions {
 
   int slds = 4000;
   std::string format = "text";  // text|json
+
+  std::string metrics_out;  // full JSON report (run report + registry)
+  std::string trace_out;    // structured event stream, JSONL
+  double report_interval_mins = 60;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -60,7 +67,11 @@ struct CliOptions {
       "  --attack=A        none|root|root-tlds|zones:a.com,b.net\n"
       "  --attack-start-days=D --attack-hours=H --strength=F\n"
       "  --slds=N          synthetic hierarchy size (default 4000)\n"
-      "  --format=F        text|json              (default text)\n",
+      "  --format=F        text|json              (default text)\n"
+      "  --metrics-out=F   write the full JSON report (incl. per-phase time\n"
+      "                    series and the metrics registry) to file F\n"
+      "  --trace-out=F     stream structured simulation events to F (JSONL)\n"
+      "  --report-interval-mins=N   run-report bucket width (default 60)\n",
       argv0);
   std::exit(code);
 }
@@ -68,6 +79,12 @@ struct CliOptions {
 bool take_value(const char* arg, const char* name, std::string& out) {
   const std::size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  if (arg[len + 1] == '\0') {
+    // An empty path/value is always a mistake; failing beats silently
+    // dropping the flag (e.g. --metrics-out= writing no report).
+    std::fprintf(stderr, "%s requires a value\n", name);
+    std::exit(2);
+  }
   out = arg + len + 1;
   return true;
 }
@@ -83,10 +100,14 @@ CliOptions parse_cli(int argc, char** argv) {
       o.dnssec = true;
     } else if (take_value(arg, "--scheme", o.scheme) ||
                take_value(arg, "--policy", o.policy) ||
+               take_value(arg, "--trace-out", o.trace_out) ||
                take_value(arg, "--trace", o.trace_path) ||
                take_value(arg, "--attack", o.attack) ||
-               take_value(arg, "--format", o.format)) {
+               take_value(arg, "--format", o.format) ||
+               take_value(arg, "--metrics-out", o.metrics_out)) {
       // handled
+    } else if (take_value(arg, "--report-interval-mins", v)) {
+      o.report_interval_mins = std::atof(v.c_str());
     } else if (take_value(arg, "--credit", v)) {
       o.credit = std::atof(v.c_str());
     } else if (take_value(arg, "--ttl-days", v)) {
@@ -195,6 +216,23 @@ int main(int argc, char** argv) {
   setup.workload.mean_rate_qps = o.qps;
   setup.attack = make_attack(o);
 
+  // Observability wiring: --metrics-out turns on the time-bucketed run
+  // report, --trace-out streams the structured event log as JSONL.
+  if (!o.metrics_out.empty()) {
+    setup.report_interval = sim::minutes(o.report_interval_mins);
+  }
+  metrics::Tracer tracer;
+  std::ofstream trace_stream;
+  if (!o.trace_out.empty()) {
+    trace_stream.open(o.trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "cannot open trace output: %s\n", o.trace_out.c_str());
+      return 1;
+    }
+    tracer.enable_jsonl(trace_stream);
+    setup.tracer = &tracer;
+  }
+
   const resolver::ResilienceConfig config = make_config(o);
 
   core::ExperimentResult result;
@@ -208,6 +246,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  if (!o.metrics_out.empty()) {
+    std::ofstream out(o.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics output: %s\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+    out << core::to_json(result) << '\n';
   }
 
   if (o.format == "json") {

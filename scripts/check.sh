@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# re-run the observability test binaries under ASan+UBSan.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SAN_DIR="${BUILD_DIR}-asan"
+
+echo "=== tier-1: build + ctest (${BUILD_DIR}) ==="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== sanitizers: metrics registry + tracer tests (${SAN_DIR}) ==="
+cmake -B "${SAN_DIR}" -S . -DDNSSHIELD_SANITIZE=ON
+cmake --build "${SAN_DIR}" -j --target \
+  dnsshield_metrics_registry_tests dnsshield_tracer_tests
+"${SAN_DIR}/tests/dnsshield_metrics_registry_tests"
+"${SAN_DIR}/tests/dnsshield_tracer_tests"
+
+echo
+echo "all checks passed"

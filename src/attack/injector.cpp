@@ -1,5 +1,6 @@
 #include "attack/injector.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dnsshield::attack {
@@ -47,6 +48,17 @@ const AttackScenario& AttackInjector::scenario() const {
 
 std::size_t AttackInjector::blocked_server_count() const {
   return waves_.empty() ? 0 : waves_.front().blocked.size();
+}
+
+std::pair<sim::SimTime, sim::SimTime> AttackInjector::outage_span() const {
+  if (waves_.empty()) return {0, 0};
+  sim::SimTime start = waves_.front().scenario.start;
+  sim::SimTime end = waves_.front().scenario.end();
+  for (const Wave& wave : waves_) {
+    start = std::min(start, wave.scenario.start);
+    end = std::max(end, wave.scenario.end());
+  }
+  return {start, end};
 }
 
 }  // namespace dnsshield::attack

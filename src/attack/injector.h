@@ -2,7 +2,9 @@
 // response, implementing the scenario's outage window.
 #pragma once
 
+#include <cstdint>
 #include <unordered_set>
+#include <utility>
 
 #include "attack/scenario.h"
 #include "dns/rr.h"
@@ -31,11 +33,16 @@ class AttackInjector {
   bool is_available(dns::IpAddr address, sim::SimTime t) const {
     for (const auto& wave : waves_) {
       if (wave.scenario.active_at(t) && wave.blocked.count(address) != 0) {
+        ++denials_;
         return false;
       }
     }
     return true;
   }
+
+  /// Number of queries this injector has swallowed (is_available() == false)
+  /// over its lifetime. Exported as an observability gauge.
+  std::uint64_t denials() const { return denials_; }
 
   bool attack_active(sim::SimTime t) const {
     for (const auto& wave : waves_) {
@@ -50,12 +57,18 @@ class AttackInjector {
   const AttackScenario& scenario() const;
   std::size_t blocked_server_count() const;
 
+  /// Earliest start and latest end over all waves, or (0, 0) with no
+  /// waves. Phase reports use this to place pre-attack/attack/recovery
+  /// boundaries even for multi-wave scenarios.
+  std::pair<sim::SimTime, sim::SimTime> outage_span() const;
+
  private:
   struct Wave {
     AttackScenario scenario;
     std::unordered_set<dns::IpAddr, dns::IpAddrHash> blocked;
   };
   std::vector<Wave> waves_;
+  mutable std::uint64_t denials_ = 0;
 };
 
 }  // namespace dnsshield::attack

@@ -10,6 +10,15 @@ namespace dnsshield::core {
 
 using resolver::CachingServer;
 
+const char* to_string(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kPreAttack: return "pre_attack";
+    case RunPhase::kAttack: return "attack";
+    case RunPhase::kRecovery: return "recovery";
+  }
+  return "unknown";
+}
+
 namespace {
 
 attack::AttackScenario resolve_attack(const AttackSpec& spec,
@@ -54,10 +63,42 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
                  : attack::AttackInjector();
 
   sim::EventQueue events;
+  metrics::MetricsRegistry registry;
   CachingServer cs(hierarchy, injector, events, config);
+
+  // The observability layer is wired only when asked for, so plain
+  // benchmark runs pay nothing beyond a few never-taken branches.
+  const bool instrument = setup.report_interval > 0 || setup.tracer != nullptr;
+  if (instrument) {
+    cs.set_instrumentation(&registry, setup.tracer);
+  }
 
   ExperimentResult result;
   result.scheme_label = config.label();
+
+  if (metrics::Tracer* tracer = setup.tracer; tracer != nullptr) {
+    events.schedule_at(0, [tracer, &events] {
+      if (tracer->enabled()) {
+        tracer->emit(events.now(), metrics::TraceEventType::kPhaseTransition,
+                     {}, to_string(RunPhase::kPreAttack));
+      }
+    });
+    if (has_attack) {
+      events.schedule_at(scenario.start, [tracer, &events, &injector] {
+        if (tracer->enabled()) {
+          tracer->emit(events.now(), metrics::TraceEventType::kPhaseTransition,
+                       {}, to_string(RunPhase::kAttack),
+                       static_cast<double>(injector.blocked_server_count()));
+        }
+      });
+      events.schedule_at(scenario.end(), [tracer, &events] {
+        if (tracer->enabled()) {
+          tracer->emit(events.now(), metrics::TraceEventType::kPhaseTransition,
+                       {}, to_string(RunPhase::kRecovery));
+        }
+      });
+    }
+  }
 
   // Attack-window snapshots: capture totals at the window edges. The
   // events are scheduled before any renewal events exist, so at equal
@@ -82,6 +123,57 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
       }
     };
     events.schedule_at(0, sampler);
+  }
+
+  // Time-bucketed run report: a self-rescheduling sampler closes one
+  // bucket per interval (counter deltas + occupancy/queue snapshots),
+  // tagged with the attack phase of the bucket's start.
+  RunReport report;
+  CachingServer::Stats bucket_base;
+  sim::SimTime bucket_start = 0;
+  const auto phase_of = [&](sim::SimTime t) {
+    if (!has_attack || t < scenario.start) return RunPhase::kPreAttack;
+    return t < scenario.end() ? RunPhase::kAttack : RunPhase::kRecovery;
+  };
+  const auto flush_bucket = [&](sim::SimTime t_end) {
+    const CachingServer::Stats& s = cs.stats();
+    IntervalSample b;
+    b.start = bucket_start;
+    b.end = t_end;
+    b.phase = phase_of(bucket_start);
+    b.sr_queries = s.sr_queries - bucket_base.sr_queries;
+    b.sr_failures = s.sr_failures - bucket_base.sr_failures;
+    b.msgs_sent = s.msgs_sent - bucket_base.msgs_sent;
+    b.msgs_failed = s.msgs_failed - bucket_base.msgs_failed;
+    b.renewal_fetches = s.renewal_fetches - bucket_base.renewal_fetches;
+    b.stale_serves = s.stale_serves - bucket_base.stale_serves;
+    b.cache_answer_hits = s.cache_answer_hits - bucket_base.cache_answer_hits;
+    // Resident entries (O(1)); the exact live-entry walk (occupancy())
+    // costs O(cache) per bucket, which the <5% instrumentation budget
+    // can't afford. The Fig. 12 occupancy sampler stays exact.
+    b.cache_rrsets = cs.cache().size();
+    b.queue_depth = events.pending();
+    PhaseSummary& p = report.phases[static_cast<std::size_t>(b.phase)];
+    p.sr_queries += b.sr_queries;
+    p.sr_failures += b.sr_failures;
+    p.msgs_sent += b.msgs_sent;
+    p.msgs_failed += b.msgs_failed;
+    p.renewal_fetches += b.renewal_fetches;
+    p.stale_serves += b.stale_serves;
+    report.samples.push_back(b);
+    bucket_base = s;
+    bucket_start = t_end;
+  };
+  std::function<void()> report_sampler;
+  if (setup.report_interval > 0) {
+    report.interval = setup.report_interval;
+    report_sampler = [&] {
+      flush_bucket(events.now());
+      if (events.now() + setup.report_interval <= horizon) {
+        events.schedule_in(setup.report_interval, report_sampler);
+      }
+    };
+    events.schedule_at(setup.report_interval, report_sampler);
   }
 
   // Stream the workload: the trace drives the clock, renewal/sampling
@@ -120,6 +212,23 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
     window.msgs_sent = at_end.msgs_sent - at_start.msgs_sent;
     window.msgs_failed = at_end.msgs_failed - at_start.msgs_failed;
     result.attack_window = window;
+  }
+
+  if (setup.report_interval > 0) {
+    if (bucket_start < horizon) flush_bucket(horizon);  // final partial bucket
+    result.run_report = std::move(report);
+  }
+  if (instrument) {
+    registry.gauge("sim.events_fired")
+        .set(static_cast<double>(events.fired()));
+    registry.gauge("sim.queue_peak")
+        .set(static_cast<double>(events.max_pending()));
+    registry.gauge("cache.entries").set(static_cast<double>(cs.cache().size()));
+    registry.gauge("attack.denials")
+        .set(static_cast<double>(injector.denials()));
+    registry.gauge("attack.blocked_servers")
+        .set(static_cast<double>(injector.blocked_server_count()));
+    result.metrics = registry.snapshot();
   }
   return result;
 }

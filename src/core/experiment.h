@@ -10,7 +10,9 @@
 #include "attack/injector.h"
 #include "attack/scenario.h"
 #include "metrics/cdf.h"
+#include "metrics/registry.h"
 #include "metrics/time_series.h"
+#include "metrics/tracer.h"
 #include "resolver/caching_server.h"
 #include "server/hierarchy_builder.h"
 #include "trace/workload.h"
@@ -60,6 +62,79 @@ struct ExperimentSetup {
 
   /// Cache occupancy sampling interval; 0 disables (Fig. 12 uses 1 hour).
   sim::Duration occupancy_interval = 0;
+
+  /// Time-bucketed run report interval; 0 disables. When enabled, the run
+  /// collects a per-interval series of failure rate, traffic, renewal
+  /// activity, cache occupancy, and event-queue depth, tagged with the
+  /// attack phase, plus a MetricsRegistry snapshot.
+  sim::Duration report_interval = 0;
+
+  /// Optional structured-event tracer (not owned; must outlive the run).
+  /// Receives the full event stream: query lifecycle, cache outcomes,
+  /// renewal/prefetch fetches, failover hops, and phase transitions.
+  metrics::Tracer* tracer = nullptr;
+};
+
+/// Where a simulation instant falls relative to the attack window. Runs
+/// without an attack are entirely kPreAttack.
+enum class RunPhase : std::uint8_t { kPreAttack = 0, kAttack = 1, kRecovery = 2 };
+
+/// "pre_attack" / "attack" / "recovery".
+const char* to_string(RunPhase phase);
+
+/// One bucket of the time-resolved run report. Counters are deltas over
+/// [start, end); occupancy and queue depth are snapshots taken at `end`.
+/// A bucket straddling a phase boundary is tagged with its start's phase.
+struct IntervalSample {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  RunPhase phase = RunPhase::kPreAttack;
+  std::uint64_t sr_queries = 0;
+  std::uint64_t sr_failures = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_failed = 0;
+  std::uint64_t renewal_fetches = 0;
+  std::uint64_t stale_serves = 0;
+  std::uint64_t cache_answer_hits = 0;
+  std::size_t cache_rrsets = 0;  // resident entries at bucket end (O(1) read)
+  std::size_t queue_depth = 0;
+
+  double sr_failure_rate() const {
+    return sr_queries == 0 ? 0.0
+                           : static_cast<double>(sr_failures) /
+                                 static_cast<double>(sr_queries);
+  }
+  /// Renewal credit spent in this bucket (one unit per renewal fetch).
+  double renewal_credit_spent() const {
+    return static_cast<double>(renewal_fetches);
+  }
+};
+
+/// Aggregate of every bucket tagged with one phase.
+struct PhaseSummary {
+  std::uint64_t sr_queries = 0;
+  std::uint64_t sr_failures = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_failed = 0;
+  std::uint64_t renewal_fetches = 0;
+  std::uint64_t stale_serves = 0;
+
+  double sr_failure_rate() const {
+    return sr_queries == 0 ? 0.0
+                           : static_cast<double>(sr_failures) /
+                                 static_cast<double>(sr_queries);
+  }
+};
+
+/// The time-bucketed observability report of one run.
+struct RunReport {
+  sim::Duration interval = 0;
+  std::vector<IntervalSample> samples;
+  PhaseSummary phases[3];  // indexed by RunPhase
+
+  const PhaseSummary& phase(RunPhase p) const {
+    return phases[static_cast<std::size_t>(p)];
+  }
 };
 
 /// Counters observed inside the attack window.
@@ -96,6 +171,11 @@ struct ExperimentResult {
   metrics::Cdf gap_ttl_fraction;
   /// Modelled per-query resolution latency (seconds), whole run.
   metrics::Cdf latency;
+  /// Present when the setup asked for a report_interval.
+  std::optional<RunReport> run_report;
+  /// Registry snapshot; empty unless the run was instrumented (i.e. a
+  /// report interval or a tracer was configured).
+  metrics::MetricsSnapshot metrics;
 };
 
 /// Runs one scheme over one setup. Deterministic: the hierarchy and the

@@ -37,10 +37,95 @@ std::string to_text(const ExperimentResult& r) {
        << metrics::TablePrinter::num(r.latency.quantile(0.95) * 1000, 1)
        << "ms\n";
   }
+  if (r.run_report.has_value()) {
+    const RunReport& rep = *r.run_report;
+    os << "run report: " << rep.samples.size() << " buckets @ "
+       << metrics::TablePrinter::num(sim::to_hours(rep.interval), 2) << "h\n";
+    for (const RunPhase p :
+         {RunPhase::kPreAttack, RunPhase::kAttack, RunPhase::kRecovery}) {
+      const PhaseSummary& s = rep.phase(p);
+      if (s.sr_queries == 0 && s.msgs_sent == 0) continue;
+      os << "  " << to_string(p) << ": SR failures "
+         << metrics::TablePrinter::pct(s.sr_failure_rate()) << " ("
+         << s.sr_queries << " queries, " << s.msgs_sent << " messages, "
+         << s.renewal_fetches << " renewals, " << s.stale_serves
+         << " stale serves)\n";
+    }
+  }
   return os.str();
 }
 
 namespace {
+
+void emit_run_report(metrics::JsonWriter& w, const RunReport& rep) {
+  w.begin_object();
+  w.key("interval_s").value(rep.interval);
+
+  w.key("phases").begin_object();
+  for (const RunPhase p :
+       {RunPhase::kPreAttack, RunPhase::kAttack, RunPhase::kRecovery}) {
+    const PhaseSummary& s = rep.phase(p);
+    w.key(to_string(p)).begin_object();
+    w.key("sr_queries").value(s.sr_queries);
+    w.key("sr_failures").value(s.sr_failures);
+    w.key("sr_failure_rate").value(s.sr_failure_rate());
+    w.key("msgs_sent").value(s.msgs_sent);
+    w.key("msgs_failed").value(s.msgs_failed);
+    w.key("renewal_fetches").value(s.renewal_fetches);
+    w.key("stale_serves").value(s.stale_serves);
+    w.end_object();
+  }
+  w.end_object();
+
+  // Columnar series: one array per signal, one slot per bucket.
+  w.key("series").begin_object();
+  w.key("t_end_s").begin_array();
+  for (const auto& b : rep.samples) w.value(b.end);
+  w.end_array();
+  w.key("phase").begin_array();
+  for (const auto& b : rep.samples) w.value(to_string(b.phase));
+  w.end_array();
+  w.key("sr_queries").begin_array();
+  for (const auto& b : rep.samples) w.value(b.sr_queries);
+  w.end_array();
+  w.key("sr_failures").begin_array();
+  for (const auto& b : rep.samples) w.value(b.sr_failures);
+  w.end_array();
+  w.key("failure_rate").begin_array();
+  for (const auto& b : rep.samples) w.value(b.sr_failure_rate());
+  w.end_array();
+  w.key("msgs_sent").begin_array();
+  for (const auto& b : rep.samples) w.value(b.msgs_sent);
+  w.end_array();
+  w.key("msgs_failed").begin_array();
+  for (const auto& b : rep.samples) w.value(b.msgs_failed);
+  w.end_array();
+  w.key("renewal_fetches").begin_array();
+  for (const auto& b : rep.samples) w.value(b.renewal_fetches);
+  w.end_array();
+  w.key("renewal_credit_spent").begin_array();
+  for (const auto& b : rep.samples) w.value(b.renewal_credit_spent());
+  w.end_array();
+  w.key("stale_serves").begin_array();
+  for (const auto& b : rep.samples) w.value(b.stale_serves);
+  w.end_array();
+  w.key("cache_answer_hits").begin_array();
+  for (const auto& b : rep.samples) w.value(b.cache_answer_hits);
+  w.end_array();
+  w.key("cache_rrsets").begin_array();
+  for (const auto& b : rep.samples) {
+    w.value(static_cast<std::uint64_t>(b.cache_rrsets));
+  }
+  w.end_array();
+  w.key("queue_depth").begin_array();
+  for (const auto& b : rep.samples) {
+    w.value(static_cast<std::uint64_t>(b.queue_depth));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+}
 
 void emit_window(metrics::JsonWriter& w, const WindowStats& window) {
   w.begin_object();
@@ -92,6 +177,20 @@ std::string to_json(const ExperimentResult& r) {
     emit_window(w, *r.attack_window);
   } else {
     w.null();
+  }
+
+  w.key("run_report");
+  if (r.run_report.has_value()) {
+    emit_run_report(w, *r.run_report);
+  } else {
+    w.null();
+  }
+
+  w.key("metrics");
+  if (r.metrics.empty()) {
+    w.null();
+  } else {
+    r.metrics.write_json(w);
   }
 
   w.key("latency");

@@ -8,10 +8,15 @@
 namespace dnsshield::core {
 
 /// Multi-line human summary of one run (scheme, trace stats, failure
-/// rates, overheads, latency percentiles).
+/// rates, overheads, latency percentiles, and — when the run collected a
+/// time-bucketed report — per-phase failure/traffic summaries).
 std::string to_text(const ExperimentResult& result);
 
-/// The same information as a deterministic single-line JSON object.
+/// The same information as a deterministic single-line JSON object. When
+/// the run was instrumented this includes "run_report" (per-phase
+/// summaries plus columnar per-interval series of failure rate, traffic,
+/// renewal-credit spend, cache occupancy, and queue depth) and "metrics"
+/// (the MetricsRegistry snapshot); both are null otherwise.
 std::string to_json(const ExperimentResult& result);
 
 }  // namespace dnsshield::core

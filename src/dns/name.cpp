@@ -135,13 +135,20 @@ Name Name::common_ancestor(const Name& a, const Name& b) {
 std::size_t Name::wire_length() const { return wire_length_of(labels()); }
 
 std::string Name::to_string() const {
-  if (is_root()) return ".";
   std::string out;
+  append_to(out);
+  return out;
+}
+
+void Name::append_to(std::string& out) const {
+  if (is_root()) {
+    out += '.';
+    return;
+  }
   for (const auto& l : labels()) {
     out += l;
     out += '.';
   }
-  return out;
 }
 
 bool Name::operator<(const Name& other) const {

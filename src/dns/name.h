@@ -83,6 +83,10 @@ class Name {
   /// Presentation format with trailing dot ("www.ucla.edu.", "." for root).
   std::string to_string() const;
 
+  /// Appends the presentation format to `out` without clearing it —
+  /// allocation-free when `out` already has capacity (tracing hot path).
+  void append_to(std::string& out) const;
+
   bool operator==(const Name& other) const {
     if (hash_ != other.hash_) return false;
     if (storage_ == other.storage_ && start_ == other.start_) return true;

@@ -1,0 +1,141 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/json.h"
+
+namespace dnsshield::metrics {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "histogram bounds must be non-empty and strictly increasing");
+  }
+}
+
+void Histogram::observe(double sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += sample;
+}
+
+void MetricsRegistry::check_unclaimed(std::string_view name,
+                                      std::string_view wanted) const {
+  const bool taken = (wanted != "counter" && counters_.count(name) != 0) ||
+                     (wanted != "gauge" && gauges_.count(name) != 0) ||
+                     (wanted != "histogram" && histograms_.count(name) != 0);
+  if (taken) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' already registered as a different kind");
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return *it->second;
+  }
+  check_unclaimed(name, "counter");
+  Counter& slot = counter_slots_.emplace_back();
+  counters_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return *it->second;
+  }
+  check_unclaimed(name, "gauge");
+  Gauge& slot = gauge_slots_.emplace_back();
+  gauges_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    if (it->second->bounds() != upper_bounds) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+    return *it->second;
+  }
+  check_unclaimed(name, "histogram");
+  Histogram& slot = histogram_slots_.emplace_back(std::move(upper_bounds));
+  histograms_.emplace(std::string(name), &slot);
+  return slot;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.counts = h->bucket_counts();
+    s.count = h->count();
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  snapshot().write_json(w);
+  return w.take();
+}
+
+}  // namespace dnsshield::metrics

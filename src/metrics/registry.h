@@ -1,0 +1,124 @@
+// A registry of named metrics: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Hot-path friendly: counter(), gauge(), and histogram() hand out stable
+// references (backed by deques), so instrumented code resolves a metric
+// once and then increments through the handle with no lookup. Export is
+// deterministic: metrics are rendered sorted by name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsshield::metrics {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time scalar (queue depth, credit balance, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one extra
+/// overflow bucket counts the rest. Bounds are set at registration and
+/// must be non-empty and strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double sample);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// A copyable value snapshot of a registry, for embedding in results that
+/// outlive the instrumented run.
+struct MetricsSnapshot {
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted
+  std::vector<std::pair<std::string, double>> gauges;           // sorted
+  std::vector<HistogramSample> histograms;                      // sorted
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Emits {"counters":{...},"gauges":{...},"histograms":{...}} as one
+  /// JSON value (keys sorted by metric name).
+  void write_json(JsonWriter& w) const;
+};
+
+/// Owns every metric. Registration is idempotent: asking for an existing
+/// name returns the same object (a histogram re-registered with different
+/// bounds throws std::invalid_argument; a name registered as one kind and
+/// requested as another also throws).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  MetricsSnapshot snapshot() const;
+  /// snapshot().write_json() rendered as a standalone document.
+  std::string to_json() const;
+
+ private:
+  void check_unclaimed(std::string_view name, std::string_view wanted) const;
+
+  // Deques keep handed-out references stable across registrations.
+  std::deque<Counter> counter_slots_;
+  std::deque<Gauge> gauge_slots_;
+  std::deque<Histogram> histogram_slots_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+};
+
+}  // namespace dnsshield::metrics

@@ -1,0 +1,135 @@
+#include "metrics/tracer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include "metrics/json.h"
+
+namespace dnsshield::metrics {
+
+std::string_view to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kQueryStart: return "query_start";
+    case TraceEventType::kQueryEnd: return "query_end";
+    case TraceEventType::kCacheHit: return "cache_hit";
+    case TraceEventType::kCacheMiss: return "cache_miss";
+    case TraceEventType::kCacheExpired: return "cache_expired";
+    case TraceEventType::kCacheStale: return "cache_stale";
+    case TraceEventType::kCacheEvict: return "cache_evict";
+    case TraceEventType::kIrrRefresh: return "irr_refresh";
+    case TraceEventType::kRenewalFetch: return "renewal_fetch";
+    case TraceEventType::kHostPrefetch: return "host_prefetch";
+    case TraceEventType::kFailoverHop: return "failover_hop";
+    case TraceEventType::kPhaseTransition: return "phase_transition";
+  }
+  return "unknown";
+}
+
+void Tracer::enable_ring(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("tracer ring capacity must be positive");
+  }
+  mode_ = Mode::kRing;
+  ring_.assign(capacity, RingSlot{});
+  head_ = 0;
+  size_ = 0;
+  sink_ = nullptr;
+}
+
+void Tracer::enable_sink(std::function<void(const TraceEvent&)> sink) {
+  if (!sink) throw std::invalid_argument("tracer sink must be callable");
+  mode_ = Mode::kSink;
+  sink_ = std::move(sink);
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+}
+
+void Tracer::enable_jsonl(std::ostream& out) {
+  enable_sink([&out](const TraceEvent& ev) { out << to_jsonl(ev) << '\n'; });
+}
+
+void Tracer::disable() {
+  mode_ = Mode::kOff;
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  sink_ = nullptr;
+}
+
+void Tracer::emit(sim::SimTime time, TraceEventType type,
+                  std::string_view subject, std::string_view detail,
+                  double value) {
+  emit_fill(
+      time, type,
+      [&](std::string& s, std::string& d) {
+        s.assign(subject);
+        d.assign(detail);
+      },
+      value);
+}
+
+void Tracer::store_in_ring(const TraceEvent& ev) {
+  RingSlot& slot = ring_[head_];
+  slot.time = ev.time;
+  slot.seq = ev.seq;
+  slot.value = ev.value;
+  slot.type = ev.type;
+  const std::size_t sn = std::min(ev.subject.size(), sizeof slot.text);
+  const std::size_t dn = std::min(ev.detail.size(), sizeof slot.text - sn);
+  slot.subject_len = static_cast<std::uint8_t>(sn);
+  slot.detail_len = static_cast<std::uint8_t>(dn);
+  std::memcpy(slot.text, ev.subject.data(), sn);
+  std::memcpy(slot.text + sn, ev.detail.data(), dn);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+TraceEvent Tracer::unpack(const RingSlot& slot) const {
+  TraceEvent ev;
+  ev.time = slot.time;
+  ev.seq = slot.seq;
+  ev.type = slot.type;
+  ev.subject.assign(slot.text, slot.subject_len);
+  ev.detail.assign(slot.text + slot.subject_len, slot.detail_len);
+  ev.value = slot.value;
+  return ev;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest live slot: head_ - size_ modulo capacity.
+  const std::size_t cap = ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(unpack(ring_[(head_ + cap - size_ + i) % cap]));
+  }
+  return out;
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : events()) {
+    out << to_jsonl(ev) << '\n';
+  }
+}
+
+std::string Tracer::to_jsonl(const TraceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seq").value(ev.seq);
+  w.key("t").value(ev.time);
+  w.key("event").value(to_string(ev.type));
+  w.key("subject").value(ev.subject);
+  w.key("detail").value(ev.detail);
+  w.key("value").value(ev.value);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace dnsshield::metrics

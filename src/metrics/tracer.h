@@ -1,0 +1,155 @@
+// Structured simulation event tracing.
+//
+// The tracer records typed events (query lifecycle, cache outcomes, IRR
+// refresh/renewal activity, failover hops, attack phase transitions) into
+// either a bounded in-memory ring or a caller-supplied sink (e.g. a JSONL
+// file). It is disabled by default; the only cost an instrumented hot path
+// pays then is one predictable branch on enabled(). Callers are expected
+// to guard event construction:
+//
+//   if (tracer && tracer->enabled()) {
+//     tracer->emit(now, TraceEventType::kCacheHit, name.to_string());
+//   }
+//
+// Ring mode stores events in flat preallocated slots with inline text
+// (no per-slot heap strings): an emit renders into one hot scratch event
+// and memcpys into the next slot, so the ring's memory traffic is purely
+// sequential and a steady-state emit performs no heap allocation. Subject
+// and detail are truncated to the slots' inline capacity (37 bytes
+// combined — rarely exceeded by this simulator's names) in ring mode only;
+// sink mode always sees the full strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnsshield::metrics {
+
+/// The simulation event taxonomy. Kept flat and small: one byte per event.
+enum class TraceEventType : std::uint8_t {
+  kQueryStart,       // SR query entered the caching server
+  kQueryEnd,         // SR query finished (detail = rcode, value = latency s)
+  kCacheHit,         // answered from a live cache entry
+  kCacheMiss,        // no usable cache entry; iterative resolution follows
+  kCacheExpired,     // expired IRR discarded on the walk (value = gap s)
+  kCacheStale,       // expired entry served (serve-stale only)
+  kCacheEvict,       // LRU eviction under a bounded cache
+  kIrrRefresh,       // zone NS-set expiry pushed out by the refresh rule
+                     // (glue refreshes ride along without their own event)
+  kRenewalFetch,     // credit spent on an IRR re-fetch (value = credit left)
+  kHostPrefetch,     // end-host prefetch re-fetch fired
+  kFailoverHop,      // server unreachable; trying the next one
+  kPhaseTransition,  // attack phase boundary (detail = new phase)
+};
+
+/// Lowercase snake_case name, e.g. "cache_hit" (used as the JSONL tag).
+std::string_view to_string(TraceEventType type);
+
+struct TraceEvent {
+  sim::SimTime time = 0;
+  std::uint64_t seq = 0;  // tracer-assigned, strictly increasing
+  TraceEventType type = TraceEventType::kQueryStart;
+  std::string subject;  // qname / zone / server the event is about
+  std::string detail;   // qualifier: rcode, phase name, RR type, ...
+  double value = 0;     // numeric payload (meaning depends on type)
+};
+
+class Tracer {
+ public:
+  /// Constructs a disabled tracer: emit() is a no-op.
+  Tracer() = default;
+
+  /// Keeps the most recent `capacity` events in memory (older ones are
+  /// overwritten and counted as dropped).
+  void enable_ring(std::size_t capacity);
+
+  /// Forwards every event to `sink` as it is emitted.
+  void enable_sink(std::function<void(const TraceEvent&)> sink);
+
+  /// Convenience sink: one JSON object per line on `out`. The stream must
+  /// outlive the tracer (or the last emit).
+  void enable_jsonl(std::ostream& out);
+
+  void disable();
+
+  bool enabled() const { return mode_ != Mode::kOff; }
+
+  /// Records one event. Timestamps are expected to be non-decreasing (the
+  /// simulation clock guarantees this for in-run events).
+  void emit(sim::SimTime time, TraceEventType type,
+            std::string_view subject = {}, std::string_view detail = {},
+            double value = 0);
+
+  /// Allocation-free variant for hot paths: `fill(subject, detail)` writes
+  /// straight into a reused scratch event's strings (handed over cleared),
+  /// so callers can append a dns name without materialising a temporary —
+  /// e.g. fill = [&](std::string& s, std::string&) { name.append_to(s); }.
+  template <typename Fill>
+  void emit_fill(sim::SimTime time, TraceEventType type, Fill&& fill,
+                 double value = 0) {
+    if (mode_ == Mode::kOff) return;
+    scratch_.time = time;
+    scratch_.seq = emitted_++;
+    scratch_.type = type;
+    scratch_.subject.clear();
+    scratch_.detail.clear();
+    fill(scratch_.subject, scratch_.detail);
+    scratch_.value = value;
+    if (mode_ == Mode::kRing) {
+      store_in_ring(scratch_);
+    } else {
+      sink_(scratch_);
+    }
+  }
+
+  /// Ring contents, oldest first. Empty in sink mode.
+  std::vector<TraceEvent> events() const;
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Writes the ring contents as JSONL to `out`.
+  void write_jsonl(std::ostream& out) const;
+
+  /// One event as a single-line JSON object (no trailing newline).
+  static std::string to_jsonl(const TraceEvent& ev);
+
+ private:
+  enum class Mode : std::uint8_t { kOff, kRing, kSink };
+
+  /// Flat one-cache-line slot: header fields plus inline text (subject
+  /// then detail, truncated to fit). One line of sequential writes per
+  /// emit — no per-slot heap indirection to pull into cache on the hot
+  /// path.
+  struct alignas(64) RingSlot {
+    sim::SimTime time;
+    std::uint64_t seq;
+    double value;
+    TraceEventType type;
+    std::uint8_t subject_len;
+    std::uint8_t detail_len;
+    char text[37];
+  };
+  static_assert(sizeof(RingSlot) == 64);
+
+  void store_in_ring(const TraceEvent& ev);
+  TraceEvent unpack(const RingSlot& slot) const;
+
+  Mode mode_ = Mode::kOff;
+  std::vector<RingSlot> ring_;  // fixed capacity, slots reused in place
+  std::size_t head_ = 0;        // next slot to write
+  std::size_t size_ = 0;        // live slots (<= ring_.size())
+  TraceEvent scratch_;          // reused hot event every emit renders into
+  std::function<void(const TraceEvent&)> sink_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dnsshield::metrics

@@ -20,10 +20,17 @@ void Cache::touch(const dns::Name& name, RRType type,
   }
 }
 
-void Cache::evict_if_over_budget() {
+void Cache::evict_if_over_budget(sim::SimTime now) {
   if (max_entries_ == 0) return;
   while (entries_.size() > max_entries_ && !lru_.empty()) {
     const auto& [name, type] = lru_.back();
+    if (tracer_ && tracer_->enabled()) {
+      tracer_->emit_fill(now, metrics::TraceEventType::kCacheEvict,
+                         [&](std::string& s, std::string& d) {
+                           name.append_to(s);
+                           d = dns::rrtype_to_string(type);
+                         });
+    }
     const auto it = entries_.find(Key{name, type});
     // Permanent entries (root hints) are never in the LRU list, so the
     // victim is always evictable.
@@ -88,7 +95,7 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
   ++stats_.insertions;
   auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
   touch(key.name, key.type, pos->second);
-  evict_if_over_budget();
+  evict_if_over_budget(now);
   return {InsertOutcome::kInstalled, &pos->second};
 }
 
@@ -105,7 +112,7 @@ void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t tt
   ++stats_.insertions;
   auto [pos, _] = entries_.insert_or_assign(Key{name, type}, std::move(entry));
   touch(name, type, pos->second);
-  evict_if_over_budget();
+  evict_if_over_budget(now);
 }
 
 void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {

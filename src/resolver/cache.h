@@ -15,6 +15,7 @@
 #include "dns/name.h"
 #include "dns/rr.h"
 #include "dns/trust.h"
+#include "metrics/tracer.h"
 #include "sim/time.h"
 
 namespace dnsshield::resolver {
@@ -140,6 +141,10 @@ class Cache {
 
   std::size_t max_entries() const { return max_entries_; }
 
+  /// Installs a tracer observing evictions (nullptr to detach). Not owned;
+  /// must outlive the cache or be detached first.
+  void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Key {
     dns::Name name;
@@ -156,7 +161,7 @@ class Cache {
   /// list node on first touch.
   void touch(const dns::Name& name, dns::RRType type,
              const CacheEntry& entry) const;
-  void evict_if_over_budget();
+  void evict_if_over_budget(sim::SimTime now);
 
   std::uint32_t ttl_cap_;
   std::size_t max_entries_;
@@ -165,6 +170,7 @@ class Cache {
   mutable LruList lru_;
   mutable Stats stats_;
   std::uint64_t next_generation_ = 1;
+  metrics::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dnsshield::resolver

@@ -48,6 +48,34 @@ CachingServer::CachingServer(const server::Hierarchy& hierarchy,
   }
 }
 
+void CachingServer::set_instrumentation(metrics::MetricsRegistry* registry,
+                                        metrics::Tracer* tracer) {
+  tracer_ = tracer;
+  cache_.set_tracer(tracer);
+  if (registry == nullptr) {
+    m_ = MetricHandles{};
+    return;
+  }
+  m_.sr_queries = &registry->counter("cs.sr_queries");
+  m_.sr_failures = &registry->counter("cs.sr_failures");
+  m_.cache_answer_hits = &registry->counter("cs.cache_answer_hits");
+  m_.stale_serves = &registry->counter("cs.stale_serves");
+  m_.msgs_sent = &registry->counter("cs.msgs_sent");
+  m_.msgs_failed = &registry->counter("cs.msgs_failed");
+  m_.failover_hops = &registry->counter("cs.failover_hops");
+  m_.referrals_followed = &registry->counter("cs.referrals_followed");
+  m_.renewal_fetches = &registry->counter("renewal.fetches");
+  m_.renewal_credit_spent = &registry->counter("renewal.credit_spent");
+  m_.host_prefetches = &registry->counter("prefetch.host_fetches");
+  m_.irr_refreshes = &registry->counter("cache.irr_refreshes");
+  m_.gap_expiries = &registry->counter("cache.gap_expiries");
+  m_.latency_s = &registry->histogram(
+      "cs.latency_s",
+      {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0});
+  m_.msgs_per_query = &registry->histogram(
+      "cs.msgs_per_query", {0, 1, 2, 3, 5, 8, 13, 21, 34});
+}
+
 double CachingServer::zone_credit(const Name& zone) const {
   const auto it = credits_.find(zone);
   return it == credits_.end() ? 0.0 : it->second;
@@ -82,6 +110,16 @@ std::optional<Name> CachingServer::find_deepest_zone(const Name& qname,
         if (const CacheEntry* stale =
                 cache_.lookup_including_expired(cursor, RRType::kNS)) {
           record_gap(*stale);
+          if (m_.gap_expiries) m_.gap_expiries->inc();
+          if (tracing()) {
+            tracer_->emit_fill(
+                now(), metrics::TraceEventType::kCacheExpired,
+                [&](std::string& s, std::string& d) {
+                  cursor.append_to(s);
+                  d = "ns";
+                },
+                now() - stale->expires_at);
+          }
           cache_.erase(cursor, RRType::kNS);
         }
       }
@@ -178,6 +216,18 @@ void CachingServer::on_renewal_due(const Name& name, RRType type) {
   }
   it->second -= 1.0;
   ++stats_.renewal_fetches;
+  if (m_.renewal_fetches) m_.renewal_fetches->inc();
+  if (m_.renewal_credit_spent) m_.renewal_credit_spent->inc();
+  if (tracing()) {
+    // value = the zone's remaining credit after this spend (delta is -1).
+    tracer_->emit_fill(
+        now(), metrics::TraceEventType::kRenewalFetch,
+        [&](std::string& s, std::string& d) {
+          name.append_to(s);
+          d = dns::rrtype_to_string(type);
+        },
+        it->second);
+  }
 
   Context ctx;
   ctx.is_renewal = true;
@@ -237,6 +287,14 @@ void CachingServer::on_prefetch_due(const Name& name, RRType type) {
     return;
   }
   ++stats_.host_prefetches;
+  if (m_.host_prefetches) m_.host_prefetches->inc();
+  if (tracing()) {
+    tracer_->emit_fill(now(), metrics::TraceEventType::kHostPrefetch,
+                       [&](std::string& s, std::string& d) {
+                         name.append_to(s);
+                         d = dns::rrtype_to_string(type);
+                       });
+  }
   Context ctx;
   ctx.is_renewal = true;  // no credit, no gap recording
   (void)iterate(name, type, ctx);
@@ -297,6 +355,19 @@ void CachingServer::ingest(const Message& response, Context& ctx) {
                          (result.outcome == InsertOutcome::kInstalled ||
                           result.outcome == InsertOutcome::kReplaced ||
                           result.outcome == InsertOutcome::kTtlReset);
+      if (is_irr && result.outcome == InsertOutcome::kTtlReset) {
+        if (m_.irr_refreshes) m_.irr_refreshes->inc();
+        // One trace event per NS-set reset; the glue address resets that
+        // ride along with it would triple the event volume for no signal
+        // (the counter above still counts every IRR RRset).
+        if (tracing() && set.type() == RRType::kNS) {
+          tracer_->emit_fill(now(), metrics::TraceEventType::kIrrRefresh,
+                             [&](std::string& s, std::string& d) {
+                               set.name().append_to(s);
+                               d = dns::rrtype_to_string(set.type());
+                             });
+        }
+      }
       if (is_irr && fresh) {
         note_irr_inserted(set.name(), set.type(), *result.entry);
       }
@@ -372,9 +443,22 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
     for (const IpAddr addr : addrs) {
       ++ctx.msgs;
       ++stats_.msgs_sent;
+      if (m_.msgs_sent) m_.msgs_sent->inc();
       if (!injector_.is_available(addr, now())) {
         ++ctx.failed;
         ++stats_.msgs_failed;
+        ++stats_.failover_hops;
+        if (m_.msgs_failed) m_.msgs_failed->inc();
+        if (m_.failover_hops) m_.failover_hops->inc();
+        if (tracing()) {
+          tracer_->emit_fill(
+              now(), metrics::TraceEventType::kFailoverHop,
+              [&](std::string& s, std::string& d) {
+                zone.append_to(s);
+                d = addr.to_string();
+              },
+              static_cast<double>(ctx.failed));
+        }
         ctx.latency += latency_model_.timeout;
         if (config_.count_wire_bytes) {
           stats_.bytes_sent += dns::encoded_size(
@@ -427,6 +511,7 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
           return std::nullopt;  // referred into a zone whose servers failed
         }
         ++stats_.referrals_followed;
+        if (m_.referrals_followed) m_.referrals_followed->inc();
         break;  // cached child IRRs; outer loop descends
       }
       return std::nullopt;  // non-referral, non-answer: give up
@@ -446,6 +531,16 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
   while (ctx.cname_depth <= kMaxCnameChase) {
     // Cache first (expired entries qualify only on the stale pass).
     if (const CacheEntry* hit = cache_find(qname, qtype, ctx)) {
+      if (tracing()) {
+        tracer_->emit_fill(now(),
+                           hit->live_at(now())
+                               ? metrics::TraceEventType::kCacheHit
+                               : metrics::TraceEventType::kCacheStale,
+                           [&](std::string& s, std::string& d) {
+                             qname.append_to(s);
+                             d = dns::rrtype_to_string(qtype);
+                           });
+      }
       if (hit->negative) {
         result.success = true;  // cached NXDOMAIN / NODATA (RFC 2308)
         result.rcode = hit->neg_rcode;
@@ -468,6 +563,13 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
       }
     }
 
+    if (tracing()) {
+      tracer_->emit_fill(now(), metrics::TraceEventType::kCacheMiss,
+                         [&](std::string& s, std::string& d) {
+                           qname.append_to(s);
+                           d = dns::rrtype_to_string(qtype);
+                         });
+    }
     std::optional<Message> response = iterate(qname, qtype, ctx);
     if (!response && config_.serve_stale && !ctx.allow_stale) {
       // Ballani-Francis fallback: one more pass, this time allowed to
@@ -516,15 +618,41 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
 CachingServer::ResolveResult CachingServer::resolve(const Name& qname,
                                                     RRType qtype) {
   ++stats_.sr_queries;
+  if (m_.sr_queries) m_.sr_queries->inc();
+  if (tracing()) {
+    tracer_->emit_fill(now(), metrics::TraceEventType::kQueryStart,
+                       [&](std::string& s, std::string& d) {
+                         qname.append_to(s);
+                         d = dns::rrtype_to_string(qtype);
+                       });
+  }
   Context ctx;
   ResolveResult result = resolve_internal(qname, qtype, ctx);
   if (!result.success) {
     ++stats_.sr_failures;
+    if (m_.sr_failures) m_.sr_failures->inc();
   } else if (result.from_cache) {
     ++stats_.cache_answer_hits;
+    if (m_.cache_answer_hits) m_.cache_answer_hits->inc();
   }
-  if (result.stale) ++stats_.stale_serves;
+  if (result.stale) {
+    ++stats_.stale_serves;
+    if (m_.stale_serves) m_.stale_serves->inc();
+  }
   latency_cdf_.add(result.latency);
+  if (m_.latency_s) m_.latency_s->observe(result.latency);
+  if (m_.msgs_per_query) {
+    m_.msgs_per_query->observe(static_cast<double>(result.messages_sent));
+  }
+  if (tracing()) {
+    tracer_->emit_fill(
+        now(), metrics::TraceEventType::kQueryEnd,
+        [&](std::string& s, std::string& d) {
+          qname.append_to(s);
+          d = dns::rcode_to_string(result.rcode);
+        },
+        result.latency);
+  }
   return result;
 }
 

@@ -24,6 +24,8 @@
 #include "attack/injector.h"
 #include "dns/message.h"
 #include "metrics/cdf.h"
+#include "metrics/registry.h"
+#include "metrics/tracer.h"
 #include "resolver/cache.h"
 #include "resolver/config.h"
 #include "resolver/latency.h"
@@ -81,10 +83,20 @@ class CachingServer {
     std::uint64_t referrals_followed = 0;
     std::uint64_t stale_serves = 0;  // resolutions salvaged by expired data
     std::uint64_t host_prefetches = 0;  // end-host prefetch re-fetches
+    std::uint64_t failover_hops = 0;   // dead server skipped for the next one
     std::uint64_t bytes_sent = 0;      // wire bytes (count_wire_bytes only)
     std::uint64_t bytes_received = 0;  // wire bytes (count_wire_bytes only)
   };
   const Stats& stats() const { return stats_; }
+
+  /// Wires the observability layer in: named counters/histograms in
+  /// `registry` (under "cs." / "cache.") mirror Stats on the hot paths, and
+  /// `tracer` receives the typed event stream (query lifecycle, cache
+  /// outcomes, renewal/prefetch activity, failover hops). Either may be
+  /// nullptr; both must outlive the server. Without this call the only
+  /// per-query cost is a handful of null-pointer branches.
+  void set_instrumentation(metrics::MetricsRegistry* registry,
+                           metrics::Tracer* tracer);
 
   const Cache& cache() const { return cache_; }
   Cache& cache() { return cache_; }
@@ -184,6 +196,30 @@ class CachingServer {
   metrics::Cdf gap_ttl_fraction_;
   metrics::Cdf latency_cdf_;
   QueryLog query_log_;
+
+  /// Pre-resolved registry handles (null when uninstrumented) so hot paths
+  /// pay a branch, not a name lookup.
+  struct MetricHandles {
+    metrics::Counter* sr_queries = nullptr;
+    metrics::Counter* sr_failures = nullptr;
+    metrics::Counter* cache_answer_hits = nullptr;
+    metrics::Counter* stale_serves = nullptr;
+    metrics::Counter* msgs_sent = nullptr;
+    metrics::Counter* msgs_failed = nullptr;
+    metrics::Counter* failover_hops = nullptr;
+    metrics::Counter* referrals_followed = nullptr;
+    metrics::Counter* renewal_fetches = nullptr;
+    metrics::Counter* renewal_credit_spent = nullptr;
+    metrics::Counter* host_prefetches = nullptr;
+    metrics::Counter* irr_refreshes = nullptr;
+    metrics::Counter* gap_expiries = nullptr;
+    metrics::Histogram* latency_s = nullptr;
+    metrics::Histogram* msgs_per_query = nullptr;
+  };
+  MetricHandles m_;
+  metrics::Tracer* tracer_ = nullptr;
+
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   std::uint16_t next_query_id_ = 1;
 };

@@ -7,6 +7,7 @@ namespace dnsshield::sim {
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
   heap_.push(Event{t, next_seq_++, std::move(cb)});
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 bool EventQueue::step() {

@@ -54,6 +54,11 @@ class EventQueue {
   /// Total number of events fired so far.
   std::uint64_t fired() const { return fired_; }
 
+  /// High-water mark of pending(): the deepest the queue has ever been.
+  /// Observability signal — a renewal storm shows up here long before it
+  /// shows up in wall-clock time.
+  std::size_t max_pending() const { return max_pending_; }
+
  private:
   struct Event {
     SimTime time;
@@ -71,6 +76,7 @@ class EventQueue {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace dnsshield::sim

@@ -41,9 +41,38 @@ TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   JsonWriter w;
   w.begin_array();
   w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
   w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::signaling_NaN());
   w.end_array();
-  EXPECT_EQ(w.take(), "[null,null]");
+  EXPECT_EQ(w.take(), "[null,null,null,null]");
+}
+
+TEST(JsonWriterTest, NonFiniteInsideObjectKeepsStructureValid) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rate").value(std::numeric_limits<double>::quiet_NaN());
+  w.key("next").value(1.0);
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"rate":null,"next":1})");
+}
+
+TEST(JsonWriterTest, NestedEmptyContainers) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().end_object();
+  w.begin_array().end_array();
+  w.begin_object();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  w.end_array();
+  EXPECT_EQ(w.take(), R"([{},[],{"o":{}}])");
+}
+
+TEST(JsonWriterTest, EmptyTopLevelObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.take(), "{}");
 }
 
 TEST(JsonWriterTest, DoubleRoundTripPrecision) {
@@ -71,8 +100,25 @@ INSTANTIATE_TEST_SUITE_P(
                       EscapeCase{"back\\slash", "back\\\\slash"},
                       EscapeCase{"new\nline", "new\\nline"},
                       EscapeCase{"tab\there", "tab\\there"},
+                      EscapeCase{"bell\bfeed\f", "bell\\bfeed\\f"},
+                      EscapeCase{"cr\rlf\n", "cr\\rlf\\n"},
                       EscapeCase{"\x01", "\\u0001"},
+                      EscapeCase{"\x1f", "\\u001f"},
+                      EscapeCase{"mixed\x02mid", "mixed\\u0002mid"},
                       EscapeCase{"", ""}));
+
+TEST(JsonWriterTest, EscapesEmbeddedNul) {
+  const std::string in("a\0b", 3);
+  EXPECT_EQ(JsonWriter::escape(in), "a\\u0000b");
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird\n").value(1);
+  w.end_object();
+  EXPECT_EQ(w.take(), "{\"we\\\"ird\\n\":1}");
+}
 
 TEST(JsonWriterTest, MisuseThrows) {
   {

@@ -1,0 +1,165 @@
+// MetricsRegistry: counter/gauge/histogram semantics and deterministic
+// export. Built as its own binary so it can run under sanitizers without
+// dragging in the whole simulator (see scripts/check.sh).
+#include "metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "metrics/json.h"
+
+namespace dnsshield::metrics {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("g");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+}
+
+TEST(HistogramTest, BucketsSamplesAtAndBelowBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // boundary lands in its bucket
+  h.observe(1.5);   // <= 2.0
+  h.observe(5.0);   // boundary of last bound
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 21.6);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroMean) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad1", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("bad2", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("bad3", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(RegistryTest, HandlesStayStableAcrossManyRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  first.inc();
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter("c" + std::to_string(i)).inc(static_cast<std::uint64_t>(i));
+  }
+  // The deque backing means `first` was not invalidated by growth.
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(registry.find_counter("first"), &first);
+}
+
+TEST(RegistryTest, KindConflictsThrow) {
+  MetricsRegistry registry;
+  registry.counter("n");
+  EXPECT_THROW(registry.gauge("n"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("n", {1.0}), std::invalid_argument);
+  registry.gauge("g");
+  EXPECT_THROW(registry.counter("g"), std::invalid_argument);
+}
+
+TEST(RegistryTest, HistogramBoundsMismatchThrows) {
+  MetricsRegistry registry;
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(RegistryTest, FindDoesNotRegister) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("nope"), nullptr);
+  EXPECT_EQ(registry.find_gauge("nope"), nullptr);
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zebra").inc(1);
+  registry.counter("apple").inc(2);
+  registry.counter("mango").inc(3);
+  registry.gauge("z.g").set(9);
+  registry.gauge("a.g").set(1);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "apple");
+  EXPECT_EQ(snap.counters[1].first, "mango");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "a.g");
+  EXPECT_EQ(snap.gauges[1].first, "z.g");
+}
+
+TEST(RegistryTest, ExportIsDeterministicAcrossRegistrationOrder) {
+  MetricsRegistry forward;
+  forward.counter("a").inc(1);
+  forward.counter("b").inc(2);
+  forward.gauge("g").set(3);
+  forward.histogram("h", {1.0}).observe(0.5);
+
+  MetricsRegistry reversed;
+  reversed.histogram("h", {1.0}).observe(0.5);
+  reversed.gauge("g").set(3);
+  reversed.counter("b").inc(2);
+  reversed.counter("a").inc(1);
+
+  EXPECT_EQ(forward.to_json(), reversed.to_json());
+}
+
+TEST(RegistryTest, JsonShape) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {1.0, 2.0}).observe(1.5);
+  EXPECT_EQ(registry.to_json(),
+            R"({"counters":{"c":7},"gauges":{"g":1.5},)"
+            R"("histograms":{"h":{"bounds":[1,2],"counts":[0,1,0],)"
+            R"("count":1,"sum":1.5}}})");
+}
+
+TEST(RegistryTest, EmptySnapshot) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.empty());
+  registry.counter("c");
+  EXPECT_FALSE(registry.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace dnsshield::metrics

@@ -1,0 +1,214 @@
+// Tracer: ring/sink semantics, JSONL rendering, and ordering against the
+// simulation event queue. Built as its own binary so it can run under
+// sanitizers without the whole simulator (see scripts/check.sh).
+#include "metrics/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dnsshield::metrics {
+namespace {
+
+TEST(TracerTest, DisabledTracerEmitsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.emit(1.0, TraceEventType::kCacheHit, "a.com");
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TracerTest, RingKeepsMostRecentAndCountsDrops) {
+  Tracer tracer;
+  tracer.enable_ring(3);
+  for (int i = 0; i < 5; ++i) {
+    tracer.emit(i, TraceEventType::kQueryStart, "q" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.emitted(), 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].subject, "q2");  // oldest surviving
+  EXPECT_EQ(events[2].subject, "q4");  // newest
+  EXPECT_EQ(events[0].seq, 2u);
+  EXPECT_EQ(events[2].seq, 4u);
+}
+
+TEST(TracerTest, SeqIsStrictlyIncreasing) {
+  Tracer tracer;
+  tracer.enable_ring(16);
+  for (int i = 0; i < 10; ++i) {
+    tracer.emit(0.0, TraceEventType::kCacheMiss);
+  }
+  const auto events = tracer.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(TracerTest, SinkReceivesEveryEvent) {
+  Tracer tracer;
+  std::vector<TraceEvent> got;
+  tracer.enable_sink([&](const TraceEvent& ev) { got.push_back(ev); });
+  tracer.emit(1.5, TraceEventType::kRenewalFetch, "ns.a.com", "A", 4.0);
+  tracer.emit(2.5, TraceEventType::kFailoverHop, "a.com", "ip", 1.0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].subject, "ns.a.com");
+  EXPECT_EQ(got[0].value, 4.0);
+  EXPECT_EQ(got[1].type, TraceEventType::kFailoverHop);
+  EXPECT_TRUE(tracer.events().empty());  // sink mode buffers nothing
+}
+
+TEST(TracerTest, DisableStopsEmission) {
+  Tracer tracer;
+  tracer.enable_ring(4);
+  tracer.emit(0, TraceEventType::kCacheHit);
+  tracer.disable();
+  tracer.emit(1, TraceEventType::kCacheHit);
+  EXPECT_EQ(tracer.emitted(), 1u);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TracerTest, InvalidConfigurationThrows) {
+  Tracer tracer;
+  EXPECT_THROW(tracer.enable_ring(0), std::invalid_argument);
+  EXPECT_THROW(tracer.enable_sink(nullptr), std::invalid_argument);
+}
+
+TEST(TracerTest, EventTypeNamesAreSnakeCase) {
+  EXPECT_EQ(to_string(TraceEventType::kQueryStart), "query_start");
+  EXPECT_EQ(to_string(TraceEventType::kCacheStale), "cache_stale");
+  EXPECT_EQ(to_string(TraceEventType::kPhaseTransition), "phase_transition");
+}
+
+// A minimal structural check that one line is a flat JSON object with the
+// expected keys, without pulling in a JSON parser.
+void expect_parseable_jsonl(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  for (const char* key : {"\"seq\":", "\"t\":", "\"event\":\"", "\"subject\":\"",
+                          "\"detail\":\"", "\"value\":"}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key << " missing: " << line;
+  }
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip escaped char
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TracerTest, JsonlLineShape) {
+  TraceEvent ev;
+  ev.time = 3.5;
+  ev.seq = 7;
+  ev.type = TraceEventType::kQueryEnd;
+  ev.subject = "www.a.com";
+  ev.detail = "NOERROR";
+  ev.value = 0.25;
+  const std::string line = Tracer::to_jsonl(ev);
+  EXPECT_EQ(line,
+            R"({"seq":7,"t":3.5,"event":"query_end","subject":"www.a.com",)"
+            R"("detail":"NOERROR","value":0.25})");
+  expect_parseable_jsonl(line);
+}
+
+TEST(TracerTest, JsonlEscapesSubjects) {
+  TraceEvent ev;
+  ev.subject = "a\"b\\c\nd";
+  const std::string line = Tracer::to_jsonl(ev);
+  EXPECT_NE(line.find(R"(a\"b\\c\nd)"), std::string::npos);
+  expect_parseable_jsonl(line);
+}
+
+TEST(TracerTest, JsonlStreamMatchesRingContents) {
+  Tracer tracer;
+  tracer.enable_ring(8);
+  tracer.emit(1.0, TraceEventType::kCacheMiss, "x.com", "A");
+  tracer.emit(2.0, TraceEventType::kCacheHit, "x.com", "A");
+  std::ostringstream os;
+  tracer.write_jsonl(os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    expect_parseable_jsonl(line);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(TracerTest, EnableJsonlWritesOneLinePerEvent) {
+  std::ostringstream os;
+  Tracer tracer;
+  tracer.enable_jsonl(os);
+  tracer.emit(1.0, TraceEventType::kIrrRefresh, "com.");
+  tracer.emit(2.0, TraceEventType::kHostPrefetch, "www.a.com");
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    expect_parseable_jsonl(line);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// Events emitted from inside event-queue callbacks must come out of the
+// tracer in exactly the queue's deterministic firing order, with
+// non-decreasing timestamps.
+TEST(TracerTest, OrderingMatchesEventQueueFiringOrder) {
+  sim::EventQueue queue;
+  Tracer tracer;
+  tracer.enable_ring(64);
+
+  // Schedule out of order, including a same-time pair whose tie the queue
+  // breaks by scheduling sequence.
+  queue.schedule_at(5.0, [&] {
+    tracer.emit(queue.now(), TraceEventType::kRenewalFetch, "late");
+  });
+  queue.schedule_at(1.0, [&] {
+    tracer.emit(queue.now(), TraceEventType::kCacheMiss, "early");
+  });
+  queue.schedule_at(3.0, [&] {
+    tracer.emit(queue.now(), TraceEventType::kCacheHit, "mid-first");
+  });
+  queue.schedule_at(3.0, [&] {
+    tracer.emit(queue.now(), TraceEventType::kCacheHit, "mid-second");
+  });
+  queue.run_until(10.0);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].subject, "early");
+  EXPECT_EQ(events[1].subject, "mid-first");
+  EXPECT_EQ(events[2].subject, "mid-second");
+  EXPECT_EQ(events[3].subject, "late");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield::metrics
