@@ -46,8 +46,12 @@ int main(int argc, char** argv) {
     table.add_row(
         {std::to_string(upgraded) + "/" + std::to_string(setup.fleet_size),
          metrics::TablePrinter::pct(r.aggregate.sr_failure_rate()),
-         up_n == 0 ? "-" : metrics::TablePrinter::pct(up_fail / up_n),
-         van_n == 0 ? "-" : metrics::TablePrinter::pct(van_fail / van_n)});
+         up_n == 0 ? "-"
+                   : metrics::TablePrinter::pct(
+                         up_fail / static_cast<double>(up_n)),
+         van_n == 0 ? "-"
+                    : metrics::TablePrinter::pct(
+                          van_fail / static_cast<double>(van_n))});
   }
   table.print();
   std::puts("\n[expected: each upgraded resolver protects its own users "

@@ -2,17 +2,23 @@
 // name handling, wire codec, cache operations, resolution, sampling, and
 // the observability layer (metrics registry, tracer).
 //
-// After the registered benchmarks run, main() executes a tracing-overhead
-// guard: an end-to-end experiment is timed with and without the full
-// instrumentation stack (ring tracer + hourly run report), and the binary
-// fails loudly (non-zero exit) if enabled tracing costs more than 5% of
-// the resolve-loop wall time.
+// After the registered benchmarks run, main() executes two guards, and
+// the binary fails loudly (non-zero exit) if either is violated:
+//  - tracing-overhead guard: an end-to-end experiment is timed with and
+//    without the full instrumentation stack (ring tracer + hourly run
+//    report); enabled tracing must cost less than 5% of the resolve-loop
+//    wall time.
+//  - audit no-op guard: in builds without DNSSHIELD_ENABLE_AUDITS, a loop
+//    of DNSSHIELD_ASSERT over an expensive predicate is timed against a
+//    loop that actually evaluates it; the asserted loop must be free,
+//    proving the macro compiles to nothing in Release.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <vector>
 
 #include "attack/injector.h"
 #include "core/experiment.h"
@@ -22,6 +28,7 @@
 #include "metrics/tracer.h"
 #include "resolver/caching_server.h"
 #include "server/hierarchy_builder.h"
+#include "sim/audit.h"
 #include "sim/distributions.h"
 #include "sim/event_queue.h"
 
@@ -322,6 +329,75 @@ int run_tracing_overhead_guard() {
   return 0;
 }
 
+// ---- Audit no-op guard -----------------------------------------------------
+//
+// Release builds must pay literally nothing for the runtime invariant
+// audits: DNSSHIELD_ASSERT expands to an unevaluated sizeof, so the
+// condition is type-checked but never executed. This A/B guard times a
+// loop that asserts an expensive predicate against a loop that actually
+// evaluates it; the asserted loop has to be free (a small fraction of
+// the evaluated one), or the macro has silently started doing work in
+// Release and the guard fails. In audited builds the macro IS the check,
+// so the guard reports that and passes.
+
+/// Deliberately costly predicate the optimiser can't see through.
+bool expensive_check(const std::vector<std::uint64_t>& data, std::uint64_t seed) {
+  std::uint64_t acc = seed;
+  for (std::uint64_t v : data) acc = acc * 6364136223846793005ULL + v;
+  benchmark::DoNotOptimize(acc);
+  return acc != seed;
+}
+
+int run_audit_noop_guard() {
+  std::printf("\n--- audit no-op guard ---\n");
+  if (sim::audits_enabled()) {
+    std::printf("AUDIT NO-OP GUARD: SKIP — this build compiles the invariant "
+                "audits in (DNSSHIELD_ENABLE_AUDITS), so DNSSHIELD_ASSERT is "
+                "supposed to do work\n");
+    return 0;
+  }
+
+  std::vector<std::uint64_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint64_t>(i) * 2654435761ULL;
+  }
+  constexpr int kIters = 20000;
+
+  double asserted_s = 1e9, evaluated_s = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    double t0 = cpu_seconds();
+    for (int i = 0; i < kIters; ++i) {
+      DNSSHIELD_ASSERT(expensive_check(data, static_cast<std::uint64_t>(i)),
+                       "audit no-op guard probe");
+    }
+    asserted_s = std::min(asserted_s, cpu_seconds() - t0);
+
+    t0 = cpu_seconds();
+    bool all = true;
+    for (int i = 0; i < kIters; ++i) {
+      all &= expensive_check(data, static_cast<std::uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(all);
+    evaluated_s = std::min(evaluated_s, cpu_seconds() - t0);
+  }
+
+  std::printf("asserted loop %.6fs vs evaluated loop %.6fs "
+              "(%d iterations over a %zu-word buffer)\n",
+              asserted_s, evaluated_s, kIters, data.size());
+  // The asserted loop should vanish entirely; allow 2% of the evaluated
+  // loop plus timer-granularity slack before calling it a regression.
+  if (asserted_s > evaluated_s * 0.02 + 1e-4) {
+    std::printf("AUDIT NO-OP GUARD: FAIL — DNSSHIELD_ASSERT costs %.1f%% of "
+                "the evaluated check in a build without audits; the macro "
+                "must compile to nothing\n",
+                100.0 * asserted_s / std::max(evaluated_s, 1e-9));
+    return 1;
+  }
+  std::printf("AUDIT NO-OP GUARD: PASS — DNSSHIELD_ASSERT compiles to "
+              "nothing without DNSSHIELD_ENABLE_AUDITS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,5 +416,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return skip_guard ? 0 : run_tracing_overhead_guard();
+  if (skip_guard) return 0;
+  int rc = run_tracing_overhead_guard();
+  rc |= run_audit_noop_guard();
+  return rc;
 }

@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite, then
-# re-run the observability test binaries under ASan+UBSan.
+# Full correctness gate, in dependency order:
+#   1. project linter   — scripts/dnsshield_lint.py self-test + tree scan
+#   2. clang-tidy       — via the build's `lint-clang-tidy` target (skips
+#                         with a notice when clang-tidy isn't installed)
+#   3. tier-1           — configure, build, run the full ctest suite
+#   4. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
+#                         runtime invariant audits compiled in, and run
+#                         the full ctest suite again
+#   5. determinism      — two identical-seed CLI runs must render
+#                         byte-identical metrics reports
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -9,18 +17,32 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 SAN_DIR="${BUILD_DIR}-asan"
 
+echo "=== lint: dnsshield_lint.py (self-test + tree scan) ==="
+python3 scripts/dnsshield_lint.py --self-test
+python3 scripts/dnsshield_lint.py
+
+echo
 echo "=== tier-1: build + ctest (${BUILD_DIR}) ==="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo
-echo "=== sanitizers: metrics registry + tracer tests (${SAN_DIR}) ==="
+echo "=== lint: clang-tidy (skips when not installed) ==="
+cmake --build "${BUILD_DIR}" --target lint-clang-tidy
+
+echo
+echo "=== sanitizers: full suite under ASan+UBSan, audits on (${SAN_DIR}) ==="
+# DNSSHIELD_SANITIZE turns DNSSHIELD_AUDIT on by default, so this pass also
+# exercises the runtime invariant audits (cache LRU <-> map, TTL clamp,
+# credit bounds, clock monotonicity, referral acyclicity) on every test.
 cmake -B "${SAN_DIR}" -S . -DDNSSHIELD_SANITIZE=ON
-cmake --build "${SAN_DIR}" -j --target \
-  dnsshield_metrics_registry_tests dnsshield_tracer_tests
-"${SAN_DIR}/tests/dnsshield_metrics_registry_tests"
-"${SAN_DIR}/tests/dnsshield_tracer_tests"
+cmake --build "${SAN_DIR}" -j
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== determinism: identical seeds, byte-identical reports ==="
+scripts/determinism_check.sh "${BUILD_DIR}"
 
 echo
 echo "all checks passed"

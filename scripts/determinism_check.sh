@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Determinism self-check: run the same experiment twice with the same seed
+# through the real CLI binary and require the full metrics-report JSON —
+# counters, per-phase time series, CDFs, and the metrics-registry
+# snapshot — to be byte-for-byte identical across the two processes.
+#
+# This is the end-to-end guarantee behind scripts/dnsshield_lint.py's bans
+# on wall-clock reads and ambient randomness; tests/test_determinism.cpp
+# checks the same property in-process.
+#
+# Usage: scripts/determinism_check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CLI="${BUILD_DIR}/examples/dnsshield_cli"
+
+if [ ! -x "${CLI}" ]; then
+  echo "building dnsshield_cli (${BUILD_DIR})"
+  cmake -B "${BUILD_DIR}" -S . > /dev/null
+  cmake --build "${BUILD_DIR}" -j --target dnsshield_cli > /dev/null
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+run() {
+  # Instrumented run: --metrics-out exercises the run report and registry
+  # snapshot; stdout JSON covers the headline result rendering.
+  "${CLI}" --scheme=renew --policy=a-lfu --credit=5 \
+    --seed=20260805 --clients=60 --days=3 --qps=0.3 --slds=400 \
+    --attack=root-tlds --attack-start-days=2 --attack-hours=6 \
+    --report-interval-mins=60 --format=json \
+    --metrics-out="$1" > "$2"
+}
+
+echo "=== determinism check: two identical-seed runs ==="
+run "${TMP}/metrics_a.json" "${TMP}/stdout_a.json"
+run "${TMP}/metrics_b.json" "${TMP}/stdout_b.json"
+
+fail=0
+if ! cmp -s "${TMP}/metrics_a.json" "${TMP}/metrics_b.json"; then
+  echo "FAIL: metrics-report JSON differs between identical-seed runs:"
+  diff "${TMP}/metrics_a.json" "${TMP}/metrics_b.json" | head -20 || true
+  fail=1
+fi
+if ! cmp -s "${TMP}/stdout_a.json" "${TMP}/stdout_b.json"; then
+  echo "FAIL: stdout report differs between identical-seed runs:"
+  diff "${TMP}/stdout_a.json" "${TMP}/stdout_b.json" | head -20 || true
+  fail=1
+fi
+if [ "${fail}" -ne 0 ]; then
+  exit 1
+fi
+
+echo "determinism check passed: identical seeds produced byte-identical"
+echo "metrics reports ($(wc -c < "${TMP}/metrics_a.json") bytes compared)"

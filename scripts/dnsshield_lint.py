@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""dnsshield custom linter: simulation-correctness rules clang-tidy can't express.
+
+The simulator's headline numbers are only trustworthy if runs are
+bit-reproducible. That property is easy to lose silently: one wall-clock
+read, one ambient-seeded RNG, or one float in simulated-time arithmetic
+and every figure drifts between runs or platforms. This linter bans those
+constructions from library code (src/**), with per-rule file allowlists
+for the few deliberate exceptions.
+
+Rules
+  wall-clock   No wall-clock time sources in simulation code. All time
+               flows from sim::SimTime (src/sim/time.h) via the event
+               queue; std::chrono clocks, time(), gettimeofday(), and
+               friends would leak host time into simulated behaviour.
+  randomness   No ambient randomness. Every stochastic draw goes through
+               the explicitly seeded sim::Rng; rand(), srand(),
+               std::random_device, and the std engines make runs
+               irreproducible (or tempt unseeded use).
+  float-time   No `float` anywhere in src/. Simulated-time arithmetic uses
+               the double-based sim::SimTime/Duration types; a float
+               narrows 86400.0-scale timestamps below second precision.
+  io           No std::cout / std::cerr / printf-family calls in library
+               code. Output belongs to the metrics/tracer sinks and the
+               driver binaries (bench/, examples/, tests/ are out of
+               scope); stray prints corrupt machine-read report streams.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+Usage
+  scripts/dnsshield_lint.py              # scan src/ under the repo root
+  scripts/dnsshield_lint.py PATH...      # scan specific files/dirs instead
+  scripts/dnsshield_lint.py --self-test  # prove each rule fires and passes
+  scripts/dnsshield_lint.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
+
+
+class Rule:
+    def __init__(self, name, description, patterns, allowlist=(), hint=""):
+        self.name = name
+        self.description = description
+        self.patterns = [re.compile(p) for p in patterns]
+        # Paths relative to the repo root, '/'-separated, exempt from this
+        # rule. Keep each entry justified by a comment at the definition.
+        self.allowlist = frozenset(allowlist)
+        self.hint = hint
+
+
+# A banned identifier must not be glued to a preceding word character,
+# member access, or scope qualifier ('.' '->' '::'), so `ev.time`,
+# `q->time`, and `sim_time(` stay legal while a bare `time(` is caught.
+_CALL = r"(?<![\w.:>])"
+
+RULES = [
+    Rule(
+        "wall-clock",
+        "wall-clock time source in simulation code (use sim::SimTime via "
+        "the event queue)",
+        [
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)",
+            _CALL + r"(time|gettimeofday|clock_gettime|clock)\s*\(",
+            _CALL + r"(localtime|gmtime|mktime|strftime|ctime)(_r|_s)?\s*\(",
+        ],
+        allowlist=(),
+        hint="derive every timestamp from sim::SimTime / EventQueue::now()",
+    ),
+    Rule(
+        "randomness",
+        "ambient randomness in simulation code (use the explicitly seeded "
+        "sim::Rng)",
+        [
+            _CALL + r"(rand|srand|random|srandom|drand48)\s*\(",
+            r"std::random_device",
+            r"std::(mt19937(_64)?|default_random_engine|minstd_rand0?|"
+            r"ranlux\w+|knuth_b)",
+        ],
+        allowlist=(),
+        hint="draw from sim::Rng (seed it; derive streams with derive_seed)",
+    ),
+    Rule(
+        "float-time",
+        "`float` in library code (simulated-time arithmetic must use the "
+        "double-based types from src/sim/time.h)",
+        [r"(?<![\w])float(?![\w])"],
+        allowlist=(),
+        hint="use sim::SimTime / sim::Duration (or double) instead",
+    ),
+    Rule(
+        "io",
+        "direct console output in library code (metrics/tracer sinks and "
+        "driver binaries only)",
+        [
+            r"std::cout|std::cerr",
+            _CALL + r"(printf|fprintf|puts|fputs|putchar|perror)\s*\(",
+        ],
+        allowlist=(
+            # The audit failure handler prints the failing invariant right
+            # before the process aborts; there is no report stream to
+            # corrupt at that point.
+            "src/sim/audit.cpp",
+        ),
+        hint="return strings / write through metrics sinks; printing is the "
+        "drivers' job",
+    ),
+]
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string literals, and char literals.
+
+    Replaced characters become spaces (newlines survive), so reported
+    line numbers match the original file. Handles //, /* */, "...",
+    '...', and R"delim(...)delim" raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, i + m.end())
+            end = n if end == -1 else end + len(closer)
+            for j in range(i, end):
+                out.append("\n" if text[j] == "\n" else " ")
+            i = end
+        elif c in ('"', "'"):
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def relpath(path):
+    return os.path.relpath(os.path.abspath(path), REPO_ROOT).replace(os.sep, "/")
+
+
+def scan_text(display_path, text):
+    """Returns a list of (path, line, rule, matched_text) violations."""
+    stripped = strip_comments_and_strings(text)
+    violations = []
+    for rule in RULES:
+        if display_path in rule.allowlist:
+            continue
+        for pattern in rule.patterns:
+            for m in pattern.finditer(stripped):
+                line = stripped.count("\n", 0, m.start()) + 1
+                violations.append((display_path, line, rule, m.group(0).strip()))
+    violations.sort(key=lambda v: (v[0], v[1]))
+    return violations
+
+
+def scan_file(path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            return scan_text(relpath(path), f.read())
+    except OSError as e:
+        print(f"dnsshield_lint: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for dirpath, _dirnames, filenames in os.walk(p):
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"dnsshield_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)
+
+
+def report(violations):
+    for path, line, rule, matched in violations:
+        print(f"{path}:{line}: [{rule.name}] {rule.description}: `{matched}`")
+        if rule.hint:
+            print(f"{path}:{line}:   hint: {rule.hint}")
+
+
+# ---- self-test --------------------------------------------------------------
+
+# One violating and one clean snippet per rule. The violating snippet must
+# trip exactly its own rule; the clean one must pass every rule (it shows
+# the approved replacement idiom).
+SELF_TEST_CASES = [
+    (
+        "wall-clock",
+        "#include <chrono>\n"
+        "double stamp() { return std::chrono::system_clock::now()"
+        ".time_since_epoch().count(); }\n",
+        "double stamp(const dnsshield::sim::EventQueue& q) { return q.now(); }\n",
+    ),
+    (
+        "wall-clock",
+        "#include <ctime>\n"
+        "long stamp() { return time(nullptr); }\n",
+        "// resolution time (seconds) is simulated, never read from the host\n"
+        "double stamp(dnsshield::sim::SimTime now) { return now; }\n",
+    ),
+    (
+        "randomness",
+        "#include <cstdlib>\n"
+        "int roll() { return rand() % 6; }\n",
+        "#include \"sim/rng.h\"\n"
+        "std::uint64_t roll(dnsshield::sim::Rng& rng) "
+        "{ return rng.next_below(6); }\n",
+    ),
+    (
+        "randomness",
+        "#include <random>\n"
+        "std::uint64_t seed() { return std::random_device{}(); }\n",
+        "#include \"sim/rng.h\"\n"
+        "std::uint64_t seed(std::uint64_t master, std::uint64_t i) "
+        "{ return dnsshield::sim::derive_seed(master, i); }\n",
+    ),
+    (
+        "float-time",
+        "float elapsed(float start, float end) { return end - start; }\n",
+        "#include \"sim/time.h\"\n"
+        "dnsshield::sim::Duration elapsed(dnsshield::sim::SimTime start,\n"
+        "                                 dnsshield::sim::SimTime end) "
+        "{ return end - start; }\n",
+    ),
+    (
+        "io",
+        "#include <iostream>\n"
+        "void log_hit() { std::cout << \"hit\\n\"; }\n",
+        "#include <string>\n"
+        "std::string log_hit() { return \"hit\"; }  // caller decides the sink\n",
+    ),
+]
+
+
+def self_test():
+    failures = []
+    for rule_name, bad, good in SELF_TEST_CASES:
+        bad_hits = scan_text("src/selftest/violation.cpp", bad)
+        if not any(v[2].name == rule_name for v in bad_hits):
+            failures.append(f"rule {rule_name}: violating snippet not flagged")
+        good_hits = scan_text("src/selftest/clean.cpp", good)
+        if good_hits:
+            failures.append(
+                f"rule {rule_name}: clean snippet flagged: "
+                + "; ".join(f"[{v[2].name}] `{v[3]}`" for v in good_hits)
+            )
+
+    # Allowlists actually exempt: the audit failure handler may fprintf.
+    allowed = scan_text("src/sim/audit.cpp", "void f() { std::fprintf(stderr, \"x\"); }\n")
+    if any(v[2].name == "io" for v in allowed):
+        failures.append("io allowlist for src/sim/audit.cpp not honoured")
+
+    # Comments and strings must not trip rules (classic false positives).
+    commented = scan_text(
+        "src/selftest/comments.cpp",
+        "// resolution time (seconds); system_clock is banned, rand() too\n"
+        "/* float would narrow; std::cout belongs to drivers */\n"
+        "const char* kDoc = \"call time(nullptr) and rand() at home\";\n",
+    )
+    if commented:
+        failures.append(
+            "comment/string text tripped rules: "
+            + "; ".join(f"[{v[2].name}] `{v[3]}`" for v in commented)
+        )
+
+    # End-to-end through the file API: a seeded violation in a temp tree
+    # must fail the scan (the acceptance criterion's "demonstrably fail").
+    with tempfile.TemporaryDirectory() as tmp:
+        seeded = os.path.join(tmp, "seeded_violation.cpp")
+        with open(seeded, "w", encoding="utf-8") as f:
+            f.write("long now() { return time(nullptr); }\n")
+        if not scan_file(seeded):
+            failures.append("seeded violation file passed the file-API scan")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"dnsshield_lint self-test: {len(SELF_TEST_CASES)} rule cases + "
+          "allowlist + comment-stripping + seeded-file checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="dnsshield custom linter (see module docstring)")
+    parser.add_argument("paths", nargs="*",
+                        help="files/dirs to scan (default: src/ at repo root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a violation and "
+                             "passes on the approved idiom")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.description}")
+            for path in sorted(rule.allowlist):
+                print(f"  allowlisted: {path}")
+        sys.exit(0)
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    violations = []
+    for path in collect_files(paths):
+        violations.extend(scan_file(path))
+    if violations:
+        report(violations)
+        print(f"dnsshield_lint: {len(violations)} violation(s)", file=sys.stderr)
+        sys.exit(1)
+    print("dnsshield_lint: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

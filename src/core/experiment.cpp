@@ -169,6 +169,9 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
     report.interval = setup.report_interval;
     report_sampler = [&] {
       flush_bucket(events.now());
+      // Audited builds re-verify the deep invariants (cache LRU <-> map,
+      // TTL clamp, credit bounds) once per bucket; compiled out otherwise.
+      cs.audit();
       if (events.now() + setup.report_interval <= horizon) {
         events.schedule_in(setup.report_interval, report_sampler);
       }

@@ -5,6 +5,40 @@
 
 namespace dnsshield::resolver {
 
+void Cache::audit() const {
+#if DNSSHIELD_AUDITS_ENABLED
+  // LRU list -> map: every node names a live entry that points back at it.
+  std::size_t listed = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    ++listed;
+    const auto entry_it = entries_.find(Key{it->first, it->second});
+    DNSSHIELD_ASSERT(entry_it != entries_.end(),
+                     "LRU list names a key missing from the cache map");
+    DNSSHIELD_ASSERT(entry_it->second.in_lru,
+                     "LRU-listed entry is not flagged in_lru");
+    DNSSHIELD_ASSERT(entry_it->second.lru_pos == it,
+                     "cache entry's lru_pos does not point at its LRU node");
+  }
+  // Map -> LRU list: in_lru flags account for every list node, and every
+  // stored TTL honours the clamp. Permanent entries (infinite expiry, the
+  // root hints) are exempt from both — they never join the list and keep
+  // their published TTL.
+  std::size_t flagged = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.in_lru) ++flagged;
+    if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
+      continue;
+    }
+    DNSSHIELD_ASSERT(entry.rrset.ttl() <= ttl_cap_,
+                     "cached TTL exceeds the cache's TTL clamp");
+  }
+  DNSSHIELD_ASSERT(flagged == listed,
+                   "in_lru flag count disagrees with the LRU list length");
+  DNSSHIELD_ASSERT(max_entries_ == 0 || listed <= max_entries_,
+                   "bounded cache holds more evictable entries than budget");
+#endif
+}
+
 using dns::RRset;
 using dns::RRType;
 using dns::Trust;
@@ -82,6 +116,12 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
     return {InsertOutcome::kReplaced, &entry};
   }
 
+  // Fresh install over an expired entry: unlink the old LRU node before
+  // the assignment wipes lru_pos/in_lru, or the node would linger as a
+  // stale duplicate (and could later evict the re-inserted entry).
+  if (it != entries_.end() && it->second.in_lru) {
+    lru_.erase(it->second.lru_pos);
+  }
   CacheEntry entry;
   entry.rrset = rrset;
   entry.rrset.set_ttl(ttl);
@@ -96,11 +136,17 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
   auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
   touch(key.name, key.type, pos->second);
   evict_if_over_budget(now);
+  note_mutation();
   return {InsertOutcome::kInstalled, &pos->second};
 }
 
 void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t ttl,
                             dns::Rcode rcode, sim::SimTime now) {
+  // Replaces whatever is cached: unlink the victim's LRU node first.
+  const auto old = entries_.find(Key{name, type});
+  if (old != entries_.end() && old->second.in_lru) {
+    lru_.erase(old->second.lru_pos);
+  }
   CacheEntry entry;
   entry.rrset = RRset(name, type, std::min(ttl, ttl_cap_));
   entry.expires_at = now + std::min(ttl, ttl_cap_);
@@ -113,9 +159,16 @@ void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t tt
   auto [pos, _] = entries_.insert_or_assign(Key{name, type}, std::move(entry));
   touch(name, type, pos->second);
   evict_if_over_budget(now);
+  note_mutation();
 }
 
 void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
+  // Permanent entries never join the LRU list; if one replaces an
+  // evictable entry, that entry's node must not outlive it.
+  const auto old = entries_.find(Key{rrset.name(), rrset.type()});
+  if (old != entries_.end() && old->second.in_lru) {
+    lru_.erase(old->second.lru_pos);
+  }
   CacheEntry entry;
   entry.rrset = rrset;
   entry.trust = Trust::kAuthAnswer;
@@ -151,6 +204,7 @@ void Cache::erase(const dns::Name& name, RRType type) {
   if (it == entries_.end()) return;
   if (it->second.in_lru) lru_.erase(it->second.lru_pos);
   entries_.erase(it);
+  note_mutation();
 }
 
 std::size_t Cache::purge_expired(sim::SimTime now) {
@@ -164,6 +218,7 @@ std::size_t Cache::purge_expired(sim::SimTime now) {
       ++it;
     }
   }
+  audit();  // purge is rare and already O(n); always run the full audit
   return removed;
 }
 

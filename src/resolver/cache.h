@@ -16,9 +16,12 @@
 #include "dns/rr.h"
 #include "dns/trust.h"
 #include "metrics/tracer.h"
+#include "sim/audit.h"
 #include "sim/time.h"
 
 namespace dnsshield::resolver {
+
+struct CacheTestCorruptor;
 
 /// LRU bookkeeping list: (name, type) keys, most recently used first.
 using LruList = std::list<std::pair<dns::Name, dns::RRType>>;
@@ -145,7 +148,36 @@ class Cache {
   /// must outlive the cache or be detached first.
   void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Full invariant audit (audited builds only; no-op in Release):
+  ///  - every LRU node maps to a live map entry whose lru_pos points back
+  ///    at that node (list <-> map consistency);
+  ///  - every non-permanent map entry is in the LRU list exactly when its
+  ///    in_lru flag says so;
+  ///  - every stored TTL honours the cache's clamp (<= ttl_cap, the 7-day
+  ///    rule);
+  ///  - a bounded cache is never over budget.
+  /// Mutating operations run this automatically every
+  /// kAuditMutationPeriod-th mutation; call it directly for a
+  /// deterministic check (tests, experiment sampling points).
+  void audit() const;
+
  private:
+  /// Test-only corruption hook (tests/test_invariant_audits.cpp): breaks
+  /// the LRU list / TTL clamp on purpose so audit() can be shown to fire.
+  friend struct CacheTestCorruptor;
+
+  /// Full audits are O(n); amortise them across mutations so audited
+  /// builds stay usable on soak workloads.
+  static constexpr std::uint32_t kAuditMutationPeriod = 1024;
+
+  void note_mutation() const {
+#if DNSSHIELD_AUDITS_ENABLED
+    if (++mutations_since_audit_ >= kAuditMutationPeriod) {
+      mutations_since_audit_ = 0;
+      audit();
+    }
+#endif
+  }
   struct Key {
     dns::Name name;
     dns::RRType type;
@@ -171,6 +203,9 @@ class Cache {
   mutable Stats stats_;
   std::uint64_t next_generation_ = 1;
   metrics::Tracer* tracer_ = nullptr;
+#if DNSSHIELD_AUDITS_ENABLED
+  mutable std::uint32_t mutations_since_audit_ = 0;
+#endif
 };
 
 }  // namespace dnsshield::resolver

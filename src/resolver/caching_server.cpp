@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dns/wire.h"
+#include "sim/audit.h"
 
 namespace dnsshield::resolver {
 
@@ -79,6 +80,18 @@ void CachingServer::set_instrumentation(metrics::MetricsRegistry* registry,
 double CachingServer::zone_credit(const Name& zone) const {
   const auto it = credits_.find(zone);
   return it == credits_.end() ? 0.0 : it->second;
+}
+
+void CachingServer::audit() const {
+#if DNSSHIELD_AUDITS_ENABLED
+  const double bound = credit_upper_bound(config_);
+  for (const auto& [zone, credit] : credits_) {
+    (void)zone;
+    DNSSHIELD_ASSERT(credit >= 0 && credit <= bound,
+                     "a zone's renewal credit is outside [0, policy bound]");
+  }
+  cache_.audit();
+#endif
 }
 
 void CachingServer::record_gap(const CacheEntry& entry) {
@@ -177,6 +190,8 @@ void CachingServer::earn_credit(const Name& zone, std::uint32_t irr_ttl) {
   if (!config_.renewal_enabled()) return;
   double& credit = credits_[zone];
   credit = credit_after_query(config_, credit, irr_ttl);
+  DNSSHIELD_ASSERT(credit >= 0 && credit <= credit_upper_bound(config_),
+                   "renewal credit escaped its policy bound after a query");
 }
 
 void CachingServer::note_irr_inserted(const Name& name, RRType type,
@@ -215,6 +230,8 @@ void CachingServer::on_renewal_due(const Name& name, RRType type) {
     return;  // no credit left: let the IRR expire
   }
   it->second -= 1.0;
+  DNSSHIELD_ASSERT(it->second >= 0,
+                   "renewal credit went negative after a spend");
   ++stats_.renewal_fetches;
   if (m_.renewal_fetches) m_.renewal_fetches->inc();
   if (m_.renewal_credit_spent) m_.renewal_credit_spent->inc();

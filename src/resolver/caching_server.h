@@ -34,6 +34,8 @@
 
 namespace dnsshield::resolver {
 
+struct CachingServerTestCorruptor;
+
 class CachingServer {
  public:
   /// The hierarchy, injector, and event queue must outlive the server.
@@ -113,7 +115,16 @@ class CachingServer {
   /// Per-SR-query modelled resolution latency (seconds).
   const metrics::Cdf& latency_cdf() const { return latency_cdf_; }
 
+  /// Full invariant audit (audited builds only; no-op in Release): every
+  /// zone's renewal credit lies within [0, credit_upper_bound(config)],
+  /// and the cache's own audit passes. The hot paths additionally check
+  /// each credit as it is earned or spent.
+  void audit() const;
+
  private:
+  /// Test-only corruption hook (tests/test_invariant_audits.cpp): plants an
+  /// out-of-range credit so audit() can be shown to fire.
+  friend struct CachingServerTestCorruptor;
   struct Context {
     int sub_depth = 0;       // nested NS-address resolutions
     int steps = 0;           // referral-following iterations (global)

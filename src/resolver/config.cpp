@@ -114,4 +114,15 @@ double credit_after_query(const ResilienceConfig& config, double current_credit,
   return 0;
 }
 
+double credit_upper_bound(const ResilienceConfig& config) {
+  switch (config.renewal) {
+    case RenewalPolicy::kNone: return 0;
+    case RenewalPolicy::kLru: return config.credit;
+    case RenewalPolicy::kLfu: return config.max_credit;
+    case RenewalPolicy::kAdaptiveLru: return config.credit * sim::kDay;
+    case RenewalPolicy::kAdaptiveLfu: return config.max_credit;
+  }
+  return 0;
+}
+
 }  // namespace dnsshield::resolver

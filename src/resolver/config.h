@@ -101,4 +101,11 @@ struct ResilienceConfig {
 double credit_after_query(const ResilienceConfig& config, double current_credit,
                           std::uint32_t irr_ttl);
 
+/// The largest credit any zone may legitimately hold under `config` — the
+/// bound the runtime invariant audits check ([0, M] for the capped
+/// policies; C and C*day/TTL_min for LRU / A-LRU, which the paper leaves
+/// uncapped). TTLs are at least one second, so A-LRU is bounded by
+/// C * 86400.
+double credit_upper_bound(const ResilienceConfig& config);
+
 }  // namespace dnsshield::resolver

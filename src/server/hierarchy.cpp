@@ -144,6 +144,31 @@ void Hierarchy::finalize() {
                     host_names_.end());
 
   finalized_ = true;
+  audit();
+}
+
+void Hierarchy::audit() const {
+#if DNSSHIELD_AUDITS_ENABLED
+  DNSSHIELD_ASSERT(zones_.count(dns::Name::root()) == 1,
+                   "hierarchy has no root zone");
+  for (const auto& [origin, zone] : zones_) {
+    for (const auto& [child, cut] : zone->delegations()) {
+      DNSSHIELD_ASSERT(child == cut.child,
+                       "delegation map key disagrees with the cut's child");
+      // Strictly-downward cuts are what make the referral graph acyclic:
+      // every referral loses at least one label of distance to the query
+      // name, so no chain of referrals can revisit a zone.
+      DNSSHIELD_ASSERT(
+          cut.child.is_proper_subdomain_of(origin),
+          "delegation does not point strictly downward (referral cycle)");
+      const auto zit = zones_.find(cut.child);
+      if (zit != zones_.end()) {
+        DNSSHIELD_ASSERT(zit->second->origin() == cut.child,
+                         "delegated zone's origin disagrees with its cut");
+      }
+    }
+  }
+#endif
 }
 
 void Hierarchy::require_finalized() const {

@@ -13,8 +13,11 @@
 #include "dns/rr.h"
 #include "server/auth_server.h"
 #include "server/zone.h"
+#include "sim/audit.h"
 
 namespace dnsshield::server {
+
+struct HierarchyTestCorruptor;
 
 /// Owns every Zone and AuthServer of a simulated namespace.
 ///
@@ -91,7 +94,19 @@ class Hierarchy {
   /// records) except the root zone's own IRRs (root hints are static).
   void override_irr_ttls(std::uint32_t ttl);
 
+  /// Full invariant audit (audited builds only; no-op in Release): every
+  /// delegation cut points strictly downward (the referral graph is
+  /// acyclic — a referral can never send the resolver sideways or back
+  /// up), every cut published for an existing zone matches that zone's
+  /// origin, and every zone's enclosing-ancestor chain terminates at the
+  /// root. Runs automatically at the end of finalize().
+  void audit() const;
+
  private:
+  /// Test-only corruption hook (tests/test_invariant_audits.cpp): plants a
+  /// self-referential delegation cut so audit() can be shown to fire.
+  friend struct HierarchyTestCorruptor;
+
   void require_finalized() const;
 
   std::map<dns::Name, std::unique_ptr<Zone>> zones_;

@@ -19,6 +19,8 @@
 
 namespace dnsshield::server {
 
+struct HierarchyTestCorruptor;
+
 /// A delegation cut: the parent's copy of a child zone's NS set plus any
 /// glue address records needed to reach the child's servers. Under DNSSEC
 /// the cut also carries the child's DS set — an infrastructure record in
@@ -99,6 +101,11 @@ class Zone {
   const std::map<dns::Name, Delegation>& delegations() const { return delegations_; }
 
  private:
+  /// Test-only corruption hook (tests/test_invariant_audits.cpp): plants a
+  /// delegation that add_delegation would reject, so Hierarchy::audit()
+  /// can be shown to fire.
+  friend struct HierarchyTestCorruptor;
+
   void append_apex_authority(dns::Message& response) const;
   void append_negative(dns::Message& response) const;
 

@@ -1,0 +1,59 @@
+// Runtime invariant audits.
+//
+// DNSSHIELD_ASSERT(cond, msg) checks a simulator invariant in builds where
+// audits are compiled in (Debug builds, sanitized builds, and any build
+// configured with -DDNSSHIELD_AUDIT=ON — see the top-level CMakeLists).
+// In Release builds the macro compiles to nothing: the condition is
+// type-checked via an unevaluated sizeof, so no code is generated and the
+// hot paths pay zero cost. bench/micro_benchmarks.cpp guards that this
+// stays true with an A/B timing check.
+//
+// On failure the installed AuditHandler runs. The default prints the
+// failing expression to stderr and aborts; tests install a throwing
+// handler to assert that a deliberately corrupted structure trips its
+// audit (tests/test_invariant_audits.cpp).
+#pragma once
+
+#if defined(DNSSHIELD_ENABLE_AUDITS)
+#define DNSSHIELD_AUDITS_ENABLED 1
+#else
+#define DNSSHIELD_AUDITS_ENABLED 0
+#endif
+
+namespace dnsshield::sim {
+
+/// True in builds that compile the invariant audits in.
+constexpr bool audits_enabled() { return DNSSHIELD_AUDITS_ENABLED != 0; }
+
+/// Invoked when an audit fails. May throw (test handlers do); if it
+/// returns, the process aborts.
+using AuditHandler = void (*)(const char* file, int line, const char* expr,
+                              const char* message);
+
+/// Installs a new failure handler and returns the previous one. Pass
+/// nullptr to restore the default print-and-abort handler.
+AuditHandler set_audit_handler(AuditHandler handler);
+
+/// Reports an audit failure: runs the installed handler, then aborts if
+/// the handler returned.
+void audit_fail(const char* file, int line, const char* expr,
+                const char* message);
+
+}  // namespace dnsshield::sim
+
+#if DNSSHIELD_AUDITS_ENABLED
+#define DNSSHIELD_ASSERT(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::dnsshield::sim::audit_fail(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                   \
+  } while (0)
+#else
+// sizeof leaves the condition unevaluated but still type-checked, so an
+// audit can't silently rot in Release builds.
+#define DNSSHIELD_ASSERT(cond, msg) \
+  do {                              \
+    (void)sizeof(!(cond));          \
+    (void)sizeof(msg);              \
+  } while (0)
+#endif

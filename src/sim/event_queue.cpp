@@ -16,6 +16,8 @@ bool EventQueue::step() {
   // so copy the callback handle (std::function copy) and pop first.
   Event ev = heap_.top();
   heap_.pop();
+  DNSSHIELD_ASSERT(ev.time >= now_,
+                   "event queue fired an event behind the simulation clock");
   now_ = ev.time;
   ++fired_;
   ev.cb();

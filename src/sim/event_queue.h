@@ -10,9 +10,12 @@
 #include <queue>
 #include <vector>
 
+#include "sim/audit.h"
 #include "sim/time.h"
 
 namespace dnsshield::sim {
+
+struct EventQueueTestCorruptor;
 
 /// A min-heap of (time, callback) pairs plus the simulation clock.
 ///
@@ -60,6 +63,11 @@ class EventQueue {
   std::size_t max_pending() const { return max_pending_; }
 
  private:
+  /// Test-only corruption hook (tests/test_invariant_audits.cpp): plants an
+  /// event behind the clock, bypassing schedule_at's clamp, so the
+  /// monotonicity audit in step() can be shown to fire.
+  friend struct EventQueueTestCorruptor;
+
   struct Event {
     SimTime time;
     std::uint64_t seq;

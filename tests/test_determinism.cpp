@@ -1,0 +1,67 @@
+// End-to-end determinism self-check: the custom linter bans wall-clock
+// reads, ambient randomness, and float time so that identical seeds yield
+// identical runs — this test is the guarantee behind those bans. Two runs
+// of the same instrumented experiment must render byte-identical reports
+// (JSON and text), covering every counter, CDF, time series, per-phase
+// summary, and the metrics-registry snapshot.
+//
+// scripts/determinism_check.sh makes the same guarantee for the CLI
+// binary across processes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "core/report.h"
+#include "resolver/config.h"
+
+namespace dnsshield::core {
+namespace {
+
+ExperimentSetup determinism_setup() {
+  ExperimentSetup setup;
+  setup.hierarchy = core::small_hierarchy();
+  setup.workload.seed = 20260805;
+  setup.workload.num_clients = 25;
+  setup.workload.duration = sim::days(1.5);
+  setup.workload.mean_rate_qps = 0.5;
+  setup.attack = AttackSpec::root_and_tlds(sim::hours(18), sim::hours(4));
+  setup.occupancy_interval = sim::kHour;
+  setup.report_interval = sim::kHour;  // instrumented: registry + run report
+  return setup;
+}
+
+TEST(Determinism, IdenticalSeedsRenderByteIdenticalReports) {
+  const auto setup = determinism_setup();
+  const auto config = resolver::ResilienceConfig::refresh_renew(
+      resolver::RenewalPolicy::kAdaptiveLfu, 5);
+
+  const ExperimentResult first = run_experiment(setup, config);
+  const ExperimentResult second = run_experiment(setup, config);
+
+  EXPECT_GT(first.totals.sr_queries, 0u);
+  EXPECT_EQ(to_json(first), to_json(second));
+  EXPECT_EQ(to_text(first), to_text(second));
+}
+
+TEST(Determinism, VanillaSchemeIsDeterministicToo) {
+  const auto setup = determinism_setup();
+  const auto config = resolver::ResilienceConfig::vanilla();
+  EXPECT_EQ(to_json(run_experiment(setup, config)),
+            to_json(run_experiment(setup, config)));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  // Guards against the check degenerating (e.g. a report that ignores the
+  // run and would trivially compare equal).
+  auto setup = determinism_setup();
+  const auto config = resolver::ResilienceConfig::vanilla();
+  const std::string a = to_json(run_experiment(setup, config));
+  setup.workload.seed = 999;
+  const std::string b = to_json(run_experiment(setup, config));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dnsshield::core

@@ -118,7 +118,8 @@ TEST(DualStackTest, WorkloadMixesQueryTypes) {
   const auto events = trace::generate_workload(h, wp);
   std::size_t aaaa = 0;
   for (const auto& ev : events) aaaa += ev.qtype == RRType::kAAAA;
-  EXPECT_NEAR(static_cast<double>(aaaa) / events.size(), 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(aaaa) / static_cast<double>(events.size()),
+              0.25, 0.03);
 
   wp.aaaa_fraction = 1.5;
   EXPECT_THROW(trace::generate_workload(h, wp), std::invalid_argument);

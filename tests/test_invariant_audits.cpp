@@ -1,0 +1,247 @@
+// The runtime invariant audits (src/sim/audit.h) must actually fire: each
+// test corrupts one structure through its test-only hook and asserts the
+// audit catches it. Healthy structures must pass the same audits.
+//
+// These tests are meaningful only in builds that compile the audits in
+// (Debug / sanitized / -DDNSSHIELD_AUDIT=ON); elsewhere they skip.
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "attack/injector.h"
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "resolver/cache.h"
+#include "resolver/caching_server.h"
+#include "server/hierarchy.h"
+#include "server/hierarchy_builder.h"
+#include "sim/audit.h"
+#include "sim/event_queue.h"
+
+namespace dnsshield::sim {
+
+/// Plants an event behind the clock, bypassing schedule_at's clamp.
+struct EventQueueTestCorruptor {
+  static void schedule_in_past(EventQueue& q, SimTime t,
+                               EventQueue::Callback cb) {
+    q.heap_.push(EventQueue::Event{t, q.next_seq_++, std::move(cb)});
+  }
+};
+
+}  // namespace dnsshield::sim
+
+namespace dnsshield::resolver {
+
+/// Breaks the LRU list / TTL clamp on purpose.
+struct CacheTestCorruptor {
+  static void plant_ghost_lru_node(Cache& c) {
+    c.lru_.emplace_front(dns::Name::parse("ghost.example"), dns::RRType::kA);
+  }
+  static void inflate_first_ttl(Cache& c) {
+    ASSERT_FALSE(c.entries_.empty());
+    auto& entry = c.entries_.begin()->second;
+    entry.rrset.set_ttl(c.ttl_cap_ + 1000);
+  }
+};
+
+/// Plants an out-of-range renewal credit.
+struct CachingServerTestCorruptor {
+  static void set_credit(CachingServer& cs, const dns::Name& zone, double v) {
+    cs.credits_[zone] = v;
+  }
+};
+
+}  // namespace dnsshield::resolver
+
+namespace dnsshield::server {
+
+/// Plants a self-referential delegation cut (add_delegation would throw).
+struct HierarchyTestCorruptor {
+  static void plant_self_delegation(Hierarchy& h, const dns::Name& origin) {
+    Zone* zone = h.find_zone(origin);
+    ASSERT_NE(zone, nullptr);
+    Delegation cut;
+    cut.child = origin;
+    cut.ns_set = zone->ns_set();
+    zone->delegations_.insert_or_assign(origin, std::move(cut));
+  }
+};
+
+}  // namespace dnsshield::server
+
+namespace dnsshield {
+namespace {
+
+using resolver::Cache;
+using resolver::CachingServer;
+using resolver::ResilienceConfig;
+
+struct AuditFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void throwing_handler(const char* file, int line, const char* expr,
+                      const char* message) {
+  throw AuditFailure(std::string(file) + ":" + std::to_string(line) + ": " +
+                     expr + " — " + message);
+}
+
+/// Routes audit failures into an exception for the test's lifetime.
+class ScopedThrowingAuditHandler {
+ public:
+  ScopedThrowingAuditHandler() : prev_(sim::set_audit_handler(&throwing_handler)) {}
+  ~ScopedThrowingAuditHandler() { sim::set_audit_handler(prev_); }
+  ScopedThrowingAuditHandler(const ScopedThrowingAuditHandler&) = delete;
+  ScopedThrowingAuditHandler& operator=(const ScopedThrowingAuditHandler&) = delete;
+
+ private:
+  sim::AuditHandler prev_;
+};
+
+#define SKIP_WITHOUT_AUDITS()                                       \
+  do {                                                              \
+    if (!sim::audits_enabled()) {                                   \
+      GTEST_SKIP() << "invariant audits compiled out of this build" \
+                      " (Debug / sanitized / -DDNSSHIELD_AUDIT=ON"  \
+                      " builds compile them in)";                   \
+    }                                                               \
+  } while (0)
+
+dns::RRset sample_rrset(const std::string& name, std::uint32_t ttl) {
+  dns::RRset set(dns::Name::parse(name), dns::RRType::kA, ttl);
+  set.add(dns::ARdata{dns::IpAddr(7)});
+  return set;
+}
+
+TEST(CacheAudit, HealthyCachePasses) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  Cache cache(7 * 86400, 4);
+  for (int i = 0; i < 8; ++i) {
+    cache.insert(sample_rrset("h" + std::to_string(i) + ".example", 300),
+                 dns::Trust::kAuthAnswer, 0, false, dns::Name(), true);
+  }
+  EXPECT_NO_THROW(cache.audit());
+}
+
+// Regression: the audits' first real catch. A fresh install over an
+// expired entry used to insert_or_assign without unlinking the old LRU
+// node, leaving a stale duplicate in the list (which a bounded cache
+// could later pop, wrongfully evicting the re-inserted entry). Same
+// flaw in insert_negative over a live entry.
+TEST(CacheAudit, ReinsertAfterExpiryKeepsLruConsistent) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  Cache cache(7 * 86400);
+  cache.insert(sample_rrset("a.example", 1), dns::Trust::kAuthAnswer, 0,
+               false, dns::Name(), true);
+  // Expired at t=1; the t=5 offer takes the fresh-install path.
+  cache.insert(sample_rrset("a.example", 1), dns::Trust::kAuthAnswer, 5,
+               false, dns::Name(), true);
+  EXPECT_NO_THROW(cache.audit());
+  // A negative answer replacing a live positive entry re-keys the same
+  // slot; the old node must go with it.
+  cache.insert_negative(dns::Name::parse("a.example"), dns::RRType::kA, 60,
+                        dns::Rcode::kNxDomain, 5.5);
+  EXPECT_NO_THROW(cache.audit());
+}
+
+TEST(CacheAudit, GhostLruNodeFires) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  Cache cache(7 * 86400);
+  cache.insert(sample_rrset("a.example", 300), dns::Trust::kAuthAnswer, 0,
+               false, dns::Name(), true);
+  resolver::CacheTestCorruptor::plant_ghost_lru_node(cache);
+  EXPECT_THROW(cache.audit(), AuditFailure);
+}
+
+TEST(CacheAudit, TtlOverClampFires) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  Cache cache(3600);
+  cache.insert(sample_rrset("a.example", 300), dns::Trust::kAuthAnswer, 0,
+               false, dns::Name(), true);
+  resolver::CacheTestCorruptor::inflate_first_ttl(cache);
+  EXPECT_THROW(cache.audit(), AuditFailure);
+}
+
+TEST(CacheAudit, MutationsRunTheAuditAutomatically) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  Cache cache(7 * 86400);
+  cache.insert(sample_rrset("a.example", 300), dns::Trust::kAuthAnswer, 0,
+               false, dns::Name(), true);
+  resolver::CacheTestCorruptor::plant_ghost_lru_node(cache);
+  // purge_expired always audits; the corrupted list must surface without
+  // anyone calling audit() explicitly.
+  EXPECT_THROW(cache.purge_expired(1.0), AuditFailure);
+}
+
+TEST(CreditAudit, OutOfRangeCreditFires) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  const server::Hierarchy hierarchy =
+      server::build_hierarchy(core::small_hierarchy());
+  attack::AttackInjector no_attack;
+  sim::EventQueue events;
+  CachingServer cs(hierarchy, no_attack, events,
+                   ResilienceConfig::refresh_renew(
+                       resolver::RenewalPolicy::kAdaptiveLfu, 5));
+  EXPECT_NO_THROW(cs.audit());
+
+  resolver::CachingServerTestCorruptor::set_credit(
+      cs, dns::Name::root(), cs.config().max_credit + 1);
+  EXPECT_THROW(cs.audit(), AuditFailure);
+
+  resolver::CachingServerTestCorruptor::set_credit(cs, dns::Name::root(), -1);
+  EXPECT_THROW(cs.audit(), AuditFailure);
+}
+
+TEST(EventQueueAudit, ClockGoingBackwardsFires) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  sim::EventQueue q;
+  q.schedule_at(10.0, [] {});
+  ASSERT_TRUE(q.step());
+  ASSERT_DOUBLE_EQ(q.now(), 10.0);
+  sim::EventQueueTestCorruptor::schedule_in_past(q, 5.0, [] {});
+  EXPECT_THROW(q.step(), AuditFailure);
+}
+
+TEST(HierarchyAudit, FinalizePassesOnHealthyTree) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  // finalize() runs the audit itself; a healthy build must not throw.
+  EXPECT_NO_THROW(server::build_hierarchy(core::small_hierarchy()));
+}
+
+TEST(HierarchyAudit, SelfReferentialDelegationFires) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  server::Hierarchy hierarchy = server::build_hierarchy(core::small_hierarchy());
+  server::HierarchyTestCorruptor::plant_self_delegation(hierarchy,
+                                                        dns::Name::root());
+  EXPECT_THROW(hierarchy.audit(), AuditFailure);
+}
+
+TEST(ExperimentAudit, FullRunPassesAllAudits) {
+  SKIP_WITHOUT_AUDITS();
+  ScopedThrowingAuditHandler guard;
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::small_hierarchy();
+  setup.workload.seed = 5;
+  setup.workload.num_clients = 20;
+  setup.workload.duration = sim::hours(30);
+  setup.workload.mean_rate_qps = 0.5;
+  setup.attack = core::AttackSpec::root_and_tlds(sim::hours(12), sim::hours(3));
+  const auto result = core::run_experiment(
+      setup, ResilienceConfig::refresh_renew(
+                 resolver::RenewalPolicy::kAdaptiveLfu, 5));
+  EXPECT_GT(result.totals.sr_queries, 0u);
+}
+
+}  // namespace
+}  // namespace dnsshield

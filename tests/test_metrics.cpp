@@ -109,7 +109,9 @@ TEST(TablePrinterTest, AlignsColumns) {
   while (start < out.size()) {
     const std::size_t nl = out.find('\n', start);
     const std::size_t len = nl - start;
-    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
     prev = len;
     start = nl + 1;
   }

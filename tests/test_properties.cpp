@@ -59,7 +59,9 @@ TEST_P(NamePropertyTest, AlgebraHolds) {
     EXPECT_TRUE(m.is_subdomain_of(ca));
     // ordering is a strict weak order w.r.t. equality
     EXPECT_FALSE(n < n);
-    if (n != m) EXPECT_TRUE((n < m) != (m < n));
+    if (n != m) {
+      EXPECT_TRUE((n < m) != (m < n));
+    }
   }
 }
 

@@ -62,8 +62,8 @@ INSTANTIATE_TEST_SUITE_P(
         SoakCase{"combo3", ResilienceConfig::combination(3)},
         SoakCase{"stale", ResilienceConfig::stale_serving()},
         SoakCase{"prefetch", ResilienceConfig::host_prefetch()}),
-    [](const ::testing::TestParamInfo<SoakCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<SoakCase>& soak_info) {
+      return soak_info.param.label;
     });
 
 }  // namespace
