@@ -22,9 +22,28 @@ int main(int argc, char** argv) {
   const std::vector<double> strengths{100, 500, 2500};
   const std::vector<double> provisioning{1, 10, 50};
 
-  for (const auto& scheme :
-       {core::vanilla_scheme(),
-        core::Scheme{"combination 3d", resolver::ResilienceConfig::combination(3)}}) {
+  const std::vector<core::Scheme> schemes{
+      core::vanilla_scheme(),
+      {"combination 3d", resolver::ResilienceConfig::combination(3)}};
+
+  // Flat (scheme, provisioning, strength) grid as one parallel batch.
+  std::vector<core::RunRequest> requests;
+  for (const auto& scheme : schemes) {
+    for (const double prov : provisioning) {
+      for (const double strength : strengths) {
+        auto setup =
+            bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
+        setup.hierarchy.root_server_capacity = prov;
+        setup.hierarchy.tld_server_capacity = prov;
+        setup.attack.strength = strength;
+        requests.push_back(core::make_request(setup, scheme.config));
+      }
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  std::size_t cell = 0;
+  for (const auto& scheme : schemes) {
     std::vector<std::string> header{"Provisioning \\ Strength"};
     for (const double s : strengths) {
       header.push_back(metrics::TablePrinter::num(s, 0));
@@ -33,13 +52,8 @@ int main(int argc, char** argv) {
     for (const double prov : provisioning) {
       std::vector<std::string> row{
           metrics::TablePrinter::num(prov, 0) + "x anycast"};
-      for (const double strength : strengths) {
-        auto setup =
-            bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
-        setup.hierarchy.root_server_capacity = prov;
-        setup.hierarchy.tld_server_capacity = prov;
-        setup.attack.strength = strength;
-        const auto r = core::run_experiment(setup, scheme.config);
+      for (std::size_t j = 0; j < strengths.size(); ++j) {
+        const auto& r = results[cell++];
         row.push_back(
             metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
       }

@@ -16,17 +16,30 @@ int main(int argc, char** argv) {
   const auto preset = core::week_trace_presets()[0];
   const std::vector<std::size_t> budgets{1000, 4000, 16000, 0 /*unbounded*/};
 
-  for (const auto& scheme :
-       {core::vanilla_scheme(),
-        core::Scheme{"combination 3d", resolver::ResilienceConfig::combination(3)}}) {
-    metrics::TablePrinter table(
-        {"Cache budget", "SR failures", "Evictions", "Cache answers"});
+  const std::vector<core::Scheme> schemes{
+      core::vanilla_scheme(),
+      {"combination 3d", resolver::ResilienceConfig::combination(3)}};
+
+  // One independent simulation per (scheme, budget) cell; run the whole
+  // grid as a single parallel batch and print afterwards.
+  std::vector<core::RunRequest> requests;
+  for (const auto& scheme : schemes) {
     for (const std::size_t budget : budgets) {
-      auto setup =
+      const auto setup =
           bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
       auto config = scheme.config;
       config.cache_max_entries = budget;
-      const auto r = core::run_experiment(setup, config);
+      requests.push_back(core::make_request(setup, config));
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  std::size_t cell = 0;
+  for (const auto& scheme : schemes) {
+    metrics::TablePrinter table(
+        {"Cache budget", "SR failures", "Evictions", "Cache answers"});
+    for (const std::size_t budget : budgets) {
+      const auto& r = results[cell++];
       const double hit_rate = static_cast<double>(r.totals.cache_answer_hits) /
                               static_cast<double>(r.totals.sr_queries);
       table.add_row(

@@ -28,10 +28,20 @@ int main(int argc, char** argv) {
   const auto scheme = resolver::ResilienceConfig::refresh_renew(
       resolver::RenewalPolicy::kAdaptiveLfu, 5);
 
+  // Each deployment level is an independent fleet run; sweep them in
+  // parallel (the fleet inside one run stays a single job — its servers
+  // share the hierarchy and event-queue clock).
+  std::vector<std::size_t> upgraded_counts;
+  for (std::size_t upgraded = 0; upgraded <= setup.fleet_size; ++upgraded) {
+    upgraded_counts.push_back(upgraded);
+  }
+  const auto fleet_results =
+      core::run_deployment_sweep(setup, scheme, upgraded_counts, opts.jobs);
+
   metrics::TablePrinter table({"Upgraded", "Aggregate SR failures",
                                "Upgraded servers", "Vanilla servers"});
   for (std::size_t upgraded = 0; upgraded <= setup.fleet_size; ++upgraded) {
-    const auto r = core::run_partial_deployment(setup, scheme, upgraded);
+    const auto& r = fleet_results[upgraded];
     double up_fail = 0, van_fail = 0;
     std::size_t up_n = 0, van_n = 0;
     for (std::size_t i = 0; i < r.per_server.size(); ++i) {

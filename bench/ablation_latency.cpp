@@ -23,11 +23,14 @@ int main(int argc, char** argv) {
   };
 
   const auto preset = core::week_trace_presets()[0];
+  const auto setup = bench::setup_for(preset, opts, core::AttackSpec::none());
+  const auto results = core::run_scheme_sweep(setup, schemes, opts.jobs);
+
   metrics::TablePrinter table({"Scheme", "Mean (ms)", "p50 (ms)", "p95 (ms)",
                                "p99 (ms)", "Cache answers"});
-  for (const auto& scheme : schemes) {
-    const auto setup = bench::setup_for(preset, opts, core::AttackSpec::none());
-    const auto r = core::run_experiment(setup, scheme.config);
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    const auto& scheme = schemes[s];
+    const auto& r = results[s];
     const double hit_rate =
         static_cast<double>(r.totals.cache_answer_hits) /
         static_cast<double>(r.totals.sr_queries);

@@ -62,14 +62,23 @@ int main(int argc, char** argv) {
                                 plan.window_start, plan.window)},
   };
 
-  metrics::TablePrinter table(
-      {"Targets", "Zones hit", "SR failures (vanilla)", "SR failures (combo 3d)"});
+  // Two cells (vanilla, combo) per attack variant; one parallel batch.
+  std::vector<core::RunRequest> requests;
   for (const auto& row : rows) {
     setup.attack = row.attack;
-    const auto vanilla =
-        core::run_experiment(setup, resolver::ResilienceConfig::vanilla());
-    const auto combo =
-        core::run_experiment(setup, resolver::ResilienceConfig::combination(3));
+    requests.push_back(
+        core::make_request(setup, resolver::ResilienceConfig::vanilla()));
+    requests.push_back(
+        core::make_request(setup, resolver::ResilienceConfig::combination(3)));
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  metrics::TablePrinter table(
+      {"Targets", "Zones hit", "SR failures (vanilla)", "SR failures (combo 3d)"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& vanilla = results[2 * i];
+    const auto& combo = results[2 * i + 1];
     const std::size_t zones = row.attack.kind == core::AttackSpec::Kind::kCustom
                                   ? row.attack.zones.size()
                                   : (row.label == "root only" ? 1 : budget);

@@ -26,19 +26,31 @@ int main(int argc, char** argv) {
       {"combination 3d", resolver::ResilienceConfig::combination(3)},
   };
 
+  // Average over three traces for stability; the whole
+  // (duration, scheme, trace) grid runs as one parallel batch.
+  const auto presets = core::week_trace_presets();
+  const std::size_t used = 3;
+  std::vector<core::RunRequest> requests;
+  for (const double hours : {6.0, 24.0}) {
+    for (const auto& scheme : schemes) {
+      for (std::size_t i = 0; i < used; ++i) {
+        const auto setup = bench::setup_for(presets[i], opts,
+                                            core::standard_attack(sim::hours(hours)));
+        requests.push_back(core::make_request(setup, scheme.config));
+      }
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  std::size_t cell = 0;
   for (const double hours : {6.0, 24.0}) {
     metrics::TablePrinter table({"Scheme", "SR failures", "CS failures",
                                  "Messages", "Stale serves", "Prefetches"});
     for (const auto& scheme : schemes) {
-      // Average over three traces for stability.
       double sr = 0, cs = 0;
       std::uint64_t stale = 0, prefetches = 0, msgs = 0;
-      const auto presets = core::week_trace_presets();
-      const std::size_t used = 3;
       for (std::size_t i = 0; i < used; ++i) {
-        const auto setup = bench::setup_for(presets[i], opts,
-                                            core::standard_attack(sim::hours(hours)));
-        const auto r = core::run_experiment(setup, scheme.config);
+        const auto& r = results[cell++];
         sr += r.attack_window->sr_failure_rate();
         cs += r.attack_window->cs_failure_rate();
         stale += r.totals.stale_serves;

@@ -4,6 +4,9 @@
 //   --quick        tiny workload (seconds; sanity-check the shape)
 //   --full         the full preset workload (paper-scale synthetic traces)
 //   --scale=X      explicit rate multiplier
+//   --jobs=N       parallel experiment jobs (0 = auto: $DNSSHIELD_JOBS,
+//                  else hardware concurrency). Output is byte-identical
+//                  for every N — see DESIGN.md section 10.
 //   --series-out=F append each run's full JSON report (with the hourly
 //                  per-phase time series) to F, one line per run
 // with a moderate default chosen so the whole bench/ directory runs in a
@@ -18,6 +21,7 @@
 #include "core/experiment.h"
 #include "core/presets.h"
 #include "core/report.h"
+#include "core/runner.h"
 #include "core/scheme_catalog.h"
 #include "metrics/json.h"
 #include "metrics/table.h"
@@ -26,6 +30,7 @@ namespace dnsshield::bench {
 
 struct BenchOptions {
   double rate_factor = 0.15;
+  int jobs = 0;            // parallel runner width; 0 = auto
   std::string series_out;  // empty = no series dump
 };
 
@@ -39,11 +44,18 @@ inline BenchOptions parse_args(int argc, char** argv) {
       opts.rate_factor = 1.0;
     } else if (arg.rfind("--scale=", 0) == 0) {
       opts.rate_factor = std::stod(arg.substr(8));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::stoi(arg.substr(7));
+      if (opts.jobs < 0) {
+        std::fprintf(stderr, "--jobs must be >= 0 (0 = auto)\n");
+        std::exit(2);
+      }
     } else if (arg.rfind("--series-out=", 0) == 0) {
       opts.series_out = arg.substr(13);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick|--full|--scale=X] [--series-out=F]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--quick|--full|--scale=X] [--jobs=N] [--series-out=F]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

@@ -2,6 +2,12 @@
 // of failed queries during the attack window", split into an upper graph
 // (queries from stub-resolvers) and a lower graph (queries from the caching
 // server to authoritative servers).
+//
+// Every cell of a figure is one independent simulation, so each figure
+// builds a flat vector of core::RunRequest and hands it to core::run_many,
+// which fans out across --jobs threads. Table/series emission happens
+// afterwards, in the original row-major order, so the printed output and
+// --series-out files are byte-identical for every jobs value.
 #pragma once
 
 #include "bench_common.h"
@@ -19,17 +25,27 @@ inline void run_duration_figure(const core::Scheme& scheme,
   metrics::TablePrinter sr_table(header);
   metrics::TablePrinter cs_table(header);
 
-  for (const auto& preset : core::week_trace_presets()) {
-    std::vector<std::string> sr_row{preset.name};
-    std::vector<std::string> cs_row{preset.name};
+  const auto presets = core::week_trace_presets();
+  std::vector<core::RunRequest> requests;
+  std::vector<std::string> tags;
+  for (const auto& preset : presets) {
     for (const double d : durations) {
       const auto setup =
           setup_for(preset, opts, core::standard_attack(sim::hours(d)));
-      const auto r = core::run_experiment(setup, scheme.config);
-      dump_series(opts,
-                  scheme.label + "/" + preset.name + "/" +
-                      metrics::TablePrinter::num(d, 0) + "h",
-                  r);
+      requests.push_back(core::make_request(setup, scheme.config));
+      tags.push_back(scheme.label + "/" + preset.name + "/" +
+                     metrics::TablePrinter::num(d, 0) + "h");
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  std::size_t i = 0;
+  for (const auto& preset : presets) {
+    std::vector<std::string> sr_row{preset.name};
+    std::vector<std::string> cs_row{preset.name};
+    for (std::size_t j = 0; j < durations.size(); ++j, ++i) {
+      const auto& r = results[i];
+      dump_series(opts, tags[i], r);
       sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
       cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
     }
@@ -51,14 +67,26 @@ inline void run_scheme_figure(const std::vector<core::Scheme>& schemes,
   metrics::TablePrinter sr_table(header);
   metrics::TablePrinter cs_table(header);
 
-  for (const auto& preset : core::week_trace_presets()) {
-    std::vector<std::string> sr_row{preset.name};
-    std::vector<std::string> cs_row{preset.name};
+  const auto presets = core::week_trace_presets();
+  std::vector<core::RunRequest> requests;
+  std::vector<std::string> tags;
+  for (const auto& preset : presets) {
     for (const auto& scheme : schemes) {
       const auto setup =
           setup_for(preset, opts, core::standard_attack(sim::hours(attack_hours)));
-      const auto r = core::run_experiment(setup, scheme.config);
-      dump_series(opts, scheme.label + "/" + preset.name, r);
+      requests.push_back(core::make_request(setup, scheme.config));
+      tags.push_back(scheme.label + "/" + preset.name);
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+
+  std::size_t i = 0;
+  for (const auto& preset : presets) {
+    std::vector<std::string> sr_row{preset.name};
+    std::vector<std::string> cs_row{preset.name};
+    for (std::size_t j = 0; j < schemes.size(); ++j, ++i) {
+      const auto& r = results[i];
+      dump_series(opts, tags[i], r);
       sr_row.push_back(metrics::TablePrinter::pct(r.attack_window->sr_failure_rate()));
       cs_row.push_back(metrics::TablePrinter::pct(r.attack_window->cs_failure_rate()));
     }

@@ -1,0 +1,97 @@
+// Parallel-runner throughput: replicate(n=8) wall-clock at --jobs=1 vs
+// jobs = hardware concurrency, plus the byte-identity check the runner
+// guarantees (DESIGN.md section 10). Emits BENCH_parallel.json.
+//
+// The speedup is hardware-dependent: on a single-core machine both runs
+// take the same time and the recorded speedup is ~1.0; on a 4+ core
+// machine the 8 replicas should land >= 3x faster. The `identical` flag,
+// by contrast, must be true everywhere — it is the determinism contract,
+// not a performance number.
+#include "bench_common.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/replicate.h"
+
+using namespace dnsshield;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double> el =
+      std::chrono::steady_clock::now() - t0;
+  return el.count();
+}
+
+std::string reports_json(const core::ReplicationResult& r) {
+  std::string out;
+  for (const auto& run : r.runs) out += core::to_json(run) + "\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Parallel runner", "replicate(n=8) scaling", opts);
+
+  constexpr std::size_t kReplicas = 8;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int wide_jobs =
+      opts.jobs > 0 ? opts.jobs : static_cast<int>(hw);
+
+  const auto preset = core::week_trace_presets()[0];
+  const auto setup =
+      bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  core::ReplicationResult serial, parallel;
+  const double serial_s =
+      wall_seconds([&] { serial = core::replicate(setup, config, kReplicas, 1); });
+  const double parallel_s = wall_seconds(
+      [&] { parallel = core::replicate(setup, config, kReplicas, wide_jobs); });
+
+  const bool identical = reports_json(serial) == reports_json(parallel);
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+
+  metrics::TablePrinter table({"Jobs", "Wall (s)", "Speedup", "Identical"});
+  table.add_row({"1", metrics::TablePrinter::num(serial_s, 2), "1.00", "-"});
+  table.add_row({std::to_string(wide_jobs),
+                 metrics::TablePrinter::num(parallel_s, 2),
+                 metrics::TablePrinter::num(speedup, 2),
+                 identical ? "yes" : "NO"});
+  table.print();
+
+  metrics::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("parallel_runner");
+  json.key("replicas").value(static_cast<std::uint64_t>(kReplicas));
+  json.key("rate_factor").value(opts.rate_factor);
+  json.key("hardware_concurrency").value(static_cast<std::uint64_t>(hw));
+  json.key("jobs_serial").value(static_cast<std::uint64_t>(1));
+  json.key("jobs_parallel").value(static_cast<std::uint64_t>(wide_jobs));
+  json.key("wall_seconds_serial").value(serial_s);
+  json.key("wall_seconds_parallel").value(parallel_s);
+  json.key("speedup").value(speedup);
+  json.key("reports_identical").value(identical);
+  json.end_object();
+
+  const std::string out_path =
+      opts.series_out.empty() ? "BENCH_parallel.json" : opts.series_out;
+  std::ofstream out(out_path);
+  out << json.take() << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: jobs=1 and jobs=%d reports differ — the runner's "
+                 "byte-identity contract is broken\n",
+                 wide_jobs);
+    return 1;
+  }
+  return 0;
+}

@@ -25,12 +25,9 @@ int main(int argc, char** argv) {
   };
 
   const auto preset = core::month_trace_preset();
-  std::vector<core::ExperimentResult> results;
-  for (const auto& scheme : schemes) {
-    auto setup = bench::setup_for(preset, opts, core::AttackSpec::none());
-    setup.occupancy_interval = sim::hours(6);
-    results.push_back(core::run_experiment(setup, scheme.config));
-  }
+  auto setup = bench::setup_for(preset, opts, core::AttackSpec::none());
+  setup.occupancy_interval = sim::hours(6);
+  const auto results = core::run_scheme_sweep(setup, schemes, opts.jobs);
 
   // Time series: one sample row per simulated day.
   for (const char* what : {"zones", "records"}) {

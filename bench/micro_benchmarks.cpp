@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -31,6 +32,7 @@
 #include "sim/audit.h"
 #include "sim/distributions.h"
 #include "sim/event_queue.h"
+#include "sim/parallel.h"
 
 namespace {
 
@@ -156,6 +158,23 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueChurn);
+
+/// Dispatch overhead of the parallel runner: one 64-task batch of trivial
+/// work per iteration, at 1/2/4 jobs. Real experiment jobs run for
+/// seconds, so anything in the microsecond range per batch is noise; the
+/// case exists to catch a regression that turns the pool's handoff into
+/// per-task locking.
+void BM_RunnerDispatch(benchmark::State& state) {
+  sim::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::uint64_t> acc{0};
+  for (auto _ : state) {
+    pool.for_each_index(64, [&](std::size_t i) {
+      acc.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(acc.load());
+}
+BENCHMARK(BM_RunnerDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_AuthServerRespond(benchmark::State& state) {
   const auto& h = bench_hierarchy();

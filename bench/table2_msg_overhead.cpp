@@ -12,27 +12,38 @@ int main(int argc, char** argv) {
   bench::print_header("Table 2", "Message overhead vs vanilla DNS", opts);
 
   // Average the overhead across the one-week traces, as a single row per
-  // scheme like the paper's table.
+  // scheme like the paper's table. Baselines plus every scheme x preset
+  // cell are independent simulations: run them as one parallel batch.
   const auto presets = core::week_trace_presets();
-  std::vector<core::ExperimentResult> baselines;
+  const auto schemes = core::overhead_table_schemes();
+
+  std::vector<core::RunRequest> requests;
   for (const auto& preset : presets) {
     auto vanilla = resolver::ResilienceConfig::vanilla();
     vanilla.count_wire_bytes = true;
-    baselines.push_back(core::run_experiment(
+    requests.push_back(core::make_request(
         bench::setup_for(preset, opts, core::AttackSpec::none()), vanilla));
   }
+  for (const auto& scheme : schemes) {
+    for (const auto& preset : presets) {
+      auto config = scheme.config;
+      config.count_wire_bytes = true;
+      requests.push_back(core::make_request(
+          bench::setup_for(preset, opts, core::AttackSpec::none()), config));
+    }
+  }
+  const auto results = core::run_many(requests, opts.jobs);
+  const auto* baselines = results.data();
 
   metrics::TablePrinter table({"Scheme", "Message overhead", "Byte overhead",
                                "Renewal fetches"});
-  for (const auto& scheme : core::overhead_table_schemes()) {
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    const auto& scheme = schemes[s];
     double overhead_sum = 0;
     double byte_overhead_sum = 0;
     std::uint64_t renewals = 0;
     for (std::size_t i = 0; i < presets.size(); ++i) {
-      auto config = scheme.config;
-      config.count_wire_bytes = true;
-      const auto r = core::run_experiment(
-          bench::setup_for(presets[i], opts, core::AttackSpec::none()), config);
+      const auto& r = results[presets.size() * (s + 1) + i];
       overhead_sum += core::message_overhead(baselines[i], r);
       const double base_bytes = static_cast<double>(
           baselines[i].totals.bytes_sent + baselines[i].totals.bytes_received);

@@ -7,8 +7,12 @@
 #   4. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
 #                         runtime invariant audits compiled in, and run
 #                         the full ctest suite again
-#   5. determinism      — two identical-seed CLI runs must render
-#                         byte-identical metrics reports
+#   5. tsan             — rebuild under ThreadSanitizer (audits on) and
+#                         run the full suite again; this is the parallel
+#                         experiment runner's race gate
+#   6. determinism      — two identical-seed CLI runs must render
+#                         byte-identical metrics reports, and a bench
+#                         sweep at --jobs=1 vs --jobs=4 must match
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -16,6 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 SAN_DIR="${BUILD_DIR}-asan"
+TSAN_DIR="${BUILD_DIR}-tsan"
 
 echo "=== lint: dnsshield_lint.py (self-test + tree scan) ==="
 python3 scripts/dnsshield_lint.py --self-test
@@ -39,6 +44,15 @@ echo "=== sanitizers: full suite under ASan+UBSan, audits on (${SAN_DIR}) ==="
 cmake -B "${SAN_DIR}" -S . -DDNSSHIELD_SANITIZE=ON
 cmake --build "${SAN_DIR}" -j
 ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== tsan: full suite under ThreadSanitizer, audits on (${TSAN_DIR}) ==="
+# The parallel runner (src/sim/parallel.*) is the only library code with
+# real concurrency; TSan over the whole suite — the equivalence tests
+# drive it at several job counts — is its race gate.
+cmake -B "${TSAN_DIR}" -S . -DDNSSHIELD_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "$(nproc)"
 
 echo
 echo "=== determinism: identical seeds, byte-identical reports ==="

@@ -8,6 +8,11 @@
 # on wall-clock reads and ambient randomness; tests/test_determinism.cpp
 # checks the same property in-process.
 #
+# Second leg: jobs-equivalence. The same bench sweep at --jobs=1 and
+# --jobs=4 must print the same tables and write byte-identical
+# --series-out files — the parallel runner's cross-process contract
+# (tests/test_parallel_equivalence.cpp checks it in-process).
+#
 # Usage: scripts/determinism_check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -55,3 +60,35 @@ fi
 
 echo "determinism check passed: identical seeds produced byte-identical"
 echo "metrics reports ($(wc -c < "${TMP}/metrics_a.json") bytes compared)"
+
+echo
+echo "=== jobs-equivalence check: --jobs=1 vs --jobs=4 ==="
+FIG="${BUILD_DIR}/bench/fig5_refresh"
+if [ ! -x "${FIG}" ]; then
+  echo "building fig5_refresh (${BUILD_DIR})"
+  cmake -B "${BUILD_DIR}" -S . > /dev/null
+  cmake --build "${BUILD_DIR}" -j --target fig5_refresh > /dev/null
+fi
+
+"${FIG}" --quick --jobs=1 --series-out="${TMP}/series_j1.jsonl" \
+  > "${TMP}/table_j1.txt"
+"${FIG}" --quick --jobs=4 --series-out="${TMP}/series_j4.jsonl" \
+  > "${TMP}/table_j4.txt"
+
+if ! cmp -s "${TMP}/series_j1.jsonl" "${TMP}/series_j4.jsonl"; then
+  echo "FAIL: series files differ between --jobs=1 and --jobs=4:"
+  diff "${TMP}/series_j1.jsonl" "${TMP}/series_j4.jsonl" | head -20 || true
+  fail=1
+fi
+if ! cmp -s "${TMP}/table_j1.txt" "${TMP}/table_j4.txt"; then
+  echo "FAIL: printed tables differ between --jobs=1 and --jobs=4:"
+  diff "${TMP}/table_j1.txt" "${TMP}/table_j4.txt" | head -20 || true
+  fail=1
+fi
+if [ "${fail}" -ne 0 ]; then
+  exit 1
+fi
+
+echo "jobs-equivalence check passed: --jobs=1 and --jobs=4 produced"
+echo "byte-identical tables and series files"
+echo "($(wc -c < "${TMP}/series_j1.jsonl") series bytes compared)"

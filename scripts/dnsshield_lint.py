@@ -24,6 +24,11 @@ Rules
                code. Output belongs to the metrics/tracer sinks and the
                driver binaries (bench/, examples/, tests/ are out of
                scope); stray prints corrupt machine-read report streams.
+  threads      No raw threading in library code. All concurrency goes
+               through the deterministic runner in src/sim/parallel.*
+               (hermetic jobs, index-ordered collection); a stray
+               std::thread / std::async / detach() reintroduces
+               scheduling-dependent results and unjoined lifetimes.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -113,6 +118,23 @@ RULES = [
         ),
         hint="return strings / write through metrics sinks; printing is the "
         "drivers' job",
+    ),
+    Rule(
+        "threads",
+        "raw threading in library code (all concurrency goes through the "
+        "deterministic runner in src/sim/parallel.*)",
+        [
+            r"std::(thread|jthread)(?![\w])",
+            r"std::async(?![\w])",
+            r"(\.|->)\s*detach\s*\(",
+        ],
+        allowlist=(
+            # The deterministic parallel runner IS the sanctioned home of
+            # std::thread; everything else uses its ThreadPool/parallel_map.
+            "src/sim/parallel.h",
+            "src/sim/parallel.cpp",
+        ),
+        hint="use sim::ThreadPool / sim::parallel_map (src/sim/parallel.h)",
     ),
 ]
 
@@ -276,6 +298,16 @@ SELF_TEST_CASES = [
         "#include <string>\n"
         "std::string log_hit() { return \"hit\"; }  // caller decides the sink\n",
     ),
+    (
+        "threads",
+        "#include <thread>\n"
+        "void fire() { std::thread t([] {}); t.detach(); }\n",
+        "#include \"sim/parallel.h\"\n"
+        "std::vector<std::size_t> squares(std::size_t n, std::size_t jobs) {\n"
+        "  return dnsshield::sim::parallel_map<std::size_t>(\n"
+        "      n, jobs, [](std::size_t i) { return i * i; });\n"
+        "}\n",
+    ),
 ]
 
 
@@ -296,6 +328,14 @@ def self_test():
     allowed = scan_text("src/sim/audit.cpp", "void f() { std::fprintf(stderr, \"x\"); }\n")
     if any(v[2].name == "io" for v in allowed):
         failures.append("io allowlist for src/sim/audit.cpp not honoured")
+
+    # ... and the parallel runner may spawn std::thread.
+    allowed = scan_text(
+        "src/sim/parallel.cpp",
+        "void f() { std::thread t([] {}); t.join(); }\n",
+    )
+    if any(v[2].name == "threads" for v in allowed):
+        failures.append("threads allowlist for src/sim/parallel.cpp not honoured")
 
     # Comments and strings must not trip rules (classic false positives).
     commented = scan_text(

@@ -1,9 +1,11 @@
 #include "core/fleet.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 #include "sim/event_queue.h"
+#include "sim/parallel.h"
 
 namespace dnsshield::core {
 
@@ -118,6 +120,20 @@ FleetResult run_partial_deployment(const FleetSetup& setup,
   // run_fleet policy (max override), which models the operator upgrade
   // being independent of resolver upgrades.
   return run_fleet(setup, configs);
+}
+
+std::vector<FleetResult> run_deployment_sweep(
+    const FleetSetup& setup, const resolver::ResilienceConfig& scheme,
+    const std::vector<std::size_t>& upgraded_counts, int jobs) {
+  // Each deployment level is a hermetic job: run_partial_deployment
+  // rebuilds hierarchy, fleet, and event queue from the (copied) setup,
+  // so the jobs share only the immutable inputs captured by reference.
+  const std::size_t pool_size = std::max<std::size_t>(
+      1, std::min(sim::resolve_jobs(jobs), upgraded_counts.size()));
+  return sim::parallel_map<FleetResult>(
+      upgraded_counts.size(), pool_size, [&](std::size_t i) {
+        return run_partial_deployment(setup, scheme, upgraded_counts[i]);
+      });
 }
 
 }  // namespace dnsshield::core

@@ -43,4 +43,15 @@ FleetResult run_partial_deployment(const FleetSetup& setup,
                                    const resolver::ResilienceConfig& scheme,
                                    std::size_t upgraded);
 
+/// One run_partial_deployment per entry of `upgraded_counts`, executed as
+/// independent jobs on the parallel runner (`jobs`: 0 = auto, 1 = serial).
+/// Results are index-aligned with `upgraded_counts` and byte-identical
+/// for every jobs value. The fleet *within* one run stays a single job:
+/// its servers share a hierarchy and one event-queue clock, so that
+/// simulation is inherently sequential — the parallelism lives across
+/// deployment levels (and seeds/schemes), not inside a fleet.
+std::vector<FleetResult> run_deployment_sweep(
+    const FleetSetup& setup, const resolver::ResilienceConfig& scheme,
+    const std::vector<std::size_t>& upgraded_counts, int jobs = 0);
+
 }  // namespace dnsshield::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/runner.h"
+
 namespace dnsshield::core {
 
 ReplicationSummary summarize(const std::vector<double>& samples) {
@@ -29,15 +31,31 @@ ReplicationSummary summarize(const std::vector<double>& samples) {
 
 ReplicationResult replicate(const ExperimentSetup& setup,
                             const resolver::ResilienceConfig& config,
-                            std::size_t n) {
+                            std::size_t n, int jobs) {
   if (n == 0) throw std::invalid_argument("need at least one replica");
   ReplicationResult result;
+
+  if (setup.tracer != nullptr) {
+    // A tracer is a shared mutable sink; only a serial loop delivers the
+    // replicas' event streams in a well-defined order.
+    for (std::size_t i = 0; i < n; ++i) {
+      ExperimentSetup replica = setup;
+      replica.workload.seed = setup.workload.seed + i;
+      result.runs.push_back(run_experiment(replica, config));
+    }
+  } else {
+    std::vector<RunRequest> requests;
+    requests.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      RunRequest request = make_request(setup, config);
+      request.workload.seed = setup.workload.seed + i;
+      requests.push_back(std::move(request));
+    }
+    result.runs = run_many(requests, jobs);
+  }
+
   std::vector<double> sr, cs, msgs;
-  for (std::size_t i = 0; i < n; ++i) {
-    ExperimentSetup replica = setup;
-    replica.workload.seed = setup.workload.seed + i;
-    result.runs.push_back(run_experiment(replica, config));
-    const auto& r = result.runs.back();
+  for (const auto& r : result.runs) {
     sr.push_back(r.attack_window ? r.attack_window->sr_failure_rate() : 0.0);
     cs.push_back(r.attack_window ? r.attack_window->cs_failure_rate() : 0.0);
     msgs.push_back(static_cast<double>(r.totals.msgs_sent));

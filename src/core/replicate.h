@@ -33,8 +33,14 @@ struct ReplicationResult {
 /// hierarchy seed is left alone: the paper's question is variation across
 /// traffic, not across DNS trees (vary setup.hierarchy.seed yourself for
 /// that axis).
+///
+/// Replicas are independent jobs and run on the parallel runner (`jobs`:
+/// 0 = auto, 1 = serial; see sim::resolve_jobs). Results and summaries
+/// are byte-identical for every jobs value. A setup carrying a tracer is
+/// the one exception: the shared sink forces the serial path so it sees
+/// the replicas' events in order.
 ReplicationResult replicate(const ExperimentSetup& setup,
                             const resolver::ResilienceConfig& config,
-                            std::size_t n);
+                            std::size_t n, int jobs = 0);
 
 }  // namespace dnsshield::core

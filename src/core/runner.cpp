@@ -1,0 +1,41 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+#include "sim/parallel.h"
+
+namespace dnsshield::core {
+
+RunRequest make_request(const ExperimentSetup& setup,
+                        const resolver::ResilienceConfig& config) {
+  RunRequest request;
+  request.hierarchy = setup.hierarchy;
+  request.workload = setup.workload;
+  request.attack = setup.attack;
+  request.occupancy_interval = setup.occupancy_interval;
+  request.report_interval = setup.report_interval;
+  request.config = config;
+  return request;
+}
+
+ExperimentResult run_one(const RunRequest& request) {
+  ExperimentSetup setup;
+  setup.hierarchy = request.hierarchy;
+  setup.workload = request.workload;
+  setup.attack = request.attack;
+  setup.occupancy_interval = request.occupancy_interval;
+  setup.report_interval = request.report_interval;
+  return run_experiment(setup, request.config);
+}
+
+std::vector<ExperimentResult> run_many(const std::vector<RunRequest>& requests,
+                                       int jobs) {
+  // More threads than jobs would only spawn idle workers.
+  const std::size_t pool_size =
+      std::max<std::size_t>(1, std::min(sim::resolve_jobs(jobs), requests.size()));
+  return sim::parallel_map<ExperimentResult>(
+      requests.size(), pool_size,
+      [&](std::size_t i) { return run_one(requests[i]); });
+}
+
+}  // namespace dnsshield::core

@@ -1,0 +1,49 @@
+// Job-based experiment execution.
+//
+// A RunRequest captures everything one simulation needs — hierarchy,
+// workload and attack parameters (seeds included) plus the resolver
+// configuration — as a plain value. run_one executes one request
+// hermetically: the hierarchy, RNG streams, event queue, caches,
+// MetricsRegistry, and (absent) Tracer are all constructed inside the
+// call, so concurrent run_one calls share nothing mutable. run_many fans
+// a batch out across sim::ThreadPool with results collected by index,
+// which keeps every report byte-identical to a serial loop no matter the
+// job count (DESIGN.md section 10).
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace dnsshield::core {
+
+/// A self-contained description of one experiment job. Copyable value
+/// type carrying no pointers into its surroundings.
+struct RunRequest {
+  server::HierarchyParams hierarchy;
+  trace::WorkloadParams workload;
+  AttackSpec attack;
+  sim::Duration occupancy_interval = 0;
+  sim::Duration report_interval = 0;
+  resolver::ResilienceConfig config;
+};
+
+/// Packs an ExperimentSetup + config into a job. The setup's tracer — a
+/// shared mutable sink — is deliberately NOT carried over: batch jobs run
+/// untraced. Attach tracers to dedicated single runs (or use replicate's
+/// serial path, which honours them).
+RunRequest make_request(const ExperimentSetup& setup,
+                        const resolver::ResilienceConfig& config);
+
+/// Runs one job. Pure: same request, same result, on any thread.
+ExperimentResult run_one(const RunRequest& request);
+
+/// Runs a batch on `jobs` threads (0 = auto: $DNSSHIELD_JOBS when set,
+/// else hardware concurrency; see sim::resolve_jobs). The returned
+/// results are index-aligned with `requests` and byte-identical for
+/// every jobs value. If several jobs throw, the lowest-index exception
+/// propagates after the whole batch has run.
+std::vector<ExperimentResult> run_many(const std::vector<RunRequest>& requests,
+                                       int jobs = 0);
+
+}  // namespace dnsshield::core

@@ -1,5 +1,7 @@
 #include "core/scheme_catalog.h"
 
+#include "core/runner.h"
+
 namespace dnsshield::core {
 
 using resolver::RenewalPolicy;
@@ -47,6 +49,17 @@ std::vector<Scheme> overhead_table_schemes() {
       {"Long-TTL 7d", ResilienceConfig::refresh_long_ttl(7)},
       {"Combination 3d", ResilienceConfig::combination(3)},
   };
+}
+
+std::vector<ExperimentResult> run_scheme_sweep(const ExperimentSetup& setup,
+                                               const std::vector<Scheme>& schemes,
+                                               int jobs) {
+  std::vector<RunRequest> requests;
+  requests.reserve(schemes.size());
+  for (const auto& scheme : schemes) {
+    requests.push_back(make_request(setup, scheme.config));
+  }
+  return run_many(requests, jobs);
 }
 
 }  // namespace dnsshield::core

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "resolver/config.h"
 
 namespace dnsshield::core {
@@ -32,5 +33,13 @@ std::vector<Scheme> combination_schemes();
 /// Every scheme of Table 2, in the paper's row order: refresh, LRU_5,
 /// LFU_5, A-LRU_5, A-LFU_5, long-TTL(7d), combination(3d, A-LFU_5).
 std::vector<Scheme> overhead_table_schemes();
+
+/// Runs every scheme over the same setup as independent jobs on the
+/// parallel runner (`jobs`: 0 = auto, 1 = serial). Results are
+/// index-aligned with `schemes` and byte-identical for every jobs value.
+/// The setup's tracer, if any, is ignored (see core::make_request).
+std::vector<ExperimentResult> run_scheme_sweep(const ExperimentSetup& setup,
+                                               const std::vector<Scheme>& schemes,
+                                               int jobs = 0);
 
 }  // namespace dnsshield::core

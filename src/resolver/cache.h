@@ -144,6 +144,24 @@ class Cache {
 
   std::size_t max_entries() const { return max_entries_; }
 
+  /// Hash of one (name, type) cache key — the function behind the map's
+  /// KeyHash, exposed so tests can check its collision behaviour. Mixes
+  /// the type into the name hash through a SplitMix64-style finalizer;
+  /// the previous `name.hash() * 31 + type` left the low bits dominated
+  /// by the name hash alone, clustering keys of one name across its
+  /// types into neighbouring buckets.
+  static std::size_t key_hash(const dns::Name& name, dns::RRType type) {
+    std::uint64_t x = static_cast<std::uint64_t>(name.hash()) +
+                      0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(type) + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
   /// Installs a tracer observing evictions (nullptr to detach). Not owned;
   /// must outlive the cache or be detached first.
   void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
@@ -185,7 +203,7 @@ class Cache {
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
+      return key_hash(k.name, k.type);
     }
   };
 

@@ -1,5 +1,6 @@
 #include "sim/audit.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,19 +17,19 @@ void default_handler(const char* file, int line, const char* expr,
                expr, message);
 }
 
-AuditHandler g_handler = &default_handler;
+// Atomic: audits fire from parallel-runner jobs, so the handler is read
+// concurrently (installation stays a serial, test-setup-time affair).
+std::atomic<AuditHandler> g_handler{&default_handler};
 
 }  // namespace
 
 AuditHandler set_audit_handler(AuditHandler handler) {
-  AuditHandler previous = g_handler;
-  g_handler = handler == nullptr ? &default_handler : handler;
-  return previous;
+  return g_handler.exchange(handler == nullptr ? &default_handler : handler);
 }
 
 void audit_fail(const char* file, int line, const char* expr,
                 const char* message) {
-  g_handler(file, line, expr, message);
+  g_handler.load()(file, line, expr, message);
   std::abort();
 }
 

@@ -1,0 +1,124 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace dnsshield::sim {
+
+std::size_t resolve_jobs(int requested) {
+  if (requested < 0) {
+    throw std::invalid_argument("job count must be >= 0 (0 = auto)");
+  }
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  if (const char* env = std::getenv("DNSSHIELD_JOBS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull silently wraps negatives; the <= 1024 cap rejects them
+    // along with genuinely absurd requests.
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// One batch of index-addressed jobs. Claiming is a relaxed fetch_add —
+/// which thread gets which index is scheduling-dependent, but jobs are
+/// hermetic and results land by index, so that nondeterminism is
+/// invisible in the output.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::mutex errors_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs == 0) throw std::invalid_argument("thread pool needs >= 1 job");
+  workers_.reserve(jobs - 1);
+  for (std::size_t i = 0; i + 1 < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    work_through(*batch);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++idle_workers_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::work_through(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(batch.errors_mutex);
+      batch.errors.emplace_back(i, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& task) {
+  Batch batch;
+  batch.n = n;
+  batch.task = &task;
+
+  if (workers_.empty()) {
+    work_through(batch);  // serial fallback: no threads involved at all
+  } else {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = &batch;
+      idle_workers_ = 0;
+      ++generation_;
+    }
+    wake_.notify_all();
+    work_through(batch);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return idle_workers_ == workers_.size(); });
+    batch_ = nullptr;
+  }
+
+  if (!batch.errors.empty()) {
+    // Deterministic propagation: the lowest-index failure, exactly what a
+    // serial loop that ran every job would report first.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < batch.errors.size(); ++i) {
+      if (batch.errors[i].first < batch.errors[best].first) best = i;
+    }
+    std::rethrow_exception(batch.errors[best].second);
+  }
+}
+
+}  // namespace dnsshield::sim

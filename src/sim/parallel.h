@@ -1,0 +1,89 @@
+// Deterministic parallel execution of independent simulation jobs.
+//
+// The experiment sweeps behind every figure are batches of fully
+// independent (scheme, seed, attack-scenario) simulations. This runner
+// executes such a batch on a fixed-size thread pool while keeping the
+// output bit-identical to a serial loop:
+//  - jobs are hermetic: a job touches only state constructed inside the
+//    job from its own inputs (core::run_one is the canonical example), so
+//    which thread runs which job, and in what order, cannot influence any
+//    result;
+//  - results are collected by job index, never by completion order;
+//  - every job runs even if another throws; afterwards the exception of
+//    the lowest-index failed job is rethrown — the same one a serial loop
+//    that kept going would report first.
+// Byte-identical reports across any job count are enforced by
+// tests/test_parallel_equivalence.cpp and scripts/determinism_check.sh.
+//
+// This header and parallel.cpp are the only library files allowed to
+// touch std::thread (scripts/dnsshield_lint.py, rule `threads`).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnsshield::sim {
+
+/// Resolves a requested job count. requested >= 1 is taken as-is;
+/// requested == 0 means "auto": the DNSSHIELD_JOBS environment variable
+/// when it is a positive integer (<= 1024), else hardware concurrency
+/// (minimum 1). Throws std::invalid_argument on negative requests.
+std::size_t resolve_jobs(int requested);
+
+/// A fixed-size pool of worker threads executing index-addressed batches.
+///
+/// The pool is NOT reentrant: a task must not call back into the pool it
+/// runs on (batch-in-batch nesting constructs a second pool instead, as
+/// core::run_many does).
+class ThreadPool {
+ public:
+  /// `jobs` (>= 1) is the total concurrency including the calling
+  /// thread: the pool spawns jobs-1 workers and for_each_index's caller
+  /// works through the batch too. jobs == 1 is the serial fallback — no
+  /// threads are spawned and batches run inline on the caller.
+  explicit ThreadPool(std::size_t jobs);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs task(0) .. task(n-1), blocking until every job has finished.
+  /// See the header comment for the exception contract.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& task);
+
+  /// Total concurrency: worker threads plus the calling thread.
+  std::size_t jobs() const { return workers_.size() + 1; }
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void work_through(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  // workers: new batch available / stop
+  std::condition_variable done_;  // caller: all workers left the batch
+  Batch* batch_ = nullptr;        // guarded by mutex_
+  std::uint64_t generation_ = 0;  // bumped once per batch (guarded by mutex_)
+  std::size_t idle_workers_ = 0;  // workers done with this batch (guarded)
+  bool stop_ = false;             // guarded by mutex_
+};
+
+/// Runs fn(0) .. fn(n-1) on a pool of `jobs` threads and returns the
+/// results in index order (deterministic regardless of scheduling).
+/// T must be default-constructible and move-assignable.
+template <typename T, typename F>
+std::vector<T> parallel_map(std::size_t n, std::size_t jobs, F&& fn) {
+  std::vector<T> out(n);
+  ThreadPool pool(jobs);
+  pool.for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace dnsshield::sim

@@ -1,5 +1,10 @@
 #include "resolver/cache.h"
 
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dnsshield::resolver {
@@ -180,6 +185,45 @@ TEST(CacheTest, OccupancyCountsLiveStateOnly) {
   const auto at100 = cache.occupancy(100);  // b.com NS expired
   EXPECT_EQ(at100.rrsets, 2u);
   EXPECT_EQ(at100.zones, 1u);
+}
+
+TEST(CacheTest, KeyHashCollisionSanity) {
+  // The map key mixes (name, type) through Cache::key_hash. The old
+  // `name.hash() * 31 + type` formula left the low bits — the bits an
+  // unordered_map's bucket index uses — dominated by the name hash, so
+  // one name's A/AAAA/NS/DNSKEY entries landed in neighbouring buckets.
+  // Distinct keys must hash distinctly and spread across buckets.
+  const std::vector<RRType> types{RRType::kA, RRType::kAAAA, RRType::kNS,
+                                  RRType::kDNSKEY};
+  std::vector<std::size_t> hashes;
+  for (int i = 0; i < 2000; ++i) {
+    const Name name =
+        Name::parse("host" + std::to_string(i) + ".zone" +
+                    std::to_string(i % 97) + ".example");
+    for (const RRType type : types) {
+      hashes.push_back(Cache::key_hash(name, type));
+    }
+  }
+
+  std::vector<std::size_t> unique = hashes;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(unique.size(), hashes.size()) << "full-width hash collisions";
+
+  // Bucket spread: modulo a power-of-two table (the worst case for weak
+  // low bits), 8000 keys over 1024 buckets should leave no bucket
+  // grotesquely overloaded. A perfectly uniform draw gives ~7.8 per
+  // bucket; the old formula packs same-name keys into adjacent buckets.
+  std::vector<int> buckets(1024, 0);
+  for (const std::size_t h : hashes) ++buckets[h % buckets.size()];
+  EXPECT_LE(*std::max_element(buckets.begin(), buckets.end()), 32);
+
+  // One name across its types must not produce near-identical hashes:
+  // the type has to perturb more than the lowest few bits.
+  const Name one = Name::parse("www.cs.ucla.edu");
+  const std::size_t a = Cache::key_hash(one, RRType::kA);
+  const std::size_t ns = Cache::key_hash(one, RRType::kNS);
+  EXPECT_GE(std::popcount(static_cast<std::uint64_t>(a ^ ns)), 10);
 }
 
 TEST(CacheTest, HitMissStats) {

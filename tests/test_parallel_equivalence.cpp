@@ -1,0 +1,101 @@
+// The parallel runner's headline guarantee, end to end: the same sweep
+// executed at different --jobs values renders byte-identical reports.
+// Jobs are hermetic (core::run_one builds every piece of mutable state
+// inside the call), so thread count and scheduling cannot leak into any
+// counter, CDF, or time series. scripts/determinism_check.sh makes the
+// same check across processes for the bench binaries.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/presets.h"
+#include "core/replicate.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/scheme_catalog.h"
+#include "resolver/config.h"
+
+namespace dnsshield::core {
+namespace {
+
+ExperimentSetup equivalence_setup() {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 20260805;
+  setup.workload.num_clients = 12;
+  setup.workload.duration = sim::days(1);
+  setup.workload.mean_rate_qps = 0.4;
+  setup.attack = AttackSpec::root_and_tlds(sim::hours(12), sim::hours(3));
+  setup.occupancy_interval = sim::kHour;
+  setup.report_interval = sim::kHour;
+  return setup;
+}
+
+std::string concat_reports(const std::vector<ExperimentResult>& runs) {
+  std::string out;
+  for (const auto& r : runs) out += to_json(r) + "\n";
+  return out;
+}
+
+TEST(ParallelEquivalence, ReplicateIsByteIdenticalAcrossJobCounts) {
+  const auto setup = equivalence_setup();
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  const auto serial = replicate(setup, config, 8, 1);
+  ASSERT_EQ(serial.runs.size(), 8u);
+  EXPECT_GT(serial.runs.front().totals.sr_queries, 0u);
+  const std::string expected = concat_reports(serial.runs);
+
+  for (const int jobs : {2, 8}) {
+    const auto parallel = replicate(setup, config, 8, jobs);
+    EXPECT_EQ(concat_reports(parallel.runs), expected) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.sr_failure_rate.mean, serial.sr_failure_rate.mean);
+    EXPECT_EQ(parallel.sr_failure_rate.stddev, serial.sr_failure_rate.stddev);
+    EXPECT_EQ(parallel.cs_failure_rate.mean, serial.cs_failure_rate.mean);
+    EXPECT_EQ(parallel.msgs_sent.mean, serial.msgs_sent.mean);
+  }
+}
+
+TEST(ParallelEquivalence, RunManyMatchesDirectRunExperiment) {
+  // make_request must carry every knob that affects the simulation —
+  // occupancy/report intervals included — so a batched job reproduces a
+  // direct run_experiment call exactly.
+  const auto setup = equivalence_setup();
+  const std::vector<resolver::ResilienceConfig> configs{
+      resolver::ResilienceConfig::vanilla(),
+      resolver::ResilienceConfig::refresh(),
+      resolver::ResilienceConfig::combination(3),
+  };
+
+  std::vector<RunRequest> requests;
+  for (const auto& config : configs) {
+    requests.push_back(make_request(setup, config));
+  }
+  const auto batched = run_many(requests, 3);
+  ASSERT_EQ(batched.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(to_json(batched[i]), to_json(run_experiment(setup, configs[i])))
+        << "config " << i;
+  }
+}
+
+TEST(ParallelEquivalence, SchemeSweepMatchesSerialLoop) {
+  const auto setup = equivalence_setup();
+  const std::vector<Scheme> schemes{
+      vanilla_scheme(),
+      refresh_scheme(),
+      {"combination 3d", resolver::ResilienceConfig::combination(3)},
+  };
+
+  const auto swept = run_scheme_sweep(setup, schemes, 4);
+  ASSERT_EQ(swept.size(), schemes.size());
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    EXPECT_EQ(to_json(swept[i]), to_json(run_experiment(setup, schemes[i].config)))
+        << schemes[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield::core

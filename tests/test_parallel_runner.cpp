@@ -1,0 +1,102 @@
+// Unit tests for the deterministic parallel runner (sim/parallel.h):
+// index-ordered collection, the every-job-runs exception contract, the
+// serial fallback, pool reuse, and resolve_jobs' precedence rules.
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dnsshield::sim {
+namespace {
+
+TEST(ParallelRunner, ParallelMapCollectsByIndex) {
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    const auto out = parallel_map<std::size_t>(
+        37, jobs, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 37u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunner, EmptyBatchIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.for_each_index(0, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelRunner, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_each_index(100, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 5050u) << "batch " << batch;
+  }
+}
+
+TEST(ParallelRunner, SerialFallbackRunsOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.for_each_index(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelRunner, EveryJobRunsEvenWhenSomeThrow) {
+  // The contract mirrors a serial loop that keeps going: every job runs,
+  // then the lowest-index exception is rethrown. That makes which-error-
+  // you-see deterministic regardless of scheduling.
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    ThreadPool pool(jobs);
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.for_each_index(24, [&](std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 5 || i == 11) {
+          throw std::runtime_error("job " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 5") << "jobs=" << jobs;
+    }
+    EXPECT_EQ(ran.load(), 24u) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelRunner, ResolveJobsHonorsExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+  EXPECT_THROW(resolve_jobs(-1), std::invalid_argument);
+}
+
+TEST(ParallelRunner, ResolveJobsReadsEnvOnAuto) {
+  ASSERT_EQ(setenv("DNSSHIELD_JOBS", "3", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), 3u);
+  // An explicit request still beats the environment.
+  EXPECT_EQ(resolve_jobs(2), 2u);
+  ASSERT_EQ(unsetenv("DNSSHIELD_JOBS"), 0);
+}
+
+TEST(ParallelRunner, ResolveJobsIgnoresInvalidEnv) {
+  for (const char* bad : {"0", "-2", "abc", "4x", "", "99999"}) {
+    ASSERT_EQ(setenv("DNSSHIELD_JOBS", bad, 1), 0);
+    EXPECT_GE(resolve_jobs(0), 1u) << "env=\"" << bad << "\"";
+  }
+  ASSERT_EQ(unsetenv("DNSSHIELD_JOBS"), 0);
+  EXPECT_GE(resolve_jobs(0), 1u);  // hardware fallback
+}
+
+}  // namespace
+}  // namespace dnsshield::sim
