@@ -1,0 +1,135 @@
+// Hot-path kernel benchmark: wall-clock and heap allocations per
+// simulated query for a serial replicate(n=8) run, with a byte-identity
+// repeat check. Emits BENCH_hotpath.json.
+//
+// The "baseline" block is the pre-optimization kernel (std::function
+// event dispatch, Name-keyed maps, std::list LRU, copying inserts)
+// measured on the same reference hardware at the default rate factor;
+// `speedup` / `alloc_reduction` compare the current build against it and
+// are only emitted when this run uses the baseline's rate factor.
+// Allocation counts need the alloc hook (always linked into this
+// binary); ASan/TSan builds inflate both metrics, so treat sanitized
+// runs as smoke tests (`reports_identical` is the part that must hold
+// everywhere).
+#include "bench_common.h"
+
+#include <chrono>
+#include <string>
+
+#include "core/replicate.h"
+#include "sim/alloc_counter.h"
+
+using namespace dnsshield;
+
+namespace {
+
+// Pre-PR kernel measured on the reference 1-core container (see
+// CHANGES.md PR 4): replicate(n=8), jobs=1, rate factor 0.15.
+constexpr double kBaselineRateFactor = 0.15;
+constexpr double kBaselineWallSeconds = 35.77;
+constexpr double kBaselineAllocsPerQuery = 29.41;
+
+std::string reports_json(const core::ReplicationResult& r) {
+  std::string out;
+  for (const auto& run : r.runs) out += core::to_json(run) + "\n";
+  return out;
+}
+
+std::uint64_t total_queries(const core::ReplicationResult& r) {
+  std::uint64_t q = 0;
+  for (const auto& run : r.runs) q += run.totals.sr_queries;
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_args(argc, argv);
+  bench::print_header("Hot path", "replicate(n=8) serial kernel", opts);
+
+  constexpr std::size_t kReplicas = 8;
+  const auto preset = core::week_trace_presets()[0];
+  const auto setup =
+      bench::setup_for(preset, opts, core::standard_attack(sim::hours(6)));
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  namespace counter = sim::alloc_counter;
+  const bool counting = counter::counting_active();
+
+  counter::reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ReplicationResult first =
+      core::replicate(setup, config, kReplicas, 1);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  const std::uint64_t allocs = counter::allocations();
+
+  // Identity repeat: a second run must reproduce the reports byte for
+  // byte (the determinism contract this bench smoke-checks in CI).
+  const core::ReplicationResult second =
+      core::replicate(setup, config, kReplicas, 1);
+  const bool identical = reports_json(first) == reports_json(second);
+
+  const double wall_s = elapsed.count();
+  const std::uint64_t queries = total_queries(first);
+  const double allocs_per_query =
+      queries == 0 ? 0.0
+                   : static_cast<double>(allocs) / static_cast<double>(queries);
+  const bool comparable =
+      opts.rate_factor == kBaselineRateFactor && kBaselineWallSeconds > 0;
+
+  metrics::TablePrinter table(
+      {"Wall (s)", "Queries", "Allocs/query", "Identical"});
+  table.add_row({metrics::TablePrinter::num(wall_s, 2),
+                 std::to_string(queries),
+                 counting ? metrics::TablePrinter::num(allocs_per_query, 2)
+                          : "n/a",
+                 identical ? "yes" : "NO"});
+  table.print();
+  if (comparable) {
+    std::printf("vs baseline: %.2fx wall-clock", kBaselineWallSeconds / wall_s);
+    if (counting && kBaselineAllocsPerQuery > 0) {
+      std::printf(", %.1f%% fewer allocations/query",
+                  100.0 * (1.0 - allocs_per_query / kBaselineAllocsPerQuery));
+    }
+    std::printf("\n");
+  }
+
+  metrics::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("hotpath");
+  json.key("replicas").value(static_cast<std::uint64_t>(kReplicas));
+  json.key("rate_factor").value(opts.rate_factor);
+  json.key("wall_seconds").value(wall_s);
+  json.key("queries").value(queries);
+  json.key("alloc_counting_active").value(counting);
+  if (counting) {
+    json.key("allocations").value(allocs);
+    json.key("allocs_per_query").value(allocs_per_query);
+  }
+  if (comparable) {
+    json.key("baseline_wall_seconds").value(kBaselineWallSeconds);
+    json.key("speedup").value(kBaselineWallSeconds / wall_s);
+    if (counting && kBaselineAllocsPerQuery > 0) {
+      json.key("baseline_allocs_per_query").value(kBaselineAllocsPerQuery);
+      json.key("alloc_reduction")
+          .value(1.0 - allocs_per_query / kBaselineAllocsPerQuery);
+    }
+  }
+  json.key("reports_identical").value(identical);
+  json.end_object();
+
+  const std::string out_path =
+      opts.series_out.empty() ? "BENCH_hotpath.json" : opts.series_out;
+  std::ofstream out(out_path);
+  out << json.take() << "\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: repeated replicate(n=8) runs differ — the kernel's "
+                 "byte-identity contract is broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -57,12 +57,17 @@ int main(int argc, char** argv) {
 
   const bool identical = reports_json(serial) == reports_json(parallel);
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  // On a single-core host the two runs measure the same serial execution;
+  // a "speedup" there is pure noise, so the report marks the comparison
+  // as not meaningful instead of recording one.
+  const bool parallel_meaningful = hw >= 2;
 
   metrics::TablePrinter table({"Jobs", "Wall (s)", "Speedup", "Identical"});
   table.add_row({"1", metrics::TablePrinter::num(serial_s, 2), "1.00", "-"});
   table.add_row({std::to_string(wide_jobs),
                  metrics::TablePrinter::num(parallel_s, 2),
-                 metrics::TablePrinter::num(speedup, 2),
+                 parallel_meaningful ? metrics::TablePrinter::num(speedup, 2)
+                                     : "n/a (1 core)",
                  identical ? "yes" : "NO"});
   table.print();
 
@@ -76,7 +81,8 @@ int main(int argc, char** argv) {
   json.key("jobs_parallel").value(static_cast<std::uint64_t>(wide_jobs));
   json.key("wall_seconds_serial").value(serial_s);
   json.key("wall_seconds_parallel").value(parallel_s);
-  json.key("speedup").value(speedup);
+  json.key("parallel_meaningful").value(parallel_meaningful);
+  if (parallel_meaningful) json.key("speedup").value(speedup);
   json.key("reports_identical").value(identical);
   json.end_object();
 

@@ -2,8 +2,8 @@
 // name handling, wire codec, cache operations, resolution, sampling, and
 // the observability layer (metrics registry, tracer).
 //
-// After the registered benchmarks run, main() executes two guards, and
-// the binary fails loudly (non-zero exit) if either is violated:
+// After the registered benchmarks run, main() executes three guards, and
+// the binary fails loudly (non-zero exit) if any is violated:
 //  - tracing-overhead guard: an end-to-end experiment is timed with and
 //    without the full instrumentation stack (ring tracer + hourly run
 //    report); enabled tracing must cost less than 5% of the resolve-loop
@@ -12,6 +12,9 @@
 //    of DNSSHIELD_ASSERT over an expensive predicate is timed against a
 //    loop that actually evaluates it; the asserted loop must be free,
 //    proving the macro compiles to nothing in Release.
+//  - allocation guards: the BM_ScheduleStep and BM_CacheLookupHit loops
+//    are replayed under the allocation counter; allocations per op must
+//    not regress above the committed zero baseline.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -29,6 +32,7 @@
 #include "metrics/tracer.h"
 #include "resolver/caching_server.h"
 #include "server/hierarchy_builder.h"
+#include "sim/alloc_counter.h"
 #include "sim/audit.h"
 #include "sim/distributions.h"
 #include "sim/event_queue.h"
@@ -96,8 +100,8 @@ void BM_CacheInsert(benchmark::State& state) {
   double now = 0;
   for (auto _ : state) {
     now += 1;
-    benchmark::DoNotOptimize(cache.insert(set, dns::Trust::kAuthAnswer, now,
-                                          false, dns::Name(), true));
+    benchmark::DoNotOptimize(cache.insert(dns::RRset(set), dns::Trust::kAuthAnswer,
+                                          now, false, dns::Name(), true));
   }
 }
 BENCHMARK(BM_CacheInsert);
@@ -106,7 +110,8 @@ void BM_CacheLookupHit(benchmark::State& state) {
   resolver::Cache cache(7 * 86400);
   dns::RRset set(dns::Name::parse("w.x.com"), dns::RRType::kA, 1u << 30);
   set.add(dns::ARdata{dns::IpAddr(1)});
-  cache.insert(set, dns::Trust::kAuthAnswer, 0, false, dns::Name(), true);
+  cache.insert(std::move(set), dns::Trust::kAuthAnswer, 0, false, dns::Name(),
+               true);
   const dns::Name name = dns::Name::parse("w.x.com");
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 100));
@@ -158,6 +163,24 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueChurn);
+
+/// Schedule+step with a capture-carrying callback — the renewal-chain
+/// shape ([this, key]: 16 bytes). Must ride the callback's inline buffer;
+/// the allocation guard below holds this loop to ~zero allocs/op.
+void BM_ScheduleStep(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  std::uint64_t sink = 0;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    t += 1;
+    ++key;
+    q.schedule_at(t, [&sink, key] { sink += key; });
+    q.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ScheduleStep);
 
 /// Dispatch overhead of the parallel runner: one 64-task batch of trivial
 /// work per iteration, at 1/2/4 jobs. Real experiment jobs run for
@@ -417,6 +440,100 @@ int run_audit_noop_guard() {
   return 0;
 }
 
+// ---- Allocation guards -----------------------------------------------------
+//
+// The allocation-lean kernel contract (DESIGN.md section 11): the two ops
+// that dominate a simulated week — event schedule+step and a warm cache
+// hit — allocate nothing in steady state. The SBO callback keeps renewal
+// closures out of the heap and the interned-key cache makes a hit a pure
+// hash probe, so the committed baseline for both is zero allocations per
+// operation. The guard replays the BM_ScheduleStep and BM_CacheLookupHit
+// loops under the allocation counter and fails the binary on any regression
+// (e.g. a capture outgrowing the callback's inline buffer, or a lookup
+// path reintroducing a temporary key object).
+
+/// Committed baselines, in allocations per operation. Zero is exact: one
+/// stray allocation per op is precisely what the guard exists to catch.
+constexpr double kScheduleStepAllocBaseline = 0.0;
+constexpr double kCacheLookupHitAllocBaseline = 0.0;
+
+int check_allocs_per_op(const char* what, std::uint64_t allocs, int iters,
+                        double baseline) {
+  const double per_op = static_cast<double>(allocs) / iters;
+  if (per_op > baseline) {
+    std::printf("ALLOCATION GUARD: FAIL — %s makes %.4f heap allocations "
+                "per op (%llu over %d iterations; committed baseline %.1f)\n",
+                what, per_op, static_cast<unsigned long long>(allocs), iters,
+                baseline);
+    return 1;
+  }
+  std::printf("%s: %.4f allocs/op (baseline %.1f) — ok\n", what, per_op,
+              baseline);
+  return 0;
+}
+
+int run_allocation_guards() {
+  namespace counter = sim::alloc_counter;
+  std::printf("\n--- allocation guards ---\n");
+  if (!counter::counting_active()) {
+    std::printf("ALLOCATION GUARDS: SKIP — the alloc_hook object library is "
+                "not linked into this binary, so allocations are not "
+                "observable\n");
+    return 0;
+  }
+
+  constexpr int kIters = 100000;
+  int rc = 0;
+
+  {
+    // The BM_ScheduleStep loop: a 16-byte capture (the renewal-chain
+    // shape) must ride the callback's inline buffer, and the event heap
+    // must reuse its vector capacity across push/pop.
+    sim::EventQueue q;
+    double t = 0;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 64; ++i) {  // warm-up: settle the heap's capacity
+      t += 1;
+      q.schedule_at(t, [&sink, i] { sink += static_cast<std::uint64_t>(i); });
+      q.step();
+    }
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      t += 1;
+      q.schedule_at(t, [&sink, i] { sink += static_cast<std::uint64_t>(i); });
+      q.step();
+    }
+    const std::uint64_t allocs = counter::allocations();
+    benchmark::DoNotOptimize(sink);
+    rc |= check_allocs_per_op("event schedule+step", allocs, kIters,
+                              kScheduleStepAllocBaseline);
+  }
+
+  {
+    // The BM_CacheLookupHit loop: interned-key probe plus the intrusive-
+    // LRU touch, no temporary key objects.
+    resolver::Cache cache(7 * 86400);
+    dns::RRset set(dns::Name::parse("w.x.com"), dns::RRType::kA, 1u << 30);
+    set.add(dns::ARdata{dns::IpAddr(1)});
+    cache.insert(std::move(set), dns::Trust::kAuthAnswer, 0, false, dns::Name(),
+                 true);
+    const dns::Name name = dns::Name::parse("w.x.com");
+    benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 50));
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(cache.lookup(name, dns::RRType::kA, 100));
+    }
+    const std::uint64_t allocs = counter::allocations();
+    rc |= check_allocs_per_op("cache lookup hit", allocs, kIters,
+                              kCacheLookupHitAllocBaseline);
+  }
+
+  if (rc == 0) {
+    std::printf("ALLOCATION GUARDS: PASS — hot-path ops stay allocation-free\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,5 +555,6 @@ int main(int argc, char** argv) {
   if (skip_guard) return 0;
   int rc = run_tracing_overhead_guard();
   rc |= run_audit_noop_guard();
+  rc |= run_allocation_guards();
   return rc;
 }

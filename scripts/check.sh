@@ -4,13 +4,16 @@
 #   2. clang-tidy       — via the build's `lint-clang-tidy` target (skips
 #                         with a notice when clang-tidy isn't installed)
 #   3. tier-1           — configure, build, run the full ctest suite
-#   4. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
+#   4. hotpath smoke    — bench_hotpath --quick: repeated replicate runs
+#                         must produce byte-identical reports (the
+#                         allocation-lean kernel's determinism contract)
+#   5. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
 #                         runtime invariant audits compiled in, and run
 #                         the full ctest suite again
-#   5. tsan             — rebuild under ThreadSanitizer (audits on) and
+#   6. tsan             — rebuild under ThreadSanitizer (audits on) and
 #                         run the full suite again; this is the parallel
 #                         experiment runner's race gate
-#   6. determinism      — two identical-seed CLI runs must render
+#   7. determinism      — two identical-seed CLI runs must render
 #                         byte-identical metrics reports, and a bench
 #                         sweep at --jobs=1 vs --jobs=4 must match
 #
@@ -31,6 +34,15 @@ echo "=== tier-1: build + ctest (${BUILD_DIR}) ==="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== hotpath smoke: bench_hotpath --quick (byte-identity contract) ==="
+HOTPATH_JSON="${BUILD_DIR}/BENCH_hotpath_smoke.json"
+"${BUILD_DIR}/bench/bench_hotpath" --quick --jobs=1 --series-out="${HOTPATH_JSON}"
+grep -q '"reports_identical":true' "${HOTPATH_JSON}" || {
+  echo "FAIL: ${HOTPATH_JSON} lacks \"reports_identical\":true" >&2
+  exit 1
+}
 
 echo
 echo "=== lint: clang-tidy (skips when not installed) ==="

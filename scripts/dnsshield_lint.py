@@ -29,6 +29,12 @@ Rules
                (hermetic jobs, index-ordered collection); a stray
                std::thread / std::async / detach() reintroduces
                scheduling-dependent results and unjoined lifetimes.
+  std-function No std::function in the hot-path layers (src/sim/,
+               src/resolver/). Per-event closures use the small-buffer
+               sim::InplaceCallback; std::function heap-allocates any
+               capture beyond its tiny internal buffer, and the
+               allocation guards in bench/micro_benchmarks.cpp hold
+               these layers to zero allocations per event.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -53,7 +59,8 @@ SOURCE_EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
 
 
 class Rule:
-    def __init__(self, name, description, patterns, allowlist=(), hint=""):
+    def __init__(self, name, description, patterns, allowlist=(), hint="",
+                 applies_to=()):
         self.name = name
         self.description = description
         self.patterns = [re.compile(p) for p in patterns]
@@ -61,6 +68,10 @@ class Rule:
         # rule. Keep each entry justified by a comment at the definition.
         self.allowlist = frozenset(allowlist)
         self.hint = hint
+        # Optional path-prefix scope: when non-empty, the rule only applies
+        # to files whose repo-relative path starts with one of these
+        # prefixes (e.g. hot-path-only rules scoped to src/sim/).
+        self.applies_to = tuple(applies_to)
 
 
 # A banned identifier must not be glued to a preceding word character,
@@ -136,6 +147,27 @@ RULES = [
         ),
         hint="use sim::ThreadPool / sim::parallel_map (src/sim/parallel.h)",
     ),
+    Rule(
+        "std-function",
+        "std::function in hot-path simulation code (the event and resolver "
+        "layers run millions of closures per simulated week; std::function "
+        "heap-allocates any capture beyond its tiny internal buffer)",
+        [r"std::function(?![\w])"],
+        # Scoped to the layers the allocation budget covers; trace/metrics
+        # sinks and driver code may keep std::function's flexibility.
+        applies_to=("src/sim/", "src/resolver/"),
+        allowlist=(
+            # QueryLog is a diagnostic observer, off in experiments; one
+            # move per set_query_log call, never touched per event.
+            "src/resolver/caching_server.h",
+            # The thread pool hands one task object to a whole job batch;
+            # that is once per experiment replica, not once per event.
+            "src/sim/parallel.h",
+            "src/sim/parallel.cpp",
+        ),
+        hint="use sim::InplaceCallback (EventQueue::Callback) for per-event "
+        "closures",
+    ),
 ]
 
 
@@ -207,6 +239,8 @@ def scan_text(display_path, text):
     for rule in RULES:
         if display_path in rule.allowlist:
             continue
+        if rule.applies_to and not display_path.startswith(rule.applies_to):
+            continue
         for pattern in rule.patterns:
             for m in pattern.finditer(stripped):
                 line = stripped.count("\n", 0, m.start()) + 1
@@ -251,7 +285,9 @@ def report(violations):
 
 # One violating and one clean snippet per rule. The violating snippet must
 # trip exactly its own rule; the clean one must pass every rule (it shows
-# the approved replacement idiom).
+# the approved replacement idiom). An optional fourth element places the
+# snippets under a specific directory, for rules scoped via applies_to
+# (the default src/selftest/ location is outside every scope).
 SELF_TEST_CASES = [
     (
         "wall-clock",
@@ -308,16 +344,26 @@ SELF_TEST_CASES = [
         "      n, jobs, [](std::size_t i) { return i * i; });\n"
         "}\n",
     ),
+    (
+        "std-function",
+        "#include <functional>\n"
+        "struct Timer { std::function<void()> on_fire; };\n",
+        "#include \"sim/inplace_callback.h\"\n"
+        "struct Timer { dnsshield::sim::InplaceCallback on_fire; };\n",
+        "src/sim",
+    ),
 ]
 
 
 def self_test():
     failures = []
-    for rule_name, bad, good in SELF_TEST_CASES:
-        bad_hits = scan_text("src/selftest/violation.cpp", bad)
+    for case in SELF_TEST_CASES:
+        rule_name, bad, good = case[:3]
+        base = case[3] if len(case) > 3 else "src/selftest"
+        bad_hits = scan_text(base + "/violation.cpp", bad)
         if not any(v[2].name == rule_name for v in bad_hits):
             failures.append(f"rule {rule_name}: violating snippet not flagged")
-        good_hits = scan_text("src/selftest/clean.cpp", good)
+        good_hits = scan_text(base + "/clean.cpp", good)
         if good_hits:
             failures.append(
                 f"rule {rule_name}: clean snippet flagged: "
@@ -336,6 +382,26 @@ def self_test():
     )
     if any(v[2].name == "threads" for v in allowed):
         failures.append("threads allowlist for src/sim/parallel.cpp not honoured")
+
+    # ... and the caching server header may keep its std::function QueryLog.
+    allowed = scan_text(
+        "src/resolver/caching_server.h",
+        "using QueryLog = std::function<void(const Exchange&)>;\n",
+    )
+    if any(v[2].name == "std-function" for v in allowed):
+        failures.append(
+            "std-function allowlist for src/resolver/caching_server.h "
+            "not honoured")
+
+    # Scoped rules must not fire outside their applies_to prefixes: the
+    # trace reader's std::function sinks are fine where they are.
+    out_of_scope = scan_text(
+        "src/trace/selftest_sink.h",
+        "#include <functional>\n"
+        "using Sink = std::function<void(int)>;\n",
+    )
+    if any(v[2].name == "std-function" for v in out_of_scope):
+        failures.append("std-function fired outside its applies_to scope")
 
     # Comments and strings must not trip rules (classic false positives).
     commented = scan_text(

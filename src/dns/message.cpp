@@ -40,10 +40,34 @@ Message Message::make_response(const Message& query) {
   return m;
 }
 
+void Message::make_query_into(std::uint16_t id, const Name& qname, RRType qtype,
+                              Message& out) {
+  out.header = Header{};
+  out.header.id = id;
+  out.questions.clear();
+  out.questions.push_back(Question{qname, qtype});
+  out.answers.clear();
+  out.authorities.clear();
+  out.additionals.clear();
+}
+
+void Message::make_response_into(const Message& query, Message& out) {
+  out.header = Header{};
+  out.header.id = query.header.id;
+  out.header.qr = true;
+  out.header.rd = query.header.rd;
+  out.questions = query.questions;
+  out.answers.clear();
+  out.authorities.clear();
+  out.additionals.clear();
+}
+
 namespace {
 
 void append_rrset(std::vector<ResourceRecord>& section, const RRset& set) {
-  for (auto& rr : set.to_records()) section.push_back(std::move(rr));
+  for (const Rdata& rd : set.rdatas()) {
+    section.push_back(ResourceRecord{set.name(), set.type(), set.ttl(), rd});
+  }
 }
 
 }  // namespace
@@ -52,20 +76,29 @@ void Message::add_answer(const RRset& set) { append_rrset(answers, set); }
 void Message::add_authority(const RRset& set) { append_rrset(authorities, set); }
 void Message::add_additional(const RRset& set) { append_rrset(additionals, set); }
 
+std::size_t Message::group_rrsets_into(const std::vector<ResourceRecord>& section,
+                                       std::vector<RRset>& out) {
+  std::size_t used = 0;
+  for (const auto& rr : section) {
+    std::size_t i = 0;
+    while (i < used && !(out[i].name() == rr.name && out[i].type() == rr.type)) {
+      ++i;
+    }
+    if (i == used) {
+      if (used == out.size()) out.emplace_back();
+      out[used].reset(rr.name, rr.type, rr.ttl);
+      ++used;
+    } else if (rr.ttl < out[i].ttl()) {
+      out[i].set_ttl(rr.ttl);
+    }
+    out[i].add(rr.rdata);
+  }
+  return used;
+}
+
 std::vector<RRset> Message::group_rrsets(const std::vector<ResourceRecord>& section) {
   std::vector<RRset> out;
-  for (const auto& rr : section) {
-    auto it = std::find_if(out.begin(), out.end(), [&](const RRset& s) {
-      return s.name() == rr.name && s.type() == rr.type;
-    });
-    if (it == out.end()) {
-      out.emplace_back(rr.name, rr.type, rr.ttl);
-      it = out.end() - 1;
-    } else if (rr.ttl < it->ttl()) {
-      it->set_ttl(rr.ttl);
-    }
-    it->add(rr.rdata);
-  }
+  out.resize(group_rrsets_into(section, out));
   return out;
 }
 

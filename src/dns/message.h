@@ -69,6 +69,13 @@ struct Message {
   /// A positive, authoritative answer skeleton mirroring `query`.
   static Message make_response(const Message& query);
 
+  /// In-place variants: rebuild `out` reusing its section buffers, so a
+  /// caller cycling one scratch Message per exchange allocates nothing
+  /// once the buffers have grown to working size.
+  static void make_query_into(std::uint16_t id, const Name& qname, RRType qtype,
+                              Message& out);
+  static void make_response_into(const Message& query, Message& out);
+
   /// Appends every record of an RRset to the given section.
   void add_answer(const RRset& set);
   void add_authority(const RRset& set);
@@ -77,6 +84,12 @@ struct Message {
   /// Collects the records of `section` back into RRsets, grouping by
   /// (name, type) and taking the minimum TTL across the group.
   static std::vector<RRset> group_rrsets(const std::vector<ResourceRecord>& section);
+
+  /// Same grouping into a reusable scratch vector: slots [0, returned)
+  /// hold the groups; excess slots from earlier calls are left in place
+  /// so their rdata buffers keep their capacity.
+  static std::size_t group_rrsets_into(const std::vector<ResourceRecord>& section,
+                                       std::vector<RRset>& out);
 
   /// True if the response is a referral: not authoritative for the qname,
   /// no answers, but NS records in the authority section.

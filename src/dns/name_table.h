@@ -1,0 +1,82 @@
+// Name interning: maps dns::Name to a dense 32-bit NameId so hot maps
+// (cache keys, renewal credits, zone indexes) can compare integers
+// instead of bumping shared_ptr refcounts and walking label vectors.
+//
+// Lifetime rule: ids are never recycled — an interned name stays valid
+// for the table's lifetime, so a NameId may be stored freely by anything
+// that does not outlive the owning table. The id space is bounded by the
+// distinct-name universe of the workload (trace names + hierarchy
+// zones), which the simulation already holds resident anyway.
+//
+// Case-insensitivity comes for free: Name stores labels lowercased, so
+// two spellings of one domain intern to the same id.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace dnsshield::dns {
+
+/// Dense handle for an interned Name. Ids start at 0 and are assigned in
+/// interning order, so they double as indexes into side tables.
+using NameId = std::uint32_t;
+
+/// Sentinel for "no name interned" (e.g. an unset IRR zone).
+inline constexpr NameId kInvalidNameId = 0xffffffffu;
+
+class NameTable {
+ public:
+  /// Returns the id for `name`, interning it on first sight. O(1)
+  /// amortized; a hit allocates nothing.
+  NameId intern(const Name& name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const NameId id = static_cast<NameId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidNameId if it was never
+  /// interned. Never mutates the table (safe on read-only paths).
+  NameId find(const Name& name) const {
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? kInvalidNameId : it->second;
+  }
+
+  /// Resolves an id back to its Name. Ids are positions in a plain
+  /// vector, stable across rehash of the lookup map.
+  /// Precondition: id was returned by this table's intern().
+  const Name& name(NameId id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<Name, NameId, NameHash> ids_;
+  std::vector<Name> names_;  // id -> Name reverse index
+};
+
+/// Packs (NameId, RRType) into one 64-bit map key: id in the high bits,
+/// type in the low 16. Bijective, so distinct (id, type) pairs can never
+/// collide as keys.
+inline std::uint64_t name_type_key(NameId id, std::uint16_t type) {
+  return (static_cast<std::uint64_t>(id) << 16) | type;
+}
+
+/// SplitMix64 finalizer over the packed key: a bijective mix, so hash
+/// collisions on distinct keys are impossible and bucket distribution
+/// stays uniform even though ids are dense small integers.
+struct NameTypeKeyHash {
+  std::size_t operator()(std::uint64_t key) const {
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace dnsshield::dns

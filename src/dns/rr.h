@@ -172,6 +172,15 @@ class RRset {
   std::uint32_t ttl() const { return ttl_; }
   void set_ttl(std::uint32_t ttl) { ttl_ = ttl; }
 
+  /// Re-initializes the set in place, keeping the rdata buffer's capacity
+  /// (scratch-slot reuse on the response-ingest hot path).
+  void reset(const Name& name, RRType type, std::uint32_t ttl) {
+    name_ = name;
+    type_ = type;
+    ttl_ = ttl;
+    rdatas_.clear();
+  }
+
   /// Appends rdata. Throws std::invalid_argument if the alternative does
   /// not match the set's type. Duplicate rdata is ignored (sets are sets).
   void add(Rdata rdata);

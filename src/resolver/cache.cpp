@@ -2,29 +2,42 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace dnsshield::resolver {
 
 void Cache::audit() const {
 #if DNSSHIELD_AUDITS_ENABLED
-  // LRU list -> map: every node names a live entry that points back at it.
+  // LRU list -> map: the intrusive list is well linked and every node is
+  // a live map entry stored under its own key.
   std::size_t listed = 0;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+  const CacheEntry* prev = nullptr;
+  for (const CacheEntry* node = lru_head_; node != nullptr;
+       node = node->lru_next) {
     ++listed;
-    const auto entry_it = entries_.find(Key{it->first, it->second});
+    DNSSHIELD_ASSERT(node->in_lru,
+                     "LRU-listed entry is not flagged in_lru");
+    DNSSHIELD_ASSERT(node->lru_prev == prev,
+                     "LRU node's prev link does not mirror its neighbour");
+    const auto entry_it = entries_.find(node->key);
     DNSSHIELD_ASSERT(entry_it != entries_.end(),
                      "LRU list names a key missing from the cache map");
-    DNSSHIELD_ASSERT(entry_it->second.in_lru,
-                     "LRU-listed entry is not flagged in_lru");
-    DNSSHIELD_ASSERT(entry_it->second.lru_pos == it,
-                     "cache entry's lru_pos does not point at its LRU node");
+    DNSSHIELD_ASSERT(&entry_it->second == node,
+                     "LRU node is not the entry stored under its key");
+    DNSSHIELD_ASSERT(listed <= entries_.size(),
+                     "LRU list is longer than the cache map (cycle?)");
+    prev = node;
   }
-  // Map -> LRU list: in_lru flags account for every list node, and every
-  // stored TTL honours the clamp. Permanent entries (infinite expiry, the
-  // root hints) are exempt from both — they never join the list and keep
-  // their published TTL.
+  DNSSHIELD_ASSERT(lru_tail_ == prev,
+                   "LRU tail does not terminate the list");
+  // Map -> LRU list: in_lru flags account for every list node, stored
+  // keys match map slots, and every stored TTL honours the clamp.
+  // Permanent entries (infinite expiry, the root hints) are exempt from
+  // the clamp — they keep their published TTL.
   std::size_t flagged = 0;
   for (const auto& [key, entry] : entries_) {
+    DNSSHIELD_ASSERT(entry.key == key,
+                     "cache entry's stored key disagrees with its map slot");
     if (entry.in_lru) ++flagged;
     if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
       continue;
@@ -43,41 +56,57 @@ using dns::RRset;
 using dns::RRType;
 using dns::Trust;
 
-void Cache::touch(const dns::Name& name, RRType type,
-                  const CacheEntry& entry) const {
-  if (entry.in_lru) {
-    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+void Cache::lru_unlink(const CacheEntry& entry) const {
+  if (!entry.in_lru) return;
+  if (entry.lru_prev != nullptr) {
+    entry.lru_prev->lru_next = entry.lru_next;
   } else {
-    lru_.emplace_front(name, type);
-    entry.lru_pos = lru_.begin();
-    entry.in_lru = true;
+    lru_head_ = entry.lru_next;
   }
+  if (entry.lru_next != nullptr) {
+    entry.lru_next->lru_prev = entry.lru_prev;
+  } else {
+    lru_tail_ = entry.lru_prev;
+  }
+  entry.lru_prev = nullptr;
+  entry.lru_next = nullptr;
+  entry.in_lru = false;
+}
+
+void Cache::touch(const CacheEntry& entry) const {
+  if (lru_head_ == &entry) return;
+  lru_unlink(entry);
+  entry.lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = &entry;
+  lru_head_ = &entry;
+  if (lru_tail_ == nullptr) lru_tail_ = &entry;
+  entry.in_lru = true;
 }
 
 void Cache::evict_if_over_budget(sim::SimTime now) {
   if (max_entries_ == 0) return;
-  while (entries_.size() > max_entries_ && !lru_.empty()) {
-    const auto& [name, type] = lru_.back();
+  while (entries_.size() > max_entries_ && lru_tail_ != nullptr) {
+    const CacheEntry& victim = *lru_tail_;
     if (tracer_ && tracer_->enabled()) {
       tracer_->emit_fill(now, metrics::TraceEventType::kCacheEvict,
                          [&](std::string& s, std::string& d) {
-                           name.append_to(s);
-                           d = dns::rrtype_to_string(type);
+                           victim.rrset.name().append_to(s);
+                           d = dns::rrtype_to_string(victim.rrset.type());
                          });
     }
-    const auto it = entries_.find(Key{name, type});
-    // Permanent entries (root hints) are never in the LRU list, so the
-    // victim is always evictable.
-    if (it != entries_.end()) entries_.erase(it);
-    lru_.pop_back();
+    const std::uint64_t key = victim.key;
+    lru_unlink(victim);
+    entries_.erase(key);
     ++stats_.evictions;
   }
 }
 
-Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime now,
+Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
                                   bool is_irr, const dns::Name& irr_zone,
                                   bool allow_ttl_reset, bool demand) {
-  const Key key{rrset.name(), rrset.type()};
+  const std::uint64_t key =
+      dns::name_type_key(names_.intern(rrset.name()),
+                         static_cast<std::uint16_t>(rrset.type()));
   const std::uint32_t ttl = std::min(rrset.ttl(), ttl_cap_);
   auto it = entries_.find(key);
 
@@ -93,7 +122,7 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
     }
     if (entry.rrset.same_data(rrset)) {
       entry.trust = std::max(entry.trust, trust);
-      touch(key.name, key.type, entry);
+      touch(entry);
       if (!allow_ttl_reset) {
         return {InsertOutcome::kKeptExisting, &entry};
       }
@@ -103,38 +132,38 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
       entry.demand_hits = demand ? 1 : 0;
       return {InsertOutcome::kTtlReset, &entry};
     }
-    entry.rrset = rrset;
+    entry.rrset = std::move(rrset);
     entry.rrset.set_ttl(ttl);
     entry.trust = trust;
     entry.expires_at = now + ttl;
     entry.inserted_at = now;
     entry.is_irr = is_irr;
-    entry.irr_zone = irr_zone;
+    entry.irr_zone = names_.intern(irr_zone);
     entry.generation = next_generation_++;
     entry.demand_hits = demand ? 1 : 0;
-    touch(key.name, key.type, entry);
+    touch(entry);
     return {InsertOutcome::kReplaced, &entry};
   }
 
-  // Fresh install over an expired entry: unlink the old LRU node before
-  // the assignment wipes lru_pos/in_lru, or the node would linger as a
-  // stale duplicate (and could later evict the re-inserted entry).
-  if (it != entries_.end() && it->second.in_lru) {
-    lru_.erase(it->second.lru_pos);
-  }
+  // Fresh install over an expired entry: unlink the old entry's LRU links
+  // before the assignment wipes them, or its neighbours would keep
+  // pointing at a reused node (and could later evict the re-inserted
+  // entry).
+  if (it != entries_.end()) lru_unlink(it->second);
   CacheEntry entry;
-  entry.rrset = rrset;
+  entry.rrset = std::move(rrset);
   entry.rrset.set_ttl(ttl);
   entry.trust = trust;
   entry.expires_at = now + ttl;
   entry.inserted_at = now;
   entry.is_irr = is_irr;
-  entry.irr_zone = irr_zone;
+  entry.irr_zone = names_.intern(irr_zone);
   entry.generation = next_generation_++;
+  entry.key = key;
   entry.demand_hits = demand ? 1 : 0;
   ++stats_.insertions;
   auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
-  touch(key.name, key.type, pos->second);
+  touch(pos->second);
   evict_if_over_budget(now);
   note_mutation();
   return {InsertOutcome::kInstalled, &pos->second};
@@ -142,11 +171,11 @@ Cache::InsertResult Cache::insert(const RRset& rrset, Trust trust, sim::SimTime 
 
 void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t ttl,
                             dns::Rcode rcode, sim::SimTime now) {
-  // Replaces whatever is cached: unlink the victim's LRU node first.
-  const auto old = entries_.find(Key{name, type});
-  if (old != entries_.end() && old->second.in_lru) {
-    lru_.erase(old->second.lru_pos);
-  }
+  const std::uint64_t key = dns::name_type_key(
+      names_.intern(name), static_cast<std::uint16_t>(type));
+  // Replaces whatever is cached: unlink the victim's LRU links first.
+  const auto old = entries_.find(key);
+  if (old != entries_.end()) lru_unlink(old->second);
   CacheEntry entry;
   entry.rrset = RRset(name, type, std::min(ttl, ttl_cap_));
   entry.expires_at = now + std::min(ttl, ttl_cap_);
@@ -155,54 +184,59 @@ void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t tt
   entry.negative = true;
   entry.neg_rcode = rcode;
   entry.generation = next_generation_++;
+  entry.key = key;
   ++stats_.insertions;
-  auto [pos, _] = entries_.insert_or_assign(Key{name, type}, std::move(entry));
-  touch(name, type, pos->second);
+  auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
+  touch(pos->second);
   evict_if_over_budget(now);
   note_mutation();
 }
 
 void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
-  // Permanent entries never join the LRU list; if one replaces an
-  // evictable entry, that entry's node must not outlive it.
-  const auto old = entries_.find(Key{rrset.name(), rrset.type()});
-  if (old != entries_.end() && old->second.in_lru) {
-    lru_.erase(old->second.lru_pos);
-  }
+  const std::uint64_t key =
+      dns::name_type_key(names_.intern(rrset.name()),
+                         static_cast<std::uint16_t>(rrset.type()));
+  // Permanent entries start outside the LRU list; if one replaces an
+  // evictable entry, that entry's links must not outlive it.
+  const auto old = entries_.find(key);
+  if (old != entries_.end()) lru_unlink(old->second);
   CacheEntry entry;
   entry.rrset = rrset;
   entry.trust = Trust::kAuthAnswer;
   entry.expires_at = std::numeric_limits<sim::SimTime>::infinity();
   entry.inserted_at = 0;
   entry.is_irr = true;
-  entry.irr_zone = irr_zone;
+  entry.irr_zone = names_.intern(irr_zone);
   entry.generation = next_generation_++;
-  entries_.insert_or_assign(Key{rrset.name(), rrset.type()}, std::move(entry));
+  entry.key = key;
+  entries_.insert_or_assign(key, std::move(entry));
 }
 
 const CacheEntry* Cache::lookup(const dns::Name& name, RRType type,
                                 sim::SimTime now) const {
-  const auto it = entries_.find(Key{name, type});
-  if (it == entries_.end() || !it->second.live_at(now)) {
+  const CacheEntry* entry = find_entry(name, type);
+  if (entry == nullptr || !entry->live_at(now)) {
     ++stats_.misses;
     return nullptr;
   }
   ++stats_.hits;
-  ++it->second.demand_hits;
-  touch(name, type, it->second);
-  return &it->second;
+  ++entry->demand_hits;
+  touch(*entry);
+  return entry;
 }
 
 const CacheEntry* Cache::lookup_including_expired(const dns::Name& name,
                                                   RRType type) const {
-  const auto it = entries_.find(Key{name, type});
-  return it == entries_.end() ? nullptr : &it->second;
+  return find_entry(name, type);
 }
 
 void Cache::erase(const dns::Name& name, RRType type) {
-  const auto it = entries_.find(Key{name, type});
+  const dns::NameId id = names_.find(name);
+  if (id == dns::kInvalidNameId) return;
+  const auto it = entries_.find(
+      dns::name_type_key(id, static_cast<std::uint16_t>(type)));
   if (it == entries_.end()) return;
-  if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+  lru_unlink(it->second);
   entries_.erase(it);
   note_mutation();
 }
@@ -211,7 +245,7 @@ std::size_t Cache::purge_expired(sim::SimTime now) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!it->second.live_at(now)) {
-      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      lru_unlink(it->second);
       it = entries_.erase(it);
       ++removed;
     } else {
@@ -228,7 +262,7 @@ Cache::Occupancy Cache::occupancy(sim::SimTime now) const {
     if (!entry.live_at(now)) continue;
     ++occ.rrsets;
     occ.records += entry.rrset.size();
-    if (key.type == RRType::kNS) ++occ.zones;
+    if (entry.rrset.type() == RRType::kNS) ++occ.zones;
   }
   return occ;
 }

@@ -4,15 +4,21 @@
 // an RFC 2181 trust rank, and an IRR tag. The paper's schemes act on IRR
 // entries only; the insert logic implements the vanilla/refresh TTL
 // semantics (see insert() for the decision table).
+//
+// Hot-path layout (DESIGN.md section 11): names are interned through a
+// dns::NameTable owned by the cache, the map is keyed on the packed
+// (NameId, RRType) 64-bit key, and LRU recency is an intrusive doubly
+// linked list threaded through CacheEntry — so lookups compare integers
+// and steady-state touches allocate nothing.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "dns/message.h"
 #include "dns/name.h"
+#include "dns/name_table.h"
 #include "dns/rr.h"
 #include "dns/trust.h"
 #include "metrics/tracer.h"
@@ -22,9 +28,6 @@
 namespace dnsshield::resolver {
 
 struct CacheTestCorruptor;
-
-/// LRU bookkeeping list: (name, type) keys, most recently used first.
-using LruList = std::list<std::pair<dns::Name, dns::RRType>>;
 
 /// What insert() did with the offered RRset.
 enum class InsertOutcome : std::uint8_t {
@@ -46,15 +49,22 @@ struct CacheEntry {
   bool negative = false;
   dns::Rcode neg_rcode = dns::Rcode::kNoError;
   /// For IRR entries: origin of the zone this record navigates to (the NS
-  /// owner, or the zone an address record's host serves). Used for credit
-  /// bookkeeping.
-  dns::Name irr_zone;
+  /// owner, or the zone an address record's host serves), interned in the
+  /// cache's NameTable. Used for credit bookkeeping; kInvalidNameId when
+  /// the entry carries no zone tag. Resolve via Cache::names().name().
+  dns::NameId irr_zone = dns::kInvalidNameId;
   /// Bumped on every install/replace/reset; renewal events compare it to
   /// detect stale scheduling.
   std::uint64_t generation = 0;
-  /// Position in the cache's LRU list (internal bookkeeping; mutable so a
-  /// const lookup can record recency).
-  mutable LruList::iterator lru_pos{};
+  /// This entry's packed (NameId, RRType) map key (dns::name_type_key),
+  /// set once at install. Lets LRU eviction erase by key without
+  /// rebuilding it from the rrset.
+  std::uint64_t key = 0;
+  /// Intrusive LRU links (most recently used at the cache's head).
+  /// Mutable so a const lookup can record recency; null when !in_lru.
+  /// Entry addresses are stable: std::unordered_map never moves values.
+  mutable const CacheEntry* lru_prev = nullptr;
+  mutable const CacheEntry* lru_next = nullptr;
   mutable bool in_lru = false;
   /// Demand lookups served by this incarnation of the entry (reset on
   /// install/replace/TTL-reset). Drives the end-host prefetch baseline.
@@ -67,7 +77,8 @@ class Cache {
  public:
   /// `ttl_cap` clamps every stored TTL (the 7-day rule). `max_entries`
   /// bounds the cache; 0 means unbounded. When full, the least recently
-  /// used non-permanent entry is evicted (strict LRU via an access list).
+  /// used non-permanent entry is evicted (strict LRU via the intrusive
+  /// access list).
   explicit Cache(std::uint32_t ttl_cap, std::size_t max_entries = 0)
       : ttl_cap_(ttl_cap), max_entries_(max_entries) {}
 
@@ -76,7 +87,10 @@ class Cache {
     const CacheEntry* entry;  // resulting entry; null iff rejected
   };
 
-  /// Offers an RRset to the cache.
+  /// Offers an RRset to the cache. Takes the set as an rvalue sink: the
+  /// payload is moved only when the cache keeps it (install/replace), so
+  /// a caller's reusable scratch set keeps its buffers on the keep/reject
+  /// paths.
   ///
   /// Decision table (entry "live" means not yet expired):
   ///  - no entry, or expired entry       -> install fresh.
@@ -91,7 +105,7 @@ class Cache {
   /// `demand` marks inserts caused by a client-driven resolution (they
   /// count as one use for popularity tracking); renewal/prefetch
   /// re-fetches pass false.
-  InsertResult insert(const dns::RRset& rrset, dns::Trust trust, sim::SimTime now,
+  InsertResult insert(dns::RRset&& rrset, dns::Trust trust, sim::SimTime now,
                       bool is_irr, const dns::Name& irr_zone, bool allow_ttl_reset,
                       bool demand = true);
 
@@ -114,11 +128,24 @@ class Cache {
   const CacheEntry* lookup_including_expired(const dns::Name& name,
                                              dns::RRType type) const;
 
+  /// Same, by packed (NameId, RRType) key (CacheEntry::key). The renewal
+  /// chains hold the key and skip the name-table lookup entirely.
+  const CacheEntry* find_by_key(std::uint64_t key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
   /// Removes an entry (used once an expired entry's gap is recorded).
   void erase(const dns::Name& name, dns::RRType type);
 
   /// Drops every expired entry; returns how many were removed.
   std::size_t purge_expired(sim::SimTime now);
+
+  /// The cache's name interner. Shared with the caching server so credit
+  /// and zone bookkeeping key on the same NameId space as the entries.
+  /// Ids stay valid for the cache's lifetime (never recycled).
+  dns::NameTable& names() { return names_; }
+  const dns::NameTable& names() const { return names_; }
 
   // ---- Occupancy (Fig. 12) ------------------------------------------------
 
@@ -144,12 +171,13 @@ class Cache {
 
   std::size_t max_entries() const { return max_entries_; }
 
-  /// Hash of one (name, type) cache key — the function behind the map's
-  /// KeyHash, exposed so tests can check its collision behaviour. Mixes
-  /// the type into the name hash through a SplitMix64-style finalizer;
-  /// the previous `name.hash() * 31 + type` left the low bits dominated
-  /// by the name hash alone, clustering keys of one name across its
-  /// types into neighbouring buckets.
+  /// Hash of one (name, type) cache key, exposed so tests can check its
+  /// collision behaviour. Mixes the type into the name hash through a
+  /// SplitMix64-style finalizer; the previous `name.hash() * 31 + type`
+  /// left the low bits dominated by the name hash alone, clustering keys
+  /// of one name across its types into neighbouring buckets. (The map
+  /// itself now hashes packed NameId keys — dns::NameTypeKeyHash — but
+  /// this stays the reference mixer for Name-keyed side tables.)
   static std::size_t key_hash(const dns::Name& name, dns::RRType type) {
     std::uint64_t x = static_cast<std::uint64_t>(name.hash()) +
                       0x9e3779b97f4a7c15ULL *
@@ -167,8 +195,9 @@ class Cache {
   void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
 
   /// Full invariant audit (audited builds only; no-op in Release):
-  ///  - every LRU node maps to a live map entry whose lru_pos points back
-  ///    at that node (list <-> map consistency);
+  ///  - the intrusive LRU list is well linked (prev/next mirror each
+  ///    other, head/tail terminate it) and every listed entry is a live
+  ///    map entry flagged in_lru whose stored key matches its map slot;
   ///  - every non-permanent map entry is in the LRU list exactly when its
   ///    in_lru flag says so;
   ///  - every stored TTL honours the cache's clamp (<= ttl_cap, the 7-day
@@ -196,28 +225,29 @@ class Cache {
     }
 #endif
   }
-  struct Key {
-    dns::Name name;
-    dns::RRType type;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return key_hash(k.name, k.type);
-    }
-  };
 
-  /// Marks the entry as just-used (front of the LRU list), wiring up the
-  /// list node on first touch.
-  void touch(const dns::Name& name, dns::RRType type,
-             const CacheEntry& entry) const;
+  const CacheEntry* find_entry(const dns::Name& name, dns::RRType type) const {
+    const dns::NameId id = names_.find(name);
+    if (id == dns::kInvalidNameId) return nullptr;
+    const auto it = entries_.find(
+        dns::name_type_key(id, static_cast<std::uint16_t>(type)));
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Unlinks the entry from the intrusive LRU list. No-op if !in_lru.
+  void lru_unlink(const CacheEntry& entry) const;
+  /// Marks the entry as just-used (head of the LRU list).
+  void touch(const CacheEntry& entry) const;
   void evict_if_over_budget(sim::SimTime now);
 
   std::uint32_t ttl_cap_;
   std::size_t max_entries_;
-  std::unordered_map<Key, CacheEntry, KeyHash> entries_;
-  /// Most-recently-used first. Entries hold their own list iterator.
-  mutable LruList lru_;
+  dns::NameTable names_;
+  std::unordered_map<std::uint64_t, CacheEntry, dns::NameTypeKeyHash> entries_;
+  /// Intrusive LRU list ends: head = most recently used. The links live
+  /// in the entries themselves; mutable so const lookups record recency.
+  mutable const CacheEntry* lru_head_ = nullptr;
+  mutable const CacheEntry* lru_tail_ = nullptr;
   mutable Stats stats_;
   std::uint64_t next_generation_ = 1;
   metrics::Tracer* tracer_ = nullptr;

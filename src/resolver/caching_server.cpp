@@ -41,8 +41,9 @@ CachingServer::CachingServer(const server::Hierarchy& hierarchy,
   const server::Zone* root = hierarchy_.find_zone(Name::root());
   assert(root != nullptr);
   cache_.insert_permanent(root->ns_set(), Name::root());
+  const dns::NameId root_id = names().intern(Name::root());
   for (const auto& host : root->server_hostnames()) {
-    server_zone_.emplace(host, Name::root());
+    server_zone_.emplace(names().intern(host), root_id);
     if (const RRset* a = root->find_rrset(host, RRType::kA)) {
       cache_.insert_permanent(*a, Name::root());
     }
@@ -78,7 +79,9 @@ void CachingServer::set_instrumentation(metrics::MetricsRegistry* registry,
 }
 
 double CachingServer::zone_credit(const Name& zone) const {
-  const auto it = credits_.find(zone);
+  const dns::NameId id = names().find(zone);
+  if (id == dns::kInvalidNameId) return 0.0;
+  const auto it = credits_.find(id);
   return it == credits_.end() ? 0.0 : it->second;
 }
 
@@ -113,7 +116,11 @@ std::optional<Name> CachingServer::find_deepest_zone(const Name& qname,
                                                      Context& ctx) {
   Name cursor = qname;
   for (;;) {
-    if (ctx.dead_zones.count(cursor) == 0) {
+    // A never-interned cursor cannot be a dead zone (zones enter
+    // dead_zones via cached — hence interned — NS entries).
+    const dns::NameId cursor_id = names().find(cursor);
+    if (cursor_id == dns::kInvalidNameId ||
+        ctx.dead_zones.count(cursor_id) == 0) {
       const CacheEntry* ns = cache_find(cursor, RRType::kNS, ctx);
       if (ns != nullptr && !ns->negative) return cursor;
       // An expired NS entry passed on the way up is exactly the paper's
@@ -186,7 +193,7 @@ std::vector<IpAddr> CachingServer::addresses_for_zone(const Name& zone,
   return addrs;
 }
 
-void CachingServer::earn_credit(const Name& zone, std::uint32_t irr_ttl) {
+void CachingServer::earn_credit(dns::NameId zone, std::uint32_t irr_ttl) {
   if (!config_.renewal_enabled()) return;
   double& credit = credits_[zone];
   credit = credit_after_query(config_, credit, irr_ttl);
@@ -194,39 +201,41 @@ void CachingServer::earn_credit(const Name& zone, std::uint32_t irr_ttl) {
                    "renewal credit escaped its policy bound after a query");
 }
 
-void CachingServer::note_irr_inserted(const Name& name, RRType type,
-                                      const CacheEntry& entry) {
+void CachingServer::note_irr_inserted(const CacheEntry& entry) {
   if (!config_.renewal_enabled()) return;
   if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) return;
   // DNSSEC IRRs ride along with the zone's NS renewal (one credit renews
   // all of a zone's IRRs, per the paper's credit definition) instead of
   // running chains of their own.
+  const RRType type = entry.rrset.type();
   if (type == RRType::kDS || type == RRType::kDNSKEY) return;
-  if (!pending_renewals_.insert(RenewalKey{name, type}).second) {
+  if (!pending_renewals_.insert(entry.key).second) {
     return;  // an event is already in flight; it re-reads the expiry on fire
   }
   const sim::SimTime due = std::max(entry.expires_at - kRenewalLead, now());
-  events_.schedule_at(due, [this, name, type] { on_renewal_due(name, type); });
+  events_.schedule_at(due, [this, key = entry.key] { on_renewal_due(key); });
 }
 
-void CachingServer::on_renewal_due(const Name& name, RRType type) {
-  const CacheEntry* entry = cache_.lookup_including_expired(name, type);
+void CachingServer::on_renewal_due(std::uint64_t key) {
+  const CacheEntry* entry = cache_.find_by_key(key);
   if (entry == nullptr ||
       entry->expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
     return;
   }
   const sim::SimTime due = entry->expires_at - kRenewalLead;
   if (due > now() + 1e-9) {
     // The entry was refreshed since this event was armed; chase the new
     // expiry with the same pending slot.
-    events_.schedule_at(due, [this, name, type] { on_renewal_due(name, type); });
+    events_.schedule_at(due, [this, key] { on_renewal_due(key); });
     return;
   }
+  const Name name = entry->rrset.name();
+  const RRType type = entry->rrset.type();
 
   const auto it = credits_.find(entry->irr_zone);
   if (it == credits_.end() || it->second < 1.0) {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
     return;  // no credit left: let the IRR expire
   }
   it->second -= 1.0;
@@ -264,43 +273,43 @@ void CachingServer::on_renewal_due(const Name& name, RRType type) {
     }
   }
 
-  const CacheEntry* renewed = cache_.lookup_including_expired(name, type);
+  const CacheEntry* renewed = cache_.find_by_key(key);
   const sim::SimTime next_due =
       renewed == nullptr ? 0 : renewed->expires_at - kRenewalLead;
   if (renewed != nullptr && next_due > now() &&
       renewed->expires_at != std::numeric_limits<sim::SimTime>::infinity()) {
-    events_.schedule_at(next_due,
-                        [this, name, type] { on_renewal_due(name, type); });
+    events_.schedule_at(next_due, [this, key] { on_renewal_due(key); });
   } else {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
   }
 }
 
-void CachingServer::note_host_inserted(const Name& name, RRType type,
-                                       const CacheEntry& entry) {
+void CachingServer::note_host_inserted(const CacheEntry& entry) {
   if (!config_.prefetch_hosts) return;
   if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) return;
-  if (!pending_renewals_.insert(RenewalKey{name, type}).second) return;
+  if (!pending_renewals_.insert(entry.key).second) return;
   const sim::SimTime due = std::max(entry.expires_at - kRenewalLead, now());
-  events_.schedule_at(due, [this, name, type] { on_prefetch_due(name, type); });
+  events_.schedule_at(due, [this, key = entry.key] { on_prefetch_due(key); });
 }
 
-void CachingServer::on_prefetch_due(const Name& name, RRType type) {
-  const CacheEntry* entry = cache_.lookup_including_expired(name, type);
+void CachingServer::on_prefetch_due(std::uint64_t key) {
+  const CacheEntry* entry = cache_.find_by_key(key);
   if (entry == nullptr || entry->negative) {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
     return;
   }
   const sim::SimTime due = entry->expires_at - kRenewalLead;
   if (due > now() + 1e-9) {
-    events_.schedule_at(due, [this, name, type] { on_prefetch_due(name, type); });
+    events_.schedule_at(due, [this, key] { on_prefetch_due(key); });
     return;
   }
+  const Name name = entry->rrset.name();
+  const RRType type = entry->rrset.type();
   // Only records that proved popular during this lifetime are prefetched;
   // the re-fetch resets demand_hits, so an idle record stops after one
   // speculative extension window.
   if (entry->demand_hits < config_.prefetch_min_hits) {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
     return;
   }
   ++stats_.host_prefetches;
@@ -316,18 +325,21 @@ void CachingServer::on_prefetch_due(const Name& name, RRType type) {
   ctx.is_renewal = true;  // no credit, no gap recording
   (void)iterate(name, type, ctx);
 
-  const CacheEntry* renewed = cache_.lookup_including_expired(name, type);
+  const CacheEntry* renewed = cache_.find_by_key(key);
   const sim::SimTime next_due =
       renewed == nullptr ? 0 : renewed->expires_at - kRenewalLead;
   if (renewed != nullptr && !renewed->negative && next_due > now()) {
-    events_.schedule_at(next_due,
-                        [this, name, type] { on_prefetch_due(name, type); });
+    events_.schedule_at(next_due, [this, key] { on_prefetch_due(key); });
   } else {
-    pending_renewals_.erase(RenewalKey{name, type});
+    pending_renewals_.erase(key);
   }
 }
 
 void CachingServer::ingest(const Message& response, Context& ctx) {
+  DNSSHIELD_ASSERT(!ingest_active_,
+                   "ingest() re-entered; the grouping scratch would be "
+                   "clobbered mid-walk");
+  ingest_active_ = true;
   const bool aa = response.header.aa;
 
   // Learn server host names first so address records in this same response
@@ -335,29 +347,40 @@ void CachingServer::ingest(const Message& response, Context& ctx) {
   auto learn_ns_hosts = [&](const std::vector<ResourceRecord>& section) {
     for (const auto& rr : section) {
       if (rr.type != RRType::kNS) continue;
-      server_zone_.insert_or_assign(std::get<dns::NsRdata>(rr.rdata).nsdname,
-                                    rr.name);
+      server_zone_.insert_or_assign(
+          names().intern(std::get<dns::NsRdata>(rr.rdata).nsdname),
+          names().intern(rr.name));
     }
   };
   learn_ns_hosts(response.answers);
   learn_ns_hosts(response.authorities);
 
   auto store = [&](const std::vector<ResourceRecord>& section, Trust trust_rank) {
-    for (const auto& set : Message::group_rrsets(section)) {
-      if (set.type() == RRType::kSOA) continue;  // negatives handled elsewhere
+    const std::size_t n_sets =
+        Message::group_rrsets_into(section, ingest_scratch_);
+    for (std::size_t si = 0; si < n_sets; ++si) {
+      dns::RRset& set = ingest_scratch_[si];
+      const RRType set_type = set.type();
+      if (set_type == RRType::kSOA) continue;  // negatives handled elsewhere
+      // The set is moved into the cache below; keep the name for the
+      // bookkeeping that follows (a Name copy is a refcount bump).
+      const Name set_name = set.name();
       bool is_irr = false;
       Name irr_zone;
-      if (set.type() == RRType::kNS || set.type() == RRType::kDS ||
-          set.type() == RRType::kDNSKEY) {
+      if (set_type == RRType::kNS || set_type == RRType::kDS ||
+          set_type == RRType::kDNSKEY) {
         // DS and DNSKEY are the DNSSEC-era infrastructure records
         // (paper section 6); the schemes treat them like NS sets.
         is_irr = true;
-        irr_zone = set.name();
-      } else if (set.type() == RRType::kA) {
-        const auto it = server_zone_.find(set.name());
+        irr_zone = set_name;
+      } else if (set_type == RRType::kA) {
+        const dns::NameId host_id = names().find(set_name);
+        const auto it = host_id == dns::kInvalidNameId
+                            ? server_zone_.end()
+                            : server_zone_.find(host_id);
         if (it != server_zone_.end()) {
           is_irr = true;
-          irr_zone = it->second;
+          irr_zone = names().name(it->second);
         }
       }
       // Refresh rule: IRR expiries only move when the scheme allows it or
@@ -365,8 +388,8 @@ void CachingServer::ingest(const Message& response, Context& ctx) {
       // always takes the fresh TTL.
       const bool allow_reset =
           !is_irr || config_.ttl_refresh || trust_rank >= Trust::kAnswer;
-      const auto result = cache_.insert(set, trust_rank, now(), is_irr,
-                                        irr_zone, allow_reset,
+      const auto result = cache_.insert(std::move(set), trust_rank, now(),
+                                        is_irr, irr_zone, allow_reset,
                                         /*demand=*/!ctx.is_renewal);
       const bool fresh = result.entry != nullptr &&
                          (result.outcome == InsertOutcome::kInstalled ||
@@ -377,26 +400,26 @@ void CachingServer::ingest(const Message& response, Context& ctx) {
         // One trace event per NS-set reset; the glue address resets that
         // ride along with it would triple the event volume for no signal
         // (the counter above still counts every IRR RRset).
-        if (tracing() && set.type() == RRType::kNS) {
+        if (tracing() && set_type == RRType::kNS) {
           tracer_->emit_fill(now(), metrics::TraceEventType::kIrrRefresh,
                              [&](std::string& s, std::string& d) {
-                               set.name().append_to(s);
-                               d = dns::rrtype_to_string(set.type());
+                               set_name.append_to(s);
+                               d = dns::rrtype_to_string(set_type);
                              });
         }
       }
       if (is_irr && fresh) {
-        note_irr_inserted(set.name(), set.type(), *result.entry);
+        note_irr_inserted(*result.entry);
       }
       if (!is_irr && fresh && trust_rank >= Trust::kAnswer &&
-          (set.type() == RRType::kA || set.type() == RRType::kCNAME)) {
-        note_host_inserted(set.name(), set.type(), *result.entry);
+          (set_type == RRType::kA || set_type == RRType::kCNAME)) {
+        note_host_inserted(*result.entry);
       }
-      if (set.type() == RRType::kNS && config_.fetch_dnskey &&
+      if (set_type == RRType::kNS && config_.fetch_dnskey &&
           result.outcome == InsertOutcome::kInstalled) {
         // DNSSEC validation needs the zone's key; fetch it once per
         // (re-)learned zone, asynchronously to this resolution.
-        const Name zone = set.name();
+        const Name& zone = set_name;
         if (cache_.lookup(zone, RRType::kDNSKEY, now()) == nullptr) {
           events_.schedule_at(now(), [this, zone] {
             if (cache_.lookup(zone, RRType::kDNSKEY, now()) != nullptr) return;
@@ -427,11 +450,25 @@ void CachingServer::ingest(const Message& response, Context& ctx) {
       break;
     }
   }
+  ingest_active_ = false;
   (void)ctx;
 }
 
-std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
-                                              Context& ctx) {
+const Message* CachingServer::iterate(const Name& qname, RRType qtype,
+                                      Context& ctx) {
+  // Exchanges at this depth rebuild one pooled query/response pair in
+  // place; a returned response stays valid until the next iterate() at
+  // the same depth (its slot is never handed to deeper recursion).
+  if (msg_depth_ == msg_pool_.size()) {
+    msg_pool_.push_back(std::make_unique<MsgScratch>());
+  }
+  MsgScratch& scratch = *msg_pool_[msg_depth_];
+  ++msg_depth_;
+  struct DepthGuard {
+    std::size_t& depth;
+    ~DepthGuard() { --depth; }
+  } depth_guard{msg_depth_};
+
   // DS sets are authoritative on the parent side of the cut, so the walk
   // for a DS query starts one label up.
   const Name walk_from = (qtype == RRType::kDS && !qname.is_root())
@@ -440,19 +477,19 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
   while (ctx.steps < kMaxSteps) {
     ++ctx.steps;
     const std::optional<Name> zone_opt = find_deepest_zone(walk_from, ctx);
-    if (!zone_opt) return std::nullopt;
+    if (!zone_opt) return nullptr;
     const Name zone = *zone_opt;
 
     const std::vector<IpAddr> addrs = addresses_for_zone(zone, ctx);
     if (addrs.empty()) {
-      ctx.dead_zones.insert(zone);
+      ctx.dead_zones.insert(names().find(zone));
       continue;  // climb to an ancestor
     }
 
     // Demand consultation of this zone earns renewal credit.
     if (!ctx.is_renewal) {
       if (const CacheEntry* ns = cache_.lookup(zone, RRType::kNS, now())) {
-        earn_credit(zone, ns->rrset.ttl());
+        earn_credit(static_cast<dns::NameId>(ns->key >> 16), ns->rrset.ttl());
       }
     }
 
@@ -478,8 +515,9 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
         }
         ctx.latency += latency_model_.timeout;
         if (config_.count_wire_bytes) {
-          stats_.bytes_sent += dns::encoded_size(
-              Message::make_query(next_query_id_, qname, qtype));
+          // The query that would have been sent (id not consumed).
+          Message::make_query_into(next_query_id_, qname, qtype, scratch.query);
+          stats_.bytes_sent += dns::encoded_size(scratch.query);
         }
         if (query_log_) {
           query_log_(Exchange{now(), addr, dns::Question{qname, qtype}, false,
@@ -488,10 +526,11 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
         continue;  // next server of the same zone
       }
       ctx.latency += latency_model_.rtt(addr);
-      const Message query = Message::make_query(next_query_id_++, qname, qtype);
-      const Message response = hierarchy_.query(addr, query);
+      Message::make_query_into(next_query_id_++, qname, qtype, scratch.query);
+      hierarchy_.query_into(addr, scratch.query, scratch.response);
+      const Message& response = scratch.response;
       if (config_.count_wire_bytes) {
-        stats_.bytes_sent += dns::encoded_size(query);
+        stats_.bytes_sent += dns::encoded_size(scratch.query);
         stats_.bytes_received += dns::encoded_size(response);
       }
       if (query_log_) {
@@ -507,7 +546,7 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
           response.header.rcode == Rcode::kNxDomain ||
           (response.header.aa && response.answers.empty() &&
            !response.is_referral())) {
-        return response;  // answer, NXDOMAIN, or NODATA
+        return &response;  // answer, NXDOMAIN, or NODATA
       }
       if (response.is_referral()) {
         // Progress check: the referred zone must be deeper than `zone`.
@@ -522,23 +561,25 @@ std::optional<Message> CachingServer::iterate(const Name& qname, RRType qtype,
         }
         if (!found || !referred.is_proper_subdomain_of(zone) ||
             !qname.is_subdomain_of(referred)) {
-          return std::nullopt;  // lame or looping referral
+          return nullptr;  // lame or looping referral
         }
-        if (ctx.dead_zones.count(referred) != 0) {
-          return std::nullopt;  // referred into a zone whose servers failed
+        const dns::NameId referred_id = names().find(referred);
+        if (referred_id != dns::kInvalidNameId &&
+            ctx.dead_zones.count(referred_id) != 0) {
+          return nullptr;  // referred into a zone whose servers failed
         }
         ++stats_.referrals_followed;
         if (m_.referrals_followed) m_.referrals_followed->inc();
         break;  // cached child IRRs; outer loop descends
       }
-      return std::nullopt;  // non-referral, non-answer: give up
+      return nullptr;  // non-referral, non-answer: give up
     }
     if (!got_response) {
-      ctx.dead_zones.insert(zone);
+      ctx.dead_zones.insert(names().find(zone));
       continue;  // every server failed: climb and retry via an ancestor
     }
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
@@ -564,7 +605,11 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
         result.stale = !hit->live_at(now());
         break;
       }
-      for (auto& rr : hit->rrset.to_records()) result.answers.push_back(rr);
+      const RRset& hit_set = hit->rrset;
+      for (const dns::Rdata& rd : hit_set.rdatas()) {
+        result.answers.push_back(ResourceRecord{hit_set.name(), hit_set.type(),
+                                                hit_set.ttl(), rd});
+      }
       result.success = true;
       result.rcode = Rcode::kNoError;
       result.stale = !hit->live_at(now());
@@ -573,8 +618,12 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
     if (qtype != RRType::kCNAME) {
       const CacheEntry* cname = cache_find(qname, RRType::kCNAME, ctx);
       if (cname != nullptr && !cname->negative) {
-        for (auto& rr : cname->rrset.to_records()) result.answers.push_back(rr);
-        qname = std::get<dns::CnameRdata>(cname->rrset.rdatas().front()).target;
+        const RRset& cname_set = cname->rrset;
+        for (const dns::Rdata& rd : cname_set.rdatas()) {
+          result.answers.push_back(ResourceRecord{
+              cname_set.name(), cname_set.type(), cname_set.ttl(), rd});
+        }
+        qname = std::get<dns::CnameRdata>(cname_set.rdatas().front()).target;
         ++ctx.cname_depth;
         continue;
       }
@@ -587,15 +636,15 @@ CachingServer::ResolveResult CachingServer::resolve_internal(Name qname,
                            d = dns::rrtype_to_string(qtype);
                          });
     }
-    std::optional<Message> response = iterate(qname, qtype, ctx);
-    if (!response && config_.serve_stale && !ctx.allow_stale) {
+    const Message* response = iterate(qname, qtype, ctx);
+    if (response == nullptr && config_.serve_stale && !ctx.allow_stale) {
       // Ballani-Francis fallback: one more pass, this time allowed to
       // navigate and answer from expired records.
       ctx.allow_stale = true;
       ctx.steps = 0;
       continue;
     }
-    if (!response) {
+    if (response == nullptr) {
       result.success = false;
       result.rcode = Rcode::kServFail;
       break;

@@ -17,12 +17,14 @@
 //    cache only enforces the 7-day clamp.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "attack/injector.h"
 #include "dns/message.h"
+#include "dns/name_table.h"
 #include "metrics/cdf.h"
 #include "metrics/registry.h"
 #include "metrics/tracer.h"
@@ -134,12 +136,19 @@ class CachingServer {
     int msgs = 0;
     int failed = 0;
     sim::Duration latency = 0;
-    std::unordered_set<dns::Name, dns::NameHash> dead_zones;
+    /// Zones whose servers all failed this resolution, as interned ids
+    /// (zones enter via cached NS entries, so they are always interned;
+    /// sub-resolutions copy this set, and ids copy as plain ints).
+    std::unordered_set<dns::NameId> dead_zones;
   };
 
   /// Live entry, or — on the serve-stale fallback pass — an expired one.
   const CacheEntry* cache_find(const dns::Name& name, dns::RRType type,
                                const Context& ctx) const;
+
+  /// The cache's interner; all zone/credit bookkeeping keys on its ids.
+  dns::NameTable& names() { return cache_.names(); }
+  const dns::NameTable& names() const { return cache_.names(); }
 
   sim::SimTime now() const { return events_.now(); }
 
@@ -154,9 +163,12 @@ class CachingServer {
   std::vector<dns::IpAddr> addresses_for_zone(const dns::Name& zone, Context& ctx);
 
   /// Iterative resolution: returns the final response (answer / NXDOMAIN /
-  /// NODATA) or nullopt when every usable path failed.
-  std::optional<dns::Message> iterate(const dns::Name& qname, dns::RRType qtype,
-                                      Context& ctx);
+  /// NODATA) or nullptr when every usable path failed. The response lives
+  /// in this server's per-depth scratch pool and stays valid until the
+  /// next iterate() call at the same nesting depth — callers consume it
+  /// before resolving anything else.
+  const dns::Message* iterate(const dns::Name& qname, dns::RRType qtype,
+                              Context& ctx);
 
   /// Caches every RRset a response carries, applying section trust and the
   /// refresh rule; schedules renewals for IRR entries.
@@ -165,13 +177,15 @@ class CachingServer {
   /// Inner resolve with shared context (CNAME chase + cache check).
   ResolveResult resolve_internal(dns::Name qname, dns::RRType qtype, Context& ctx);
 
-  void note_irr_inserted(const dns::Name& name, dns::RRType type,
-                         const CacheEntry& entry);
-  void on_renewal_due(const dns::Name& name, dns::RRType type);
-  void note_host_inserted(const dns::Name& name, dns::RRType type,
-                          const CacheEntry& entry);
-  void on_prefetch_due(const dns::Name& name, dns::RRType type);
-  void earn_credit(const dns::Name& zone, std::uint32_t irr_ttl);
+  // Renewal/prefetch chains are keyed and scheduled on the entry's packed
+  // (NameId, RRType) cache key: the event closures capture [this, key] —
+  // 16 bytes, well inside the callback's inline buffer — and the handlers
+  // recover the Name from the interner when they need to re-resolve.
+  void note_irr_inserted(const CacheEntry& entry);
+  void on_renewal_due(std::uint64_t key);
+  void note_host_inserted(const CacheEntry& entry);
+  void on_prefetch_due(std::uint64_t key);
+  void earn_credit(dns::NameId zone, std::uint32_t irr_ttl);
   void record_gap(const CacheEntry& entry);
 
   const server::Hierarchy& hierarchy_;
@@ -182,25 +196,34 @@ class CachingServer {
   Stats stats_;
 
   /// Host names known to appear in some NS set (their A records are IRRs),
-  /// mapped to the zone they navigate to (for credit bookkeeping).
-  std::unordered_map<dns::Name, dns::Name, dns::NameHash> server_zone_;
+  /// mapped to the zone they navigate to (for credit bookkeeping). Both
+  /// sides are ids in the cache's NameTable.
+  std::unordered_map<dns::NameId, dns::NameId> server_zone_;
 
-  std::unordered_map<dns::Name, double, dns::NameHash> credits_;
+  /// Renewal credit per zone, keyed by interned zone id.
+  std::unordered_map<dns::NameId, double> credits_;
 
-  /// IRR cache keys with a renewal event in flight. One event chain per
-  /// entry: refresh resets reuse the pending event instead of piling new
-  /// ones into the queue.
-  struct RenewalKey {
-    dns::Name name;
-    dns::RRType type;
-    bool operator==(const RenewalKey&) const = default;
+  /// Packed (NameId, RRType) cache keys (CacheEntry::key) with a renewal
+  /// event in flight. One event chain per entry: refresh resets reuse the
+  /// pending event instead of piling new ones into the queue.
+  std::unordered_set<std::uint64_t, dns::NameTypeKeyHash> pending_renewals_;
+
+  /// One query/response Message pair per iterate() nesting depth (NS
+  /// sub-resolutions recurse). Exchanges rebuild these in place, so the
+  /// section buffers are allocated once and reused for the run's
+  /// remaining millions of exchanges. unique_ptr keeps slot addresses
+  /// stable while the pool grows.
+  struct MsgScratch {
+    dns::Message query;
+    dns::Message response;
   };
-  struct RenewalKeyHash {
-    std::size_t operator()(const RenewalKey& k) const {
-      return k.name.hash() * 31 + static_cast<std::size_t>(k.type);
-    }
-  };
-  std::unordered_set<RenewalKey, RenewalKeyHash> pending_renewals_;
+  std::vector<std::unique_ptr<MsgScratch>> msg_pool_;
+  std::size_t msg_depth_ = 0;
+
+  /// Reusable RRset grouping scratch for ingest() (which never re-enters:
+  /// the DNSKEY chase it triggers is deferred through the event queue).
+  std::vector<dns::RRset> ingest_scratch_;
+  bool ingest_active_ = false;
 
   LatencyModel latency_model_;
   metrics::Cdf gap_days_;

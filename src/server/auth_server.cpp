@@ -5,10 +5,17 @@
 namespace dnsshield::server {
 
 dns::Message AuthServer::respond(const dns::Message& query) const {
+  dns::Message response;
+  respond_into(query, response);
+  return response;
+}
+
+void AuthServer::respond_into(const dns::Message& query,
+                              dns::Message& response) const {
   if (query.questions.size() != 1) {
     throw std::invalid_argument("exactly one question expected");
   }
-  dns::Message response = dns::Message::make_response(query);
+  dns::Message::make_response_into(query, response);
   const dns::Question& q = query.questions.front();
 
   const Zone* best = nullptr;
@@ -25,10 +32,9 @@ dns::Message AuthServer::respond(const dns::Message& query) const {
   }
   if (best == nullptr) {
     response.header.rcode = dns::Rcode::kRefused;
-    return response;
+    return;
   }
   best->answer(q, response);
-  return response;
 }
 
 }  // namespace dnsshield::server

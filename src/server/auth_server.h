@@ -38,6 +38,10 @@ class AuthServer {
   /// no served zone matches.
   dns::Message respond(const dns::Message& query) const;
 
+  /// Same, writing into `out` (buffers reused across calls; the resolver
+  /// cycles one scratch response per exchange on the hot path).
+  void respond_into(const dns::Message& query, dns::Message& out) const;
+
  private:
   dns::Name hostname_;
   dns::IpAddr address_;

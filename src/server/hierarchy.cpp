@@ -42,6 +42,9 @@ Zone& Hierarchy::add_zone(Name origin, std::uint32_t irr_ttl, std::uint32_t soa_
   auto zone = std::make_unique<Zone>(origin, make_soa(origin, negative_ttl),
                                      soa_ttl, irr_ttl);
   Zone& ref = *zone;
+  const dns::NameId id = origin_ids_.intern(origin);
+  if (zone_by_id_.size() <= id) zone_by_id_.resize(id + 1, nullptr);
+  zone_by_id_[id] = &ref;
   zones_.emplace(origin, std::move(zone));
   return ref;
 }
@@ -176,21 +179,18 @@ void Hierarchy::require_finalized() const {
 }
 
 const Zone* Hierarchy::find_zone(const Name& origin) const {
-  const auto it = zones_.find(origin);
-  return it == zones_.end() ? nullptr : it->second.get();
+  return indexed_zone(origin);
 }
 
 Zone* Hierarchy::find_zone(const Name& origin) {
-  const auto it = zones_.find(origin);
-  return it == zones_.end() ? nullptr : it->second.get();
+  return const_cast<Zone*>(indexed_zone(origin));
 }
 
 const Zone& Hierarchy::authoritative_zone_for(const Name& name) const {
   require_finalized();
   Name cursor = name;
   for (;;) {
-    const auto it = zones_.find(cursor);
-    if (it != zones_.end()) return *it->second;
+    if (const Zone* zone = indexed_zone(cursor)) return *zone;
     if (cursor.is_root()) break;
     cursor = cursor.parent();
   }
@@ -209,12 +209,19 @@ const std::vector<IpAddr>& Hierarchy::servers_of(const Name& origin) const {
 }
 
 dns::Message Hierarchy::query(IpAddr address, const dns::Message& msg) const {
+  dns::Message out;
+  query_into(address, msg, out);
+  return out;
+}
+
+void Hierarchy::query_into(IpAddr address, const dns::Message& msg,
+                           dns::Message& out) const {
   require_finalized();
   const AuthServer* server = server_at(address);
   if (server == nullptr) {
     throw std::invalid_argument("no server at " + address.to_string());
   }
-  return server->respond(msg);
+  server->respond_into(msg, out);
 }
 
 std::vector<Name> Hierarchy::zone_origins() const {

@@ -10,6 +10,7 @@
 
 #include "dns/message.h"
 #include "dns/name.h"
+#include "dns/name_table.h"
 #include "dns/rr.h"
 #include "server/auth_server.h"
 #include "server/zone.h"
@@ -72,6 +73,11 @@ class Hierarchy {
   /// always answers. Throws if no server owns the address.
   dns::Message query(dns::IpAddr address, const dns::Message& msg) const;
 
+  /// Same exchange writing the response into `out` (buffer-reusing hot
+  /// path; see AuthServer::respond_into).
+  void query_into(dns::IpAddr address, const dns::Message& msg,
+                  dns::Message& out) const;
+
   // ---- Introspection ------------------------------------------------------
 
   std::size_t zone_count() const { return zones_.size(); }
@@ -109,6 +115,20 @@ class Hierarchy {
 
   void require_finalized() const;
 
+  /// Hashed zone lookup: origins are interned into `origin_ids_` by
+  /// add_zone, and the dense ids index `zone_by_id_`. find_zone and the
+  /// per-level walk in authoritative_zone_for hit this index (one integer
+  /// hash per level) instead of the ordered map's O(log n) label
+  /// comparisons. `zones_` remains the canonical container: everything
+  /// that iterates (finalize, zone_origins, override_irr_ttls, audit)
+  /// walks it in deterministic DNS order.
+  const Zone* indexed_zone(const dns::Name& origin) const {
+    const dns::NameId id = origin_ids_.find(origin);
+    return id == dns::kInvalidNameId ? nullptr : zone_by_id_[id];
+  }
+
+  dns::NameTable origin_ids_;
+  std::vector<Zone*> zone_by_id_;
   std::map<dns::Name, std::unique_ptr<Zone>> zones_;
   std::unordered_map<dns::IpAddr, std::unique_ptr<AuthServer>, dns::IpAddrHash>
       servers_;

@@ -1,0 +1,50 @@
+#include "sim/alloc_counter.h"
+
+#include <atomic>
+
+namespace dnsshield::sim::alloc_counter {
+
+namespace {
+// Relaxed ordering: counters are statistics, not synchronization. The
+// hook may fire during static initialization, before main — atomics with
+// constant initialization make that safe.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_active{false};
+}  // namespace
+
+bool counting_active() { return g_active.load(std::memory_order_relaxed); }
+
+std::uint64_t allocations() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t deallocations() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+std::uint64_t bytes_allocated() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_alloc(std::uint64_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+void record_free() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+void set_active() { g_active.store(true, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+}  // namespace dnsshield::sim::alloc_counter

@@ -1,0 +1,33 @@
+// Process-wide heap allocation counter, fed by the optional operator-new
+// hook in alloc_hook.cpp. The library itself never overrides operator
+// new: the hook is a separate object library that test and bench
+// binaries link explicitly (see src/sim/CMakeLists.txt), so production
+// consumers keep the toolchain allocator untouched. When the hook is not
+// linked, counting_active() is false and every counter stays zero —
+// callers must skip allocation assertions in that case.
+#pragma once
+
+#include <cstdint>
+
+namespace dnsshield::sim::alloc_counter {
+
+/// True iff the alloc_hook object library is linked into this binary.
+bool counting_active();
+
+/// Allocations / frees / bytes requested since the last reset(). Counts
+/// every operator new in the process, not just simulation code — measure
+/// tight windows and subtract baselines accordingly.
+std::uint64_t allocations();
+std::uint64_t deallocations();
+std::uint64_t bytes_allocated();
+
+void reset();
+
+namespace detail {
+// Called only from alloc_hook.cpp.
+void record_alloc(std::uint64_t size);
+void record_free();
+void set_active();
+}  // namespace detail
+
+}  // namespace dnsshield::sim::alloc_counter

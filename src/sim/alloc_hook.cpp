@@ -1,0 +1,117 @@
+// Replaceable operator new/delete that feed sim::alloc_counter. Built as
+// the `dnsshield_alloc_hook` OBJECT library and linked ONLY into test and
+// bench executables — the core libraries never override the allocator.
+//
+// All forms forward to malloc/free so sanitizer interceptors still see
+// every allocation (ASan poisoning and LeakSanitizer keep working). The
+// aligned forms round the size up to a multiple of the alignment, as
+// std::aligned_alloc requires.
+#include "sim/alloc_counter.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+namespace counter = dnsshield::sim::alloc_counter;
+
+// Namespace-scope initializer: flips counting_active() on iff this TU is
+// linked. Allocations during other TUs' static init are still counted
+// (the counter itself is constant-initialized); guards reset() before
+// measuring anyway.
+const struct HookActivator {
+  HookActivator() { counter::detail::set_active(); }
+} g_hook_activator;
+
+void* counted_alloc(std::size_t size) {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) counter::detail::record_alloc(size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t al) {
+  const auto align = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+  if (p != nullptr) counter::detail::record_alloc(size);
+  return p;
+}
+
+void counted_free(void* p) {
+  if (p != nullptr) {
+    counter::detail::record_free();
+    std::free(p);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  void* p = counted_aligned_alloc(size, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void* operator new[](std::size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, al);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,21 +1,25 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dnsshield::sim {
 
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  heap_.push(Event{t, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy) and pop first.
-  Event ev = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  // Move the event out before firing: the callback may schedule more
+  // events (reallocating heap_), and keeping it alive on the stack makes
+  // that reentrancy safe.
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   DNSSHIELD_ASSERT(ev.time >= now_,
                    "event queue fired an event behind the simulation clock");
   now_ = ev.time;
@@ -30,7 +34,7 @@ void EventQueue::run() {
 }
 
 void EventQueue::run_until(SimTime t_end) {
-  while (!heap_.empty() && heap_.top().time <= t_end) {
+  while (!heap_.empty() && heap_.front().time <= t_end) {
     step();
   }
   if (now_ < t_end) now_ = t_end;

@@ -6,11 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/audit.h"
+#include "sim/inplace_callback.h"
 #include "sim/time.h"
 
 namespace dnsshield::sim {
@@ -25,7 +24,10 @@ struct EventQueueTestCorruptor;
 ///   q.run();                       // or run_until(t_end)
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer-optimized: closures up to InplaceCallback::kInlineSize
+  /// bytes live inside the Event, so steady-state scheduling does not
+  /// heap-allocate (DESIGN.md section 11).
+  using Callback = InplaceCallback;
 
   /// Current simulation time: the timestamp of the most recently fired
   /// event (0 before any event fires).
@@ -80,7 +82,12 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // An explicit vector + push_heap/pop_heap rather than
+  // std::priority_queue: top() there is const, which forces a copy of the
+  // callback per fired event; pop_heap lets step() move the event out.
+  // Ordering is identical — Later's (time, seq) comparison fully orders
+  // events, so heap internals can't affect firing order.
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

@@ -1,0 +1,142 @@
+// Small-buffer-optimized, move-only callback for the event queue.
+//
+// The simulation schedules millions of short-lived closures; a
+// std::function<void()> heap-allocates every capture larger than its tiny
+// internal buffer (renewal closures — this + Name + RRType ≈ 48 bytes —
+// always miss it). InplaceCallback stores any nothrow-movable closure up
+// to kInlineSize bytes inline in the Event itself and falls back to one
+// heap allocation only for oversized captures, so steady-state
+// schedule/step churn allocates nothing (bench/micro_benchmarks.cpp
+// guards this; DESIGN.md section 11 has the sizing rationale).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dnsshield::sim {
+
+class InplaceCallback {
+ public:
+  /// Sized for the largest closure the caching server schedules: the
+  /// renewal/prefetch lambdas capture [this, name, type] — a pointer, a
+  /// 32-byte dns::Name view, and an RRType — which pads to 48 bytes.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InplaceCallback() = default;
+
+  /// Wraps any void() callable: inline when it fits the buffer and is
+  /// nothrow-move-constructible, behind one heap allocation otherwise
+  /// (oversized captures, throwing movers). Move-only callables are fine
+  /// either way — the wrapper itself never copies.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { reset(); }
+
+  /// Invokes the wrapped callable. Precondition: *this is non-empty. The
+  /// callable stays alive until destruction/assignment, so reentrant
+  /// scheduling from inside the call is safe (the queue moves the event
+  /// out of the heap before invoking).
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (tests/bench use
+  /// this to pin the SBO boundary).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into dst from src and destroys src's residue.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static D* inline_target(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D*& heap_slot(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*inline_target<D>(s))(); },
+      [](void* dst, void* src) noexcept {
+        D* f = inline_target<D>(src);
+        ::new (dst) D(std::move(*f));
+        f->~D();
+      },
+      [](void* s) noexcept { inline_target<D>(s)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*heap_slot<D>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = heap_slot<D>(src);
+      },
+      [](void* s) noexcept { delete heap_slot<D>(s); },
+      false,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) std::byte storage_[kInlineSize];
+};
+
+}  // namespace dnsshield::sim

@@ -172,8 +172,8 @@ TEST(CacheTest, OccupancyCountsLiveStateOnly) {
   RRset two(Name::parse("b.com"), RRType::kNS, 50);
   two.add(dns::NsRdata{Name::parse("ns1.b.com")});
   two.add(dns::NsRdata{Name::parse("ns2.b.com")});
-  cache.insert(two, Trust::kAuthorityAuthAnswer, 0, true, Name::parse("b.com"),
-               true);
+  cache.insert(std::move(two), Trust::kAuthorityAuthAnswer, 0, true,
+               Name::parse("b.com"), true);
   cache.insert(a_set("w.a.com", 1, 1000), Trust::kAuthAnswer, 0, false, Name(),
                true);
 

@@ -141,7 +141,7 @@ TEST_F(CachingServerTest, NsEntriesAreIrrTagged) {
       cs.cache().lookup(Name::parse("example.com"), RRType::kNS, events_.now());
   ASSERT_NE(ns, nullptr);
   EXPECT_TRUE(ns->is_irr);
-  EXPECT_EQ(ns->irr_zone, Name::parse("example.com"));
+  EXPECT_EQ(cs.cache().names().name(ns->irr_zone), Name::parse("example.com"));
   // Glue address also tagged.
   const CacheEntry* glue = cs.cache().lookup(Name::parse("ns1.example.com"),
                                              RRType::kA, events_.now());

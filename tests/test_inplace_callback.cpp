@@ -1,0 +1,204 @@
+#include "sim/inplace_callback.h"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace dnsshield::sim {
+namespace {
+
+TEST(InplaceCallbackTest, EmptyIsFalsy) {
+  InplaceCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+}
+
+TEST(InplaceCallbackTest, SmallCaptureStoredInline) {
+  int hits = 0;
+  InplaceCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallbackTest, CaptureAtTheInlineBoundaryStaysInline) {
+  // The sizing contract pinned exactly: a closure of kInlineSize bytes is
+  // the largest that must not spill to the heap. The caching server's
+  // renewal closures ([this, key] — 16 bytes) sit comfortably inside.
+  static bool fired;
+  fired = false;
+  std::array<std::byte, InplaceCallback::kInlineSize> payload{};
+  payload[0] = std::byte{1};
+  InplaceCallback cb([payload] {
+    if (std::to_integer<int>(payload[0]) == 1) fired = true;
+  });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(InplaceCallbackTest, OversizedCaptureFallsBackToHeap) {
+  std::array<std::byte, InplaceCallback::kInlineSize + 1> big{};
+  big[0] = std::byte{42};
+  int seen = 0;
+  InplaceCallback cb([big, &seen] { seen = std::to_integer<int>(big[0]); });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InplaceCallbackTest, MoveOnlyCaptureWorksInlineAndOnHeap) {
+  // unique_ptr captures make the lambda move-only: std::function would
+  // reject it at compile time; InplaceCallback must accept it both below
+  // and above the SBO boundary.
+  auto small_payload = std::make_unique<int>(7);
+  int got = 0;
+  InplaceCallback small(
+      [p = std::move(small_payload), &got] { got = *p; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(got, 7);
+
+  auto big_payload = std::make_unique<int>(9);
+  std::array<std::byte, InplaceCallback::kInlineSize> pad{};
+  InplaceCallback big(
+      [p = std::move(big_payload), pad, &got] {
+        (void)pad;
+        got = *p;
+      });
+  EXPECT_FALSE(big.is_inline());
+  big();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(InplaceCallbackTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  InplaceCallback a([&hits] { ++hits; });
+  InplaceCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InplaceCallback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+/// Counts live instances and destructions so tests can pin down exactly
+/// when the wrapped callable is destroyed.
+struct DtorProbe {
+  int* live;
+  int* destroyed;
+  DtorProbe(int* l, int* d) : live(l), destroyed(d) { ++*live; }
+  DtorProbe(const DtorProbe& o) noexcept
+      : live(o.live), destroyed(o.destroyed) {
+    ++*live;
+  }
+  DtorProbe(DtorProbe&& o) noexcept : live(o.live), destroyed(o.destroyed) {
+    ++*live;
+  }
+  ~DtorProbe() {
+    --*live;
+    ++*destroyed;
+  }
+  void operator()() const {}
+};
+
+TEST(InplaceCallbackTest, DestroysCallableOnDestructionNotInvocation) {
+  int live = 0, destroyed = 0;
+  {
+    InplaceCallback cb(DtorProbe(&live, &destroyed));
+    const int after_construction = destroyed;  // temporaries' residue
+    EXPECT_EQ(live, 1);
+    cb();
+    // Invocation must leave the callable alive (reentrancy depends on it).
+    EXPECT_EQ(live, 1);
+    EXPECT_EQ(destroyed, after_construction);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InplaceCallbackTest, MoveAssignmentDestroysPreviousCallable) {
+  int live_a = 0, destroyed_a = 0;
+  int live_b = 0, destroyed_b = 0;
+  InplaceCallback cb(DtorProbe(&live_a, &destroyed_a));
+  EXPECT_EQ(live_a, 1);
+  cb = InplaceCallback(DtorProbe(&live_b, &destroyed_b));
+  EXPECT_EQ(live_a, 0);  // old callable destroyed by the assignment
+  EXPECT_EQ(live_b, 1);
+  cb = InplaceCallback();
+  EXPECT_EQ(live_b, 0);
+}
+
+TEST(InplaceCallbackTest, HeapCallableDestroyedExactlyOnceThroughMoves) {
+  int live = 0, destroyed = 0;
+  struct BigProbe : DtorProbe {
+    std::array<std::byte, InplaceCallback::kInlineSize> pad{};
+    using DtorProbe::DtorProbe;
+  };
+  {
+    InplaceCallback a(BigProbe(&live, &destroyed));
+    EXPECT_FALSE(a.is_inline());
+    EXPECT_EQ(live, 1);
+    const int baseline = destroyed;
+    InplaceCallback b(std::move(a));
+    InplaceCallback c;
+    c = std::move(b);
+    // Heap fallback relocates by pointer swap: no copies, no destructions.
+    EXPECT_EQ(live, 1);
+    EXPECT_EQ(destroyed, baseline);
+    c();
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InplaceCallbackTest, ReentrantSchedulingDuringStep) {
+  // An event handler that schedules follow-up events — the renewal-chain
+  // shape — must be safe: the queue moves the event out of the heap
+  // before invoking, so the running callable survives the heap mutation
+  // its own scheduling causes.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] {
+    order.push_back(1);
+    q.schedule_in(1.0, [&] {
+      order.push_back(2);
+      q.schedule_in(1.0, [&] { order.push_back(3); });
+    });
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.fired(), 3u);
+}
+
+TEST(InplaceCallbackTest, ReentrantSchedulingSurvivesHeapGrowth) {
+  // Scheduling many events from inside a handler forces the event vector
+  // to reallocate mid-step; the invoked callable was moved out first and
+  // must be unaffected.
+  EventQueue q;
+  int fired = 0;
+  const std::array<std::byte, 40> ballast{};
+  q.schedule_at(1.0, [&q, &fired, ballast] {
+    (void)ballast;
+    for (int i = 0; i < 256; ++i) {
+      q.schedule_in(1.0 + i, [&fired] { ++fired; });
+    }
+  });
+  q.run();
+  EXPECT_EQ(fired, 256);
+}
+
+}  // namespace
+}  // namespace dnsshield::sim

@@ -4,6 +4,7 @@
 //
 // These tests are meaningful only in builds that compile the audits in
 // (Debug / sanitized / -DDNSSHIELD_AUDIT=ON); elsewhere they skip.
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,7 +27,8 @@ namespace dnsshield::sim {
 struct EventQueueTestCorruptor {
   static void schedule_in_past(EventQueue& q, SimTime t,
                                EventQueue::Callback cb) {
-    q.heap_.push(EventQueue::Event{t, q.next_seq_++, std::move(cb)});
+    q.heap_.push_back(EventQueue::Event{t, q.next_seq_++, std::move(cb)});
+    std::push_heap(q.heap_.begin(), q.heap_.end(), EventQueue::Later{});
   }
 };
 
@@ -37,7 +39,15 @@ namespace dnsshield::resolver {
 /// Breaks the LRU list / TTL clamp on purpose.
 struct CacheTestCorruptor {
   static void plant_ghost_lru_node(Cache& c) {
-    c.lru_.emplace_front(dns::Name::parse("ghost.example"), dns::RRType::kA);
+    // Threads a node into the intrusive list that no map slot owns.
+    static CacheEntry ghost;
+    ghost.key = dns::name_type_key(0x00abcdefu, 0xffffu);
+    ghost.in_lru = true;
+    ghost.lru_prev = nullptr;
+    ghost.lru_next = c.lru_head_;
+    if (c.lru_head_ != nullptr) c.lru_head_->lru_prev = &ghost;
+    c.lru_head_ = &ghost;
+    if (c.lru_tail_ == nullptr) c.lru_tail_ = &ghost;
   }
   static void inflate_first_ttl(Cache& c) {
     ASSERT_FALSE(c.entries_.empty());
@@ -49,7 +59,7 @@ struct CacheTestCorruptor {
 /// Plants an out-of-range renewal credit.
 struct CachingServerTestCorruptor {
   static void set_credit(CachingServer& cs, const dns::Name& zone, double v) {
-    cs.credits_[zone] = v;
+    cs.credits_[cs.cache().names().intern(zone)] = v;
   }
 };
 

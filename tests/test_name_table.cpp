@@ -1,0 +1,140 @@
+#include "dns/name_table.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+
+namespace dnsshield::dns {
+namespace {
+
+TEST(NameTableTest, InternAssignsDenseIdsInOrder) {
+  NameTable table;
+  EXPECT_EQ(table.size(), 0u);
+  const NameId a = table.intern(Name::parse("www.cs.ucla.edu"));
+  const NameId b = table.intern(Name::parse("ucla.edu"));
+  const NameId c = table.intern(Name::root());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(NameTableTest, ReinterningReturnsSameId) {
+  NameTable table;
+  const NameId first = table.intern(Name::parse("example.com"));
+  const NameId again = table.intern(Name::parse("example.com"));
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(table.size(), 1u);
+  // Equal names from different parses — distinct label storage, same id.
+  const Name rebuilt = Name::parse(Name::parse("example.com").to_string());
+  EXPECT_EQ(table.intern(rebuilt), first);
+}
+
+TEST(NameTableTest, RoundTripsIdBackToEqualName) {
+  NameTable table;
+  const Name original = Name::parse("ns1.isi.edu");
+  const NameId id = table.intern(original);
+  EXPECT_EQ(table.name(id), original);
+  EXPECT_EQ(table.name(id).to_string(), "ns1.isi.edu.");
+}
+
+TEST(NameTableTest, FindNeverInterns) {
+  NameTable table;
+  EXPECT_EQ(table.find(Name::parse("nowhere.test")), kInvalidNameId);
+  EXPECT_EQ(table.size(), 0u);
+  const NameId id = table.intern(Name::parse("somewhere.test"));
+  EXPECT_EQ(table.find(Name::parse("somewhere.test")), id);
+  EXPECT_EQ(table.find(Name::parse("nowhere.test")), kInvalidNameId);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NameTableTest, CaseInsensitiveSpellingsShareOneId) {
+  // Name lowercases labels at parse time, so interning must unify case
+  // variants — the cache's key bijection depends on it.
+  NameTable table;
+  const NameId lower = table.intern(Name::parse("www.cs.ucla.edu"));
+  const NameId upper = table.intern(Name::parse("WWW.CS.UCLA.EDU"));
+  const NameId mixed = table.intern(Name::parse("wWw.Cs.UcLa.eDu"));
+  EXPECT_EQ(lower, upper);
+  EXPECT_EQ(lower, mixed);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NameTableTest, IdsStableAcrossRehash) {
+  // Interning thousands of names forces the lookup map through many
+  // rehashes; ids handed out early must keep resolving to their names
+  // (the reverse index is a plain vector, untouched by rehash).
+  NameTable table;
+  std::vector<std::pair<NameId, std::string>> early;
+  for (int i = 0; i < 16; ++i) {
+    const std::string text = "early" + std::to_string(i) + ".example";
+    early.emplace_back(table.intern(Name::parse(text)), text + ".");
+  }
+  for (int i = 0; i < 20000; ++i) {
+    table.intern(Name::parse("bulk" + std::to_string(i) + ".zone" +
+                             std::to_string(i % 173) + ".example"));
+  }
+  for (const auto& [id, text] : early) {
+    EXPECT_EQ(table.name(id).to_string(), text);
+    EXPECT_EQ(table.find(Name::parse(text)), id);
+  }
+  EXPECT_EQ(table.size(), 16u + 20000u);
+}
+
+TEST(NameTableTest, PackedKeyIsBijective) {
+  // name_type_key packs (id, type) disjointly: id in the high 48 bits,
+  // type in the low 16. Distinct pairs must produce distinct keys, and
+  // both halves must unpack exactly.
+  const std::vector<NameId> ids{0u, 1u, 2u, 1000u, 0xfffffffeu};
+  const std::vector<std::uint16_t> types{1, 2, 28, 48, 0xffff};
+  std::vector<std::uint64_t> keys;
+  for (const NameId id : ids) {
+    for (const std::uint16_t type : types) {
+      const std::uint64_t key = name_type_key(id, type);
+      EXPECT_EQ(static_cast<NameId>(key >> 16), id);
+      EXPECT_EQ(static_cast<std::uint16_t>(key & 0xffffu), type);
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(NameTableTest, KeyHashCollisionSanity) {
+  // Dense small ids are the worst case for an unordered_map: without
+  // mixing, every key lands in the bucket its low bits name. The
+  // SplitMix64 finalizer is bijective (no full-width collisions ever)
+  // and must spread consecutive ids across a power-of-two table.
+  const NameTypeKeyHash hash;
+  const std::vector<std::uint16_t> types{1, 2, 28, 48};
+  std::vector<std::size_t> hashes;
+  for (NameId id = 0; id < 2000; ++id) {
+    for (const std::uint16_t type : types) {
+      hashes.push_back(hash(name_type_key(id, type)));
+    }
+  }
+
+  std::vector<std::size_t> unique = hashes;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  EXPECT_EQ(unique.size(), hashes.size()) << "full-width hash collisions";
+
+  // 8000 keys over 1024 buckets: uniform is ~7.8 per bucket; unmixed
+  // dense ids would stack hundreds into the low buckets.
+  std::vector<int> buckets(1024, 0);
+  for (const std::size_t h : hashes) ++buckets[h % buckets.size()];
+  EXPECT_LE(*std::max_element(buckets.begin(), buckets.end()), 32);
+
+  // One id across two types must differ in many bits, not just the low 16.
+  const std::size_t a = hash(name_type_key(7, 1));
+  const std::size_t ns = hash(name_type_key(7, 2));
+  EXPECT_GE(std::popcount(static_cast<std::uint64_t>(a ^ ns)), 10);
+}
+
+}  // namespace
+}  // namespace dnsshield::dns
