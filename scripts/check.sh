@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Full correctness gate, in dependency order:
 #   1. project linter   — scripts/dnsshield_lint.py self-test + tree scan
-#   2. clang-tidy       — via the build's `lint-clang-tidy` target (skips
-#                         with a notice when clang-tidy isn't installed)
-#   3. tier-1           — configure, build, run the full ctest suite
+#   2. tier-1           — configure, build, run the full ctest suite
+#   3. AST analyzer     — scripts/test_dnsshield_analyze.py (fixture
+#                         self-test) + scripts/dnsshield_analyze.py over
+#                         the exported compile_commands.json; both SKIP
+#                         with a notice when libclang is unavailable and
+#                         the regex linter from step 1 stays the gate
 #   4. hotpath smoke    — bench_hotpath --quick: repeated replicate runs
 #                         must produce byte-identical reports (the
 #                         allocation-lean kernel's determinism contract)
-#   5. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
+#   5. clang-tidy       — via the build's `lint-clang-tidy` target (skips
+#                         with a notice when clang-tidy isn't installed)
+#   6. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
 #                         runtime invariant audits compiled in, and run
 #                         the full ctest suite again
-#   6. tsan             — rebuild under ThreadSanitizer (audits on) and
+#   7. tsan             — rebuild under ThreadSanitizer (audits on) and
 #                         run the full suite again; this is the parallel
 #                         experiment runner's race gate
-#   7. determinism      — two identical-seed CLI runs must render
+#   8. determinism      — two identical-seed CLI runs must render
 #                         byte-identical metrics reports, and a bench
 #                         sweep at --jobs=1 vs --jobs=4 must match
 #
@@ -34,6 +39,11 @@ echo "=== tier-1: build + ctest (${BUILD_DIR}) ==="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== analyze: AST analyzer (SKIPs without libclang) ==="
+python3 scripts/test_dnsshield_analyze.py
+python3 scripts/dnsshield_analyze.py -p "${BUILD_DIR}"
 
 echo
 echo "=== hotpath smoke: bench_hotpath --quick (byte-identity contract) ==="

@@ -1,0 +1,684 @@
+#!/usr/bin/env python3
+"""dnsshield AST analyzer: semantic upgrades of the regex lint rules.
+
+Where scripts/dnsshield_lint.py matches tokens, this tool parses every
+translation unit through libclang (python `clang.cindex`), driven by the
+compile_commands.json the build already exports. Working on the AST means
+the rules resolve through typedefs/using-declarations and never fire on
+comments or string literals — the two failure modes a regex linter cannot
+escape.
+
+Rules
+  mutable-global-state  Non-const namespace-scope variables and
+                        function-local `static` mutable variables in the
+                        simulation layers. Any such slot is shared mutable
+                        state that can couple replicates and break
+                        bit-reproducibility. Allowlisted: the allocation
+                        counters and the audit-handler slot (file-level
+                        allowlist below, each entry justified).
+  hot-path-purity       Functions annotated DNSSHIELD_HOT
+                        (src/sim/annotations.h) must not contain
+                        new-expressions, construct std::function, or
+                        create locals/temporaries of allocating std
+                        containers/strings — the compile-time form of the
+                        0-allocs/op guards in bench/micro_benchmarks.cpp.
+  wall-clock            AST port of the regex rule: host clock types
+                        (std::chrono system/steady/high_resolution —
+                        caught through any typedef) and C time functions.
+  randomness            AST port: std engines by canonical type (so
+                        `using Twister = std::mt19937` is caught),
+                        std::random_device, C rand/srand family.
+  float-time            AST port: any declaration, member, parameter, or
+                        return of type `float` (canonical, so
+                        typedef-laundered floats are caught).
+  io                    AST port: std::cout/std::cerr references and
+                        printf-family calls in library code.
+  threads               AST port: std::thread/jthread by canonical type,
+                        std::async calls, and thread::detach().
+
+Exit status: 0 clean (or libclang unavailable: SKIP notice, so callers
+fall back to the regex linter), 1 findings, 2 usage/internal error.
+With --require-libclang a missing libclang is an error (CI uses this).
+
+Usage
+  scripts/dnsshield_analyze.py -p build              # scan src/ TUs
+  scripts/dnsshield_analyze.py -p build --sarif out.sarif
+  scripts/dnsshield_analyze.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HOT_ANNOTATION = "dnsshield::hot"
+
+# Layers the mutable-global rule covers (the simulation kernel proper;
+# metrics/trace sinks are replicate-owned objects, not globals).
+SIM_LAYERS = (
+    "src/sim/",
+    "src/dns/",
+    "src/resolver/",
+    "src/server/",
+    "src/attack/",
+    "src/core/",
+)
+
+# std templates whose construction implies heap allocation. Matched
+# against canonical type spellings with inline namespaces normalized, so
+# std::string, std::__cxx11::basic_string, and any typedef of either all
+# hit "std::basic_string<". (Map/set iterators canonicalize to internal
+# __detail/__tree types and deliberately do NOT match.)
+ALLOCATING_STD_PREFIXES = (
+    "std::function<",
+    "std::basic_string<",
+    "std::vector<",
+    "std::deque<",
+    "std::list<",
+    "std::forward_list<",
+    "std::map<",
+    "std::multimap<",
+    "std::set<",
+    "std::multiset<",
+    "std::unordered_map<",
+    "std::unordered_multimap<",
+    "std::unordered_set<",
+    "std::unordered_multiset<",
+    "std::basic_stringstream<",
+    "std::basic_ostringstream<",
+    "std::basic_istringstream<",
+)
+
+CLOCK_TYPE_RE = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)\b")
+ENGINE_TYPE_RE = re.compile(
+    r"std::(mersenne_twister_engine|linear_congruential_engine|"
+    r"subtract_with_carry_engine|discard_block_engine|"
+    r"shuffle_order_engine|independent_bits_engine|random_device)\b")
+FLOAT_RE = re.compile(r"(?<![\w])float(?![\w])")
+THREAD_TYPE_RE = re.compile(r"std::(thread|jthread)\b")
+
+C_TIME_FUNCTIONS = frozenset({
+    "time", "gettimeofday", "clock_gettime", "clock", "localtime", "gmtime",
+    "mktime", "strftime", "ctime", "localtime_r", "gmtime_r", "ctime_r",
+    "localtime_s", "gmtime_s", "ctime_s", "timespec_get",
+})
+C_RAND_FUNCTIONS = frozenset({"rand", "srand", "random", "srandom",
+                              "drand48", "lrand48", "mrand48", "srand48"})
+C_IO_FUNCTIONS = frozenset({"printf", "fprintf", "puts", "fputs", "putchar",
+                            "fputc", "perror", "vprintf", "vfprintf"})
+
+
+def normalize_type(spelling):
+    """Strips the std inline namespaces (libstdc++ __cxx11, libc++ __1,
+    gcc chrono _V2) so prefix/regex matching is library-agnostic."""
+    return re.sub(r"std::(__cxx11|__1|_V2)::", "std::", spelling)
+
+
+class Rule:
+    def __init__(self, name, description, allowlist=(), applies_to=("src/",),
+                 hint=""):
+        self.name = name
+        self.description = description
+        self.allowlist = frozenset(allowlist)
+        self.applies_to = tuple(applies_to)
+        self.hint = hint
+
+    def covers(self, path):
+        return path.startswith(self.applies_to) and path not in self.allowlist
+
+
+RULES = {
+    "mutable-global-state": Rule(
+        "mutable-global-state",
+        "mutable namespace-scope or function-local static variable in the "
+        "simulation layers (shared mutable state breaks replicate "
+        "hermeticity and bit-reproducibility)",
+        allowlist=(
+            # Global new/delete interposition counters: process-wide by
+            # nature (atomics, relaxed), read only by the benchmark guards.
+            "src/sim/alloc_counter.cpp",
+            "src/sim/alloc_hook.cpp",
+            # The audit failure handler slot: mutex-guarded
+            # (DNSSHIELD_GUARDED_BY), installed serially at test setup.
+            "src/sim/audit.cpp",
+        ),
+        applies_to=SIM_LAYERS,
+        hint="pass state through the simulation objects; if it truly must "
+        "be global, guard it and allowlist it here with a justification",
+    ),
+    "hot-path-purity": Rule(
+        "hot-path-purity",
+        "allocation in a DNSSHIELD_HOT function (new-expression, "
+        "std::function construction, or an allocating std "
+        "container/string local or temporary)",
+        hint="hot paths reuse scratch buffers / InplaceCallback; move the "
+        "allocation to setup code or drop the DNSSHIELD_HOT annotation",
+    ),
+    "wall-clock": Rule(
+        "wall-clock",
+        "wall-clock time source (resolved through typedefs) in simulation "
+        "code; all time flows from sim::SimTime via the event queue",
+        hint="derive every timestamp from sim::SimTime / EventQueue::now()",
+    ),
+    "randomness": Rule(
+        "randomness",
+        "ambient randomness (std engine / random_device / C rand family, "
+        "resolved through typedefs); use the explicitly seeded sim::Rng",
+        hint="draw from sim::Rng (seed it; derive streams with derive_seed)",
+    ),
+    "float-time": Rule(
+        "float-time",
+        "`float` (canonical type) in library code; simulated-time "
+        "arithmetic must use the double-based types from src/sim/time.h",
+        hint="use sim::SimTime / sim::Duration (or double) instead",
+    ),
+    "io": Rule(
+        "io",
+        "direct console output in library code (metrics/tracer sinks and "
+        "driver binaries only)",
+        allowlist=(
+            # The audit failure handler prints the failing invariant right
+            # before the process aborts; no report stream exists to corrupt.
+            "src/sim/audit.cpp",
+        ),
+        hint="return strings / write through metrics sinks; printing is "
+        "the drivers' job",
+    ),
+    "threads": Rule(
+        "threads",
+        "raw threading (std::thread/jthread/async/detach, resolved through "
+        "typedefs) outside the deterministic runner",
+        allowlist=(
+            # The deterministic parallel runner IS the sanctioned home of
+            # std::thread; everything else uses its ThreadPool.
+            "src/sim/parallel.h",
+            "src/sim/parallel.cpp",
+        ),
+        hint="use sim::ThreadPool / sim::parallel_map (src/sim/parallel.h)",
+    ),
+}
+
+
+# ---- libclang loading -------------------------------------------------------
+
+
+def load_cindex():
+    """Imports clang.cindex and verifies the native library loads.
+
+    Returns the module, or None (with a reason printed) when the python
+    bindings or libclang.so are unavailable — callers then SKIP and fall
+    back to the regex linter.
+    """
+    try:
+        from clang import cindex
+    except ImportError as e:
+        print(f"dnsshield_analyze: python clang bindings unavailable ({e})")
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:  # noqa: BLE001 - LibclangError type varies by version
+        pass
+    # Retry against well-known sonames (distro python3-clang often needs
+    # an explicit library file).
+    candidates = []
+    found = shutil.which("llvm-config")
+    if found:
+        try:
+            libdir = subprocess.run(
+                [found, "--libdir"], capture_output=True, text=True,
+                check=True).stdout.strip()
+            candidates.append(os.path.join(libdir, "libclang.so"))
+        except (OSError, subprocess.SubprocessError):
+            pass
+    for ver in range(21, 10, -1):
+        candidates.append(f"libclang-{ver}.so.1")
+        candidates.append(f"libclang.so.{ver}")
+    candidates.append("libclang.so")
+    for lib in candidates:
+        try:
+            cindex.Config.library_file = None
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            return cindex
+        except Exception:  # noqa: BLE001
+            continue
+    print("dnsshield_analyze: libclang shared library not loadable")
+    return None
+
+
+def resource_dir_args():
+    """Builtin headers (stddef.h & co). When a clang driver is installed
+    its resource dir is authoritative; otherwise trust libclang's own."""
+    clang_bin = shutil.which("clang") or shutil.which("clang++")
+    if clang_bin is None:
+        return []
+    try:
+        out = subprocess.run([clang_bin, "-print-resource-dir"],
+                             capture_output=True, text=True, check=True)
+        rd = out.stdout.strip()
+        return ["-resource-dir", rd] if rd else []
+    except (OSError, subprocess.SubprocessError):
+        return []
+
+
+# ---- compile_commands handling ---------------------------------------------
+
+# Only flags that affect parsing survive; everything else (codegen flags,
+# gcc-only warnings) is dropped so a gcc-generated database parses
+# cleanly under libclang.
+_KEEP_PREFIX = ("-I", "-D", "-U", "-std=")
+_KEEP_WITH_ARG = ("-isystem", "-include", "-isysroot", "-iquote")
+
+
+def parse_args_for_tu(command, fallback_args):
+    """Extracts parse-relevant flags from one compile command."""
+    if isinstance(command, str):
+        tokens = shlex.split(command)
+    else:
+        tokens = list(command)
+    kept = []
+    i = 1  # token 0 is the compiler
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.startswith(_KEEP_PREFIX):
+            kept.append(tok)
+            if tok in ("-I", "-D", "-U") and i + 1 < len(tokens):
+                i += 1
+                kept.append(tokens[i])
+        elif tok in _KEEP_WITH_ARG:
+            kept.append(tok)
+            if i + 1 < len(tokens):
+                i += 1
+                kept.append(tokens[i])
+        i += 1
+    if not any(t.startswith("-std=") for t in kept):
+        kept.append("-std=c++20")
+    return kept + fallback_args
+
+
+def load_compile_commands(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"dnsshield_analyze: no compile_commands.json in {build_dir} "
+              "(configure the build first: cmake -B build -S .)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+# ---- the analysis -----------------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, cindex, root):
+        self.cindex = cindex
+        self.root = os.path.abspath(root)
+        self.index = cindex.Index.create()
+        self.findings = set()  # (path, line, rule_name, message)
+        self.hot_usrs = set()
+        self._ck = cindex.CursorKind
+        self._tk = cindex.TypeKind
+
+    # -- helpers --
+
+    def rel(self, path):
+        return os.path.relpath(os.path.abspath(path),
+                               self.root).replace(os.sep, "/")
+
+    def in_scope(self, cursor):
+        """True when the cursor's spelling location is a file under the
+        analysis root (filters out system headers)."""
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        rel = self.rel(loc.file.name)
+        if rel.startswith(".."):
+            return None
+        return rel
+
+    def add(self, rule_name, cursor, message, path=None):
+        rule = RULES[rule_name]
+        if path is None:
+            path = self.in_scope(cursor)
+        if path is None or not rule.covers(path):
+            return
+        self.findings.add((path, cursor.location.line, rule_name, message))
+
+    def canonical_type(self, type_obj):
+        try:
+            return normalize_type(type_obj.get_canonical().spelling)
+        except Exception:  # noqa: BLE001 - defensive: bindings vary
+            return ""
+
+    def is_reference_or_pointer(self, type_obj):
+        kind = type_obj.get_canonical().kind
+        return kind in (self._tk.LVALUEREFERENCE, self._tk.RVALUEREFERENCE,
+                        self._tk.POINTER)
+
+    def is_foreign(self, cursor):
+        """True for declarations outside the analysis root (std/system),
+        so calls to the project's own `find`/`clock`-named functions never
+        fire the C-library rules."""
+        if cursor is None:
+            return False
+        loc = cursor.location
+        if loc.file is None:
+            return True
+        return self.rel(loc.file.name).startswith("..")
+
+    def has_hot_annotation(self, cursor):
+        ck = self._ck
+        for decl in (cursor, cursor.canonical):
+            if decl is None:
+                continue
+            for child in decl.get_children():
+                if (child.kind == ck.ANNOTATE_ATTR
+                        and child.spelling == HOT_ANNOTATION):
+                    return True
+        return False
+
+    # -- per-node rule checks --
+
+    def check_global_state(self, cursor):
+        ck = self._ck
+        if cursor.kind != ck.VAR_DECL or not cursor.is_definition():
+            return
+        parent = cursor.semantic_parent
+        if parent is None:
+            return
+        at_namespace_scope = parent.kind in (ck.NAMESPACE, ck.TRANSLATION_UNIT)
+        sc = cursor.storage_class
+        is_local_static = (
+            not at_namespace_scope
+            and parent.kind not in (ck.CLASS_DECL, ck.STRUCT_DECL,
+                                    ck.CLASS_TEMPLATE, ck.UNION_DECL)
+            and sc == self.cindex.StorageClass.STATIC)
+        if not at_namespace_scope and not is_local_static:
+            return
+        type_obj = cursor.type.get_canonical()
+        if type_obj.is_const_qualified():
+            return
+        where = ("namespace-scope" if at_namespace_scope
+                 else "function-local static")
+        self.add("mutable-global-state", cursor,
+                 f"{where} mutable variable `{cursor.spelling}` of type "
+                 f"`{normalize_type(type_obj.spelling)}`")
+
+    def check_types(self, cursor):
+        """Typedef-resolving type checks (wall-clock clocks, std engines,
+        float, std::thread) on declarations, calls, and type aliases."""
+        ck = self._ck
+        kind = cursor.kind
+        spellings = []
+        if kind in (ck.VAR_DECL, ck.FIELD_DECL, ck.PARM_DECL):
+            spellings.append(self.canonical_type(cursor.type))
+        elif kind in (ck.TYPEDEF_DECL, ck.TYPE_ALIAS_DECL):
+            try:
+                spellings.append(normalize_type(
+                    cursor.underlying_typedef_type.get_canonical().spelling))
+            except Exception:  # noqa: BLE001
+                pass
+        elif kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.FUNCTION_TEMPLATE):
+            spellings.append(self.canonical_type(cursor.result_type))
+        elif kind == ck.CALL_EXPR:
+            ref = cursor.referenced
+            if ref is not None:
+                spellings.append(self.canonical_type(ref.result_type))
+        for spelling in spellings:
+            if not spelling:
+                continue
+            if CLOCK_TYPE_RE.search(spelling):
+                self.add("wall-clock", cursor,
+                         f"host clock type in `{spelling}`")
+            if ENGINE_TYPE_RE.search(spelling):
+                self.add("randomness", cursor,
+                         f"std random engine/device in `{spelling}`")
+            if FLOAT_RE.search(spelling):
+                self.add("float-time", cursor, f"`float` in `{spelling}`")
+            if THREAD_TYPE_RE.search(spelling):
+                self.add("threads", cursor,
+                         f"std thread type in `{spelling}`")
+
+    def check_calls(self, cursor):
+        ck = self._ck
+        if cursor.kind == ck.DECL_REF_EXPR:
+            ref = cursor.referenced
+            if (ref is not None and ref.spelling in ("cout", "cerr", "wcout",
+                                                     "wcerr")
+                    and self.is_foreign(ref)):
+                self.add("io", cursor, f"std::{ref.spelling} reference")
+            return
+        if cursor.kind != ck.CALL_EXPR:
+            return
+        ref = cursor.referenced
+        if ref is None or not self.is_foreign(ref):
+            return
+        name = ref.spelling
+        if name in C_TIME_FUNCTIONS:
+            self.add("wall-clock", cursor, f"C time function `{name}()`")
+        elif name in C_RAND_FUNCTIONS:
+            self.add("randomness", cursor, f"C random function `{name}()`")
+        elif name in C_IO_FUNCTIONS:
+            self.add("io", cursor, f"printf-family call `{name}()`")
+        elif name == "async":
+            parent = ref.semantic_parent
+            if parent is not None and parent.spelling == "std":
+                self.add("threads", cursor, "std::async call")
+        elif name == "detach":
+            parent = ref.semantic_parent
+            if parent is not None and parent.spelling in ("thread", "jthread"):
+                self.add("threads", cursor, f"{parent.spelling}::detach()")
+
+    # -- hot-path purity --
+
+    def allocating_prefix(self, spelling):
+        for prefix in ALLOCATING_STD_PREFIXES:
+            if spelling.startswith(prefix):
+                return prefix.rstrip("<")
+        return None
+
+    def check_hot_body(self, fn_cursor, hot_path):
+        ck = self._ck
+        fn_name = fn_cursor.spelling
+
+        def visit(node):
+            rel = self.in_scope(node)
+            if rel is not None and rel != hot_path:
+                # Bodies textually inside the function only (macro
+                # expansions from elsewhere are their own files' business).
+                return
+            if node.kind == ck.CXX_NEW_EXPR:
+                self.add("hot-path-purity", node,
+                         f"new-expression in DNSSHIELD_HOT `{fn_name}`",
+                         path=hot_path)
+            elif node.kind == ck.VAR_DECL:
+                type_obj = node.type
+                if not self.is_reference_or_pointer(type_obj):
+                    hit = self.allocating_prefix(self.canonical_type(type_obj))
+                    if hit:
+                        self.add(
+                            "hot-path-purity", node,
+                            f"local `{node.spelling}` of allocating type "
+                            f"{hit} in DNSSHIELD_HOT `{fn_name}`",
+                            path=hot_path)
+            elif node.kind == ck.CALL_EXPR:
+                # A constructor call materialising an allocating temporary
+                # (libclang surfaces CXXConstructExpr/CXXTemporaryObjectExpr
+                # as CALL_EXPR whose own type is the constructed record) ...
+                own = self.canonical_type(node.type)
+                hit = self.allocating_prefix(own)
+                ref = node.referenced
+                if hit and ref is not None and ref.kind == ck.CONSTRUCTOR:
+                    self.add("hot-path-purity", node,
+                             f"constructs allocating {hit} temporary in "
+                             f"DNSSHIELD_HOT `{fn_name}`", path=hot_path)
+                # ... and a call returning an allocating std type by value
+                # (e.g. to_string()). Reference/pointer returns are reads
+                # of existing storage and stay legal.
+                elif ref is not None and ref.kind != ck.CONSTRUCTOR:
+                    result = ref.result_type
+                    if (result is not None
+                            and not self.is_reference_or_pointer(result)):
+                        hit = self.allocating_prefix(
+                            self.canonical_type(result))
+                        if hit:
+                            self.add(
+                                "hot-path-purity", node,
+                                f"call to `{ref.spelling}` returns "
+                                f"allocating {hit} by value in "
+                                f"DNSSHIELD_HOT `{fn_name}`", path=hot_path)
+            for child in node.get_children():
+                visit(child)
+
+        for child in fn_cursor.get_children():
+            visit(child)
+
+    # -- traversal --
+
+    def walk(self, cursor):
+        ck = self._ck
+        for node in cursor.get_children():
+            rel = self.in_scope(node)
+            if rel is None:
+                # Out-of-root subtree (system header / other repo area):
+                # prune, nothing inside can produce an in-scope finding.
+                continue
+            self.check_global_state(node)
+            self.check_types(node)
+            self.check_calls(node)
+            if (node.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
+                              ck.FUNCTION_TEMPLATE, ck.CONSTRUCTOR,
+                              ck.CONVERSION_FUNCTION)
+                    and node.is_definition()
+                    and self.has_hot_annotation(node)):
+                usr = node.get_usr()
+                if usr not in self.hot_usrs:
+                    self.hot_usrs.add(usr)
+                    self.check_hot_body(node, rel)
+            self.walk(node)
+
+    def analyze_tu(self, source, args):
+        try:
+            tu = self.index.parse(source, args=args)
+        except self.cindex.TranslationUnitLoadError as e:
+            print(f"dnsshield_analyze: failed to parse {source}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        errors = [d for d in tu.diagnostics if d.severity >= 3]  # Error+
+        if errors:
+            for d in errors[:10]:
+                print(f"dnsshield_analyze: {source}: {d.spelling}",
+                      file=sys.stderr)
+            sys.exit(2)
+        self.walk(tu.cursor)
+
+
+def run_analysis(cindex, build_dir, root, tu_prefix="src/"):
+    """Parses every in-scope TU from the compilation database and returns
+    the sorted finding list as (path, line, rule_name, message)."""
+    analyzer = Analyzer(cindex, root)
+    extra = resource_dir_args()
+    entries = load_compile_commands(build_dir)
+    scanned = 0
+    seen_sources = set()
+    for entry in entries:
+        directory = entry.get("directory", ".")
+        file_path = entry.get("file", "")
+        source = os.path.normpath(
+            file_path if os.path.isabs(file_path)
+            else os.path.join(directory, file_path))
+        rel = os.path.relpath(source, analyzer.root).replace(os.sep, "/")
+        if rel.startswith("..") or not rel.startswith(tu_prefix):
+            continue
+        if source in seen_sources:
+            continue
+        seen_sources.add(source)
+        command = entry.get("arguments") or entry.get("command", "")
+        args = parse_args_for_tu(command, extra)
+        analyzer.analyze_tu(source, args)
+        scanned += 1
+    if scanned == 0:
+        print(f"dnsshield_analyze: no TUs under {tu_prefix} in the "
+              f"compilation database at {build_dir}", file=sys.stderr)
+        sys.exit(2)
+    return sorted(analyzer.findings), scanned
+
+
+def report(findings):
+    for path, line, rule_name, message in findings:
+        rule = RULES[rule_name]
+        print(f"{path}:{line}: [{rule_name}] {message}")
+        if rule.hint:
+            print(f"{path}:{line}:   hint: {rule.hint}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="dnsshield AST analyzer (see module docstring)")
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="directory containing compile_commands.json "
+                             "(default: build)")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="analysis root; findings and rule scopes are "
+                             "relative to it (default: the repo root). The "
+                             "fixture self-test points this at "
+                             "tests/analyzer_fixtures")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="treat missing libclang as an error instead of "
+                             "a SKIP (CI uses this)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.name}: {rule.description}")
+            for path in sorted(rule.allowlist):
+                print(f"  allowlisted: {path}")
+        sys.exit(0)
+
+    cindex = load_cindex()
+    if cindex is None:
+        if args.require_libclang:
+            print("dnsshield_analyze: FAIL: libclang required but "
+                  "unavailable", file=sys.stderr)
+            sys.exit(2)
+        print("dnsshield_analyze: SKIP (libclang unavailable; the regex "
+              "linter scripts/dnsshield_lint.py remains the active gate; "
+              "`pip install libclang` enables this tool)")
+        sys.exit(0)
+
+    findings, scanned = run_analysis(cindex, args.build_dir, args.root)
+
+    if args.sarif:
+        from dnsshield_sarif import write_sarif
+        write_sarif(args.sarif, "dnsshield_analyze",
+                    [(r.name, r.description) for r in RULES.values()],
+                    [(rule, message, path, line)
+                     for path, line, rule, message in findings])
+
+    if findings:
+        report(findings)
+        print(f"dnsshield_analyze: {len(findings)} finding(s) across "
+              f"{scanned} TU(s)", file=sys.stderr)
+        sys.exit(1)
+    print(f"dnsshield_analyze: clean ({scanned} TUs, {len(RULES)} rules)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    main()

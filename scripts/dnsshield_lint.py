@@ -42,7 +42,12 @@ Usage
   scripts/dnsshield_lint.py              # scan src/ under the repo root
   scripts/dnsshield_lint.py PATH...      # scan specific files/dirs instead
   scripts/dnsshield_lint.py --self-test  # prove each rule fires and passes
+  scripts/dnsshield_lint.py --sarif out.sarif   # also write SARIF 2.1.0
   scripts/dnsshield_lint.py --list-rules
+
+scripts/dnsshield_analyze.py is this linter's AST-grounded big sibling
+(typedef resolution, zero comment/string false positives, hot-path
+purity); when libclang is available it runs alongside this tool.
 """
 
 from __future__ import annotations
@@ -442,6 +447,8 @@ def main():
     parser.add_argument("--self-test", action="store_true",
                         help="verify every rule fires on a violation and "
                              "passes on the approved idiom")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="also write findings as SARIF 2.1.0")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args()
 
@@ -458,6 +465,14 @@ def main():
     violations = []
     for path in collect_files(paths):
         violations.extend(scan_file(path))
+    if args.sarif:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from dnsshield_sarif import write_sarif
+        write_sarif(
+            args.sarif, "dnsshield_lint",
+            [(rule.name, rule.description) for rule in RULES],
+            [(rule.name, f"{rule.description}: `{matched}`", path, line)
+             for path, line, rule, matched in violations])
     if violations:
         report(violations)
         print(f"dnsshield_lint: {len(violations)} violation(s)", file=sys.stderr)

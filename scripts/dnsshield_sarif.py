@@ -1,0 +1,70 @@
+"""Minimal SARIF 2.1.0 emission shared by the dnsshield analysis tools.
+
+Both scripts/dnsshield_lint.py (regex linter) and
+scripts/dnsshield_analyze.py (libclang AST analyzer) support a
+`--sarif <path>` flag; CI uploads the resulting logs so findings
+annotate PR diffs. Only the subset of SARIF that code-scanning UIs
+consume is emitted: one run, the tool's rule catalog, and one result
+per finding with a file/line physical location.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def make_sarif(tool_name, rules, results):
+    """Builds a SARIF log structure.
+
+    tool_name: driver name, e.g. "dnsshield_lint".
+    rules:     iterable of (rule_id, description) pairs (the catalog).
+    results:   iterable of (rule_id, message, file, line) findings; file
+               is a repo-relative '/'-separated path, line is 1-based.
+    """
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri":
+                            "https://github.com/dnsshield/dnsshield",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": description},
+                            }
+                            for rule_id, description in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": rule_id,
+                        "level": "error",
+                        "message": {"text": message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": path},
+                                    "region": {"startLine": int(line)},
+                                }
+                            }
+                        ],
+                    }
+                    for rule_id, message, path, line in results
+                ],
+            }
+        ],
+    }
+
+
+def write_sarif(path, tool_name, rules, results):
+    """Writes the SARIF log to `path` (an empty result list is valid and
+    produces a clean log, which code-scanning treats as 'no findings')."""
+    log = make_sarif(tool_name, rules, results)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(log, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/dnsshield_analyze.py against known-bad fixtures.
+
+tests/analyzer_fixtures/ holds one translation unit per analyzer rule
+with every expected finding marked `// EXPECT: <rule>` on the exact
+line, plus clean probes (comment/string decoys, legal hot-path code)
+that must produce nothing. This driver:
+
+  1. parses the EXPECT markers into the expected (file, line, rule) set;
+  2. generates a compile_commands.json for the fixture tree
+     (clang++ -std=c++20 -I <repo>/src, so fixtures see the real
+     DNSSHIELD_HOT macro from src/sim/annotations.h);
+  3. runs the analyzer in-process with --root at the fixture tree and
+     compares the actual finding set for EXACT equality — a missed
+     finding (rule regression) and an extra finding (false positive)
+     both fail;
+  4. re-runs the analyzer as a subprocess to pin the CLI contract:
+     exit code 1 on findings and a well-formed SARIF log.
+
+Without libclang the test prints SKIP and exits 0 (the regex linter
+remains the active gate); --require-libclang makes that a failure (CI).
+
+Exit status: 0 pass/skip, 1 findings mismatch, 2 internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
+FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "analyzer_fixtures")
+
+sys.path.insert(0, SCRIPTS_DIR)
+import dnsshield_analyze  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w, -]+)")
+
+
+def collect_fixtures():
+    files = []
+    for dirpath, _dirnames, filenames in os.walk(FIXTURE_ROOT):
+        for name in sorted(filenames):
+            if name.endswith(".cpp"):
+                files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def expected_findings(fixtures):
+    expected = set()
+    for path in fixtures:
+        rel = os.path.relpath(path, FIXTURE_ROOT).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = EXPECT_RE.search(line)
+                if not m:
+                    continue
+                for rule in m.group(1).split(","):
+                    rule = rule.strip()
+                    if rule not in dnsshield_analyze.RULES:
+                        print(f"test_dnsshield_analyze: {rel}:{lineno}: "
+                              f"unknown rule in EXPECT marker: {rule}",
+                              file=sys.stderr)
+                        sys.exit(2)
+                    expected.add((rel, lineno, rule))
+    return expected
+
+
+def write_compile_commands(build_dir, fixtures):
+    entries = [
+        {
+            "directory": FIXTURE_ROOT,
+            "file": path,
+            "command": (f"clang++ -std=c++20 -I {REPO_ROOT}/src "
+                        f"-c {path}"),
+        }
+        for path in fixtures
+    ]
+    with open(os.path.join(build_dir, "compile_commands.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(entries, f, indent=2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fixture self-test for dnsshield_analyze.py")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="treat missing libclang as a failure (CI)")
+    args = parser.parse_args()
+
+    cindex = dnsshield_analyze.load_cindex()
+    if cindex is None:
+        if args.require_libclang:
+            print("test_dnsshield_analyze: FAIL: libclang required but "
+                  "unavailable", file=sys.stderr)
+            sys.exit(2)
+        print("test_dnsshield_analyze: SKIP (libclang unavailable)")
+        sys.exit(0)
+
+    fixtures = collect_fixtures()
+    if not fixtures:
+        print(f"test_dnsshield_analyze: no fixtures under {FIXTURE_ROOT}",
+              file=sys.stderr)
+        sys.exit(2)
+    expected = expected_findings(fixtures)
+    if not expected:
+        print("test_dnsshield_analyze: no EXPECT markers found",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        write_compile_commands(tmp, fixtures)
+
+        # In-process: exact (file, line, rule) set equality.
+        findings, scanned = dnsshield_analyze.run_analysis(
+            cindex, tmp, FIXTURE_ROOT)
+        actual = {(path, line, rule) for path, line, rule, _msg in findings}
+        for missed in sorted(expected - actual):
+            failures.append(f"MISSED  {missed[0]}:{missed[1]} [{missed[2]}] "
+                            "(rule regression)")
+        for extra in sorted(actual - expected):
+            msgs = [m for p, l, r, m in findings
+                    if (p, l, r) == extra]
+            failures.append(f"EXTRA   {extra[0]}:{extra[1]} [{extra[2]}] "
+                            f"(false positive): {'; '.join(msgs)}")
+
+        # Subprocess: the CLI must exit 1 on findings and emit SARIF.
+        sarif_path = os.path.join(tmp, "fixtures.sarif")
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(SCRIPTS_DIR, "dnsshield_analyze.py"),
+             "-p", tmp, "--root", FIXTURE_ROOT, "--sarif", sarif_path,
+             "--require-libclang"],
+            capture_output=True, text=True)
+        if proc.returncode != 1:
+            failures.append(
+                f"CLI exit code {proc.returncode}, wanted 1 (findings). "
+                f"stderr: {proc.stderr.strip()}")
+        else:
+            with open(sarif_path, encoding="utf-8") as f:
+                sarif = json.load(f)
+            results = sarif["runs"][0]["results"]
+            if len(results) != len(findings):
+                failures.append(f"SARIF has {len(results)} results, "
+                                f"analyzer reported {len(findings)}")
+            rule_ids = {r["id"]
+                        for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+            if rule_ids != set(dnsshield_analyze.RULES):
+                failures.append("SARIF rule catalog mismatch")
+
+    if failures:
+        for failure in failures:
+            print(f"test_dnsshield_analyze: {failure}", file=sys.stderr)
+        print(f"test_dnsshield_analyze: FAIL ({len(failures)} problem(s); "
+              f"{len(expected)} findings expected across {scanned} TUs)",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"test_dnsshield_analyze: PASS — {len(expected)} expected "
+          f"findings matched exactly across {scanned} fixture TUs "
+          "(zero false positives on the probe set)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

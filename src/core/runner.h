@@ -8,7 +8,10 @@
 // call, so concurrent run_one calls share nothing mutable. run_many fans
 // a batch out across sim::ThreadPool with results collected by index,
 // which keeps every report byte-identical to a serial loop no matter the
-// job count (DESIGN.md section 10).
+// job count (DESIGN.md section 10). run_many itself holds no locks — all
+// shared state lives behind sim::ThreadPool's thread-safety-annotated
+// mutex (src/sim/mutex.h), so the clang -Wthread-safety CI leg checks
+// the whole fan-out path end to end.
 #pragma once
 
 #include <vector>

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dns/name.h"
+#include "sim/annotations.h"
 
 namespace dnsshield::dns {
 
@@ -42,7 +43,7 @@ class NameTable {
 
   /// Returns the id for `name`, or kInvalidNameId if it was never
   /// interned. Never mutates the table (safe on read-only paths).
-  NameId find(const Name& name) const {
+  DNSSHIELD_HOT NameId find(const Name& name) const {
     const auto it = ids_.find(name);
     return it == ids_.end() ? kInvalidNameId : it->second;
   }
@@ -50,7 +51,7 @@ class NameTable {
   /// Resolves an id back to its Name. Ids are positions in a plain
   /// vector, stable across rehash of the lookup map.
   /// Precondition: id was returned by this table's intern().
-  const Name& name(NameId id) const { return names_[id]; }
+  DNSSHIELD_HOT const Name& name(NameId id) const { return names_[id]; }
 
   std::size_t size() const { return names_.size(); }
 

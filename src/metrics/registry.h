@@ -5,6 +5,14 @@
 // references (backed by deques), so instrumented code resolves a metric
 // once and then increments through the handle with no lookup. Export is
 // deterministic: metrics are rendered sorted by name.
+//
+// Concurrency contract: a registry is thread-confined. Each parallel
+// replicate constructs its own registry inside its job (core::run_one),
+// so the record methods need no locks — the hermetic-job rule of
+// sim::ThreadPool (whose locking is thread-safety-annotated, see
+// src/sim/mutex.h) is what makes that sound, and the TSan CI leg checks
+// it. The record methods marked DNSSHIELD_HOT are additionally held to
+// the analyzer's no-allocation purity rule.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/annotations.h"
+
 namespace dnsshield::metrics {
 
 class JsonWriter;
@@ -22,7 +32,7 @@ class JsonWriter;
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
+  DNSSHIELD_HOT void inc(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
 
  private:
@@ -32,8 +42,8 @@ class Counter {
 /// Point-in-time scalar (queue depth, credit balance, ...).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
+  DNSSHIELD_HOT void set(double v) { value_ = v; }
+  DNSSHIELD_HOT void add(double d) { value_ += d; }
   double value() const { return value_; }
 
  private:
@@ -47,7 +57,7 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
-  void observe(double sample);
+  DNSSHIELD_HOT void observe(double sample);
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -18,6 +18,12 @@
 // and detail are truncated to the slots' inline capacity (37 bytes
 // combined — rarely exceeded by this simulator's names) in ring mode only;
 // sink mode always sees the full strings.
+//
+// Concurrency contract: a tracer and its sink are thread-confined to the
+// replicate that owns them (core::run_one wires tracer + sink + streams
+// inside the job), so emit paths carry DNSSHIELD_HOT purity annotations
+// but no locks; sim::ThreadPool's annotated hermetic-job protocol and
+// the TSan CI leg are what make the confinement sound.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/time.h"
 
 namespace dnsshield::metrics {
@@ -83,17 +90,17 @@ class Tracer {
 
   /// Records one event. Timestamps are expected to be non-decreasing (the
   /// simulation clock guarantees this for in-run events).
-  void emit(sim::SimTime time, TraceEventType type,
-            std::string_view subject = {}, std::string_view detail = {},
-            double value = 0);
+  DNSSHIELD_HOT void emit(sim::SimTime time, TraceEventType type,
+                          std::string_view subject = {},
+                          std::string_view detail = {}, double value = 0);
 
   /// Allocation-free variant for hot paths: `fill(subject, detail)` writes
   /// straight into a reused scratch event's strings (handed over cleared),
   /// so callers can append a dns name without materialising a temporary —
   /// e.g. fill = [&](std::string& s, std::string&) { name.append_to(s); }.
   template <typename Fill>
-  void emit_fill(sim::SimTime time, TraceEventType type, Fill&& fill,
-                 double value = 0) {
+  DNSSHIELD_HOT void emit_fill(sim::SimTime time, TraceEventType type,
+                               Fill&& fill, double value = 0) {
     if (mode_ == Mode::kOff) return;
     scratch_.time = time;
     scratch_.seq = emitted_++;
@@ -139,7 +146,7 @@ class Tracer {
   };
   static_assert(sizeof(RingSlot) == 64);
 
-  void store_in_ring(const TraceEvent& ev);
+  DNSSHIELD_HOT void store_in_ring(const TraceEvent& ev);
   TraceEvent unpack(const RingSlot& slot) const;
 
   Mode mode_ = Mode::kOff;

@@ -22,6 +22,7 @@
 #include "dns/rr.h"
 #include "dns/trust.h"
 #include "metrics/tracer.h"
+#include "sim/annotations.h"
 #include "sim/audit.h"
 #include "sim/time.h"
 
@@ -121,16 +122,17 @@ class Cache {
   /// Live entry or nullptr. Expired entries are left in place (they hold
   /// the expiry information the gap recorder wants); call
   /// lookup_including_expired to see them.
-  const CacheEntry* lookup(const dns::Name& name, dns::RRType type,
-                           sim::SimTime now) const;
+  DNSSHIELD_HOT const CacheEntry* lookup(const dns::Name& name,
+                                         dns::RRType type,
+                                         sim::SimTime now) const;
 
   /// Entry regardless of expiry; nullptr if never cached (or evicted).
-  const CacheEntry* lookup_including_expired(const dns::Name& name,
-                                             dns::RRType type) const;
+  DNSSHIELD_HOT const CacheEntry* lookup_including_expired(
+      const dns::Name& name, dns::RRType type) const;
 
   /// Same, by packed (NameId, RRType) key (CacheEntry::key). The renewal
   /// chains hold the key and skip the name-table lookup entirely.
-  const CacheEntry* find_by_key(std::uint64_t key) const {
+  DNSSHIELD_HOT const CacheEntry* find_by_key(std::uint64_t key) const {
     const auto it = entries_.find(key);
     return it == entries_.end() ? nullptr : &it->second;
   }
@@ -226,7 +228,8 @@ class Cache {
 #endif
   }
 
-  const CacheEntry* find_entry(const dns::Name& name, dns::RRType type) const {
+  DNSSHIELD_HOT const CacheEntry* find_entry(const dns::Name& name,
+                                             dns::RRType type) const {
     const dns::NameId id = names_.find(name);
     if (id == dns::kInvalidNameId) return nullptr;
     const auto it = entries_.find(
@@ -235,9 +238,9 @@ class Cache {
   }
 
   /// Unlinks the entry from the intrusive LRU list. No-op if !in_lru.
-  void lru_unlink(const CacheEntry& entry) const;
+  DNSSHIELD_HOT void lru_unlink(const CacheEntry& entry) const;
   /// Marks the entry as just-used (head of the LRU list).
-  void touch(const CacheEntry& entry) const;
+  DNSSHIELD_HOT void touch(const CacheEntry& entry) const;
   void evict_if_over_budget(sim::SimTime now);
 
   std::uint32_t ttl_cap_;

@@ -32,6 +32,7 @@
 #include "resolver/config.h"
 #include "resolver/latency.h"
 #include "server/hierarchy.h"
+#include "sim/annotations.h"
 #include "sim/event_queue.h"
 
 namespace dnsshield::resolver {
@@ -143,8 +144,13 @@ class CachingServer {
   };
 
   /// Live entry, or — on the serve-stale fallback pass — an expired one.
-  const CacheEntry* cache_find(const dns::Name& name, dns::RRType type,
-                               const Context& ctx) const;
+  /// The fast path of iterate(): every upward step of the cached-
+  /// infrastructure walk funnels through here, so it is DNSSHIELD_HOT
+  /// (iterate() itself builds per-zone address vectors and legitimately
+  /// allocates, which is why the annotation sits on this funnel instead).
+  DNSSHIELD_HOT const CacheEntry* cache_find(const dns::Name& name,
+                                             dns::RRType type,
+                                             const Context& ctx) const;
 
   /// The cache's interner; all zone/credit bookkeeping keys on its ids.
   dns::NameTable& names() { return cache_.names(); }

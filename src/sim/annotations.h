@@ -1,0 +1,52 @@
+// Compile-time contract annotations (DESIGN.md section 12).
+//
+// Two families, both no-ops outside clang so the gcc tier-1 build is
+// untouched:
+//
+//  - DNSSHIELD_HOT marks a function as part of the allocation-budgeted
+//    hot path (the set bench/micro_benchmarks.cpp holds to 0 allocations
+//    per op). Under clang it expands to an `annotate` attribute that
+//    scripts/dnsshield_analyze.py walks: annotated bodies may not contain
+//    new-expressions, std::function construction, or locals/temporaries
+//    of allocating std containers/strings. The macro turns the benchmark
+//    guard's runtime property into a compile-time (analysis-time) one.
+//
+//  - DNSSHIELD_GUARDED_BY / DNSSHIELD_REQUIRES / DNSSHIELD_ACQUIRE /
+//    DNSSHIELD_RELEASE / ... map to clang's thread-safety capability
+//    attributes. Together with the annotated sim::Mutex wrapper
+//    (src/sim/mutex.h) they make the locking protocol of the parallel
+//    runner and the audit handler machine-checked: the CI clang leg
+//    builds with -Wthread-safety and promotes its findings to errors.
+//
+// Annotate judiciously: every DNSSHIELD_HOT function must actually pass
+// the analyzer's purity rule (CI runs it over the full tree), and every
+// DNSSHIELD_GUARDED_BY member must only be touched under its capability.
+#pragma once
+
+#if defined(__clang__)
+#define DNSSHIELD_HOT __attribute__((annotate("dnsshield::hot")))
+#define DNSSHIELD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DNSSHIELD_HOT
+#define DNSSHIELD_THREAD_ANNOTATION(x)
+#endif
+
+// Thread-safety capability annotations, named after the clang attribute
+// set (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). The
+// capability arguments are the guarding sim::Mutex members.
+#define DNSSHIELD_CAPABILITY(x) DNSSHIELD_THREAD_ANNOTATION(capability(x))
+#define DNSSHIELD_SCOPED_CAPABILITY DNSSHIELD_THREAD_ANNOTATION(scoped_lockable)
+#define DNSSHIELD_GUARDED_BY(x) DNSSHIELD_THREAD_ANNOTATION(guarded_by(x))
+#define DNSSHIELD_PT_GUARDED_BY(x) DNSSHIELD_THREAD_ANNOTATION(pt_guarded_by(x))
+#define DNSSHIELD_REQUIRES(...) \
+  DNSSHIELD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DNSSHIELD_ACQUIRE(...) \
+  DNSSHIELD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DNSSHIELD_RELEASE(...) \
+  DNSSHIELD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DNSSHIELD_TRY_ACQUIRE(...) \
+  DNSSHIELD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define DNSSHIELD_EXCLUDES(...) \
+  DNSSHIELD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DNSSHIELD_NO_THREAD_SAFETY_ANALYSIS \
+  DNSSHIELD_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,8 +1,9 @@
 #include "sim/audit.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "sim/mutex.h"
 
 namespace dnsshield::sim {
 
@@ -17,19 +18,35 @@ void default_handler(const char* file, int line, const char* expr,
                expr, message);
 }
 
-// Atomic: audits fire from parallel-runner jobs, so the handler is read
+// Audits fire from parallel-runner jobs, so the handler slot is read
 // concurrently (installation stays a serial, test-setup-time affair).
-std::atomic<AuditHandler> g_handler{&default_handler};
+// Mutex-guarded rather than atomic so the access protocol is part of the
+// thread-safety-annotated surface the clang CI leg checks; audit_fail is
+// a cold once-per-process path, so the lock costs nothing that matters.
+// (This global is on dnsshield_analyze.py's mutable-global allowlist.)
+Mutex g_handler_mutex;
+AuditHandler g_handler DNSSHIELD_GUARDED_BY(g_handler_mutex) =
+    &default_handler;
 
 }  // namespace
 
 AuditHandler set_audit_handler(AuditHandler handler) {
-  return g_handler.exchange(handler == nullptr ? &default_handler : handler);
+  const MutexLock lock(g_handler_mutex);
+  AuditHandler previous = g_handler;
+  g_handler = handler == nullptr ? &default_handler : handler;
+  return previous;
 }
 
 void audit_fail(const char* file, int line, const char* expr,
                 const char* message) {
-  g_handler.load()(file, line, expr, message);
+  AuditHandler handler = nullptr;
+  {
+    // Copy out under the lock, invoke outside it: the handler may throw
+    // (test handlers do) and must not unwind through a held capability.
+    const MutexLock lock(g_handler_mutex);
+    handler = g_handler;
+  }
+  handler(file, line, expr, message);
   std::abort();
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "sim/audit.h"
 #include "sim/inplace_callback.h"
 #include "sim/time.h"
@@ -36,15 +37,15 @@ class EventQueue {
   /// Schedule a callback at an absolute time. Scheduling in the past (i.e.
   /// before now()) fires the event at the current time instead, preserving
   /// the non-decreasing clock invariant.
-  void schedule_at(SimTime t, Callback cb);
+  DNSSHIELD_HOT void schedule_at(SimTime t, Callback cb);
 
   /// Schedule a callback `delay` seconds from now.
-  void schedule_in(Duration delay, Callback cb) {
+  DNSSHIELD_HOT void schedule_in(Duration delay, Callback cb) {
     schedule_at(now_ + delay, std::move(cb));
   }
 
   /// Fire the earliest pending event. Returns false if the queue is empty.
-  bool step();
+  DNSSHIELD_HOT bool step();
 
   /// Run until the queue drains.
   void run();

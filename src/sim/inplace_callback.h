@@ -15,6 +15,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/annotations.h"
+
 namespace dnsshield::sim {
 
 class InplaceCallback {
@@ -74,7 +76,7 @@ class InplaceCallback {
   /// callable stays alive until destruction/assignment, so reentrant
   /// scheduling from inside the call is safe (the queue moves the event
   /// out of the heap before invoking).
-  void operator()() { ops_->invoke(storage_); }
+  DNSSHIELD_HOT void operator()() { ops_->invoke(storage_); }
 
   explicit operator bool() const { return ops_ != nullptr; }
 

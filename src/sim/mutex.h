@@ -1,0 +1,80 @@
+// Thread-safety-annotated locking primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying the
+// clang capability annotations from src/sim/annotations.h. Library code
+// with real concurrency (src/sim/parallel.*, the audit handler) locks
+// through these so the clang CI leg (-Wthread-safety, promoted to an
+// error) can prove every DNSSHIELD_GUARDED_BY member is only touched
+// under its mutex. On gcc the annotations vanish and these compile down
+// to the std primitives they wrap.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sim/annotations.h"
+
+namespace dnsshield::sim {
+
+/// std::mutex with the `capability("mutex")` annotation the analysis
+/// needs to track acquire/release.
+class DNSSHIELD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DNSSHIELD_ACQUIRE() { mu_.lock(); }
+  void unlock() DNSSHIELD_RELEASE() { mu_.unlock(); }
+  bool try_lock() DNSSHIELD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard shape) understood by the analysis.
+class DNSSHIELD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DNSSHIELD_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() DNSSHIELD_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with sim::Mutex.
+///
+/// wait() borrows the already-held mutex via std::adopt_lock and
+/// releases the unique_lock before it unwinds, so ownership stays with
+/// the caller's MutexLock and we keep plain std::condition_variable
+/// (condition_variable_any would also work but pays for generality).
+///
+/// Deliberately no predicate-taking wait: the analysis cannot see
+/// through the predicate lambda (lambdas are analyzed as separate
+/// functions), so callers write explicit `while (!pred) cv.wait(mu);`
+/// loops instead — which is also the shape the annotations can check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) DNSSHIELD_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dnsshield::sim

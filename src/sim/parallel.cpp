@@ -13,6 +13,8 @@ std::size_t resolve_jobs(int requested) {
     throw std::invalid_argument("job count must be >= 0 (0 = auto)");
   }
   if (requested > 0) return static_cast<std::size_t>(requested);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup; nothing
+  // in this process calls setenv, so there is no getenv/setenv race.
   if (const char* env = std::getenv("DNSSHIELD_JOBS")) {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(env, &end, 10);
@@ -34,8 +36,9 @@ struct ThreadPool::Batch {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* task = nullptr;
   std::atomic<std::size_t> next{0};
-  std::mutex errors_mutex;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  Mutex errors_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors
+      DNSSHIELD_GUARDED_BY(errors_mutex);
 };
 
 ThreadPool::ThreadPool(std::size_t jobs) {
@@ -48,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t jobs) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -60,15 +63,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      const MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) wake_.wait(mutex_);
       if (stop_) return;
       seen = generation_;
       batch = batch_;
     }
     work_through(*batch);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       ++idle_workers_;
     }
     done_.notify_one();
@@ -82,7 +85,7 @@ void ThreadPool::work_through(Batch& batch) {
     try {
       (*batch.task)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(batch.errors_mutex);
+      const MutexLock lock(batch.errors_mutex);
       batch.errors.emplace_back(i, std::current_exception());
     }
   }
@@ -98,18 +101,24 @@ void ThreadPool::for_each_index(
     work_through(batch);  // serial fallback: no threads involved at all
   } else {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       batch_ = &batch;
       idle_workers_ = 0;
       ++generation_;
     }
     wake_.notify_all();
     work_through(batch);
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return idle_workers_ == workers_.size(); });
-    batch_ = nullptr;
+    {
+      const MutexLock lock(mutex_);
+      while (idle_workers_ != workers_.size()) done_.wait(mutex_);
+      batch_ = nullptr;
+    }
   }
 
+  // Every worker has left the batch (idle_workers_ handshake above), so
+  // this lock is uncontended — it exists to satisfy the guarded_by
+  // contract rather than to order anything.
+  const MutexLock errors_lock(batch.errors_mutex);
   if (!batch.errors.empty()) {
     // Deterministic propagation: the lowest-index failure, exactly what a
     // serial loop that ran every job would report first.

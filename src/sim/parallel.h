@@ -15,17 +15,23 @@
 // Byte-identical reports across any job count are enforced by
 // tests/test_parallel_equivalence.cpp and scripts/determinism_check.sh.
 //
+// The locking protocol is machine-checked: every mutex-guarded member
+// carries DNSSHIELD_GUARDED_BY and the clang CI leg builds with
+// -Wthread-safety promoted to an error (see src/sim/mutex.h and
+// DESIGN.md section 12).
+//
 // This header and parallel.cpp are the only library files allowed to
 // touch std::thread (scripts/dnsshield_lint.py, rule `threads`).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/annotations.h"
+#include "sim/mutex.h"
 
 namespace dnsshield::sim {
 
@@ -54,7 +60,8 @@ class ThreadPool {
   /// Runs task(0) .. task(n-1), blocking until every job has finished.
   /// See the header comment for the exception contract.
   void for_each_index(std::size_t n,
-                      const std::function<void(std::size_t)>& task);
+                      const std::function<void(std::size_t)>& task)
+      DNSSHIELD_EXCLUDES(mutex_);
 
   /// Total concurrency: worker threads plus the calling thread.
   std::size_t jobs() const { return workers_.size() + 1; }
@@ -62,17 +69,18 @@ class ThreadPool {
  private:
   struct Batch;
 
-  void worker_loop();
+  void worker_loop() DNSSHIELD_EXCLUDES(mutex_);
   static void work_through(Batch& batch);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;  // workers: new batch available / stop
-  std::condition_variable done_;  // caller: all workers left the batch
-  Batch* batch_ = nullptr;        // guarded by mutex_
-  std::uint64_t generation_ = 0;  // bumped once per batch (guarded by mutex_)
-  std::size_t idle_workers_ = 0;  // workers done with this batch (guarded)
-  bool stop_ = false;             // guarded by mutex_
+  Mutex mutex_;
+  CondVar wake_;  // workers: new batch available / stop
+  CondVar done_;  // caller: all workers left the batch
+  Batch* batch_ DNSSHIELD_GUARDED_BY(mutex_) = nullptr;
+  // Bumped once per batch so late workers never rejoin a finished one.
+  std::uint64_t generation_ DNSSHIELD_GUARDED_BY(mutex_) = 0;
+  std::size_t idle_workers_ DNSSHIELD_GUARDED_BY(mutex_) = 0;
+  bool stop_ DNSSHIELD_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(0) .. fn(n-1) on a pool of `jobs` threads and returns the

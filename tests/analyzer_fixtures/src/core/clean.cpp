@@ -1,0 +1,19 @@
+// Clean probe: ordinary cold library code — double-based time
+// arithmetic, a by-value std::string return (legal outside
+// DNSSHIELD_HOT functions), const globals. Zero findings expected.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+
+double simulated_latency(double rtt_seconds, int hops) {
+  return rtt_seconds * hops;
+}
+
+std::string render(double value) {
+  return std::to_string(value * static_cast<double>(kSeedMix % 7));
+}
+
+}  // namespace fixture

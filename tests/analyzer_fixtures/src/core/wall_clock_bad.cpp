@@ -1,0 +1,19 @@
+// Fixture: wall-clock must catch host clocks laundered through a type
+// alias (canonical-type resolution) and the C time() function.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;  // EXPECT: wall-clock
+
+double stamp() {
+  const auto t = Clock::now();  // EXPECT: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long epoch() {
+  return time(nullptr);  // EXPECT: wall-clock
+}
+
+}  // namespace fixture

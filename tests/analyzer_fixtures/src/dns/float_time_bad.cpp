@@ -1,0 +1,13 @@
+// Fixture: float-time must catch `float` hidden behind a typedef — the
+// alias itself and every declaration whose canonical type is float.
+namespace fixture {
+
+using seconds_t = float;  // EXPECT: float-time
+
+seconds_t elapsed(seconds_t a) {  // EXPECT: float-time
+  return a * 2;
+}
+
+double fine(double a) { return a * 2; }  // double: clean
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Clean probe: a DNSSHIELD_HOT function doing everything the purity
+// rule allows — reference-returning calls, pointer returns, mutation
+// of persistent members (amortised growth is the benchmark guards'
+// business, not the analyzer's), and iterator locals (their canonical
+// types are internal __detail/__normal_iterator types, deliberately
+// not on the allocating-prefix list). Zero findings expected.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+class Index {
+ public:
+  DNSSHIELD_HOT const std::uint64_t* find(std::uint64_t key) const {
+    const auto it = by_key_.find(key);
+    return it == by_key_.end() ? nullptr : &slots_[it->second];
+  }
+
+  DNSSHIELD_HOT void touch(std::uint64_t key) {
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) slots_[it->second] = key;
+  }
+
+  void record(std::uint64_t key) {
+    by_key_.emplace(key, slots_.size());
+    slots_.push_back(key);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> by_key_;
+  std::vector<std::uint64_t> slots_;
+};
+
+std::uint64_t drive(Index& index) {
+  index.record(7);
+  index.touch(7);
+  const std::uint64_t* hit = index.find(7);
+  return hit == nullptr ? 0 : *hit;
+}
+
+}  // namespace fixture

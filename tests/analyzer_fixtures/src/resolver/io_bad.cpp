@@ -1,0 +1,14 @@
+// Fixture: io must flag std::cout/std::cerr references and
+// printf-family calls in library code (this fixture path is not the
+// allowlisted audit handler).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void log_hit(int n) {
+  std::cout << "hit " << n << "\n";     // EXPECT: io
+  std::fprintf(stderr, "hit %d\n", n);  // EXPECT: io
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: threads must catch std::thread laundered through a type
+// alias, thread::detach(), and std::async — none of which are in the
+// sanctioned src/sim/parallel.* home.
+#include <future>
+#include <thread>
+
+namespace fixture {
+
+using worker_t = std::thread;  // EXPECT: threads
+
+void fire() {
+  worker_t w([] {});  // EXPECT: threads
+  w.detach();         // EXPECT: threads
+}
+
+int poll() {
+  auto f = std::async([] { return 7; });  // EXPECT: threads
+  return f.get();
+}
+
+}  // namespace fixture

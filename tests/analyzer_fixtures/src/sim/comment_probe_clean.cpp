@@ -1,0 +1,18 @@
+// False-positive probe: every banned token below lives in a comment or
+// a string literal, where an AST rule must never look. A regex linter
+// without comment stripping would light up on all of it; the analyzer
+// must report exactly nothing for this file.
+//
+//   std::mt19937 rng; time(nullptr); float t = 0; std::thread w;
+//   std::cout << "x"; rand(); std::chrono::system_clock::now();
+/* static int g_leaky = 0; std::function<void()> cb; new char[64]; */
+
+namespace fixture {
+
+constexpr const char* kDoc =
+    "call time(nullptr), rand(), std::mt19937, std::thread::detach, and "
+    "new std::string at home — strings are data, not code";
+
+int probe() { return kDoc[0]; }
+
+}  // namespace fixture

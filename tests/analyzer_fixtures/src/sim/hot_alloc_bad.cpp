@@ -1,0 +1,32 @@
+// Fixture: hot-path-purity must reject, inside a DNSSHIELD_HOT
+// function: new-expressions, std::function construction, allocating
+// std locals, and calls returning allocating std types by value —
+// while the byte-identical *cold* twin below produces no findings
+// (the rule keys on the annotation, not the body).
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+DNSSHIELD_HOT std::size_t hot_allocates(int n) {
+  int* leak = new int(n);                      // EXPECT: hot-path-purity
+  std::function<int()> f = [n] { return n; };  // EXPECT: hot-path-purity
+  std::string rendered = std::to_string(n);    // EXPECT: hot-path-purity
+  std::string split;                           // EXPECT: hot-path-purity
+  split += 'x';
+  delete leak;
+  return rendered.size() + split.size() + static_cast<std::size_t>(f());
+}
+
+std::size_t cold_allocates(int n) {
+  int* fine = new int(n);
+  std::function<int()> f = [n] { return n; };
+  std::string rendered = std::to_string(n);
+  delete fine;
+  return rendered.size() + static_cast<std::size_t>(f());
+}
+
+}  // namespace fixture

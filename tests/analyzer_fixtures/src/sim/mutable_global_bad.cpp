@@ -1,0 +1,26 @@
+// Fixture: mutable-global-state must flag namespace-scope and
+// function-local static mutable variables, while const/constexpr
+// globals stay clean. (The real tree's only such slots — the alloc
+// counters and the audit-handler — live in allowlisted files; this
+// fixture path is NOT allowlisted, so everything mutable here fires.)
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t g_counter = 0;      // EXPECT: mutable-global-state
+const std::uint64_t kLimit = 10;  // const: clean
+constexpr double kRate = 0.5;     // constexpr: clean
+
+namespace {
+int g_hidden = 0;  // EXPECT: mutable-global-state
+}  // namespace
+
+std::uint64_t bump() {
+  static std::uint64_t calls = 0;  // EXPECT: mutable-global-state
+  ++calls;
+  ++g_hidden;
+  g_counter += calls;
+  return g_counter + kLimit + static_cast<std::uint64_t>(kRate);
+}
+
+}  // namespace fixture

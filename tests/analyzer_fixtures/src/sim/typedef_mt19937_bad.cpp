@@ -1,0 +1,17 @@
+// Fixture: randomness must see through a type alias. The regex linter
+// only catches the `std::mt19937` token on the alias line; the AST rule
+// also catches every use of the laundered name, because the VAR_DECL's
+// canonical type is std::mersenne_twister_engine<...>.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+using Twister = std::mt19937;  // EXPECT: randomness
+
+std::uint32_t draw() {
+  Twister rng{42u};  // EXPECT: randomness
+  return static_cast<std::uint32_t>(rng());
+}
+
+}  // namespace fixture

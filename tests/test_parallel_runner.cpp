@@ -1,6 +1,7 @@
 // Unit tests for the deterministic parallel runner (sim/parallel.h):
 // index-ordered collection, the every-job-runs exception contract, the
-// serial fallback, pool reuse, and resolve_jobs' precedence rules.
+// serial fallback, pool reuse, resolve_jobs' precedence rules, and the
+// mutex-guarded audit handler under concurrent audit failures.
 #include "sim/parallel.h"
 
 #include <atomic>
@@ -11,6 +12,8 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "sim/audit.h"
 
 namespace dnsshield::sim {
 namespace {
@@ -73,6 +76,73 @@ TEST(ParallelRunner, EveryJobRunsEvenWhenSomeThrow) {
     }
     EXPECT_EQ(ran.load(), 24u) << "jobs=" << jobs;
   }
+}
+
+TEST(ParallelRunner, ConcurrentAuditFailuresKeepTheBatchContract) {
+  // Audits fire from inside parallel jobs, so every worker reads the
+  // handler slot at once — the slot is mutex-guarded (src/sim/audit.cpp)
+  // and the clang thread-safety leg checks that protocol at compile
+  // time. With a throwing handler the failure unwinds out of the job
+  // like any other exception, so the batch contract applies unchanged:
+  // every job still runs, and the lowest-index failure is the one the
+  // caller sees. (audit_fail is unconditionally compiled, so this test
+  // runs even in builds where DNSSHIELD_ASSERT compiles to nothing.)
+  struct ScopedHandler {
+    AuditHandler prev;
+    ScopedHandler()
+        : prev(set_audit_handler(
+              +[](const char*, int, const char*, const char* message) {
+                throw std::runtime_error(message);
+              })) {}
+    ~ScopedHandler() { set_audit_handler(prev); }
+    ScopedHandler(const ScopedHandler&) = delete;
+    ScopedHandler& operator=(const ScopedHandler&) = delete;
+  };
+  const ScopedHandler guard;
+
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    ThreadPool pool(jobs);
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.for_each_index(16, [&](std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        const std::string msg = "audit " + std::to_string(i);
+        audit_fail(__FILE__, __LINE__, "forced-by-test", msg.c_str());
+      });
+      FAIL() << "expected an audit exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "audit 0") << "jobs=" << jobs;
+    }
+    EXPECT_EQ(ran.load(), 16u) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelRunner, AuditHandlerSwapIsObservedByRunningBatch) {
+  // set_audit_handler and audit_fail synchronize on the same mutex; a
+  // handler installed before the batch is what every job invokes, and
+  // restoring the previous handler after the batch leaves no trace.
+  struct Counting {
+    static void handler(const char*, int, const char*, const char*) {
+      count().fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("counted");
+    }
+    static std::atomic<int>& count() {
+      static std::atomic<int> n{0};
+      return n;
+    }
+  };
+  const AuditHandler prev = set_audit_handler(&Counting::handler);
+  ThreadPool pool(4);
+  try {
+    pool.for_each_index(8, [](std::size_t) {
+      audit_fail(__FILE__, __LINE__, "forced-by-test", "swap test");
+    });
+    FAIL() << "expected an audit exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "counted");
+  }
+  EXPECT_EQ(Counting::count().load(), 8);
+  EXPECT_EQ(set_audit_handler(prev), &Counting::handler);
 }
 
 TEST(ParallelRunner, ResolveJobsHonorsExplicitRequest) {
