@@ -93,6 +93,45 @@ void BM_WireDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_WireDecode);
 
+// Allocation-annotated codec benchmarks: alongside the timing, the
+// per-op heap allocation count is reported as a counter, so a codec
+// allocation regression shows up in the benchmark table next to the
+// slowdown it causes. The counter reads 0 when the alloc_hook object
+// library is not linked into this binary (counting inactive).
+void BM_EncodeMessage(benchmark::State& state) {
+  namespace counter = sim::alloc_counter;
+  const dns::Message m = sample_message();
+  counter::reset();
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode_message(m));
+    ++iters;
+  }
+  state.counters["allocs_per_op"] =
+      counter::counting_active() && iters > 0
+          ? static_cast<double>(counter::allocations()) /
+                static_cast<double>(iters)
+          : 0.0;
+}
+BENCHMARK(BM_EncodeMessage);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  namespace counter = sim::alloc_counter;
+  const auto wire = dns::encode_message(sample_message());
+  counter::reset();
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode_message(wire));
+    ++iters;
+  }
+  state.counters["allocs_per_op"] =
+      counter::counting_active() && iters > 0
+          ? static_cast<double>(counter::allocations()) /
+                static_cast<double>(iters)
+          : 0.0;
+}
+BENCHMARK(BM_DecodeMessage);
+
 void BM_CacheInsert(benchmark::State& state) {
   resolver::Cache cache(7 * 86400);
   dns::RRset set(dns::Name::parse("w.x.com"), dns::RRType::kA, 300);

@@ -1,0 +1,137 @@
+// Writes the committed seed corpora for the fuzz harnesses: one valid,
+// reasonably feature-dense input per format so the fuzzers mutate from
+// deep program states instead of rediscovering header layouts byte by
+// byte. Run from the repo root after changing a format:
+//   build/fuzz/fuzz_corpus_gen fuzz/corpus
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dns/wire.h"
+#include "trace/binary_io.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace dnsshield;
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::cerr << "failed to write " << path << '\n';
+    std::exit(1);
+  }
+  std::cout << path.string() << " (" << bytes.size() << " bytes)\n";
+}
+
+void write_wire(const std::filesystem::path& path, const dns::Message& msg) {
+  const std::vector<std::uint8_t> wire = dns::encode_message(msg);
+  write_file(path,
+             std::string(reinterpret_cast<const char*>(wire.data()),
+                         wire.size()));
+}
+
+dns::Message sample_response() {
+  dns::Message q = dns::Message::make_query(
+      0x1234, dns::Name::parse("www.ucla.edu"), dns::RRType::kA);
+  q.header.rd = true;
+  dns::Message r = dns::Message::make_response(q);
+  r.header.aa = true;
+  r.header.ra = true;
+  r.answers.push_back({dns::Name::parse("www.ucla.edu"), dns::RRType::kA,
+                       14400, dns::ARdata{dns::IpAddr::parse("10.3.2.1")}});
+  r.authorities.push_back({dns::Name::parse("ucla.edu"), dns::RRType::kNS,
+                           86400,
+                           dns::NsRdata{dns::Name::parse("ns1.ucla.edu")}});
+  r.additionals.push_back({dns::Name::parse("ns1.ucla.edu"), dns::RRType::kA,
+                           86400, dns::ARdata{dns::IpAddr::parse("10.0.0.1")}});
+  return r;
+}
+
+dns::Message sample_rich_response() {
+  dns::Message q = dns::Message::make_query(
+      0xbeef, dns::Name::parse("example.com"), dns::RRType::kANY);
+  dns::Message r = dns::Message::make_response(q);
+  dns::SoaRdata soa;
+  soa.mname = dns::Name::parse("ns1.example.com");
+  soa.rname = dns::Name::parse("hostmaster.example.com");
+  soa.serial = 2026080701;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  r.answers.push_back(
+      {dns::Name::parse("example.com"), dns::RRType::kSOA, 3600, soa});
+  r.answers.push_back(
+      {dns::Name::parse("example.com"), dns::RRType::kMX, 3600,
+       dns::MxRdata{10, dns::Name::parse("mail.example.com")}});
+  r.answers.push_back({dns::Name::parse("example.com"), dns::RRType::kTXT,
+                       3600, dns::TxtRdata{"v=spf1 -all"}});
+  r.answers.push_back(
+      {dns::Name::parse("example.com"), dns::RRType::kAAAA, 3600,
+       dns::AaaaRdata{dns::Ip6Addr::parse("2001:db8::1")}});
+  r.answers.push_back(
+      {dns::Name::parse("alias.example.com"), dns::RRType::kCNAME, 3600,
+       dns::CnameRdata{dns::Name::parse("example.com")}});
+  return r;
+}
+
+std::vector<trace::QueryEvent> sample_trace() {
+  std::vector<trace::QueryEvent> events;
+  events.push_back(
+      {0.0, 1, dns::Name::parse("www.ucla.edu"), dns::RRType::kA});
+  events.push_back(
+      {0.25, 2, dns::Name::parse("mail.example.com"), dns::RRType::kMX});
+  events.push_back(
+      {0.25, 1, dns::Name::parse("www.ucla.edu"), dns::RRType::kAAAA});
+  events.push_back(
+      {1.5, 3, dns::Name::parse("ns1.example.com"), dns::RRType::kNS});
+  return events;
+}
+
+constexpr const char* kSampleZone = R"zone($ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 hostmaster 2026080701 7200 900 1209600 300
+@ IN NS ns1
+@ IN NS ns2
+ns1 IN A 10.0.0.1
+ns2 IN A 10.0.0.2
+www 300 IN A 10.3.2.1
+www IN AAAA 2001:db8::1
+alias IN CNAME www
+@ IN MX 10 mail
+mail IN A 10.0.0.3
+@ IN TXT "v=spf1 -all"
+child IN NS ns1.child
+ns1.child IN A 10.1.0.1
+)zone";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+  for (const char* sub : {"wire", "zone", "trace"}) {
+    std::filesystem::create_directories(root / sub);
+  }
+
+  write_wire(root / "wire" / "query.bin",
+             dns::Message::make_query(7, dns::Name::parse("a.b.c.example"),
+                                      dns::RRType::kNS));
+  write_wire(root / "wire" / "response.bin", sample_response());
+  write_wire(root / "wire" / "rich_response.bin", sample_rich_response());
+
+  write_file(root / "zone" / "example.zone", kSampleZone);
+
+  const std::vector<trace::QueryEvent> events = sample_trace();
+  std::ostringstream text;
+  trace::write_trace(text, events);
+  write_file(root / "trace" / "small.tsv", text.str());
+  std::ostringstream binary;
+  trace::write_trace_binary(binary, events);
+  write_file(root / "trace" / "small.bin", binary.str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Trace-format harness, both codecs over the same input bytes:
+//   text leg:   read_trace -> write_trace -> read_trace is a fixpoint
+//               (write_trace uses max_digits10, so times survive exactly)
+//   binary leg: read_trace_binary -> write_trace_binary ->
+//               read_trace_binary is a fixpoint (times are capped at
+//               1e15 microseconds on read, so the micros<->double
+//               round-trip is exact)
+// Either reader may throw TraceFormatError (and only TraceFormatError);
+// anything else escaping crashes the harness.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/binary_io.h"
+#include "trace/trace_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace trace = dnsshield::trace;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    std::istringstream in(text);
+    const std::vector<trace::QueryEvent> events = trace::read_trace(in);
+    std::ostringstream out;
+    trace::write_trace(out, events);
+    std::istringstream in2(out.str());
+    if (trace::read_trace(in2) != events) std::abort();
+  } catch (const trace::TraceFormatError&) {
+  }
+
+  try {
+    std::istringstream in(text);
+    const std::vector<trace::QueryEvent> events = trace::read_trace_binary(in);
+    std::ostringstream out;
+    trace::write_trace_binary(out, events);
+    std::istringstream in2(out.str());
+    if (trace::read_trace_binary(in2) != events) std::abort();
+  } catch (const trace::TraceFormatError&) {
+  }
+  return 0;
+}

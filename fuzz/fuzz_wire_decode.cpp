@@ -1,0 +1,36 @@
+// Wire-codec harness: any byte string either throws WireFormatError or
+// decodes to a message for which
+//   (1) encoded_size(msg) == encode_message(msg).size(), and
+//   (2) decoding the re-encoded bytes reproduces the message exactly
+//       (decode -> encode -> decode fixpoint).
+// Any other exception escaping decode_message is an error-contract
+// violation and terminates the process (libFuzzer reports it as a
+// crash); property violations abort explicitly.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "dns/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace dns = dnsshield::dns;
+  dns::Message msg;
+  try {
+    msg = dns::decode_message(std::span<const std::uint8_t>(data, size));
+  } catch (const dns::WireFormatError&) {
+    return 0;  // rejecting malformed input is the contract
+  }
+  const std::vector<std::uint8_t> wire = dns::encode_message(msg);
+  if (dns::encoded_size(msg) != wire.size()) std::abort();
+  // The re-encoding can only be asserted as decodable when it stays
+  // within the 65535-octet message bound the decoder enforces (a
+  // maximally compressed input can re-encode slightly larger).
+  if (wire.size() <= 65535) {
+    const dns::Message again = dns::decode_message(wire);  // must not throw
+    if (!(again == msg)) std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Zone-file harness: any text either throws ZoneFileError (and only
+// ZoneFileError) from the parser, or parses into contents that the zone
+// loader either rejects with ZoneFileError or assembles into a zone
+// that re-serialises without incident. Anything else escaping is an
+// error-contract violation and crashes the harness.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "server/zone_file.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace server = dnsshield::server;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(text);
+  try {
+    const server::ZoneFileContents contents =
+        server::parse_zone_file(in, dnsshield::dns::Name::parse("example."));
+    try {
+      const server::Zone zone = server::load_zone(contents);
+      static_cast<void>(server::to_zone_file(zone));
+    } catch (const server::ZoneFileError&) {
+      // Structurally invalid zones (no SOA, no apex NS, missing glue)
+      // are legitimate rejections.
+    }
+  } catch (const server::ZoneFileError&) {
+    // Malformed text: rejection is the contract.
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Replay driver for toolchains without libFuzzer (gcc): feeds each file
+// named on the command line through the harness entry point once,
+// mirroring libFuzzer's corpus-replay CLI. libFuzzer-style flags
+// (-runs=..., -seed=...) are ignored so the same invocation works
+// against either build.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.starts_with('-')) continue;  // libFuzzer flag: ignore
+    std::ifstream in(arg, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "replayed %zu input(s)\n", replayed);
+  return 0;
+}

@@ -13,12 +13,17 @@
 #   5. clang-tidy       — via the build's `lint-clang-tidy` target (skips
 #                         with a notice when clang-tidy isn't installed)
 #   6. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
-#                         runtime invariant audits compiled in, and run
-#                         the full ctest suite again
-#   7. tsan             — rebuild under ThreadSanitizer (audits on) and
+#                         runtime invariant audits compiled in and the
+#                         fuzz harnesses enabled, and run the full ctest
+#                         suite again
+#   7. fuzz replay      — replay the committed seed corpora through the
+#                         sanitized fuzz harnesses (fuzz/): deterministic,
+#                         works under gcc (standalone driver) and clang
+#                         (libFuzzer file-argument mode) alike
+#   8. tsan             — rebuild under ThreadSanitizer (audits on) and
 #                         run the full suite again; this is the parallel
 #                         experiment runner's race gate
-#   8. determinism      — two identical-seed CLI runs must render
+#   9. determinism      — two identical-seed CLI runs must render
 #                         byte-identical metrics reports, and a bench
 #                         sweep at --jobs=1 vs --jobs=4 must match
 #
@@ -63,9 +68,18 @@ echo "=== sanitizers: full suite under ASan+UBSan, audits on (${SAN_DIR}) ==="
 # DNSSHIELD_SANITIZE turns DNSSHIELD_AUDIT on by default, so this pass also
 # exercises the runtime invariant audits (cache LRU <-> map, TTL clamp,
 # credit bounds, clock monotonicity, referral acyclicity) on every test.
-cmake -B "${SAN_DIR}" -S . -DDNSSHIELD_SANITIZE=ON
+cmake -B "${SAN_DIR}" -S . -DDNSSHIELD_SANITIZE=ON -DDNSSHIELD_FUZZ=ON
 cmake --build "${SAN_DIR}" -j
 ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== fuzz replay: seed corpora through the sanitized harnesses ==="
+# Both the gcc standalone driver and clang's libFuzzer accept corpus
+# files as arguments and run each exactly once, so this leg is
+# deterministic and toolchain-independent.
+"${SAN_DIR}/fuzz/fuzz_wire_decode" fuzz/corpus/wire/*
+"${SAN_DIR}/fuzz/fuzz_zone_file" fuzz/corpus/zone/*
+"${SAN_DIR}/fuzz/fuzz_trace_io" fuzz/corpus/trace/*
 
 echo
 echo "=== tsan: full suite under ThreadSanitizer, audits on (${TSAN_DIR}) ==="

@@ -35,6 +35,27 @@ Rules
                         printf-family calls in library code.
   threads               AST port: std::thread/jthread by canonical type,
                         std::async calls, and thread::detach().
+  unchecked-buffer-access
+                        Inside DNSSHIELD_UNTRUSTED_INPUT functions (the
+                        wire/zone/trace parsers): raw builtin subscripts,
+                        operator[] on std spans/strings/containers,
+                        .data(), mem*/str* functions, pointer arithmetic,
+                        and raw istream reads are banned — every byte of
+                        untrusted input must flow through the
+                        bounds-checked readers (src/sim/checked_reader.h
+                        or the wire Decoder).
+  unchecked-offset-arithmetic
+                        Inside DNSSHIELD_UNTRUSTED_INPUT functions:
+                        builtin +/-/+=/-= over reader positions or sizes
+                        (pos()/size()/tellg()/... operands) is banned; a
+                        hand-rolled `pos + len` is a truncation check
+                        waiting to be forgotten. Use require()/limit()/
+                        seek() style helpers.
+  error-contract        Inside DNSSHIELD_UNTRUSTED_INPUT functions: only
+                        the parser's own *Error exception types may be
+                        thrown; unguarded .at()/sto* calls (which leak
+                        std::out_of_range / std::invalid_argument) and
+                        abort-style calls are banned.
 
 Exit status: 0 clean (or libclang unavailable: SKIP notice, so callers
 fall back to the regex linter), 1 findings, 2 usage/internal error.
@@ -60,6 +81,7 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 HOT_ANNOTATION = "dnsshield::hot"
+UNTRUSTED_ANNOTATION = "dnsshield::untrusted_input"
 
 # Layers the mutable-global rule covers (the simulation kernel proper;
 # metrics/trace sinks are replicate-owned objects, not globals).
@@ -115,6 +137,93 @@ C_RAND_FUNCTIONS = frozenset({"rand", "srand", "random", "srandom",
                               "drand48", "lrand48", "mrand48", "srand48"})
 C_IO_FUNCTIONS = frozenset({"printf", "fprintf", "puts", "fputs", "putchar",
                             "fputc", "perror", "vprintf", "vfprintf"})
+
+# --- untrusted-input rule tables ---------------------------------------------
+#
+# std containers whose unchecked element accessors (operator[], .data())
+# are banned inside DNSSHIELD_UNTRUSTED_INPUT functions. Matched against
+# the canonical type of the member's parent class, with the bare class
+# name as fallback (libclang hands back the uninstantiated template
+# pattern for some call forms, where the parent has no canonical type).
+# Deliberately NOT banned: front()/back() (no computed index involved)
+# and .at() (bounds-checked — but it throws std::out_of_range, so it
+# falls under error-contract instead when unguarded).
+SUBSCRIPT_PARENT_PREFIXES = (
+    "std::span<",
+    "std::basic_string<",
+    "std::basic_string_view<",
+    "std::vector<",
+    "std::array<",
+    "std::deque<",
+)
+SUBSCRIPT_PARENT_NAMES = frozenset({
+    "span", "basic_string", "basic_string_view", "vector", "array", "deque",
+})
+
+# .at() additionally covers the associative containers.
+AT_PARENT_PREFIXES = SUBSCRIPT_PARENT_PREFIXES + (
+    "std::map<",
+    "std::unordered_map<",
+)
+AT_PARENT_NAMES = SUBSCRIPT_PARENT_NAMES | {"map", "unordered_map"}
+
+# C memory/string routines that take (pointer, length) with no bounds
+# knowledge of their own.
+RAW_MEMORY_FUNCTIONS = frozenset({
+    "memcpy", "memmove", "memcmp", "memchr", "memset",
+    "strcpy", "strncpy", "strcat", "strncat", "strlen",
+    "sprintf", "vsprintf",
+})
+
+# istream members that read raw bytes/positions with caller-supplied
+# lengths. Member-only: the free std::getline(istream&, string&) grows
+# the string itself and stays legal.
+RAW_ISTREAM_METHODS = frozenset({
+    "read", "get", "peek", "ignore", "seekg", "putback", "unget", "getline",
+})
+ISTREAM_PARENT_PREFIXES = (
+    "std::basic_istream<",
+    "std::basic_iostream<",
+    "std::basic_ios<",
+    "std::basic_ifstream<",
+    "std::basic_fstream<",
+    "std::basic_istringstream<",
+    "std::basic_stringstream<",
+)
+ISTREAM_PARENT_NAMES = frozenset({
+    "basic_istream", "basic_iostream", "basic_ios", "basic_ifstream",
+    "basic_fstream", "basic_istringstream", "basic_stringstream",
+})
+
+# Methods whose result is a buffer position/size: builtin arithmetic on
+# them is hand-rolled offset math (the thing require()/limit()/seek()
+# exist to replace).
+POSITION_METHODS = frozenset({
+    "pos", "size", "length", "remaining", "offset", "limit",
+    "tellg", "tellp", "gcount",
+})
+
+# std converters that throw std::invalid_argument / std::out_of_range.
+STO_FUNCTIONS = frozenset({
+    "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold",
+    "atoi", "atol", "atoll", "atof",
+})
+
+# Abort-style control flow (assert() expands to __assert_fail on glibc).
+ABORT_FUNCTIONS = frozenset({
+    "abort", "exit", "_Exit", "quick_exit", "terminate",
+    "__assert_fail", "__assert_perror_fail", "__assert_rtn",
+})
+
+# Exception types a parser may let escape: its own dnsshield *Error
+# classes (WireFormatError, ZoneFileError, TraceFormatError, ...).
+PARSE_ERROR_TYPE_RE = re.compile(r"^dnsshield::(?:\w+::)*\w*Error$")
+
+# Builtin operators that constitute offset arithmetic.
+OFFSET_OPERATORS = frozenset({"+", "-", "+=", "-="})
+_BINOP_NAME_TO_SPELLING = {
+    "Add": "+", "Sub": "-", "AddAssign": "+=", "SubAssign": "-=",
+}
 
 
 def normalize_type(spelling):
@@ -204,6 +313,34 @@ RULES = {
             "src/sim/parallel.cpp",
         ),
         hint="use sim::ThreadPool / sim::parallel_map (src/sim/parallel.h)",
+    ),
+    "unchecked-buffer-access": Rule(
+        "unchecked-buffer-access",
+        "raw input access in a DNSSHIELD_UNTRUSTED_INPUT function "
+        "(builtin subscript, operator[] / .data() on a std container, "
+        "pointer arithmetic, mem*/str* call, or raw istream read); every "
+        "byte of untrusted input must flow through a bounds-checked "
+        "reader",
+        hint="read through sim::ByteReader / TextScanner / StreamReader "
+        "(src/sim/checked_reader.h) or the wire Decoder helpers",
+    ),
+    "unchecked-offset-arithmetic": Rule(
+        "unchecked-offset-arithmetic",
+        "hand-rolled offset/size arithmetic in a "
+        "DNSSHIELD_UNTRUSTED_INPUT function (builtin +/- over reader "
+        "positions or sizes); a forgotten truncation check here is a "
+        "heap overread",
+        hint="use the checked helpers — require()/limit()/seek()/"
+        "take_until() — instead of adding to pos()/size() by hand",
+    ),
+    "error-contract": Rule(
+        "error-contract",
+        "a DNSSHIELD_UNTRUSTED_INPUT function lets a non-parse-error "
+        "escape (throws a non-*Error type, calls .at()/sto* outside any "
+        "try block, or reaches abort-style control flow)",
+        hint="throw the parser's own *Error type (WireFormatError / "
+        "ZoneFileError / TraceFormatError); wrap std converters in "
+        "try/catch and rethrow",
     ),
 }
 
@@ -328,6 +465,7 @@ class Analyzer:
         self.index = cindex.Index.create()
         self.findings = set()  # (path, line, rule_name, message)
         self.hot_usrs = set()
+        self.untrusted_usrs = set()
         self._ck = cindex.CursorKind
         self._tk = cindex.TypeKind
 
@@ -378,16 +516,68 @@ class Analyzer:
             return True
         return self.rel(loc.file.name).startswith("..")
 
-    def has_hot_annotation(self, cursor):
+    def has_annotation(self, cursor, annotation):
         ck = self._ck
         for decl in (cursor, cursor.canonical):
             if decl is None:
                 continue
             for child in decl.get_children():
                 if (child.kind == ck.ANNOTATE_ATTR
-                        and child.spelling == HOT_ANNOTATION):
+                        and child.spelling == annotation):
                     return True
         return False
+
+    def member_parent_matches(self, ref, type_prefixes, class_names):
+        """True when `ref` (a referenced member function) belongs to one
+        of the named std classes. Checks the parent's canonical type
+        spelling first (covers instantiated members) and falls back to
+        the bare class name (covers the uninstantiated template
+        pattern, whose cursor has no usable type)."""
+        parent = ref.semantic_parent
+        if parent is None:
+            return False
+        try:
+            spelling = normalize_type(parent.type.get_canonical().spelling)
+        except Exception:  # noqa: BLE001 - namespaces etc. have no type
+            spelling = ""
+        if spelling and spelling.startswith(type_prefixes):
+            return True
+        return parent.spelling in class_names
+
+    def binary_op_spelling(self, node):
+        """Operator spelling of a builtin BINARY_OPERATOR /
+        COMPOUND_ASSIGNMENT_OPERATOR cursor. Uses the binary_operator
+        property (clang >= 17 bindings); older bindings fall back to
+        scanning for the first token past the LHS extent."""
+        try:
+            opcode = node.binary_operator
+            name = getattr(opcode, "name", "")
+            if name and name != "Invalid":
+                return _BINOP_NAME_TO_SPELLING.get(name, name)
+        except AttributeError:
+            pass
+        children = list(node.get_children())
+        if not children:
+            return ""
+        try:
+            lhs_end = children[0].extent.end.offset
+            for tok in node.get_tokens():
+                if tok.extent.start.offset >= lhs_end:
+                    return tok.spelling
+        except Exception:  # noqa: BLE001 - token access is best-effort
+            pass
+        return ""
+
+    def unwrap_expr(self, node):
+        """Descends through implicit casts / parens to the interesting
+        expression node."""
+        ck = self._ck
+        while node.kind in (ck.UNEXPOSED_EXPR, ck.PAREN_EXPR):
+            children = list(node.get_children())
+            if len(children) != 1:
+                break
+            node = children[0]
+        return node
 
     # -- per-node rule checks --
 
@@ -545,6 +735,130 @@ class Analyzer:
         for child in fn_cursor.get_children():
             visit(child)
 
+    # -- untrusted-input parse contracts --
+
+    def check_untrusted_call(self, node, fn_name, fn_path, try_depth):
+        ref = node.referenced
+        if ref is None:
+            return
+        name = ref.spelling
+        if (name == "operator[]"
+                and self.member_parent_matches(ref, SUBSCRIPT_PARENT_PREFIXES,
+                                               SUBSCRIPT_PARENT_NAMES)):
+            self.add("unchecked-buffer-access", node,
+                     f"unchecked operator[] on a std container in "
+                     f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`", path=fn_path)
+        elif (name == "data"
+              and self.member_parent_matches(ref, SUBSCRIPT_PARENT_PREFIXES,
+                                             SUBSCRIPT_PARENT_NAMES)):
+            self.add("unchecked-buffer-access", node,
+                     f"`.data()` escapes bounds checking in "
+                     f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`", path=fn_path)
+        elif name in RAW_MEMORY_FUNCTIONS and self.is_foreign(ref):
+            self.add("unchecked-buffer-access", node,
+                     f"raw memory function `{name}()` in "
+                     f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`", path=fn_path)
+        elif (name in RAW_ISTREAM_METHODS
+              and self.member_parent_matches(ref, ISTREAM_PARENT_PREFIXES,
+                                             ISTREAM_PARENT_NAMES)):
+            self.add("unchecked-buffer-access", node,
+                     f"raw istream `.{name}()` in "
+                     f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`", path=fn_path)
+        elif (name == "at" and try_depth == 0
+              and self.member_parent_matches(ref, AT_PARENT_PREFIXES,
+                                             AT_PARENT_NAMES)):
+            self.add("error-contract", node,
+                     f"unguarded `.at()` in DNSSHIELD_UNTRUSTED_INPUT "
+                     f"`{fn_name}` (std::out_of_range escapes)",
+                     path=fn_path)
+        elif (name in STO_FUNCTIONS and try_depth == 0
+              and self.is_foreign(ref)):
+            self.add("error-contract", node,
+                     f"unguarded `{name}()` in DNSSHIELD_UNTRUSTED_INPUT "
+                     f"`{fn_name}` (std::invalid_argument / "
+                     f"std::out_of_range escape)", path=fn_path)
+        elif name in ABORT_FUNCTIONS and self.is_foreign(ref):
+            self.add("error-contract", node,
+                     f"abort-style call `{name}()` in "
+                     f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}` (malformed "
+                     f"input must throw, never kill the process)",
+                     path=fn_path)
+
+    def check_offset_arithmetic(self, node, fn_name, fn_path):
+        op = self.binary_op_spelling(node)
+        if op not in OFFSET_OPERATORS:
+            return
+        for operand in node.get_children():
+            operand = self.unwrap_expr(operand)
+            try:
+                type_kind = operand.type.get_canonical().kind
+            except Exception:  # noqa: BLE001
+                continue
+            if type_kind in (self._tk.POINTER, self._tk.CONSTANTARRAY,
+                             self._tk.INCOMPLETEARRAY):
+                self.add("unchecked-buffer-access", node,
+                         f"pointer arithmetic (`{op}`) in "
+                         f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`",
+                         path=fn_path)
+                return
+            if operand.kind == self._ck.CALL_EXPR:
+                ref = operand.referenced
+                if ref is not None and ref.spelling in POSITION_METHODS:
+                    self.add("unchecked-offset-arithmetic", node,
+                             f"`{op}` over `.{ref.spelling}()` in "
+                             f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`",
+                             path=fn_path)
+                    return
+
+    def check_untrusted_throw(self, node, fn_name, fn_path):
+        children = list(node.get_children())
+        if not children:
+            return  # bare `throw;` rethrows something already caught
+        thrown = self.canonical_type(children[0].type)
+        if not thrown or PARSE_ERROR_TYPE_RE.match(thrown):
+            return
+        self.add("error-contract", node,
+                 f"throws non-parse-error `{thrown}` from "
+                 f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`", path=fn_path)
+
+    def check_untrusted_body(self, fn_cursor, fn_path):
+        ck = self._ck
+        fn_name = fn_cursor.spelling
+
+        def visit(node, try_depth):
+            rel = self.in_scope(node)
+            if rel is not None and rel != fn_path:
+                # Bodies textually inside the function only, as for the
+                # hot-path rule.
+                return
+            kind = node.kind
+            if kind == ck.CXX_TRY_STMT:
+                # The try block guards .at()/sto* throws; the catch
+                # handlers run outside that guard.
+                for child in node.get_children():
+                    if child.kind == ck.CXX_CATCH_STMT:
+                        visit(child, try_depth)
+                    else:
+                        visit(child, try_depth + 1)
+                return
+            if kind == ck.ARRAY_SUBSCRIPT_EXPR:
+                self.add("unchecked-buffer-access", node,
+                         f"raw array subscript in "
+                         f"DNSSHIELD_UNTRUSTED_INPUT `{fn_name}`",
+                         path=fn_path)
+            elif kind in (ck.BINARY_OPERATOR,
+                          ck.COMPOUND_ASSIGNMENT_OPERATOR):
+                self.check_offset_arithmetic(node, fn_name, fn_path)
+            elif kind == ck.CXX_THROW_EXPR:
+                self.check_untrusted_throw(node, fn_name, fn_path)
+            elif kind == ck.CALL_EXPR:
+                self.check_untrusted_call(node, fn_name, fn_path, try_depth)
+            for child in node.get_children():
+                visit(child, try_depth)
+
+        for child in fn_cursor.get_children():
+            visit(child, 0)
+
     # -- traversal --
 
     def walk(self, cursor):
@@ -561,12 +875,17 @@ class Analyzer:
             if (node.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
                               ck.FUNCTION_TEMPLATE, ck.CONSTRUCTOR,
                               ck.CONVERSION_FUNCTION)
-                    and node.is_definition()
-                    and self.has_hot_annotation(node)):
-                usr = node.get_usr()
-                if usr not in self.hot_usrs:
-                    self.hot_usrs.add(usr)
-                    self.check_hot_body(node, rel)
+                    and node.is_definition()):
+                if self.has_annotation(node, HOT_ANNOTATION):
+                    usr = node.get_usr()
+                    if usr not in self.hot_usrs:
+                        self.hot_usrs.add(usr)
+                        self.check_hot_body(node, rel)
+                if self.has_annotation(node, UNTRUSTED_ANNOTATION):
+                    usr = node.get_usr()
+                    if usr not in self.untrusted_usrs:
+                        self.untrusted_usrs.add(usr)
+                        self.check_untrusted_body(node, rel)
             self.walk(node)
 
     def analyze_tu(self, source, args):

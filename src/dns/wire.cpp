@@ -1,7 +1,9 @@
 #include "dns/wire.h"
 
-#include <cassert>
+#include <cctype>
 #include <map>
+
+#include "sim/checked_reader.h"
 
 namespace dnsshield::dns {
 
@@ -10,6 +12,11 @@ namespace {
 constexpr std::uint8_t kPointerTag = 0xc0;
 constexpr std::uint16_t kClassIn = 1;
 constexpr std::size_t kMaxNameOctets = 255;
+// RFC 1035 section 4.2: messages are bounded by the 16-bit TCP length
+// prefix. Enforcing the bound on decode also guarantees that re-encoding
+// any decoded message cannot overflow an RDLENGTH field (a near-64K TXT
+// rdata re-encodes with extra character-string headers).
+constexpr std::size_t kMaxMessageOctets = 65535;
 
 // ---- Encoder -------------------------------------------------------------
 
@@ -119,43 +126,18 @@ void encode_record(Encoder& enc, const ResourceRecord& rr) {
 
 // ---- Decoder -------------------------------------------------------------
 
-class Decoder {
+/// The allowlisted accessor for raw packet bytes: the bounds-checked
+/// sim::ByteReader core plus the compression-pointer-chasing name reader.
+/// Everything above this class (decode_rdata / decode_record /
+/// decode_message) is DNSSHIELD_UNTRUSTED_INPUT and may only read the
+/// wire through it.
+class Decoder : public sim::ByteReader<WireFormatError> {
  public:
-  explicit Decoder(std::span<const std::uint8_t> wire) : wire_(wire) {}
-
-  std::uint8_t u8() {
-    require(1);
-    return wire_[pos_++];
-  }
-
-  std::uint16_t u16() {
-    require(2);
-    const std::uint16_t v =
-        static_cast<std::uint16_t>((wire_[pos_] << 8) | wire_[pos_ + 1]);
-    pos_ += 2;
-    return v;
-  }
-
-  std::uint32_t u32() {
-    const std::uint32_t hi = u16();
-    return (hi << 16) | u16();
-  }
+  using sim::ByteReader<WireFormatError>::ByteReader;
 
   Name name() { return name_at(&pos_, /*allow_pointer=*/true); }
 
-  std::size_t pos() const { return pos_; }
-  bool at_end() const { return pos_ == wire_.size(); }
-
-  void seek(std::size_t pos) {
-    if (pos > wire_.size()) throw WireFormatError("seek past end");
-    pos_ = pos;
-  }
-
  private:
-  void require(std::size_t n) const {
-    if (pos_ + n > wire_.size()) throw WireFormatError("truncated message");
-  }
-
   /// Reads a name starting at *cursor, following compression pointers.
   /// Pointers must point strictly backwards, which also bounds recursion.
   Name name_at(std::size_t* cursor, bool allow_pointer) {
@@ -164,13 +146,13 @@ class Decoder {
     bool jumped = false;
     std::size_t name_octets = 0;
     for (;;) {
-      if (pos >= wire_.size()) throw WireFormatError("name runs past end");
-      const std::uint8_t len = wire_[pos];
+      if (pos >= data_.size()) throw WireFormatError("name runs past end");
+      const std::uint8_t len = data_[pos];
       if ((len & kPointerTag) == kPointerTag) {
         if (!allow_pointer) throw WireFormatError("unexpected compression pointer");
-        if (pos + 1 >= wire_.size()) throw WireFormatError("truncated pointer");
+        if (pos + 1 >= data_.size()) throw WireFormatError("truncated pointer");
         const std::size_t target =
-            (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[pos + 1];
+            (static_cast<std::size_t>(len & 0x3f) << 8) | data_[pos + 1];
         if (target >= pos) throw WireFormatError("forward/looping compression pointer");
         if (!jumped) *cursor = pos + 2;
         jumped = true;
@@ -182,21 +164,29 @@ class Decoder {
         if (!jumped) *cursor = pos + 1;
         break;
       }
-      if (pos + 1 + len > wire_.size()) throw WireFormatError("label runs past end");
+      if (pos + 1 + len > data_.size()) throw WireFormatError("label runs past end");
       name_octets += len + 1u;
       if (name_octets + 1 > kMaxNameOctets) throw WireFormatError("name too long");
-      labels.emplace_back(reinterpret_cast<const char*>(wire_.data() + pos + 1), len);
+      const char* text = reinterpret_cast<const char*>(data_.data() + pos + 1);
+      // Name rejects bytes that are ambiguous in presentation format;
+      // surface those as parse errors here so Name::from_labels below can
+      // never throw (the decoder's error contract is WireFormatError only).
+      for (std::size_t i = 0; i < len; ++i) {
+        const unsigned char c = static_cast<unsigned char>(text[i]);
+        if (std::isspace(c) || c == '.') {
+          throw WireFormatError("unrepresentable byte in label");
+        }
+      }
+      labels.emplace_back(text, len);
       pos += 1 + static_cast<std::size_t>(len);
     }
     return Name::from_labels(std::move(labels));
   }
-
-  std::span<const std::uint8_t> wire_;
-  std::size_t pos_ = 0;
 };
 
+DNSSHIELD_UNTRUSTED_INPUT
 Rdata decode_rdata(Decoder& dec, RRType type, std::size_t rdlength) {
-  const std::size_t end = dec.pos() + rdlength;
+  const std::size_t end = dec.limit(rdlength);
   Rdata out;
   switch (type) {
     case RRType::kA: {
@@ -256,6 +246,7 @@ Rdata decode_rdata(Decoder& dec, RRType type, std::size_t rdlength) {
   return out;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 ResourceRecord decode_record(Decoder& dec) {
   ResourceRecord rr;
   rr.name = dec.name();
@@ -314,7 +305,11 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
   return enc.take();
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 Message decode_message(std::span<const std::uint8_t> wire) {
+  if (wire.size() > kMaxMessageOctets) {
+    throw WireFormatError("message exceeds 65535 octets");
+  }
   Decoder dec(wire);
   const std::uint16_t id = dec.u16();
   const std::uint16_t flags = dec.u16();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dns/message.h"
+#include "sim/annotations.h"
 
 namespace dnsshield::dns {
 
@@ -25,9 +26,12 @@ class WireFormatError : public std::runtime_error {
 /// CNAME / SOA / MX / PTR rdata (the RFC 1035 "well-known" set).
 std::vector<std::uint8_t> encode_message(const Message& msg);
 
-/// Parses a wire-format message. Throws WireFormatError on malformed input:
-/// truncated sections, compression pointers that point forward or form
-/// loops, label overruns, or trailing garbage.
+/// Parses a wire-format message. Throws WireFormatError (and only
+/// WireFormatError) on malformed input: truncated sections, compression
+/// pointers that point forward or form loops, label overruns, oversized
+/// messages (> 65535 octets), or trailing garbage. The exact error
+/// strings are a stable contract, pinned by tests/test_wire_malformed.cpp.
+DNSSHIELD_UNTRUSTED_INPUT
 Message decode_message(std::span<const std::uint8_t> wire);
 
 /// Byte size of the encoded message without materializing it twice.

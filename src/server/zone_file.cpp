@@ -1,9 +1,12 @@
 #include "server/zone_file.h"
 
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <fstream>
 #include <sstream>
+
+#include "sim/checked_reader.h"
 
 namespace dnsshield::server {
 
@@ -13,46 +16,78 @@ using dns::RRType;
 
 namespace {
 
+using TextScanner = sim::TextScanner<ZoneFileError>;
+
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
   throw ZoneFileError("zone file line " + std::to_string(line_no) + ": " + what);
 }
 
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
 /// Splits a line into whitespace-separated tokens; '"..."' forms one token
 /// (TXT strings); ';' starts a comment.
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
   std::vector<std::string> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (std::isspace(static_cast<unsigned char>(line[i]))) {
-      ++i;
+  TextScanner sc(line);
+  while (!sc.at_end()) {
+    const char c = sc.peek();
+    if (is_space(c)) {
+      sc.advance();
       continue;
     }
-    if (line[i] == ';') break;  // comment
-    if (line[i] == '"') {
-      const std::size_t close = line.find('"', i + 1);
-      if (close == std::string::npos) fail(line_no, "unterminated string");
-      tokens.push_back(line.substr(i + 1, close - i - 1));
-      i = close + 1;
+    if (c == ';') break;  // comment
+    if (c == '"') {
+      sc.advance();
+      const std::string_view quoted = sc.take_until('"');
+      if (sc.at_end()) fail(line_no, "unterminated string");
+      sc.advance();  // closing quote
+      tokens.emplace_back(quoted);
       continue;
     }
-    std::size_t end = i;
-    while (end < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[end])) &&
-           line[end] != ';') {
-      ++end;
-    }
-    tokens.push_back(line.substr(i, end - i));
-    i = end;
+    tokens.emplace_back(
+        sc.take_while([](char t) { return !is_space(t) && t != ';'; }));
   }
   return tokens;
 }
 
+/// Bounds-checked cursor over a line's tokens: the accessor layer the
+/// annotated parsing code reads tokens through (no raw indexing).
+class TokenCursor {
+ public:
+  TokenCursor(const std::vector<std::string>& tokens, std::size_t line_no)
+      : tokens_(tokens), line_no_(line_no) {}
+
+  bool done() const { return next_ == tokens_.size(); }
+
+  const std::string& peek() const {
+    if (done()) fail(line_no_, "unexpected end of line");
+    return tokens_[next_];
+  }
+
+  const std::string& next(const char* what) {
+    if (done()) fail(line_no_, what);
+    return tokens_[next_++];
+  }
+
+  void advance() { static_cast<void>(next("unexpected end of line")); }
+
+ private:
+  const std::vector<std::string>& tokens_;
+  std::size_t line_no_;
+  std::size_t next_ = 0;
+};
+
 /// Resolves a possibly relative name against the origin.
+DNSSHIELD_UNTRUSTED_INPUT
 Name resolve_name(const std::string& text, const Name& origin,
                   std::size_t line_no) {
+  if (text.empty()) fail(line_no, "empty name");
   try {
     if (text == "@") return origin;
-    if (!text.empty() && text.back() == '.') return Name::parse(text);
+    if (text.back() == '.') return Name::parse(text);
     // Relative: append the origin's labels.
     Name relative = Name::parse(text + ".");
     std::vector<std::string> labels(relative.labels().begin(),
@@ -64,6 +99,8 @@ Name resolve_name(const std::string& text, const Name& origin,
   }
 }
 
+/// Leaf numeric converter; deliberately unannotated — the from_chars
+/// call over the token's own bounds is the checked accessor here.
 std::uint32_t parse_u32(const std::string& text, std::size_t line_no,
                         const char* what) {
   std::uint32_t v = 0;
@@ -74,46 +111,42 @@ std::uint32_t parse_u32(const std::string& text, std::size_t line_no,
   return v;
 }
 
-dns::Rdata parse_rdata(RRType type, const std::vector<std::string>& tokens,
-                       std::size_t index, const Name& origin,
+DNSSHIELD_UNTRUSTED_INPUT
+dns::Rdata parse_rdata(RRType type, TokenCursor& cur, const Name& origin,
                        std::size_t line_no) {
-  auto need = [&](std::size_t n) {
-    if (tokens.size() - index < n) fail(line_no, "missing rdata fields");
-  };
+  const char* missing = "missing rdata fields";
   switch (type) {
     case RRType::kA: {
-      need(1);
+      const std::string& address = cur.next(missing);
       try {
-        return dns::ARdata{dns::IpAddr::parse(tokens[index])};
+        return dns::ARdata{dns::IpAddr::parse(address)};
       } catch (const std::invalid_argument& e) {
         fail(line_no, e.what());
       }
     }
     case RRType::kNS:
-      need(1);
-      return dns::NsRdata{resolve_name(tokens[index], origin, line_no)};
+      return dns::NsRdata{resolve_name(cur.next(missing), origin, line_no)};
     case RRType::kCNAME:
     case RRType::kPTR:
-      need(1);
-      return dns::CnameRdata{resolve_name(tokens[index], origin, line_no)};
-    case RRType::kMX:
-      need(2);
+      return dns::CnameRdata{resolve_name(cur.next(missing), origin, line_no)};
+    case RRType::kMX: {
+      const std::string& preference = cur.next(missing);
+      const std::string& exchange = cur.next(missing);
       return dns::MxRdata{
-          static_cast<std::uint16_t>(parse_u32(tokens[index], line_no, "preference")),
-          resolve_name(tokens[index + 1], origin, line_no)};
+          static_cast<std::uint16_t>(parse_u32(preference, line_no, "preference")),
+          resolve_name(exchange, origin, line_no)};
+    }
     case RRType::kTXT:
-      need(1);
-      return dns::TxtRdata{tokens[index]};
+      return dns::TxtRdata{cur.next(missing)};
     case RRType::kSOA: {
-      need(7);
       dns::SoaRdata soa;
-      soa.mname = resolve_name(tokens[index], origin, line_no);
-      soa.rname = resolve_name(tokens[index + 1], origin, line_no);
-      soa.serial = parse_u32(tokens[index + 2], line_no, "serial");
-      soa.refresh = parse_u32(tokens[index + 3], line_no, "refresh");
-      soa.retry = parse_u32(tokens[index + 4], line_no, "retry");
-      soa.expire = parse_u32(tokens[index + 5], line_no, "expire");
-      soa.minimum = parse_u32(tokens[index + 6], line_no, "minimum");
+      soa.mname = resolve_name(cur.next(missing), origin, line_no);
+      soa.rname = resolve_name(cur.next(missing), origin, line_no);
+      soa.serial = parse_u32(cur.next(missing), line_no, "serial");
+      soa.refresh = parse_u32(cur.next(missing), line_no, "refresh");
+      soa.retry = parse_u32(cur.next(missing), line_no, "retry");
+      soa.expire = parse_u32(cur.next(missing), line_no, "expire");
+      soa.minimum = parse_u32(cur.next(missing), line_no, "minimum");
       return soa;
     }
     default: fail(line_no, "unsupported record type in zone file");
@@ -122,6 +155,7 @@ dns::Rdata parse_rdata(RRType type, const std::vector<std::string>& tokens,
 
 }  // namespace
 
+DNSSHIELD_UNTRUSTED_INPUT
 ZoneFileContents parse_zone_file(std::istream& in, const Name& default_origin) {
   ZoneFileContents contents;
   contents.origin = default_origin;
@@ -133,56 +167,63 @@ ZoneFileContents parse_zone_file(std::istream& in, const Name& default_origin) {
 
   while (std::getline(in, line)) {
     ++line_no;
-    const bool line_starts_blank =
-        !line.empty() && std::isspace(static_cast<unsigned char>(line[0]));
+    const bool line_starts_blank = !line.empty() && is_space(line.front());
     const auto tokens = tokenize(line, line_no);
     if (tokens.empty()) continue;
+    TokenCursor cur(tokens, line_no);
 
-    if (tokens[0] == "$ORIGIN") {
+    if (cur.peek() == "$ORIGIN") {
       if (tokens.size() != 2) fail(line_no, "$ORIGIN needs one argument");
-      contents.origin = resolve_name(tokens[1], contents.origin, line_no);
+      cur.advance();
+      contents.origin =
+          resolve_name(cur.next("$ORIGIN needs one argument"), contents.origin,
+                       line_no);
       continue;
     }
-    if (tokens[0] == "$TTL") {
+    if (cur.peek() == "$TTL") {
       if (tokens.size() != 2) fail(line_no, "$TTL needs one argument");
-      contents.default_ttl = parse_u32(tokens[1], line_no, "$TTL");
+      cur.advance();
+      contents.default_ttl =
+          parse_u32(cur.next("$TTL needs one argument"), line_no, "$TTL");
       continue;
     }
-    if (tokens[0].front() == '$') fail(line_no, "unknown directive " + tokens[0]);
+    if (cur.peek().starts_with('$')) {
+      fail(line_no, "unknown directive " + cur.peek());
+    }
 
     // <owner> [ttl] [IN] <type> <rdata...>; a leading blank repeats the
     // previous owner.
-    std::size_t index = 0;
     Name owner = previous_owner;
     if (!line_starts_blank) {
-      owner = resolve_name(tokens[index++], contents.origin, line_no);
+      owner = resolve_name(cur.next("record without an owner"), contents.origin,
+                           line_no);
     } else if (!have_owner) {
       fail(line_no, "record without an owner");
     }
 
     std::uint32_t ttl = contents.default_ttl;
-    if (index < tokens.size() &&
-        std::all_of(tokens[index].begin(), tokens[index].end(),
+    if (!cur.done() &&
+        std::all_of(cur.peek().begin(), cur.peek().end(),
                     [](unsigned char c) { return std::isdigit(c); })) {
-      ttl = parse_u32(tokens[index++], line_no, "ttl");
+      ttl = parse_u32(cur.next("missing record type"), line_no, "ttl");
     }
-    if (index < tokens.size() && (tokens[index] == "IN" || tokens[index] == "in")) {
-      ++index;
+    if (!cur.done() && (cur.peek() == "IN" || cur.peek() == "in")) {
+      cur.advance();
     }
-    if (index >= tokens.size()) fail(line_no, "missing record type");
+    if (cur.done()) fail(line_no, "missing record type");
     RRType type;
     try {
-      type = dns::rrtype_from_string(tokens[index]);
+      type = dns::rrtype_from_string(cur.peek());
     } catch (const std::invalid_argument&) {
-      fail(line_no, "unknown record type " + tokens[index]);
+      fail(line_no, "unknown record type " + cur.peek());
     }
-    ++index;
+    cur.advance();
 
     ResourceRecord rr;
     rr.name = owner;
     rr.type = type;
     rr.ttl = ttl;
-    rr.rdata = parse_rdata(type, tokens, index, contents.origin, line_no);
+    rr.rdata = parse_rdata(type, cur, contents.origin, line_no);
     contents.records.push_back(std::move(rr));
     previous_owner = owner;
     have_owner = true;
@@ -190,6 +231,7 @@ ZoneFileContents parse_zone_file(std::istream& in, const Name& default_origin) {
   return contents;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 Zone load_zone(const ZoneFileContents& contents) {
   const Name& origin = contents.origin;
 
@@ -287,6 +329,7 @@ Zone load_zone(const ZoneFileContents& contents) {
   return zone;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 Zone load_zone_file(const std::string& path, const Name& origin) {
   std::ifstream in(path);
   if (!in) throw ZoneFileError("cannot open: " + path);

@@ -21,6 +21,7 @@
 
 #include "dns/rr.h"
 #include "server/zone.h"
+#include "sim/annotations.h"
 
 namespace dnsshield::server {
 
@@ -37,16 +38,19 @@ struct ZoneFileContents {
 };
 
 /// Parses master-file text. `default_origin` applies until a $ORIGIN
-/// directive appears; pass the zone's apex. Throws ZoneFileError with a
-/// line number on malformed input.
+/// directive appears; pass the zone's apex. Throws ZoneFileError (and
+/// only ZoneFileError) with a line number on malformed input.
+DNSSHIELD_UNTRUSTED_INPUT
 ZoneFileContents parse_zone_file(std::istream& in, const dns::Name& default_origin);
 
 /// Builds an answerable Zone from parsed contents. Requirements: exactly
 /// one SOA at the apex; at least one apex NS; in-bailiwick apex servers
 /// need a matching A record (glue). Throws ZoneFileError on violations.
+DNSSHIELD_UNTRUSTED_INPUT
 Zone load_zone(const ZoneFileContents& contents);
 
 /// Convenience: parse + load from a file path.
+DNSSHIELD_UNTRUSTED_INPUT
 Zone load_zone_file(const std::string& path, const dns::Name& origin);
 
 /// Serializes a Zone back to master-file text (round-trips through

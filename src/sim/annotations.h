@@ -1,6 +1,6 @@
-// Compile-time contract annotations (DESIGN.md section 12).
+// Compile-time contract annotations (DESIGN.md sections 12 and 13).
 //
-// Two families, both no-ops outside clang so the gcc tier-1 build is
+// Three families, all no-ops outside clang so the gcc tier-1 build is
 // untouched:
 //
 //  - DNSSHIELD_HOT marks a function as part of the allocation-budgeted
@@ -10,6 +10,18 @@
 //    new-expressions, std::function construction, or locals/temporaries
 //    of allocating std containers/strings. The macro turns the benchmark
 //    guard's runtime property into a compile-time (analysis-time) one.
+//
+//  - DNSSHIELD_UNTRUSTED_INPUT marks a function that parses bytes the
+//    library does not control (wire packets, zone-file text, trace
+//    files). Three analyzer rules fire inside annotated bodies:
+//    `unchecked-buffer-access` (no raw operator[]/pointer arithmetic/
+//    memcpy/raw istream reads on the input; every read flows through the
+//    bounds-checked readers in src/sim/checked_reader.h or the wire
+//    Decoder), `unchecked-offset-arithmetic` (no hand-rolled size/offset
+//    additions; use need()/seek()/limit() so truncation checks cannot be
+//    forgotten), and `error-contract` (only *Error parse exceptions may
+//    escape; no std::out_of_range via unguarded .at()/sto*, no
+//    abort-style control flow).
 //
 //  - DNSSHIELD_GUARDED_BY / DNSSHIELD_REQUIRES / DNSSHIELD_ACQUIRE /
 //    DNSSHIELD_RELEASE / ... map to clang's thread-safety capability
@@ -25,9 +37,12 @@
 
 #if defined(__clang__)
 #define DNSSHIELD_HOT __attribute__((annotate("dnsshield::hot")))
+#define DNSSHIELD_UNTRUSTED_INPUT \
+  __attribute__((annotate("dnsshield::untrusted_input")))
 #define DNSSHIELD_THREAD_ANNOTATION(x) __attribute__((x))
 #else
 #define DNSSHIELD_HOT
+#define DNSSHIELD_UNTRUSTED_INPUT
 #define DNSSHIELD_THREAD_ANNOTATION(x)
 #endif
 

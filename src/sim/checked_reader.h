@@ -1,0 +1,217 @@
+// Bounds-checked readers for the untrusted-input boundary (DESIGN.md
+// section 13).
+//
+// Every parser that consumes bytes the library does not control (wire
+// packets, zone-file text, trace files) is annotated
+// DNSSHIELD_UNTRUSTED_INPUT and must funnel all input access through one
+// of these readers: the analyzer's `unchecked-buffer-access` and
+// `unchecked-offset-arithmetic` rules ban raw subscripts, pointer
+// arithmetic, and hand-rolled offset sums inside annotated bodies, so a
+// forgotten truncation check is a CI failure, not a heap overread.
+//
+// The readers are templated on the parser's error type (WireFormatError,
+// ZoneFileError, TraceFormatError) so a bounds violation surfaces as the
+// parser's own documented exception — which is exactly what the
+// `error-contract` rule and the fuzz harnesses (fuzz/) then hold the
+// entry points to.
+//
+// The reader implementations themselves are deliberately *not*
+// annotated: they are the allowlisted accessor layer, small enough to
+// review by hand and hammered by tests/test_untrusted_robustness.cpp and
+// the fuzz corpus.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace dnsshield::sim {
+
+/// Cursor over a byte span. Every read checks the remaining length and
+/// throws `Error` before touching out-of-range memory.
+template <class Error>
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<unsigned>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t size() const { return data_.size(); }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Fails unless `n` more bytes are available.
+  void require(std::size_t n) const {
+    // pos_ <= size() is an invariant, so the subtraction cannot wrap.
+    if (n > data_.size() - pos_) throw Error("truncated message");
+  }
+
+  /// Checked end offset of an `n`-byte length-prefixed region starting at
+  /// the cursor: the one place offset arithmetic happens on behalf of the
+  /// annotated parsers.
+  std::size_t limit(std::size_t n) const {
+    require(n);
+    return pos_ + n;
+  }
+
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw Error("seek past end");
+    pos_ = pos;
+  }
+
+ protected:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Cursor over a line/string of untrusted text. All consuming primitives
+/// clamp at end-of-input; peek/advance on an exhausted scanner throw
+/// `Error` (a parser bug, surfaced as the parse error type).
+template <class Error>
+class TextScanner {
+ public:
+  explicit TextScanner(std::string_view text) : text_(text) {}
+
+  bool at_end() const { return pos_ == text_.size(); }
+
+  char peek() const {
+    require_more();
+    return text_[pos_];
+  }
+
+  void advance() {
+    require_more();
+    ++pos_;
+  }
+
+  /// Consumes `c` if it is next; returns whether it did.
+  bool skip(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// Consumes up to (not including) the next `stop`, or to the end.
+  /// Check at_end() afterwards to tell which.
+  std::string_view take_until(char stop) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != stop) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Consumes the maximal prefix satisfying `pred(char)`.
+  template <class Pred>
+  std::string_view take_while(Pred pred) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && pred(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Consumes and returns everything left.
+  std::string_view rest() {
+    const std::string_view r = text_.substr(pos_);
+    pos_ = text_.size();
+    return r;
+  }
+
+ private:
+  void require_more() const {
+    if (at_end()) throw Error("read past end of input");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Cursor over an untrusted byte stream. Short reads throw `Error` with
+/// the given context prefix (e.g. "binary trace: ") so messages match
+/// the parser's documented error text.
+template <class Error>
+class StreamReader {
+ public:
+  StreamReader(std::istream& in, std::string context)
+      : in_(in), context_(std::move(context)) {}
+
+  /// EOF probe that does not consume.
+  bool at_end() { return in_.peek() == std::istream::traits_type::eof(); }
+
+  std::uint8_t u8(const char* what = "truncated input") {
+    const int c = in_.get();
+    if (c == std::istream::traits_type::eof()) fail(what);
+    return static_cast<std::uint8_t>(c);
+  }
+
+  /// LEB128 varint (7 data bits per byte, high bit continues).
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const int c = in_.get();
+      if (c == std::istream::traits_type::eof()) fail("truncated varint");
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) fail("varint overflow");
+    }
+    return v;
+  }
+
+  /// Reads exactly `n` bytes into a string.
+  std::string read_string(std::size_t n, const char* what = "truncated input") {
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n) fail(what);
+    return s;
+  }
+
+  /// Consumes `expected` verbatim (magic numbers); any deviation or
+  /// truncation fails with `what`.
+  void require_bytes(std::string_view expected, const char* what) {
+    for (const char c : expected) {
+      const int got = in_.get();
+      if (got == std::istream::traits_type::eof() ||
+          static_cast<char>(got) != c) {
+        fail(what);
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const char* what) const {
+    throw Error(context_ + what);
+  }
+
+ private:
+  std::istream& in_;
+  std::string context_;
+};
+
+/// Bounds-checked element lookup for untrusted indices (e.g. the binary
+/// trace name table): the annotated parsers use this instead of raw
+/// operator[].
+template <class Error, class Container>
+const typename Container::value_type& checked_lookup(const Container& c,
+                                                     std::uint64_t index,
+                                                     const char* what) {
+  if (index >= c.size()) throw Error(what);
+  return c[static_cast<std::size_t>(index)];
+}
+
+}  // namespace dnsshield::sim

@@ -1,16 +1,24 @@
 #include "trace/binary_io.h"
 
 #include <cmath>
-#include <cstring>
 #include <fstream>
+#include <string_view>
 #include <unordered_map>
+
+#include "sim/checked_reader.h"
 
 namespace dnsshield::trace {
 
 namespace {
 
-constexpr char kMagic[4] = {'D', 'N', 'S', 'B'};
+constexpr std::string_view kMagic = "DNSB";
 constexpr std::uint8_t kVersion = 1;
+// Times are capped at 1e15 microseconds (~31 years from trace start).
+// Within the cap a micros -> SimTime -> micros round-trip is exact (the
+// double representation error stays below half a microsecond), so the
+// decode -> encode -> decode fixpoint asserted by fuzz/fuzz_trace_io.cpp
+// holds, and llround below can never overflow.
+constexpr std::uint64_t kMaxTraceMicros = 1'000'000'000'000'000;
 
 void put_varint(std::ostream& out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -20,28 +28,17 @@ void put_varint(std::ostream& out, std::uint64_t v) {
   out.put(static_cast<char>(v));
 }
 
-std::uint64_t get_varint(std::istream& in) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const int c = in.get();
-    if (c == EOF) throw TraceFormatError("binary trace: truncated varint");
-    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) break;
-    shift += 7;
-    if (shift > 63) throw TraceFormatError("binary trace: varint overflow");
-  }
-  return v;
-}
-
 std::uint64_t to_micros(sim::SimTime t) {
+  if (!(t >= 0) || t > static_cast<sim::SimTime>(kMaxTraceMicros) * 1e-6) {
+    throw TraceFormatError("binary trace: time out of range");
+  }
   return static_cast<std::uint64_t>(std::llround(t * 1e6));
 }
 
 }  // namespace
 
 void write_trace_binary(std::ostream& out, const std::vector<QueryEvent>& events) {
-  out.write(kMagic, sizeof kMagic);
+  out.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
   out.put(static_cast<char>(kVersion));
 
   std::unordered_map<dns::Name, std::uint64_t, dns::NameHash> name_ids;
@@ -69,39 +66,31 @@ void write_trace_binary(std::ostream& out, const std::vector<QueryEvent>& events
   }
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::size_t for_each_query_binary(
     std::istream& in, const std::function<void(const QueryEvent&)>& sink) {
-  char magic[4];
-  in.read(magic, sizeof magic);
-  if (in.gcount() != sizeof magic || std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    throw TraceFormatError("binary trace: bad magic");
-  }
-  const int version = in.get();
-  if (version != kVersion) throw TraceFormatError("binary trace: bad version");
+  sim::StreamReader<TraceFormatError> r(in, "binary trace: ");
+  r.require_bytes(kMagic, "bad magic");
+  if (r.u8("bad version") != kVersion) r.fail("bad version");
 
   std::vector<dns::Name> names;
   std::uint64_t micros = 0;
   std::size_t count = 0;
   for (;;) {
-    // Peek for EOF before committing to an event.
-    if (in.peek() == EOF) break;
+    // Probe for EOF before committing to an event.
+    if (r.at_end()) break;
     QueryEvent ev;
-    micros += get_varint(in);
+    const std::uint64_t delta = r.varint();
+    if (delta > kMaxTraceMicros - micros) r.fail("time out of range");
+    micros += delta;
     ev.time = static_cast<sim::SimTime>(micros) * 1e-6;
-    ev.client_id = static_cast<std::uint32_t>(get_varint(in));
-    const std::uint64_t id = get_varint(in);
-    if (id < names.size()) {
-      ev.qname = names[id];
-    } else if (id == names.size()) {
-      const std::uint64_t len = get_varint(in);
-      if (len == 0 || len > 256) {
-        throw TraceFormatError("binary trace: bad name length");
-      }
-      std::string text(len, '\0');
-      in.read(text.data(), static_cast<std::streamsize>(len));
-      if (static_cast<std::uint64_t>(in.gcount()) != len) {
-        throw TraceFormatError("binary trace: truncated name");
-      }
+    ev.client_id = static_cast<std::uint32_t>(r.varint());
+    const std::uint64_t id = r.varint();
+    if (id == names.size()) {
+      const std::uint64_t len = r.varint();
+      if (len == 0 || len > 256) r.fail("bad name length");
+      const std::string text =
+          r.read_string(static_cast<std::size_t>(len), "truncated name");
       try {
         names.push_back(dns::Name::parse(text));
       } catch (const std::invalid_argument& e) {
@@ -109,15 +98,17 @@ std::size_t for_each_query_binary(
       }
       ev.qname = names.back();
     } else {
-      throw TraceFormatError("binary trace: name id out of range");
+      ev.qname = sim::checked_lookup<TraceFormatError>(
+          names, id, "binary trace: name id out of range");
     }
-    ev.qtype = static_cast<dns::RRType>(get_varint(in));
+    ev.qtype = static_cast<dns::RRType>(r.varint());
     sink(ev);
     ++count;
   }
   return count;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_binary(std::istream& in) {
   std::vector<QueryEvent> events;
   for_each_query_binary(in, [&](const QueryEvent& ev) { events.push_back(ev); });
@@ -131,6 +122,7 @@ void write_trace_binary_file(const std::string& path,
   write_trace_binary(out, events);
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw TraceFormatError("cannot open: " + path);

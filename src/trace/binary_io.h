@@ -29,11 +29,14 @@ void write_trace_binary(std::ostream& out, const std::vector<QueryEvent>& events
 void write_trace_binary_file(const std::string& path,
                              const std::vector<QueryEvent>& events);
 
-/// Throws TraceFormatError on malformed input.
+/// Throws TraceFormatError (and only TraceFormatError) on malformed input.
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_binary(std::istream& in);
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_binary_file(const std::string& path);
 
 /// Streaming read; returns the number of events.
+DNSSHIELD_UNTRUSTED_INPUT
 std::size_t for_each_query_binary(
     std::istream& in, const std::function<void(const QueryEvent&)>& sink);
 

@@ -1,58 +1,71 @@
 #include "trace/trace_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 
+#include "sim/annotations.h"
+#include "sim/checked_reader.h"
+
 namespace dnsshield::trace {
 
 namespace {
 
-std::vector<std::string_view> split_tabs(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t tab = line.find('\t', start);
-    fields.push_back(line.substr(start, tab == std::string_view::npos
-                                            ? std::string_view::npos
-                                            : tab - start));
-    if (tab == std::string_view::npos) break;
-    start = tab + 1;
-  }
-  return fields;
+using TextScanner = sim::TextScanner<TraceFormatError>;
+
+[[noreturn]] void fail_line(std::size_t line_no, const std::string& what) {
+  throw TraceFormatError("line " + std::to_string(line_no) + ": " + what);
 }
 
+/// Leaf numeric converters; deliberately unannotated — the from_chars
+/// call over the field's own bounds is the checked accessor here. Both
+/// require full consumption of the field.
+bool parse_double_field(std::string_view text, double* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_u32_field(std::string_view text, std::uint32_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
 QueryEvent parse_line(std::string_view line, std::size_t line_no,
                       sim::SimTime prev_time) {
-  const auto fields = split_tabs(line);
-  if (fields.size() != 4) {
-    throw TraceFormatError("line " + std::to_string(line_no) +
-                           ": expected 4 tab-separated fields");
-  }
+  TextScanner sc(line);
+  const std::string_view time_text = sc.take_until('\t');
+  if (!sc.skip('\t')) fail_line(line_no, "expected 4 tab-separated fields");
+  const std::string_view client_text = sc.take_until('\t');
+  if (!sc.skip('\t')) fail_line(line_no, "expected 4 tab-separated fields");
+  const std::string_view qname_text = sc.take_until('\t');
+  if (!sc.skip('\t')) fail_line(line_no, "expected 4 tab-separated fields");
+  const std::string_view qtype_text = sc.take_until('\t');
+  if (!sc.at_end()) fail_line(line_no, "expected 4 tab-separated fields");
+
   QueryEvent ev;
-  try {
-    ev.time = std::stod(std::string(fields[0]));
-  } catch (const std::exception&) {
-    throw TraceFormatError("line " + std::to_string(line_no) + ": bad time");
+  // Non-finite times would break the ordering contract (NaN compares
+  // false against everything) and the binary format's microsecond
+  // encoding, so they are malformed input, not numbers.
+  if (!parse_double_field(time_text, &ev.time) || !std::isfinite(ev.time)) {
+    fail_line(line_no, "bad time");
   }
-  if (ev.time < prev_time) {
-    throw TraceFormatError("line " + std::to_string(line_no) +
-                           ": time goes backwards");
-  }
+  if (ev.time < prev_time) fail_line(line_no, "time goes backwards");
   std::uint32_t client = 0;
-  const auto [ptr, ec] =
-      std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(), client);
-  if (ec != std::errc{} || ptr != fields[1].data() + fields[1].size()) {
-    throw TraceFormatError("line " + std::to_string(line_no) + ": bad client id");
+  if (!parse_u32_field(client_text, &client)) {
+    fail_line(line_no, "bad client id");
   }
   ev.client_id = client;
   try {
-    ev.qname = dns::Name::parse(fields[2]);
-    ev.qtype = dns::rrtype_from_string(fields[3]);
+    ev.qname = dns::Name::parse(qname_text);
+    ev.qtype = dns::rrtype_from_string(qtype_text);
   } catch (const std::invalid_argument& e) {
-    throw TraceFormatError("line " + std::to_string(line_no) + ": " + e.what());
+    fail_line(line_no, e.what());
   }
   return ev;
 }
@@ -75,6 +88,7 @@ void write_trace_file(const std::string& path, const std::vector<QueryEvent>& ev
   write_trace(out, events);
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::size_t for_each_query(std::istream& in,
                            const std::function<void(const QueryEvent&)>& sink) {
   std::string line;
@@ -83,7 +97,7 @@ std::size_t for_each_query(std::istream& in,
   sim::SimTime prev_time = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line.starts_with('#')) continue;
     const QueryEvent ev = parse_line(line, line_no, prev_time);
     prev_time = ev.time;
     sink(ev);
@@ -92,12 +106,14 @@ std::size_t for_each_query(std::istream& in,
   return count;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace(std::istream& in) {
   std::vector<QueryEvent> events;
   for_each_query(in, [&](const QueryEvent& ev) { events.push_back(ev); });
   return events;
 }
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw TraceFormatError("cannot open: " + path);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.h"
 #include "trace/query_event.h"
 
 namespace dnsshield::trace {
@@ -26,11 +27,14 @@ class TraceFormatError : public std::runtime_error {
 void write_trace(std::ostream& out, const std::vector<QueryEvent>& events);
 void write_trace_file(const std::string& path, const std::vector<QueryEvent>& events);
 
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace(std::istream& in);
+DNSSHIELD_UNTRUSTED_INPUT
 std::vector<QueryEvent> read_trace_file(const std::string& path);
 
 /// Streaming read: invokes `sink` per event without materializing the
 /// whole trace. Returns the number of events read.
+DNSSHIELD_UNTRUSTED_INPUT
 std::size_t for_each_query(std::istream& in,
                            const std::function<void(const QueryEvent&)>& sink);
 

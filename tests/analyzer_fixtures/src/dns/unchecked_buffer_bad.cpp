@@ -1,0 +1,81 @@
+// Known-bad fixture for the unchecked-buffer-access rule: every raw way
+// of touching input bytes inside a DNSSHIELD_UNTRUSTED_INPUT function.
+// Each offence sits on its own line with an exact-line EXPECT marker;
+// the un-annotated twins at the bottom are byte-identical bodies that
+// must stay silent (the rules are scoped to annotated functions).
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.h"
+
+namespace dnsshield::fixture {
+
+class WireParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint8_t first_octet(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) throw WireParseError("empty message");
+  return wire[0];  // EXPECT: unchecked-buffer-access
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint16_t read_u16(const std::vector<std::uint8_t>& wire, std::size_t pos) {
+  const std::uint8_t hi = wire[pos];      // EXPECT: unchecked-buffer-access
+  const std::uint8_t lo = wire[pos + 1];  // EXPECT: unchecked-buffer-access
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint8_t nth_octet(const std::uint8_t* data, std::size_t i) {
+  return data[i];  // EXPECT: unchecked-buffer-access
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+const std::uint8_t* skip_header(const std::uint8_t* data) {
+  return data + 12;  // EXPECT: unchecked-buffer-access
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+void copy_header(const std::uint8_t* data, std::uint8_t* out) {
+  std::memcpy(out, data, 12);  // EXPECT: unchecked-buffer-access
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+const char* raw_bytes(const std::string& input) {
+  return input.data();  // EXPECT: unchecked-buffer-access
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+void read_block(std::istream& in, char* buf, std::streamsize n) {
+  in.read(buf, n);  // EXPECT: unchecked-buffer-access
+}
+
+// Un-annotated twins: identical bodies, but these functions are the
+// allowlisted accessor layer, so nothing below may fire.
+std::uint8_t first_octet_accessor(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) throw WireParseError("empty message");
+  return wire[0];
+}
+
+std::uint8_t nth_octet_accessor(const std::uint8_t* data, std::size_t i) {
+  return data[i];
+}
+
+const std::uint8_t* skip_header_accessor(const std::uint8_t* data) {
+  return data + 12;
+}
+
+void read_block_accessor(std::istream& in, char* buf, std::streamsize n) {
+  in.read(buf, n);
+}
+
+}  // namespace dnsshield::fixture

@@ -1,0 +1,77 @@
+// Known-bad fixture for the unchecked-offset-arithmetic rule:
+// hand-rolled +/- over reader positions and sizes inside
+// DNSSHIELD_UNTRUSTED_INPUT functions. Comparisons over the same values
+// and arithmetic over plain integers stay legal (see the clean
+// functions below).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/annotations.h"
+
+namespace dnsshield::fixture {
+
+class TraceParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Minimal bounds-checked reader: pos()/size() are fine to *call*; doing
+/// arithmetic on their results in annotated code is the offence (that is
+/// exactly the truncation check require()/limit()/seek() centralise).
+class Reader {
+ public:
+  explicit Reader(std::size_t size) : size_(size) {}
+  std::size_t pos() const { return pos_; }
+  std::size_t size() const { return size_; }
+  void seek(std::size_t p) {
+    if (p > size_) throw TraceParseError("seek past end");
+    pos_ = p;
+  }
+
+ private:
+  std::size_t pos_ = 0;
+  std::size_t size_ = 0;
+};
+
+DNSSHIELD_UNTRUSTED_INPUT
+void skip_record(Reader& r, std::size_t rdlength) {
+  const std::size_t end = r.pos() + rdlength;  // EXPECT: unchecked-offset-arithmetic
+  r.seek(end);
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::size_t remaining_octets(const Reader& r) {
+  return r.size() - r.pos();  // EXPECT: unchecked-offset-arithmetic
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::size_t name_end(const Reader& r, std::size_t label_len) {
+  std::size_t end = label_len;
+  end += r.pos();  // EXPECT: unchecked-offset-arithmetic
+  return end;
+}
+
+// Comparisons over positions are how checked code is supposed to look.
+DNSSHIELD_UNTRUSTED_INPUT
+bool has_room(const Reader& r) {
+  return r.pos() < r.size();
+}
+
+// Arithmetic over plain integers (accumulators, counters) is not offset
+// arithmetic and must not fire.
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint64_t accumulate(Reader& r, std::uint64_t delta) {
+  std::uint64_t total = 0;
+  total += delta;
+  r.seek(0);
+  return total;
+}
+
+// Un-annotated twin: the accessor layer may do the arithmetic (behind
+// its own checks), so this must stay silent.
+std::size_t remaining_octets_accessor(const Reader& r) {
+  return r.size() - r.pos();
+}
+
+}  // namespace dnsshield::fixture

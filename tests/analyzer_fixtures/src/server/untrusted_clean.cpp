@@ -1,0 +1,81 @@
+// Clean probe for the untrusted-input rules: the checked-reader idiom
+// the parsers are supposed to follow. Nothing here may fire —
+// un-annotated accessor layers may index raw storage behind their own
+// checks, and annotated code is free to use front()/back(), range-for,
+// comparisons, the free std::getline, guarded sto* converters, and
+// arithmetic over plain integers.
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.h"
+
+namespace dnsshield::fixture {
+
+class FeedParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The allowlisted accessor layer (mirrors sim::ByteReader): raw
+/// indexing lives here, un-annotated, behind an explicit bounds check.
+class CheckedReader {
+ public:
+  explicit CheckedReader(const std::vector<std::uint8_t>& data) : data_(data) {}
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) throw FeedParseError("truncated input");
+    return data_[pos_++];
+  }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint64_t sum_bytes(const std::vector<std::uint8_t>& wire) {
+  CheckedReader r(wire);
+  std::uint64_t total = 0;
+  while (!r.at_end()) {
+    total += r.u8();  // += over a plain accumulator: not offset math
+  }
+  return total;
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::size_t count_comment_lines(std::istream& in) {
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {  // free std::getline stays legal
+    if (!line.empty() && line.front() == '#') ++count;
+  }
+  return count;
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint8_t checked_first(const std::vector<std::uint8_t>& wire) {
+  if (wire.empty()) throw FeedParseError("empty input");
+  return wire.front();  // front(): no computed index involved
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+int parse_port(const std::string& field) {
+  try {
+    return std::stoi(field);  // guarded: converter throws cannot escape
+  } catch (const std::exception&) {
+    throw FeedParseError("bad port: " + field);
+  }
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint64_t sum_all(const std::vector<std::uint8_t>& wire) {
+  std::uint64_t total = 0;
+  for (const std::uint8_t b : wire) total += b;  // range-for stays legal
+  return total;
+}
+
+}  // namespace dnsshield::fixture

@@ -1,0 +1,81 @@
+// Known-bad fixture for the error-contract rule: a
+// DNSSHIELD_UNTRUSTED_INPUT function may only let its own *Error type
+// escape. Throwing std types, calling .at()/sto* outside a try block
+// (std::out_of_range / std::invalid_argument leak), and abort-style
+// calls all fire; the guarded and un-annotated variants stay silent.
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/annotations.h"
+
+namespace dnsshield::fixture {
+
+class TraceParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+DNSSHIELD_UNTRUSTED_INPUT
+int parse_count(const std::string& field) {
+  return std::stoi(field);  // EXPECT: error-contract
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint32_t lookup_id(const std::map<std::string, std::uint32_t>& ids,
+                        const std::string& key) {
+  return ids.at(key);  // EXPECT: error-contract
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+std::uint8_t lookup_octet(const std::vector<std::uint8_t>& wire,
+                          std::size_t i) {
+  return wire.at(i);  // EXPECT: error-contract
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+void require_version(std::uint8_t version) {
+  if (version != 1) {
+    throw std::runtime_error("bad version");  // EXPECT: error-contract
+  }
+}
+
+DNSSHIELD_UNTRUSTED_INPUT
+void require_magic(std::uint32_t magic) {
+  if (magic != 0x444e5342) {
+    std::abort();  // EXPECT: error-contract
+  }
+}
+
+// Guarded converter: the throw stays inside the try, and what escapes
+// is the parser's own error type — both legal.
+DNSSHIELD_UNTRUSTED_INPUT
+int parse_count_guarded(const std::string& field) {
+  try {
+    return std::stoi(field);
+  } catch (const std::exception&) {
+    throw TraceParseError("bad count: " + field);
+  }
+}
+
+// Throwing the parser's own *Error type is the contract, not a finding.
+DNSSHIELD_UNTRUSTED_INPUT
+void require_nonempty(const std::vector<std::uint8_t>& wire) {
+  if (wire.empty()) throw TraceParseError("empty input");
+}
+
+// Un-annotated twins must stay silent.
+int parse_count_helper(const std::string& field) {
+  return std::stoi(field);
+}
+
+void require_version_helper(std::uint8_t version) {
+  if (version != 1) {
+    throw std::runtime_error("bad version");
+  }
+}
+
+}  // namespace dnsshield::fixture

@@ -148,7 +148,11 @@ TEST_P(WireFuzzTest, RandomMessagesRoundTrip) {
     for (std::uint64_t k = 0; k < n_add; ++k) {
       m.additionals.push_back(random_record(rng));
     }
-    EXPECT_EQ(dns::decode_message(dns::encode_message(m)), m);
+    const auto wire = dns::encode_message(m);
+    EXPECT_EQ(dns::decode_message(wire), m);
+    // encoded_size is a sizing contract: it must agree exactly with the
+    // encoder for every message, or allocation-lean callers underflow.
+    EXPECT_EQ(dns::encoded_size(m), wire.size());
   }
 }
 

@@ -1,0 +1,225 @@
+// Malformed-packet regression corpus for the wire decoder. Each case is
+// a hand-crafted bad packet asserting the *exact* WireFormatError
+// message: the error strings are a stable contract (drivers and the
+// fuzz harnesses key on them), so a wording change or — worse — a
+// different failure path must show up here as a diff.
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dnsshield::dns {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void u16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void append(Bytes& b, std::initializer_list<int> v) {
+  for (const int x : v) b.push_back(static_cast<std::uint8_t>(x));
+}
+
+/// 12-octet header: id 0x1234, RD query flags, the given section counts.
+Bytes header(std::uint16_t qd, std::uint16_t an = 0) {
+  Bytes h;
+  u16(h, 0x1234);
+  u16(h, 0x0100);
+  u16(h, qd);
+  u16(h, an);
+  u16(h, 0);
+  u16(h, 0);
+  return h;
+}
+
+/// header(1) + question for "a" of the given type/class.
+Bytes question(std::uint16_t qtype = 1, std::uint16_t qclass = 1) {
+  Bytes b = header(1);
+  append(b, {1, 'a', 0});
+  u16(b, qtype);
+  u16(b, qclass);
+  return b;
+}
+
+/// question() with an=1 and a record header for "a" appended:
+/// type/class/ttl/rdlength, caller supplies the rdata bytes.
+Bytes with_record(std::uint16_t type, std::uint16_t klass,
+                  std::uint16_t rdlength) {
+  Bytes b = question();
+  b[7] = 1;  // ancount low octet
+  append(b, {1, 'a', 0});
+  u16(b, type);
+  u16(b, klass);
+  u16(b, 0);
+  u16(b, 3600);
+  u16(b, rdlength);
+  return b;
+}
+
+std::string decode_error(const Bytes& wire) {
+  try {
+    decode_message(wire);
+  } catch (const WireFormatError& e) {
+    return e.what();
+  }
+  return "(decoded without error)";
+}
+
+TEST(WireMalformedTest, TruncationErrors) {
+  EXPECT_EQ(decode_error({}), "truncated message");
+  EXPECT_EQ(decode_error({0x12, 0x34, 0x01, 0x00}), "truncated message");
+  {
+    Bytes b = header(0);
+    b.pop_back();
+    EXPECT_EQ(decode_error(b), "truncated message");
+  }
+  {
+    // Question name present, qtype/qclass missing.
+    Bytes b = header(1);
+    append(b, {1, 'a', 0});
+    EXPECT_EQ(decode_error(b), "truncated message");
+  }
+  {
+    // Record header cut off after the type field.
+    Bytes b = question();
+    b[7] = 1;  // ancount
+    append(b, {1, 'a', 0});
+    u16(b, 1);
+    EXPECT_EQ(decode_error(b), "truncated message");
+  }
+  {
+    // RDLENGTH promises 4 octets, only 2 remain.
+    Bytes b = with_record(1, 1, 4);
+    append(b, {10, 0});
+    EXPECT_EQ(decode_error(b), "truncated message");
+  }
+}
+
+TEST(WireMalformedTest, NameErrors) {
+  {
+    // qd=1 with nothing after the header.
+    EXPECT_EQ(decode_error(header(1)), "name runs past end");
+  }
+  {
+    // Labels never terminated by the root label.
+    Bytes b = header(1);
+    append(b, {1, 'a', 1, 'b'});
+    EXPECT_EQ(decode_error(b), "name runs past end");
+  }
+  {
+    // Label length runs past the end of the message.
+    Bytes b = header(1);
+    append(b, {5, 'a', 'b'});
+    EXPECT_EQ(decode_error(b), "label runs past end");
+  }
+  {
+    // Four 63-octet labels exceed the 255-octet name bound.
+    Bytes b = header(1);
+    for (int label = 0; label < 4; ++label) {
+      b.push_back(63);
+      for (int i = 0; i < 63; ++i) b.push_back('a');
+    }
+    b.push_back(0);
+    u16(b, 1);
+    u16(b, 1);
+    EXPECT_EQ(decode_error(b), "name too long");
+  }
+  {
+    // 0x80 and 0x40 are the reserved label types.
+    Bytes b = header(1);
+    append(b, {0x80, 0});
+    EXPECT_EQ(decode_error(b), "reserved label type");
+    Bytes c = header(1);
+    append(c, {0x40, 0});
+    EXPECT_EQ(decode_error(c), "reserved label type");
+  }
+  {
+    // A '.' octet inside a label has no presentation form.
+    Bytes b = header(1);
+    append(b, {3, 'a', '.', 'b', 0});
+    u16(b, 1);
+    u16(b, 1);
+    EXPECT_EQ(decode_error(b), "unrepresentable byte in label");
+  }
+}
+
+TEST(WireMalformedTest, CompressionPointerErrors) {
+  {
+    // Pointer tag with no target octet.
+    Bytes b = header(1);
+    b.push_back(0xc0);
+    EXPECT_EQ(decode_error(b), "truncated pointer");
+  }
+  {
+    // Self-pointer: offset 12 points at itself.
+    Bytes b = header(1);
+    append(b, {0xc0, 12});
+    EXPECT_EQ(decode_error(b), "forward/looping compression pointer");
+  }
+  {
+    // Forward pointer past the current position.
+    Bytes b = header(1);
+    append(b, {0xc0, 0x20});
+    EXPECT_EQ(decode_error(b), "forward/looping compression pointer");
+  }
+}
+
+TEST(WireMalformedTest, ClassAndRdataErrors) {
+  EXPECT_EQ(decode_error(question(1, 3)), "only class IN is supported");
+  {
+    Bytes b = with_record(1, 3, 4);
+    append(b, {10, 0, 0, 1});
+    EXPECT_EQ(decode_error(b), "only class IN is supported");
+  }
+  {
+    Bytes b = with_record(1, 1, 2);  // A with RDLENGTH 2
+    append(b, {10, 0});
+    EXPECT_EQ(decode_error(b), "A rdata must be 4 octets");
+  }
+  {
+    Bytes b = with_record(28, 1, 8);  // AAAA with RDLENGTH 8
+    append(b, {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 1});
+    EXPECT_EQ(decode_error(b), "AAAA rdata must be 16 octets");
+  }
+  {
+    // NS rdata shorter than RDLENGTH promises.
+    Bytes b = with_record(2, 1, 5);
+    append(b, {1, 'b', 0, 0, 0});
+    EXPECT_EQ(decode_error(b), "rdata length mismatch");
+  }
+  {
+    // TXT character-string crossing the rdata boundary.
+    Bytes b = with_record(16, 1, 2);
+    append(b, {5, 'a', 'a', 'a', 'a', 'a'});
+    EXPECT_EQ(decode_error(b), "rdata length mismatch");
+  }
+}
+
+TEST(WireMalformedTest, FramingErrors) {
+  {
+    Bytes b = question();
+    b.push_back(0);
+    EXPECT_EQ(decode_error(b), "trailing garbage after message");
+  }
+  {
+    Bytes b(65536, 0);
+    EXPECT_EQ(decode_error(b), "message exceeds 65535 octets");
+  }
+}
+
+// The reference sanity check: the valid builders above really are valid,
+// so every failure asserted here is caused by the injected corruption.
+TEST(WireMalformedTest, BuildersDecodeCleanly) {
+  EXPECT_NO_THROW(decode_message(question()));
+  Bytes a = with_record(1, 1, 4);
+  append(a, {10, 0, 0, 1});
+  EXPECT_NO_THROW(decode_message(a));
+}
+
+}  // namespace
+}  // namespace dnsshield::dns
