@@ -1,0 +1,257 @@
+// Sharded-fleet scale benchmark: drives run_fleet_experiment with
+// per-client (streaming) arrivals and checks the three contracts the
+// fleet driver makes:
+//
+//   1. memory is flat in trace length (VmHWM after a half-length lean
+//      run vs after the full-length run; streaming means no materialized
+//      event vector, so doubling the trace must not double the peak);
+//   2. per-query allocations do not scale with shard count
+//      (allocations per message at --shards=N vs the same workload at
+//      shards=1, normalized by messages because cold shard caches
+//      legitimately send more messages per query);
+//   3. the merged report is byte-identical for every --jobs value, and
+//      the shard partition is exact (fleet SR query total == single-run
+//      SR query total).
+//
+// Emits BENCH_fleet.json. Allocation counts need the alloc hook (always
+// linked into this binary); sanitized builds inflate them, so treat
+// those runs as smoke tests — the identity/partition bits must hold
+// everywhere.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/fleet.h"
+#include "core/presets.h"
+#include "core/report.h"
+#include "metrics/json.h"
+#include "metrics/table.h"
+#include "sim/alloc_counter.h"
+
+using namespace dnsshield;
+
+namespace {
+
+struct FleetBenchOptions {
+  std::size_t shards = 10;
+  std::uint32_t clients = 5000;
+  double days = 2;
+  double qps = 2.0;  // aggregate mean rate across the whole client population
+  int jobs = 1;
+  std::string out_path = "BENCH_fleet.json";
+};
+
+FleetBenchOptions parse_args(int argc, char** argv) {
+  FleetBenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      o.shards = 10;
+      o.clients = 1000;
+      o.days = 1;
+      o.qps = 0.5;
+    } else if (arg == "--full") {
+      // The acceptance scenario: 10M+ queries through 100+ shards on one
+      // box. 17 qps * 7 days ~= 10.3M queries.
+      o.shards = 128;
+      o.clients = 1000000;
+      o.days = 7;
+      o.qps = 17.0;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      o.shards = static_cast<std::size_t>(std::stoull(arg.substr(9)));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      o.clients = static_cast<std::uint32_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--days=", 0) == 0) {
+      o.days = std::stod(arg.substr(7));
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      o.qps = std::stod(arg.substr(6));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      o.jobs = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      o.out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--quick|--full] [--shards=N] [--clients=N] [--days=D]\n"
+          "          [--qps=R] [--jobs=N] [--out=F]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Peak resident set (kB) from /proc/self/status; 0 when unavailable
+/// (non-Linux), in which case the flatness check is skipped.
+std::uint64_t vm_hwm_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+core::ExperimentSetup setup_for(const FleetBenchOptions& o, double days) {
+  core::ExperimentSetup setup;
+  setup.hierarchy = core::default_hierarchy();
+  setup.workload.seed = 20260807;
+  setup.workload.num_clients = o.clients;
+  setup.workload.duration = sim::days(days);
+  setup.workload.mean_rate_qps = o.qps;
+  setup.workload.arrivals = trace::ArrivalModel::kPerClient;
+  // Root + TLD outage in the middle of the run, 6 hours.
+  setup.attack = core::AttackSpec::root_and_tlds(sim::days(days / 2),
+                                                 sim::hours(6));
+  return setup;
+}
+
+struct Timed {
+  core::FleetExperimentResult result;
+  double wall_s = 0;
+  std::uint64_t allocations = 0;
+};
+
+Timed timed_run(const core::ExperimentSetup& setup,
+                const resolver::ResilienceConfig& config,
+                const core::FleetRunOptions& options) {
+  namespace counter = sim::alloc_counter;
+  counter::reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed t;
+  t.result = core::run_fleet_experiment(setup, config, options);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  t.wall_s = elapsed.count();
+  t.allocations = counter::allocations();
+  return t;
+}
+
+double per_msg(std::uint64_t allocs, const core::ExperimentResult& r) {
+  return r.totals.msgs_sent == 0 ? 0.0
+                                 : static_cast<double>(allocs) /
+                                       static_cast<double>(r.totals.msgs_sent);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FleetBenchOptions o = parse_args(argc, argv);
+  std::printf("=== Fleet: %zu shards, %u clients, %.3g days, %.3g qps ===\n\n",
+              o.shards, o.clients, o.days, o.qps);
+
+  const auto config = resolver::ResilienceConfig::combination(3);
+  namespace counter = sim::alloc_counter;
+  const bool counting = counter::counting_active();
+
+  core::FleetRunOptions fleet_opts;
+  fleet_opts.shards = o.shards;
+  fleet_opts.jobs = o.jobs;
+  fleet_opts.lean_shards = true;
+
+  // Memory-flatness probe first, while the process HWM is still low:
+  // half-length lean run sets the baseline peak, the full-length run may
+  // only nudge it (streaming => peak independent of trace length).
+  (void)timed_run(setup_for(o, o.days / 2), config, fleet_opts);
+  const std::uint64_t hwm_half_kb = vm_hwm_kb();
+
+  const core::ExperimentSetup setup = setup_for(o, o.days);
+  const Timed fleet = timed_run(setup, config, fleet_opts);
+  const std::uint64_t hwm_full_kb = vm_hwm_kb();
+
+  // Byte-identity across job counts: rerun with a different pool width.
+  core::FleetRunOptions other_jobs = fleet_opts;
+  other_jobs.jobs = o.jobs == 1 ? 2 : 1;
+  const Timed fleet2 = timed_run(setup, config, other_jobs);
+  const bool identical = core::to_json(fleet.result.aggregate) ==
+                         core::to_json(fleet2.result.aggregate);
+
+  // Same workload through one classic shard: the alloc-ratio baseline
+  // and the partition check (per-client shard streams must cover the
+  // global stream exactly).
+  core::FleetRunOptions single_opts;
+  single_opts.shards = 1;
+  const Timed single = timed_run(setup, config, single_opts);
+  const bool partition_ok = fleet.result.aggregate.totals.sr_queries ==
+                            single.result.aggregate.totals.sr_queries;
+
+  const double fleet_allocs_per_msg =
+      per_msg(fleet.allocations, fleet.result.aggregate);
+  const double single_allocs_per_msg =
+      per_msg(single.allocations, single.result.aggregate);
+  const double alloc_ratio = single_allocs_per_msg == 0
+                                 ? 0.0
+                                 : fleet_allocs_per_msg / single_allocs_per_msg;
+  const bool alloc_flat = !counting || alloc_ratio <= 1.5;
+
+  const double hwm_ratio =
+      hwm_half_kb == 0 ? 0.0 : static_cast<double>(hwm_full_kb) /
+                                   static_cast<double>(hwm_half_kb);
+  const bool mem_flat = hwm_half_kb == 0 || hwm_ratio <= 1.5;
+
+  const std::uint64_t queries = fleet.result.aggregate.totals.sr_queries;
+  metrics::TablePrinter table({"Run", "Wall (s)", "Queries", "Allocs/msg"});
+  table.add_row({"fleet", metrics::TablePrinter::num(fleet.wall_s, 2),
+                 std::to_string(queries),
+                 counting ? metrics::TablePrinter::num(fleet_allocs_per_msg, 2)
+                          : "n/a"});
+  table.add_row(
+      {"single", metrics::TablePrinter::num(single.wall_s, 2),
+       std::to_string(single.result.aggregate.totals.sr_queries),
+       counting ? metrics::TablePrinter::num(single_allocs_per_msg, 2)
+                : "n/a"});
+  table.print();
+  std::printf("VmHWM half/full: %llu / %llu kB (ratio %.2f) — %s\n",
+              static_cast<unsigned long long>(hwm_half_kb),
+              static_cast<unsigned long long>(hwm_full_kb), hwm_ratio,
+              mem_flat ? "flat" : "NOT FLAT");
+  std::printf("jobs-identity: %s, partition: %s\n",
+              identical ? "ok" : "BROKEN", partition_ok ? "ok" : "BROKEN");
+
+  metrics::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fleet");
+  json.key("shards").value(static_cast<std::uint64_t>(o.shards));
+  json.key("clients").value(static_cast<std::uint64_t>(o.clients));
+  json.key("days").value(o.days);
+  json.key("qps").value(o.qps);
+  json.key("queries").value(queries);
+  json.key("wall_seconds_fleet").value(fleet.wall_s);
+  json.key("wall_seconds_single").value(single.wall_s);
+  json.key("sr_failure_rate_window")
+      .value(fleet.result.aggregate.attack_window
+                 ? fleet.result.aggregate.attack_window->sr_failure_rate()
+                 : 0.0);
+  json.key("alloc_counting_active").value(counting);
+  if (counting) {
+    json.key("allocs_per_msg_fleet").value(fleet_allocs_per_msg);
+    json.key("allocs_per_msg_single").value(single_allocs_per_msg);
+    json.key("alloc_ratio").value(alloc_ratio);
+  }
+  json.key("alloc_flat").value(alloc_flat);
+  json.key("vm_hwm_half_kb").value(hwm_half_kb);
+  json.key("vm_hwm_full_kb").value(hwm_full_kb);
+  json.key("mem_flat").value(mem_flat);
+  json.key("reports_identical").value(identical);
+  json.key("partition_exact").value(partition_ok);
+  json.end_object();
+
+  std::ofstream out(o.out_path);
+  out << json.take() << "\n";
+  std::printf("\nwrote %s\n", o.out_path.c_str());
+
+  if (!identical || !partition_ok || !alloc_flat || !mem_flat) {
+    std::fprintf(stderr, "FAIL: fleet contract broken (identical=%d "
+                 "partition=%d alloc_flat=%d mem_flat=%d)\n",
+                 identical, partition_ok, alloc_flat, mem_flat);
+    return 1;
+  }
+  return 0;
+}

@@ -12,9 +12,10 @@
 //    of DNSSHIELD_ASSERT over an expensive predicate is timed against a
 //    loop that actually evaluates it; the asserted loop must be free,
 //    proving the macro compiles to nothing in Release.
-//  - allocation guards: the BM_ScheduleStep and BM_CacheLookupHit loops
-//    are replayed under the allocation counter; allocations per op must
-//    not regress above the committed zero baseline.
+//  - allocation guards: the BM_ScheduleStep, BM_CacheLookupHit,
+//    BM_StreamNextEvent, and BM_ShardDispatch loops are replayed under
+//    the allocation counter; allocations per op must not regress above
+//    the committed zero baseline.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -37,6 +38,7 @@
 #include "sim/distributions.h"
 #include "sim/event_queue.h"
 #include "sim/parallel.h"
+#include "trace/workload_stream.h"
 
 namespace {
 
@@ -157,6 +159,45 @@ void BM_CacheLookupHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheLookupHit);
+
+trace::WorkloadParams stream_bench_params() {
+  trace::WorkloadParams p;
+  p.seed = 97;
+  p.num_clients = 64;
+  // Effectively inexhaustible: the generator is lazy, so a decade-long
+  // trace costs nothing until pulled, and the benchmark loop never hits
+  // the end of the stream.
+  p.duration = sim::days(3650);
+  p.mean_rate_qps = 50;
+  p.arrivals = trace::ArrivalModel::kPerClient;
+  return p;
+}
+
+/// One pull from the per-client streaming generator: heap-root peek,
+/// Zipf/Bernoulli draws, thinned-Poisson advance, sift-down. This is the
+/// per-event cost that replaced materializing whole traces; the
+/// allocation guard below holds it to zero allocs/op in steady state
+/// (Name copies share storage, the client heap reorders in place).
+void BM_StreamNextEvent(benchmark::State& state) {
+  trace::WorkloadStream stream(bench_hierarchy(), stream_bench_params());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.next());
+  }
+}
+BENCHMARK(BM_StreamNextEvent);
+
+/// The client->shard route: SplitMix64 finalizer plus a modulo. Runs
+/// once per query event in a fleet run, so it must stay a handful of
+/// cycles and allocation-free.
+void BM_ShardDispatch(benchmark::State& state) {
+  std::uint32_t id = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += trace::client_shard(id++, 128);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ShardDispatch);
 
 void BM_ResolveWarm(benchmark::State& state) {
   sim::EventQueue events;
@@ -495,6 +536,8 @@ int run_audit_noop_guard() {
 /// stray allocation per op is precisely what the guard exists to catch.
 constexpr double kScheduleStepAllocBaseline = 0.0;
 constexpr double kCacheLookupHitAllocBaseline = 0.0;
+constexpr double kStreamNextEventAllocBaseline = 0.0;
+constexpr double kShardDispatchAllocBaseline = 0.0;
 
 int check_allocs_per_op(const char* what, std::uint64_t allocs, int iters,
                         double baseline) {
@@ -565,6 +608,37 @@ int run_allocation_guards() {
     const std::uint64_t allocs = counter::allocations();
     rc |= check_allocs_per_op("cache lookup hit", allocs, kIters,
                               kCacheLookupHitAllocBaseline);
+  }
+
+  {
+    // The BM_StreamNextEvent loop: a streaming-workload pull must not
+    // allocate once the client heap is built — the fleet's per-query
+    // memory behaviour hinges on it. A short warm-up absorbs the
+    // construction-time allocations (heap vector, rank permutation).
+    trace::WorkloadStream stream(bench_hierarchy(), stream_bench_params());
+    for (int i = 0; i < 1000; ++i) benchmark::DoNotOptimize(stream.next());
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(stream.next());
+    }
+    const std::uint64_t allocs = counter::allocations();
+    rc |= check_allocs_per_op("stream next event", allocs, kIters,
+                              kStreamNextEventAllocBaseline);
+  }
+
+  {
+    // The BM_ShardDispatch loop: the client->shard hash is pure
+    // arithmetic on the id, no state at all.
+    std::uint64_t sink = 0;
+    std::uint32_t id = 0;
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      sink += trace::client_shard(id++, 128);
+    }
+    const std::uint64_t allocs = counter::allocations();
+    benchmark::DoNotOptimize(sink);
+    rc |= check_allocs_per_op("shard dispatch", allocs, kIters,
+                              kShardDispatchAllocBaseline);
   }
 
   if (rc == 0) {

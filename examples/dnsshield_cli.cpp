@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "core/presets.h"
 #include "core/report.h"
 #include "metrics/tracer.h"
@@ -48,6 +49,12 @@ struct CliOptions {
   int slds = 4000;
   std::string format = "text";  // text|json
 
+  // Fleet / streaming knobs.
+  std::size_t shards = 1;  // >1 = sharded fleet via run_fleet_experiment
+  int jobs = 1;            // parallel shard jobs (0 = auto)
+  bool stream = false;     // per-client arrivals (compositional shards)
+  bool lean = false;       // drop per-query CDF samples in shards
+
   std::string metrics_out;  // full JSON report (run report + registry)
   std::string trace_out;    // structured event stream, JSONL
   double report_interval_mins = 60;
@@ -67,6 +74,15 @@ struct CliOptions {
       "  --attack=A        none|root|root-tlds|zones:a.com,b.net\n"
       "  --attack-start-days=D --attack-hours=H --strength=F\n"
       "  --slds=N          synthetic hierarchy size (default 4000)\n"
+      "  --shards=N        split clients across N caching-server shards\n"
+      "                    (default 1 = the classic single-resolver run)\n"
+      "  --jobs=N          parallel shard jobs; 0 = auto (default 1);\n"
+      "                    results are byte-identical for every value\n"
+      "  --stream          per-client arrival processes: shard workloads\n"
+      "                    generate independently in O(clients/shard)\n"
+      "                    memory (recommended with --shards)\n"
+      "  --lean            drop per-query CDF samples in fleet shards so\n"
+      "                    memory stays flat in trace length\n"
       "  --format=F        text|json              (default text)\n"
       "  --metrics-out=F   write the full JSON report (incl. per-phase time\n"
       "                    series and the metrics registry) to file F\n"
@@ -98,6 +114,10 @@ CliOptions parse_cli(int argc, char** argv) {
       usage(argv[0], 0);
     } else if (std::strcmp(arg, "--dnssec") == 0) {
       o.dnssec = true;
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      o.stream = true;
+    } else if (std::strcmp(arg, "--lean") == 0) {
+      o.lean = true;
     } else if (take_value(arg, "--scheme", o.scheme) ||
                take_value(arg, "--policy", o.policy) ||
                take_value(arg, "--trace-out", o.trace_out) ||
@@ -128,6 +148,10 @@ CliOptions parse_cli(int argc, char** argv) {
       o.strength = std::atof(v.c_str());
     } else if (take_value(arg, "--slds", v)) {
       o.slds = std::atoi(v.c_str());
+    } else if (take_value(arg, "--shards", v)) {
+      o.shards = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (take_value(arg, "--jobs", v)) {
+      o.jobs = std::atoi(v.c_str());
     } else {
       std::fprintf(stderr, "unknown argument: %s\n\n", arg);
       usage(argv[0], 2);
@@ -214,6 +238,9 @@ int main(int argc, char** argv) {
   setup.workload.num_clients = o.clients;
   setup.workload.duration = sim::days(o.days);
   setup.workload.mean_rate_qps = o.qps;
+  if (o.stream) {
+    setup.workload.arrivals = trace::ArrivalModel::kPerClient;
+  }
   setup.attack = make_attack(o);
 
   // Observability wiring: --metrics-out turns on the time-bucketed run
@@ -237,11 +264,21 @@ int main(int argc, char** argv) {
 
   core::ExperimentResult result;
   try {
-    if (o.trace_path.empty()) {
-      result = core::run_experiment(setup, config);
-    } else {
+    if (!o.trace_path.empty()) {
+      if (o.shards > 1) {
+        std::fprintf(stderr, "--shards does not combine with --trace\n");
+        return 2;
+      }
       const auto events = trace::read_trace_file(o.trace_path);
       result = core::replay_trace(setup, config, events);
+    } else if (o.shards > 1) {
+      core::FleetRunOptions fleet;
+      fleet.shards = o.shards;
+      fleet.jobs = o.jobs;
+      fleet.lean_shards = o.lean;
+      result = core::run_fleet_experiment(setup, config, fleet).aggregate;
+    } else {
+      result = core::run_experiment(setup, config);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

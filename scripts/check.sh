@@ -10,22 +10,27 @@
 #   4. hotpath smoke    — bench_hotpath --quick: repeated replicate runs
 #                         must produce byte-identical reports (the
 #                         allocation-lean kernel's determinism contract)
-#   5. clang-tidy       — via the build's `lint-clang-tidy` target (skips
+#   5. fleet smoke      — bench_fleet --quick: a 10-shard root+TLD outage
+#                         with streaming workloads must keep memory and
+#                         per-query allocations flat in shard count and
+#                         render byte-identical reports across job counts
+#   6. clang-tidy       — via the build's `lint-clang-tidy` target (skips
 #                         with a notice when clang-tidy isn't installed)
-#   6. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
+#   7. sanitizers       — rebuild EVERYTHING under ASan+UBSan with the
 #                         runtime invariant audits compiled in and the
 #                         fuzz harnesses enabled, and run the full ctest
 #                         suite again
-#   7. fuzz replay      — replay the committed seed corpora through the
+#   8. fuzz replay      — replay the committed seed corpora through the
 #                         sanitized fuzz harnesses (fuzz/): deterministic,
 #                         works under gcc (standalone driver) and clang
 #                         (libFuzzer file-argument mode) alike
-#   8. tsan             — rebuild under ThreadSanitizer (audits on) and
+#   9. tsan             — rebuild under ThreadSanitizer (audits on) and
 #                         run the full suite again; this is the parallel
 #                         experiment runner's race gate
-#   9. determinism      — two identical-seed CLI runs must render
-#                         byte-identical metrics reports, and a bench
-#                         sweep at --jobs=1 vs --jobs=4 must match
+#  10. determinism      — two identical-seed CLI runs must render
+#                         byte-identical metrics reports, a bench sweep
+#                         at --jobs=1 vs --jobs=4 must match, and a
+#                         4-shard fleet run must match across job counts
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -58,6 +63,18 @@ grep -q '"reports_identical":true' "${HOTPATH_JSON}" || {
   echo "FAIL: ${HOTPATH_JSON} lacks \"reports_identical\":true" >&2
   exit 1
 }
+
+echo
+echo "=== fleet smoke: bench_fleet --quick (flat memory + allocs, jobs identity) ==="
+FLEET_JSON="${BUILD_DIR}/BENCH_fleet_smoke.json"
+"${BUILD_DIR}/bench/bench_fleet" --quick --out="${FLEET_JSON}"
+for contract in '"alloc_flat":true' '"mem_flat":true' \
+    '"reports_identical":true' '"partition_exact":true'; do
+  grep -q "${contract}" "${FLEET_JSON}" || {
+    echo "FAIL: ${FLEET_JSON} lacks ${contract}" >&2
+    exit 1
+  }
+done
 
 echo
 echo "=== lint: clang-tidy (skips when not installed) ==="

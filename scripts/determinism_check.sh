@@ -13,6 +13,12 @@
 # --series-out files — the parallel runner's cross-process contract
 # (tests/test_parallel_equivalence.cpp checks it in-process).
 #
+# Third leg: fleet-equivalence. A sharded streaming fleet run
+# (--stream --shards=4) must render byte-identical reports at --jobs=1
+# and --jobs=4 — the fleet driver's merge is shard-ordered, so thread
+# scheduling must not leak into any aggregate
+# (tests/test_fleet_stream.cpp checks it in-process).
+#
 # Usage: scripts/determinism_check.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -92,3 +98,35 @@ fi
 echo "jobs-equivalence check passed: --jobs=1 and --jobs=4 produced"
 echo "byte-identical tables and series files"
 echo "($(wc -c < "${TMP}/series_j1.jsonl") series bytes compared)"
+
+echo
+echo "=== fleet-equivalence check: --shards=4 at --jobs=1 vs --jobs=4 ==="
+run_fleet() {
+  "${CLI}" --scheme=renew --policy=a-lfu --credit=5 \
+    --seed=20260807 --clients=80 --days=2 --qps=0.3 --slds=400 \
+    --attack=root-tlds --attack-start-days=1 --attack-hours=6 \
+    --stream --shards=4 --jobs="$1" \
+    --report-interval-mins=60 --format=json \
+    --metrics-out="$2" > "$3"
+}
+
+run_fleet 1 "${TMP}/fleet_metrics_j1.json" "${TMP}/fleet_stdout_j1.json"
+run_fleet 4 "${TMP}/fleet_metrics_j4.json" "${TMP}/fleet_stdout_j4.json"
+
+if ! cmp -s "${TMP}/fleet_metrics_j1.json" "${TMP}/fleet_metrics_j4.json"; then
+  echo "FAIL: fleet metrics reports differ between --jobs=1 and --jobs=4:"
+  diff "${TMP}/fleet_metrics_j1.json" "${TMP}/fleet_metrics_j4.json" | head -20 || true
+  fail=1
+fi
+if ! cmp -s "${TMP}/fleet_stdout_j1.json" "${TMP}/fleet_stdout_j4.json"; then
+  echo "FAIL: fleet stdout reports differ between --jobs=1 and --jobs=4:"
+  diff "${TMP}/fleet_stdout_j1.json" "${TMP}/fleet_stdout_j4.json" | head -20 || true
+  fail=1
+fi
+if [ "${fail}" -ne 0 ]; then
+  exit 1
+fi
+
+echo "fleet-equivalence check passed: a 4-shard streaming fleet produced"
+echo "byte-identical reports at --jobs=1 and --jobs=4"
+echo "($(wc -c < "${TMP}/fleet_metrics_j1.json") metrics bytes compared)"

@@ -1,10 +1,10 @@
 #include "core/experiment.h"
 
 #include <functional>
-#include <set>
 #include <stdexcept>
 
 #include "sim/event_queue.h"
+#include "trace/workload_stream.h"
 
 namespace dnsshield::core {
 
@@ -45,17 +45,14 @@ attack::AttackScenario resolve_attack(const AttackSpec& spec,
   return s;
 }
 
-/// A source of time-sorted query events, delivered into a sink.
-using Feeder =
-    std::function<void(const std::function<void(const trace::QueryEvent&)>&)>;
+}  // namespace
 
-/// The shared experiment core: builds the resolver stack over an existing
-/// hierarchy, pumps the feeder's events through it, and collects results.
-/// `horizon` bounds the run (renewal chains would otherwise self-sustain).
-ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
-                                 const ExperimentSetup& setup,
-                                 const resolver::ResilienceConfig& config,
-                                 const Feeder& feed, sim::Duration horizon) {
+ExperimentResult run_stream_experiment(const server::Hierarchy& hierarchy,
+                                       const ExperimentSetup& setup,
+                                       const resolver::ResilienceConfig& config,
+                                       trace::EventSource& source,
+                                       sim::Duration horizon,
+                                       const StreamRunOptions& options) {
   const attack::AttackScenario scenario = resolve_attack(setup.attack, hierarchy);
   const bool has_attack = setup.attack.kind != AttackSpec::Kind::kNone;
   const attack::AttackInjector injector =
@@ -64,7 +61,8 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
 
   sim::EventQueue events;
   metrics::MetricsRegistry registry;
-  CachingServer cs(hierarchy, injector, events, config);
+  CachingServer cs(hierarchy, injector, events, config, options.shared_names);
+  cs.set_collect_distributions(options.collect_distributions);
 
   // The observability layer is wired only when asked for, so plain
   // benchmark runs pay nothing beyond a few never-taken branches.
@@ -179,27 +177,18 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
     events.schedule_at(setup.report_interval, report_sampler);
   }
 
-  // Stream the workload: the trace drives the clock, renewal/sampling
+  // Pull the workload dry: the trace drives the clock, renewal/sampling
   // events interleave via run_until. Trace statistics accumulate on the
   // fly so the trace never needs to be materialized.
-  std::set<std::uint32_t> clients;
-  std::set<dns::Name> names;
-  std::set<dns::Name> zones;
-  feed([&](const trace::QueryEvent& ev) {
-    events.run_until(ev.time);
-    cs.resolve(ev.qname, ev.qtype);
-    clients.insert(ev.client_id);
-    if (names.insert(ev.qname).second) {
-      zones.insert(hierarchy.authoritative_zone_for(ev.qname).origin());
-    }
-    result.trace_stats.requests_in++;
-    result.trace_stats.duration = ev.time;
-  });
+  trace::TraceStatsAccumulator trace_acc(hierarchy);
+  while (const trace::QueryEvent* ev = source.next()) {
+    events.run_until(ev->time);
+    cs.resolve(ev->qname, ev->qtype);
+    trace_acc.add(*ev);
+  }
   events.run_until(horizon);
 
-  result.trace_stats.clients = clients.size();
-  result.trace_stats.names = names.size();
-  result.trace_stats.zones = zones.size();
+  result.trace_stats = trace_acc.stats();
   result.totals = cs.stats();
   result.cache_stats = cs.cache().stats();
   result.gap_days = cs.gap_days();
@@ -236,20 +225,15 @@ ExperimentResult run_with_feeder(const server::Hierarchy& hierarchy,
   return result;
 }
 
-}  // namespace
-
 ExperimentResult run_experiment(const ExperimentSetup& setup,
                                 const resolver::ResilienceConfig& config) {
   server::Hierarchy hierarchy = server::build_hierarchy(setup.hierarchy);
   if (config.long_ttl_override != 0) {
     hierarchy.override_irr_ttls(config.long_ttl_override);
   }
-  return run_with_feeder(
-      hierarchy, setup, config,
-      [&](const std::function<void(const trace::QueryEvent&)>& sink) {
-        trace::generate_workload(hierarchy, setup.workload, sink);
-      },
-      setup.workload.duration);
+  trace::WorkloadStream stream(hierarchy, setup.workload);
+  return run_stream_experiment(hierarchy, setup, config, stream,
+                               setup.workload.duration);
 }
 
 ExperimentResult replay_trace(const ExperimentSetup& setup,
@@ -260,12 +244,8 @@ ExperimentResult replay_trace(const ExperimentSetup& setup,
     hierarchy.override_irr_ttls(config.long_ttl_override);
   }
   const sim::Duration horizon = events.empty() ? 0.0 : events.back().time;
-  return run_with_feeder(
-      hierarchy, setup, config,
-      [&](const std::function<void(const trace::QueryEvent&)>& sink) {
-        for (const auto& ev : events) sink(ev);
-      },
-      horizon);
+  trace::SpanEventSource source(events);
+  return run_stream_experiment(hierarchy, setup, config, source, horizon);
 }
 
 double message_overhead(const ExperimentResult& baseline,

@@ -16,6 +16,7 @@
 #include "resolver/caching_server.h"
 #include "server/hierarchy_builder.h"
 #include "trace/workload.h"
+#include "trace/workload_stream.h"
 
 namespace dnsshield::core {
 
@@ -178,9 +179,39 @@ struct ExperimentResult {
   metrics::MetricsSnapshot metrics;
 };
 
+/// Per-shard knobs of the streaming experiment core. Defaults reproduce
+/// the classic single-run behaviour exactly.
+struct StreamRunOptions {
+  /// External (typically frozen, pre-interned) name interner for the
+  /// run's cache; nullptr keeps a private per-run table. See Cache's
+  /// constructor. Not owned; must outlive the call.
+  dns::NameTable* shared_names = nullptr;
+
+  /// Collect per-query distribution samples (gap CDFs, latency CDF).
+  /// Fleet shards turn this off to keep memory flat in trace length; the
+  /// result's gap_days / gap_ttl_fraction / latency are then empty.
+  bool collect_distributions = true;
+};
+
+/// The experiment core, exposed for drivers that bring their own event
+/// stream: builds the resolver stack over an existing hierarchy, pulls
+/// `source` dry (events must be time-ordered), interleaving
+/// renewal/sampling events via the simulation clock, and collects the
+/// full result. `horizon` bounds the run (renewal chains would otherwise
+/// self-sustain). run_experiment, replay_trace, and the fleet driver's
+/// shard runs are all thin wrappers over this.
+ExperimentResult run_stream_experiment(const server::Hierarchy& hierarchy,
+                                       const ExperimentSetup& setup,
+                                       const resolver::ResilienceConfig& config,
+                                       trace::EventSource& source,
+                                       sim::Duration horizon,
+                                       const StreamRunOptions& options = {});
+
 /// Runs one scheme over one setup. Deterministic: the hierarchy and the
 /// workload are regenerated from their seeds on every call, so runs with
-/// different schemes see identical inputs.
+/// different schemes see identical inputs. The workload streams through
+/// the resolver without ever being materialized, whatever the arrival
+/// model.
 ExperimentResult run_experiment(const ExperimentSetup& setup,
                                 const resolver::ResilienceConfig& config);
 

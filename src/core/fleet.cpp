@@ -1,11 +1,15 @@
 #include "core/fleet.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <variant>
 
 #include "sim/event_queue.h"
 #include "sim/parallel.h"
+#include "trace/workload_stream.h"
 
 namespace dnsshield::core {
 
@@ -120,6 +124,294 @@ FleetResult run_partial_deployment(const FleetSetup& setup,
   // run_fleet policy (max override), which models the operator upgrade
   // being independent of resolver upgrades.
   return run_fleet(setup, configs);
+}
+
+namespace {
+
+void intern_rdata_names(const dns::Rdata& rdata, dns::NameTable& names) {
+  if (const auto* ns = std::get_if<dns::NsRdata>(&rdata)) {
+    names.intern(ns->nsdname);
+  } else if (const auto* cname = std::get_if<dns::CnameRdata>(&rdata)) {
+    names.intern(cname->target);
+  } else if (const auto* soa = std::get_if<dns::SoaRdata>(&rdata)) {
+    names.intern(soa->mname);
+    names.intern(soa->rname);
+  } else if (const auto* mx = std::get_if<dns::MxRdata>(&rdata)) {
+    names.intern(mx->exchange);
+  }
+}
+
+/// Interns every name a shard's resolver can possibly touch over this
+/// hierarchy: zone origins, record owners, names embedded in rdata
+/// (NS/CNAME/SOA/MX targets), parent-side NS sets, server host names,
+/// and the query-name universe. Query names always come from
+/// host_names() (the workload samples them), responses only ever carry
+/// zone records, and negative entries key on query names — so after this
+/// walk a frozen table can serve a whole fleet without a single intern
+/// miss (audited builds assert exactly that).
+void preintern_name_universe(const server::Hierarchy& hierarchy,
+                             dns::NameTable& names) {
+  names.intern(dns::Name::root());
+  for (const dns::Name& origin : hierarchy.zone_origins()) {
+    names.intern(origin);
+    const server::Zone* zone = hierarchy.find_zone(origin);
+    if (zone == nullptr) continue;
+    for (const auto& rdata : zone->ns_set().rdatas()) {
+      intern_rdata_names(rdata, names);
+    }
+    for (const auto& [key, rrset] : zone->records()) {
+      names.intern(key.first);
+      for (const auto& rdata : rrset.rdatas()) {
+        intern_rdata_names(rdata, names);
+      }
+    }
+    for (const auto& host : zone->server_hostnames()) names.intern(host);
+  }
+  for (const auto& name : hierarchy.host_names()) names.intern(name);
+  for (const auto& name : hierarchy.server_host_names()) names.intern(name);
+}
+
+void add_window(WindowStats& into, const WindowStats& w) {
+  into.sr_queries += w.sr_queries;
+  into.sr_failures += w.sr_failures;
+  into.msgs_sent += w.msgs_sent;
+  into.msgs_failed += w.msgs_failed;
+}
+
+void add_totals(CachingServer::Stats& into, const CachingServer::Stats& s) {
+  into.sr_queries += s.sr_queries;
+  into.sr_failures += s.sr_failures;
+  into.msgs_sent += s.msgs_sent;
+  into.msgs_failed += s.msgs_failed;
+  into.cache_answer_hits += s.cache_answer_hits;
+  into.renewal_fetches += s.renewal_fetches;
+  into.referrals_followed += s.referrals_followed;
+  into.stale_serves += s.stale_serves;
+  into.host_prefetches += s.host_prefetches;
+  into.failover_hops += s.failover_hops;
+  into.bytes_sent += s.bytes_sent;
+  into.bytes_received += s.bytes_received;
+}
+
+void add_cache_stats(resolver::Cache::Stats& into,
+                     const resolver::Cache::Stats& s) {
+  into.hits += s.hits;
+  into.misses += s.misses;
+  into.insertions += s.insertions;
+  into.rejections += s.rejections;
+  into.evictions += s.evictions;
+}
+
+/// Point-wise sum of one occupancy series across shards. Every shard
+/// samples on the same schedule (shared interval and horizon), so points
+/// line up index for index; the bounds checks only guard degenerate
+/// inputs.
+template <typename Get>
+metrics::TimeSeries merge_series(const std::vector<ExperimentResult>& shards,
+                                 Get get, std::string label) {
+  metrics::TimeSeries out(std::move(label));
+  const auto& base = get(shards.front()).points();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    double v = 0;
+    for (const auto& r : shards) {
+      const auto& pts = get(r).points();
+      if (i < pts.size()) v += pts[i].value;
+    }
+    out.add(base[i].time, v);
+  }
+  return out;
+}
+
+/// Bucket-wise sum of the shards' run reports. Bucket edges and phase
+/// tags are shared (they derive from the interval, horizon, and attack
+/// window, identical in every shard); counters, occupancy, and queue
+/// depth add up.
+RunReport merge_reports(const std::vector<ExperimentResult>& shards) {
+  RunReport out;
+  const RunReport& base = *shards.front().run_report;
+  out.interval = base.interval;
+  out.samples = base.samples;
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    const RunReport& r = *shards[s].run_report;
+    for (std::size_t i = 0; i < out.samples.size() && i < r.samples.size();
+         ++i) {
+      IntervalSample& into = out.samples[i];
+      const IntervalSample& b = r.samples[i];
+      into.sr_queries += b.sr_queries;
+      into.sr_failures += b.sr_failures;
+      into.msgs_sent += b.msgs_sent;
+      into.msgs_failed += b.msgs_failed;
+      into.renewal_fetches += b.renewal_fetches;
+      into.stale_serves += b.stale_serves;
+      into.cache_answer_hits += b.cache_answer_hits;
+      into.cache_rrsets += b.cache_rrsets;
+      into.queue_depth += b.queue_depth;
+    }
+  }
+  for (const auto& r : shards) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      const PhaseSummary& from = r.run_report->phases[p];
+      PhaseSummary& into = out.phases[p];
+      into.sr_queries += from.sr_queries;
+      into.sr_failures += from.sr_failures;
+      into.msgs_sent += from.msgs_sent;
+      into.msgs_failed += from.msgs_failed;
+      into.renewal_fetches += from.renewal_fetches;
+      into.stale_serves += from.stale_serves;
+    }
+  }
+  return out;
+}
+
+/// Name-keyed sum of the shards' registry snapshots. Counters and
+/// histogram buckets add exactly; gauges are summed too, which makes
+/// fleet gauges read as totals (sim.queue_peak becomes the sum of shard
+/// peaks — documented on FleetExperimentResult).
+metrics::MetricsSnapshot merge_snapshots(
+    const std::vector<ExperimentResult>& shards) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, metrics::MetricsSnapshot::HistogramSample> histograms;
+  for (const auto& r : shards) {
+    for (const auto& [name, v] : r.metrics.counters) counters[name] += v;
+    for (const auto& [name, v] : r.metrics.gauges) gauges[name] += v;
+    for (const auto& h : r.metrics.histograms) {
+      auto [it, inserted] = histograms.try_emplace(h.name, h);
+      if (inserted) continue;
+      metrics::MetricsSnapshot::HistogramSample& into = it->second;
+      into.count += h.count;
+      into.sum += h.sum;
+      for (std::size_t i = 0; i < into.counts.size() && i < h.counts.size();
+           ++i) {
+        into.counts[i] += h.counts[i];
+      }
+    }
+  }
+  metrics::MetricsSnapshot out;
+  out.counters.assign(counters.begin(), counters.end());
+  out.gauges.assign(gauges.begin(), gauges.end());
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) out.histograms.push_back(std::move(h));
+  return out;
+}
+
+}  // namespace
+
+FleetExperimentResult run_fleet_experiment(
+    const ExperimentSetup& setup, const resolver::ResilienceConfig& config,
+    const FleetRunOptions& options) {
+  if (options.shards == 0) throw std::invalid_argument("need >= 1 shard");
+
+  server::Hierarchy hierarchy = server::build_hierarchy(setup.hierarchy);
+  if (config.long_ttl_override != 0) {
+    hierarchy.override_irr_ttls(config.long_ttl_override);
+  }
+
+  FleetExperimentResult out;
+  out.shards = options.shards;
+
+  if (options.shards == 1) {
+    // The single shard IS the classic run: same engine, private name
+    // table, full distribution collection — byte-identical report.
+    trace::WorkloadStream stream(hierarchy, setup.workload);
+    out.aggregate = run_stream_experiment(hierarchy, setup, config, stream,
+                                          setup.workload.duration);
+    if (out.aggregate.attack_window) {
+      out.per_shard.push_back(*out.aggregate.attack_window);
+    }
+    return out;
+  }
+
+  // One frozen interner for the whole fleet: shards only ever read it,
+  // so the parallel shard jobs below stay race-free (TSan-gated) and the
+  // name universe is resident once instead of once per shard.
+  dns::NameTable shared_names;
+  preintern_name_universe(hierarchy, shared_names);
+  shared_names.freeze();
+
+  ExperimentSetup shard_setup = setup;
+  shard_setup.tracer = nullptr;  // a tracer observes one clock, not N
+
+  StreamRunOptions run_opts;
+  run_opts.shared_names = &shared_names;
+  run_opts.collect_distributions = !options.lean_shards;
+
+  // Hermetic shard jobs: each builds its own event queue, injector, and
+  // caching server over the shared immutable hierarchy/name table and
+  // generates exactly its clients' event stream. parallel_map returns
+  // them in shard order regardless of job count, so the merge below (and
+  // hence the report) is byte-identical for every --jobs value.
+  const std::size_t pool = std::max<std::size_t>(
+      1, std::min(sim::resolve_jobs(options.jobs), options.shards));
+  const std::vector<ExperimentResult> shard_results =
+      sim::parallel_map<ExperimentResult>(
+          options.shards, pool, [&](std::size_t s) {
+            trace::WorkloadStream stream(
+                hierarchy, shard_setup.workload,
+                trace::ShardSlice{
+                    static_cast<std::uint32_t>(s),
+                    static_cast<std::uint32_t>(options.shards)});
+            return run_stream_experiment(hierarchy, shard_setup, config,
+                                         stream, shard_setup.workload.duration,
+                                         run_opts);
+          });
+
+  ExperimentResult& agg = out.aggregate;
+  agg.scheme_label = config.label();
+  for (const auto& r : shard_results) {
+    add_totals(agg.totals, r.totals);
+    add_cache_stats(agg.cache_stats, r.cache_stats);
+    agg.gap_days.merge(r.gap_days);
+    agg.gap_ttl_fraction.merge(r.gap_ttl_fraction);
+    agg.latency.merge(r.latency);
+  }
+
+  if (setup.attack.kind != AttackSpec::Kind::kNone) {
+    WindowStats window;
+    out.per_shard.reserve(shard_results.size());
+    for (const auto& r : shard_results) {
+      const WindowStats w = r.attack_window.value_or(WindowStats{});
+      out.per_shard.push_back(w);
+      add_window(window, w);
+    }
+    agg.attack_window = window;
+  }
+
+  if (setup.occupancy_interval > 0) {
+    agg.zones_cached = merge_series(
+        shard_results, [](const ExperimentResult& r) -> const auto& {
+          return r.zones_cached;
+        },
+        "zones");
+    agg.rrsets_cached = merge_series(
+        shard_results, [](const ExperimentResult& r) -> const auto& {
+          return r.rrsets_cached;
+        },
+        "rrsets");
+    agg.records_cached = merge_series(
+        shard_results, [](const ExperimentResult& r) -> const auto& {
+          return r.records_cached;
+        },
+        "records");
+  }
+
+  if (setup.report_interval > 0) {
+    agg.run_report = merge_reports(shard_results);
+    agg.metrics = merge_snapshots(shard_results);
+  }
+
+  // Fleet-level trace statistics come from one pass over the *global*
+  // stream: requests and clients would sum across shards (the client
+  // partition is disjoint), but distinct names and zones are unions, so
+  // per-shard counts cannot simply be added.
+  {
+    trace::WorkloadStream global(hierarchy, setup.workload);
+    trace::TraceStatsAccumulator acc(hierarchy);
+    while (const trace::QueryEvent* ev = global.next()) acc.add(*ev);
+    agg.trace_stats = acc.stats();
+  }
+
+  return out;
 }
 
 std::vector<FleetResult> run_deployment_sweep(

@@ -1,12 +1,26 @@
 // Multi-resolver (fleet) experiments: many caching servers share the same
 // hierarchy, each serving a slice of the client population.
 //
-// The paper stresses that refresh/renewal are *client-side* and
-// *incrementally deployable* (section 4, "Combinations": "the power both
-// to the DNS clients and the DNS operators... by introducing only local
-// changes"). The fleet runner measures exactly that: what fraction of
-// resolvers must upgrade before their users see the benefit — and whether
-// upgraded resolvers impose costs on the rest.
+// Two drivers live here:
+//
+//  - run_fleet / run_partial_deployment / run_deployment_sweep: the
+//    partial-deployment study. The paper stresses that refresh/renewal
+//    are *client-side* and *incrementally deployable* (section 4,
+//    "Combinations": "the power both to the DNS clients and the DNS
+//    operators... by introducing only local changes"); these measure what
+//    fraction of resolvers must upgrade before their users see the
+//    benefit. The fleet shares one event-queue clock, so a run is one
+//    sequential simulation.
+//
+//  - run_fleet_experiment: the scale driver. Clients are split across N
+//    caching-server shards by a stable hash of their id, every shard is a
+//    hermetic simulation over its own clients' event stream (per-client
+//    arrivals make shard streams exact sub-streams of the global
+//    workload), and shard results are merged into one fleet-level
+//    ExperimentResult. Shards share one immutable Hierarchy and one
+//    frozen pre-interned NameTable, so a shard's fixed cost is KBs and
+//    hundreds fit in one process; shard jobs run on the parallel runner
+//    and the merged result is byte-identical for every --jobs value.
 #pragma once
 
 #include <vector>
@@ -53,5 +67,57 @@ FleetResult run_partial_deployment(const FleetSetup& setup,
 std::vector<FleetResult> run_deployment_sweep(
     const FleetSetup& setup, const resolver::ResilienceConfig& scheme,
     const std::vector<std::size_t>& upgraded_counts, int jobs = 0);
+
+// ---- Sharded streaming fleet (the scale driver) ---------------------------
+
+struct FleetRunOptions {
+  /// Caching-server shards. Client c is served by shard
+  /// trace::client_shard(c, shards). 1 = the classic single run.
+  std::size_t shards = 1;
+
+  /// Parallel shard jobs (0 = one per hardware thread, 1 = serial).
+  /// Results are byte-identical for every value: shards are hermetic and
+  /// merged in shard order.
+  int jobs = 1;
+
+  /// Drop per-query distribution samples (gap/latency CDFs) in every
+  /// shard so fleet memory stays flat in trace length; the aggregate's
+  /// CDF sections come out empty. Counters, phase summaries, occupancy
+  /// series, and the fixed-bucket latency histogram are unaffected.
+  /// Ignored at shards == 1 (a single shard is the classic run and keeps
+  /// everything).
+  bool lean_shards = false;
+};
+
+struct FleetExperimentResult {
+  /// Fleet-level view, reportable with core::to_json / to_text like any
+  /// single run: counters, cache stats, phase summaries, and occupancy
+  /// series are sums over shards; trace stats describe the global
+  /// workload (distinct names/zones are fleet-wide unions, not sums);
+  /// CDFs are sample unions (empty under lean_shards); merged metrics
+  /// gauges are sums of per-shard values (so sim.queue_peak reads as the
+  /// sum of shard peaks).
+  ExperimentResult aggregate;
+
+  /// Attack-window stats per shard, index-aligned with shard ids (empty
+  /// when the setup has no attack) — the spread of SR/CS failure rates
+  /// across the resolver population.
+  std::vector<WindowStats> per_shard;
+
+  std::size_t shards = 1;
+};
+
+/// Runs `setup` as a sharded fleet (see FleetRunOptions). With shards ==
+/// 1 this is run_experiment by construction — same code path, private
+/// name table — so its report is byte-identical to the classic driver's.
+/// With shards > 1 the workload should use ArrivalModel::kPerClient:
+/// shard streams are then generated independently in O(clients/shard)
+/// memory each. kShared still works (every shard replays the global
+/// generator and filters), but costs shards * trace draws — it exists as
+/// a compatibility mode, not a scale path. setup.tracer is ignored for
+/// multi-shard runs (a tracer observes one clock).
+FleetExperimentResult run_fleet_experiment(
+    const ExperimentSetup& setup, const resolver::ResilienceConfig& config,
+    const FleetRunOptions& options = {});
 
 }  // namespace dnsshield::core

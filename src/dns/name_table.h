@@ -18,6 +18,7 @@
 
 #include "dns/name.h"
 #include "sim/annotations.h"
+#include "sim/audit.h"
 
 namespace dnsshield::dns {
 
@@ -31,15 +32,31 @@ inline constexpr NameId kInvalidNameId = 0xffffffffu;
 class NameTable {
  public:
   /// Returns the id for `name`, interning it on first sight. O(1)
-  /// amortized; a hit allocates nothing.
+  /// amortized; a hit allocates nothing and never mutates, so interning
+  /// names already present is safe from concurrent readers of a frozen
+  /// table.
   NameId intern(const Name& name) {
     const auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
+    // A frozen table is shared read-only (fleet shards intern from
+    // parallel jobs); a miss here means the pre-interning pass missed a
+    // name and the write below would race. Audited builds trap it.
+    DNSSHIELD_ASSERT(!frozen_,
+                     "intern miss on a frozen NameTable: the shared "
+                     "fleet table must be pre-populated with the full "
+                     "name universe");
     const NameId id = static_cast<NameId>(names_.size());
     names_.push_back(name);
     ids_.emplace(name, id);
     return id;
   }
+
+  /// Seals the table: every name the simulation will ever intern must
+  /// already be present. After this, intern() degenerates to a pure
+  /// lookup (audited builds assert on a miss), which makes the table
+  /// safely shareable across threads.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
   /// Returns the id for `name`, or kInvalidNameId if it was never
   /// interned. Never mutates the table (safe on read-only paths).
@@ -58,6 +75,7 @@ class NameTable {
  private:
   std::unordered_map<Name, NameId, NameHash> ids_;
   std::vector<Name> names_;  // id -> Name reverse index
+  bool frozen_ = false;
 };
 
 /// Packs (NameId, RRType) into one 64-bit map key: id in the high bits,

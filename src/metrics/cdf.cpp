@@ -17,6 +17,12 @@ void Cdf::add_all(const std::vector<double>& samples) {
   sorted_ = false;
 }
 
+void Cdf::merge(const Cdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 void Cdf::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -14,6 +14,11 @@ class Cdf {
   void add(double sample);
   void add_all(const std::vector<double>& samples);
 
+  /// Appends every sample of `other` (e.g. a fleet-level distribution as
+  /// the union of its shards'). Every query answers on the sample
+  /// multiset after lazy sorting, so merge order cannot affect results.
+  void merge(const Cdf& other);
+
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

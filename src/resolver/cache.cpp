@@ -105,7 +105,7 @@ Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
                                   bool is_irr, const dns::Name& irr_zone,
                                   bool allow_ttl_reset, bool demand) {
   const std::uint64_t key =
-      dns::name_type_key(names_.intern(rrset.name()),
+      dns::name_type_key(names_->intern(rrset.name()),
                          static_cast<std::uint16_t>(rrset.type()));
   const std::uint32_t ttl = std::min(rrset.ttl(), ttl_cap_);
   auto it = entries_.find(key);
@@ -138,7 +138,7 @@ Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
     entry.expires_at = now + ttl;
     entry.inserted_at = now;
     entry.is_irr = is_irr;
-    entry.irr_zone = names_.intern(irr_zone);
+    entry.irr_zone = names_->intern(irr_zone);
     entry.generation = next_generation_++;
     entry.demand_hits = demand ? 1 : 0;
     touch(entry);
@@ -157,7 +157,7 @@ Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
   entry.expires_at = now + ttl;
   entry.inserted_at = now;
   entry.is_irr = is_irr;
-  entry.irr_zone = names_.intern(irr_zone);
+  entry.irr_zone = names_->intern(irr_zone);
   entry.generation = next_generation_++;
   entry.key = key;
   entry.demand_hits = demand ? 1 : 0;
@@ -172,7 +172,7 @@ Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
 void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t ttl,
                             dns::Rcode rcode, sim::SimTime now) {
   const std::uint64_t key = dns::name_type_key(
-      names_.intern(name), static_cast<std::uint16_t>(type));
+      names_->intern(name), static_cast<std::uint16_t>(type));
   // Replaces whatever is cached: unlink the victim's LRU links first.
   const auto old = entries_.find(key);
   if (old != entries_.end()) lru_unlink(old->second);
@@ -194,7 +194,7 @@ void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t tt
 
 void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
   const std::uint64_t key =
-      dns::name_type_key(names_.intern(rrset.name()),
+      dns::name_type_key(names_->intern(rrset.name()),
                          static_cast<std::uint16_t>(rrset.type()));
   // Permanent entries start outside the LRU list; if one replaces an
   // evictable entry, that entry's links must not outlive it.
@@ -206,7 +206,7 @@ void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
   entry.expires_at = std::numeric_limits<sim::SimTime>::infinity();
   entry.inserted_at = 0;
   entry.is_irr = true;
-  entry.irr_zone = names_.intern(irr_zone);
+  entry.irr_zone = names_->intern(irr_zone);
   entry.generation = next_generation_++;
   entry.key = key;
   entries_.insert_or_assign(key, std::move(entry));
@@ -231,7 +231,7 @@ const CacheEntry* Cache::lookup_including_expired(const dns::Name& name,
 }
 
 void Cache::erase(const dns::Name& name, RRType type) {
-  const dns::NameId id = names_.find(name);
+  const dns::NameId id = names_->find(name);
   if (id == dns::kInvalidNameId) return;
   const auto it = entries_.find(
       dns::name_type_key(id, static_cast<std::uint16_t>(type)));

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -80,8 +81,21 @@ class Cache {
   /// bounds the cache; 0 means unbounded. When full, the least recently
   /// used non-permanent entry is evicted (strict LRU via the intrusive
   /// access list).
-  explicit Cache(std::uint32_t ttl_cap, std::size_t max_entries = 0)
-      : ttl_cap_(ttl_cap), max_entries_(max_entries) {}
+  ///
+  /// `shared_names`, when non-null, is an external name interner used in
+  /// place of a cache-owned one (not owned; must outlive the cache). A
+  /// fleet points every shard cache at one frozen pre-interned table so
+  /// per-shard fixed cost excludes the name universe; single-cache runs
+  /// pass nothing and keep a private table (historical behaviour,
+  /// including the exact NameId assignment order).
+  explicit Cache(std::uint32_t ttl_cap, std::size_t max_entries = 0,
+                 dns::NameTable* shared_names = nullptr)
+      : ttl_cap_(ttl_cap),
+        max_entries_(max_entries),
+        owned_names_(shared_names != nullptr
+                         ? nullptr
+                         : std::make_unique<dns::NameTable>()),
+        names_(shared_names != nullptr ? shared_names : owned_names_.get()) {}
 
   struct InsertResult {
     InsertOutcome outcome;
@@ -143,11 +157,12 @@ class Cache {
   /// Drops every expired entry; returns how many were removed.
   std::size_t purge_expired(sim::SimTime now);
 
-  /// The cache's name interner. Shared with the caching server so credit
-  /// and zone bookkeeping key on the same NameId space as the entries.
-  /// Ids stay valid for the cache's lifetime (never recycled).
-  dns::NameTable& names() { return names_; }
-  const dns::NameTable& names() const { return names_; }
+  /// The cache's name interner (owned or shared, see the constructor).
+  /// Shared with the caching server so credit and zone bookkeeping key
+  /// on the same NameId space as the entries. Ids stay valid for the
+  /// table's lifetime (never recycled).
+  dns::NameTable& names() { return *names_; }
+  const dns::NameTable& names() const { return *names_; }
 
   // ---- Occupancy (Fig. 12) ------------------------------------------------
 
@@ -180,6 +195,8 @@ class Cache {
   /// of one name across its types into neighbouring buckets. (The map
   /// itself now hashes packed NameId keys — dns::NameTypeKeyHash — but
   /// this stays the reference mixer for Name-keyed side tables.)
+  /// trace::client_hash applies the same finalizer to client ids for the
+  /// fleet's client -> shard assignment.
   static std::size_t key_hash(const dns::Name& name, dns::RRType type) {
     std::uint64_t x = static_cast<std::uint64_t>(name.hash()) +
                       0x9e3779b97f4a7c15ULL *
@@ -230,7 +247,7 @@ class Cache {
 
   DNSSHIELD_HOT const CacheEntry* find_entry(const dns::Name& name,
                                              dns::RRType type) const {
-    const dns::NameId id = names_.find(name);
+    const dns::NameId id = names_->find(name);
     if (id == dns::kInvalidNameId) return nullptr;
     const auto it = entries_.find(
         dns::name_type_key(id, static_cast<std::uint16_t>(type)));
@@ -245,7 +262,10 @@ class Cache {
 
   std::uint32_t ttl_cap_;
   std::size_t max_entries_;
-  dns::NameTable names_;
+  /// Private interner when owned_names_ is set; otherwise names_ aliases
+  /// an external (typically frozen) table shared across shard caches.
+  std::unique_ptr<dns::NameTable> owned_names_;
+  dns::NameTable* names_;
   std::unordered_map<std::uint64_t, CacheEntry, dns::NameTypeKeyHash> entries_;
   /// Intrusive LRU list ends: head = most recently used. The links live
   /// in the entries themselves; mutable so const lookups record recency.

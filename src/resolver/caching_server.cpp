@@ -29,12 +29,13 @@ constexpr sim::Duration kRenewalLead = 1.0;  // re-fetch 1s before expiry
 
 CachingServer::CachingServer(const server::Hierarchy& hierarchy,
                              const attack::AttackInjector& injector,
-                             sim::EventQueue& events, ResilienceConfig config)
+                             sim::EventQueue& events, ResilienceConfig config,
+                             dns::NameTable* shared_names)
     : hierarchy_(hierarchy),
       injector_(injector),
       events_(events),
       config_(config),
-      cache_(config.cache_ttl_cap, config.cache_max_entries) {
+      cache_(config.cache_ttl_cap, config.cache_max_entries, shared_names) {
   // Compiled-in root hints: the root NS set plus root server addresses,
   // modelled as permanent cache entries (real resolvers re-prime from
   // hints whenever needed).
@@ -100,6 +101,7 @@ void CachingServer::audit() const {
 void CachingServer::record_gap(const CacheEntry& entry) {
   const double gap = now() - entry.expires_at;
   if (gap < 0) return;
+  if (!collect_distributions_) return;
   gap_days_.add(sim::to_days(gap));
   const double ttl = std::max<double>(entry.rrset.ttl(), 1.0);
   gap_ttl_fraction_.add(gap / ttl);
@@ -705,7 +707,7 @@ CachingServer::ResolveResult CachingServer::resolve(const Name& qname,
     ++stats_.stale_serves;
     if (m_.stale_serves) m_.stale_serves->inc();
   }
-  latency_cdf_.add(result.latency);
+  if (collect_distributions_) latency_cdf_.add(result.latency);
   if (m_.latency_s) m_.latency_s->observe(result.latency);
   if (m_.msgs_per_query) {
     m_.msgs_per_query->observe(static_cast<double>(result.messages_sent));

@@ -42,9 +42,15 @@ struct CachingServerTestCorruptor;
 class CachingServer {
  public:
   /// The hierarchy, injector, and event queue must outlive the server.
+  /// `shared_names`, when non-null, replaces the cache's private name
+  /// interner (see Cache's constructor): fleet shards all point at one
+  /// frozen pre-interned table, so a shard's fixed footprint is its
+  /// (initially empty) cache map and bookkeeping — KBs, not the name
+  /// universe. Not owned; must outlive the server.
   CachingServer(const server::Hierarchy& hierarchy,
                 const attack::AttackInjector& injector, sim::EventQueue& events,
-                ResilienceConfig config);
+                ResilienceConfig config,
+                dns::NameTable* shared_names = nullptr);
 
   struct ResolveResult {
     bool success = false;          // resolution completed (incl. NXDOMAIN)
@@ -117,6 +123,16 @@ class CachingServer {
 
   /// Per-SR-query modelled resolution latency (seconds).
   const metrics::Cdf& latency_cdf() const { return latency_cdf_; }
+
+  /// Per-query distribution collection (gap CDFs, latency CDF) stores one
+  /// sample per observation — O(queries) memory over a run. That is fine
+  /// for single runs and required for their reports, but a fleet of
+  /// hundreds of shards over a 10M-query trace must stay flat in trace
+  /// length, so multi-shard runs turn it off. Counters and the latency
+  /// histogram (fixed buckets) are unaffected. Default: on.
+  void set_collect_distributions(bool collect) {
+    collect_distributions_ = collect;
+  }
 
   /// Full invariant audit (audited builds only; no-op in Release): every
   /// zone's renewal credit lies within [0, credit_upper_bound(config)],
@@ -232,6 +248,7 @@ class CachingServer {
   bool ingest_active_ = false;
 
   LatencyModel latency_model_;
+  bool collect_distributions_ = true;
   metrics::Cdf gap_days_;
   metrics::Cdf gap_ttl_fraction_;
   metrics::Cdf latency_cdf_;

@@ -31,7 +31,10 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double alpha) : alpha_(alpha) 
 }
 
 std::size_t ZipfDistribution::sample(Rng& rng) const {
-  const double u = rng.next_double();
+  return sample_from(rng.next_double());
+}
+
+std::size_t ZipfDistribution::sample_from(double u) const {
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(it - cdf_.begin());
 }

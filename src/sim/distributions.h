@@ -21,6 +21,12 @@ class ZipfDistribution {
   /// Draw a rank in [0, n).
   std::size_t sample(Rng& rng) const;
 
+  /// Inverse-CDF lookup for an externally supplied uniform variate in
+  /// [0, 1). sample(rng) is exactly sample_from(rng.next_double()); the
+  /// split lets callers with their own uniform stream (e.g. per-client
+  /// SplitMix64 state in the streaming workload) share one distribution.
+  std::size_t sample_from(double u) const;
+
   /// Probability mass of a given rank.
   double pmf(std::size_t rank) const;
 

@@ -1,0 +1,46 @@
+// A non-owning, non-allocating callable reference.
+//
+// std::function type-erases by (potentially) heap-allocating a copy of the
+// callable; FunctionRef erases through two raw words — a pointer to the
+// caller's callable and a call thunk — so passing a lambda into a
+// synchronous sink API costs nothing. The referenced callable must outlive
+// every call (fine for arguments consumed before the callee returns; do
+// NOT store a FunctionRef beyond the call that received it).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dnsshield::sim {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — callers pass lambdas straight into sink parameters.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace dnsshield::sim

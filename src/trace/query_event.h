@@ -10,12 +10,42 @@
 namespace dnsshield::trace {
 
 struct QueryEvent {
-  sim::SimTime time = 0;        // seconds from trace start
-  std::uint32_t client_id = 0;  // stub-resolver identifier
+  sim::SimTime time = 0;  // seconds from trace start
+  /// Stub-resolver identifier. 32-bit and **shard-stable**: the id is the
+  /// client's identity across the whole fleet, assigned once by the
+  /// workload generator (or the trace capture) and preserved verbatim by
+  /// trace I/O, so client_shard(client_id, N) maps the same client to the
+  /// same caching-server shard no matter which process, job, or replay
+  /// pass computes it.
+  std::uint32_t client_id = 0;
   dns::Name qname;
   dns::RRType qtype = dns::RRType::kA;
 
   bool operator==(const QueryEvent&) const = default;
 };
+
+/// SplitMix64-finalized hash of a client id. Client ids are dense small
+/// integers (0..num_clients), so reducing them mod N directly would put
+/// consecutive clients on consecutive shards — any client-id locality in
+/// the trace (e.g. ranges assigned per site) would skew shard load. The
+/// finalizer is bijective over 64 bits, so distinct clients never collide
+/// as hashes and the low bits are uniformly mixed. This is the companion
+/// of resolver::Cache::key_hash, which plays the same role for (name,
+/// type) cache keys.
+inline std::uint64_t client_hash(std::uint32_t client_id) {
+  std::uint64_t x =
+      static_cast<std::uint64_t>(client_id) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The fleet's client -> shard assignment: uniform over shards, stable in
+/// (client_id, shards). Precondition: shards > 0.
+inline std::uint32_t client_shard(std::uint32_t client_id,
+                                  std::uint32_t shards) {
+  return static_cast<std::uint32_t>(client_hash(client_id) % shards);
+}
 
 }  // namespace dnsshield::trace

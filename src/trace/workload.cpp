@@ -1,75 +1,14 @@
 #include "trace/workload.h"
 
-#include <cmath>
-#include <numbers>
-#include <set>
-#include <stdexcept>
-
-#include "sim/distributions.h"
-#include "sim/rng.h"
+#include "trace/workload_stream.h"
 
 namespace dnsshield::trace {
 
-using dns::Name;
-
 void generate_workload(const server::Hierarchy& hierarchy,
                        const WorkloadParams& params,
-                       const std::function<void(const QueryEvent&)>& sink) {
-  if (params.num_clients == 0) throw std::invalid_argument("need >= 1 client");
-  if (params.mean_rate_qps <= 0) throw std::invalid_argument("rate must be > 0");
-  if (params.diurnal_amplitude < 0 || params.diurnal_amplitude >= 1) {
-    throw std::invalid_argument("diurnal amplitude must be in [0, 1)");
-  }
-  if (params.aaaa_fraction < 0 || params.aaaa_fraction > 1) {
-    throw std::invalid_argument("aaaa fraction must be in [0, 1]");
-  }
-  const std::vector<Name>& universe = hierarchy.host_names();
-  if (universe.empty()) throw std::invalid_argument("hierarchy has no host names");
-
-  sim::Rng rng(params.seed);
-
-  // Decouple popularity rank from hierarchy construction order.
-  std::vector<std::size_t> rank_to_name(universe.size());
-  for (std::size_t i = 0; i < rank_to_name.size(); ++i) rank_to_name[i] = i;
-  rng.shuffle(rank_to_name);
-  const sim::ZipfDistribution popularity(universe.size(), params.zipf_alpha);
-
-  // Private interest sets: each client repeatedly samples the global
-  // distribution, so private sets are themselves popularity-biased but
-  // differ between clients.
-  std::vector<std::vector<std::size_t>> private_sets(params.num_clients);
-  for (auto& set : private_sets) {
-    set.reserve(params.private_set_size);
-    for (std::uint32_t i = 0; i < params.private_set_size; ++i) {
-      set.push_back(rank_to_name[popularity.sample(rng)]);
-    }
-  }
-
-  // Thinned Poisson process for the diurnal non-homogeneous rate.
-  const double max_rate = params.mean_rate_qps * (1 + params.diurnal_amplitude);
-  sim::SimTime t = 0;
-  for (;;) {
-    t += rng.exponential(max_rate);
-    if (t >= params.duration) break;
-    const double rate =
-        params.mean_rate_qps *
-        (1 + params.diurnal_amplitude *
-                 std::sin(2 * std::numbers::pi * t / sim::kDay));
-    if (!rng.bernoulli(rate / max_rate)) continue;
-
-    QueryEvent ev;
-    ev.time = t;
-    ev.client_id =
-        static_cast<std::uint32_t>(rng.next_below(params.num_clients));
-    if (rng.bernoulli(params.shared_fraction)) {
-      ev.qname = universe[rank_to_name[popularity.sample(rng)]];
-    } else {
-      ev.qname = universe[rng.pick(private_sets[ev.client_id])];
-    }
-    ev.qtype = rng.bernoulli(params.aaaa_fraction) ? dns::RRType::kAAAA
-                                                   : dns::RRType::kA;
-    sink(ev);
-  }
+                       sim::FunctionRef<void(const QueryEvent&)> sink) {
+  WorkloadStream stream(hierarchy, params);
+  while (const QueryEvent* ev = stream.next()) sink(*ev);
 }
 
 std::vector<QueryEvent> generate_workload(const server::Hierarchy& hierarchy,
@@ -84,21 +23,9 @@ std::vector<QueryEvent> generate_workload(const server::Hierarchy& hierarchy,
 
 TraceStats compute_stats(const server::Hierarchy& hierarchy,
                          const std::vector<QueryEvent>& events) {
-  TraceStats stats;
-  std::set<std::uint32_t> clients;
-  std::set<Name> names;
-  std::set<Name> zones;
-  for (const auto& ev : events) {
-    clients.insert(ev.client_id);
-    names.insert(ev.qname);
-    zones.insert(hierarchy.authoritative_zone_for(ev.qname).origin());
-    stats.duration = ev.time;
-  }
-  stats.clients = clients.size();
-  stats.requests_in = events.size();
-  stats.names = names.size();
-  stats.zones = zones.size();
-  return stats;
+  TraceStatsAccumulator acc(hierarchy);
+  for (const auto& ev : events) acc.add(ev);
+  return acc.stats();
 }
 
 }  // namespace dnsshield::trace

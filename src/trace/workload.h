@@ -7,16 +7,34 @@
 //    server (a shared-popularity component plus per-client private sets);
 //  - diurnal load modulation;
 //  - Poisson arrivals within the modulated rate.
+//
+// Both entry points here materialize or push the trace; the pull-based
+// WorkloadStream (trace/workload_stream.h) is the primary generator and
+// these are thin adapters over it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "server/hierarchy.h"
+#include "sim/function_ref.h"
 #include "trace/query_event.h"
 
 namespace dnsshield::trace {
+
+/// How query arrivals are produced (see trace/workload_stream.h).
+enum class ArrivalModel : std::uint8_t {
+  /// One global thinned-Poisson process; every draw comes from a single
+  /// master RNG. The original generator, kept draw-for-draw compatible:
+  /// all golden outputs were produced under this model.
+  kShared = 0,
+  /// Independent per-client Poisson processes (aggregate rate
+  /// mean_rate_qps, same diurnal modulation), heap-merged into one
+  /// time-ordered stream. Client streams are self-contained, so a fleet
+  /// shard can generate exactly its own clients' arrivals — this is the
+  /// model behind --stream / multi-shard runs.
+  kPerClient = 1,
+};
 
 struct WorkloadParams {
   std::uint64_t seed = 7;
@@ -43,6 +61,10 @@ struct WorkloadParams {
   /// clients; names without an AAAA record see cached NODATA). Must be
   /// in [0, 1].
   double aaaa_fraction = 0.12;
+
+  /// Arrival process; kShared preserves historical byte-level outputs,
+  /// kPerClient scales to millions of clients and composes with shards.
+  ArrivalModel arrivals = ArrivalModel::kShared;
 };
 
 /// Generates a complete trace over the hierarchy's host-name universe.
@@ -50,10 +72,12 @@ struct WorkloadParams {
 std::vector<QueryEvent> generate_workload(const server::Hierarchy& hierarchy,
                                           const WorkloadParams& params);
 
-/// Streaming variant for long traces.
+/// Streaming variant for long traces: events are pushed into `sink` in
+/// time order without being materialized. The sink reference is used only
+/// for the duration of the call (non-owning, non-allocating).
 void generate_workload(const server::Hierarchy& hierarchy,
                        const WorkloadParams& params,
-                       const std::function<void(const QueryEvent&)>& sink);
+                       sim::FunctionRef<void(const QueryEvent&)> sink);
 
 // ---- Trace statistics (Table 1 columns) ----------------------------------
 
@@ -65,7 +89,9 @@ struct TraceStats {
   sim::Duration duration = 0;    // time of last query
 };
 
-/// Computes trace statistics; zone attribution uses the hierarchy.
+/// Computes trace statistics; zone attribution uses the hierarchy. For
+/// streamed traces, feed a TraceStatsAccumulator instead (same counts,
+/// no materialized vector).
 TraceStats compute_stats(const server::Hierarchy& hierarchy,
                          const std::vector<QueryEvent>& events);
 

@@ -1,0 +1,209 @@
+#include "trace/workload_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace dnsshield::trace {
+
+using dns::Name;
+
+namespace {
+
+// Stream tags feeding derive_seed, so per-client draw streams and the
+// lazily derived private-set contents are independent of each other and
+// of the master generator.
+constexpr std::uint64_t kClientArrivalStream = 0x636c6e7461727276ULL;
+constexpr std::uint64_t kPrivateSetStream = 0x7072767374736574ULL;
+
+/// The (client, slot) private-set member as a uniform variate, derived on
+/// demand: materializing every client's interest set is O(clients *
+/// private_set_size) memory, while one SplitMix64 chain per draw keeps
+/// the per-client footprint at the arrival state alone.
+double private_uniform(std::uint64_t seed, std::uint32_t client,
+                       std::uint64_t slot) {
+  sim::SplitMix64 sm(sim::derive_seed(
+      sim::derive_seed(seed, kPrivateSetStream),
+      (static_cast<std::uint64_t>(client) << 32) | slot));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+const std::vector<Name>& validated_universe(const server::Hierarchy& hierarchy,
+                                            const WorkloadParams& params,
+                                            const ShardSlice& slice) {
+  if (params.num_clients == 0) throw std::invalid_argument("need >= 1 client");
+  if (params.mean_rate_qps <= 0) throw std::invalid_argument("rate must be > 0");
+  if (params.diurnal_amplitude < 0 || params.diurnal_amplitude >= 1) {
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1)");
+  }
+  if (params.aaaa_fraction < 0 || params.aaaa_fraction > 1) {
+    throw std::invalid_argument("aaaa fraction must be in [0, 1]");
+  }
+  if (slice.shards == 0) throw std::invalid_argument("need >= 1 shard");
+  if (slice.shard >= slice.shards) {
+    throw std::invalid_argument("shard index out of range");
+  }
+  const std::vector<Name>& universe = hierarchy.host_names();
+  if (universe.empty()) throw std::invalid_argument("hierarchy has no host names");
+  return universe;
+}
+
+}  // namespace
+
+WorkloadStream::WorkloadStream(const server::Hierarchy& hierarchy,
+                               const WorkloadParams& params, ShardSlice slice)
+    : hierarchy_(hierarchy),
+      params_(params),
+      slice_(slice),
+      popularity_(validated_universe(hierarchy, params, slice).size(),
+                  params.zipf_alpha),
+      rng_(params.seed) {
+  const std::vector<Name>& universe = hierarchy.host_names();
+
+  // Decouple popularity rank from hierarchy construction order. Both
+  // arrival models share this mapping (and consume the master generator
+  // identically for it), so a name is equally popular under either.
+  rank_to_name_.resize(universe.size());
+  for (std::size_t i = 0; i < rank_to_name_.size(); ++i) rank_to_name_[i] = i;
+  rng_.shuffle(rank_to_name_);
+
+  if (params_.arrivals == ArrivalModel::kShared) {
+    // Private interest sets: each client repeatedly samples the global
+    // distribution, so private sets are themselves popularity-biased but
+    // differ between clients. Materialized, matching the original
+    // generator's draw order exactly.
+    private_sets_.resize(params_.num_clients);
+    for (auto& set : private_sets_) {
+      set.reserve(params_.private_set_size);
+      for (std::uint32_t i = 0; i < params_.private_set_size; ++i) {
+        set.push_back(rank_to_name_[popularity_.sample(rng_)]);
+      }
+    }
+    return;
+  }
+
+  // kPerClient: instantiate (only) this slice's clients and heapify their
+  // first accepted arrivals.
+  per_client_rate_ =
+      params_.mean_rate_qps / static_cast<double>(params_.num_clients);
+  max_client_rate_ = per_client_rate_ * (1 + params_.diurnal_amplitude);
+  if (slice_.shards > 1) {
+    heap_.reserve(params_.num_clients / slice_.shards + 1);
+  } else {
+    heap_.reserve(params_.num_clients);
+  }
+  for (std::uint32_t c = 0; c < params_.num_clients; ++c) {
+    if (slice_.shards > 1 && client_shard(c, slice_.shards) != slice_.shard) {
+      continue;
+    }
+    ClientState state{
+        sim::Rng(sim::derive_seed(
+            sim::derive_seed(params_.seed, kClientArrivalStream), c)),
+        0.0, c};
+    if (advance(state)) heap_.push_back(std::move(state));
+  }
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+}
+
+double WorkloadStream::rate_at(sim::SimTime t) const {
+  return 1 + params_.diurnal_amplitude *
+                 std::sin(2 * std::numbers::pi * t / sim::kDay);
+}
+
+bool WorkloadStream::advance(ClientState& c) const {
+  // Thinned Poisson for the diurnal non-homogeneous rate, per client.
+  for (;;) {
+    c.next_time += c.rng.exponential(max_client_rate_);
+    if (c.next_time >= params_.duration) return false;
+    const double accept =
+        rate_at(c.next_time) / (1 + params_.diurnal_amplitude);
+    if (c.rng.bernoulli(accept)) return true;
+  }
+}
+
+void WorkloadStream::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && heap_less(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && heap_less(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+const QueryEvent* WorkloadStream::next() {
+  if (done_) return nullptr;
+  return params_.arrivals == ArrivalModel::kShared ? next_shared()
+                                                   : next_per_client();
+}
+
+const QueryEvent* WorkloadStream::next_shared() {
+  // The original generator's loop, draw for draw: one global thinned
+  // Poisson process; every draw comes from the master generator.
+  const std::vector<Name>& universe = hierarchy_.host_names();
+  const double max_rate =
+      params_.mean_rate_qps * (1 + params_.diurnal_amplitude);
+  for (;;) {
+    t_ += rng_.exponential(max_rate);
+    if (t_ >= params_.duration) {
+      done_ = true;
+      return nullptr;
+    }
+    const double rate = params_.mean_rate_qps * rate_at(t_);
+    if (!rng_.bernoulli(rate / max_rate)) continue;
+
+    ev_.time = t_;
+    ev_.client_id =
+        static_cast<std::uint32_t>(rng_.next_below(params_.num_clients));
+    if (rng_.bernoulli(params_.shared_fraction)) {
+      ev_.qname = universe[rank_to_name_[popularity_.sample(rng_)]];
+    } else {
+      ev_.qname = universe[rng_.pick(private_sets_[ev_.client_id])];
+    }
+    ev_.qtype = rng_.bernoulli(params_.aaaa_fraction) ? dns::RRType::kAAAA
+                                                      : dns::RRType::kA;
+    // Compatibility-mode sharding: generate the full sequence (all the
+    // draws above happen regardless) and yield only this slice's events.
+    if (slice_.shards > 1 &&
+        client_shard(ev_.client_id, slice_.shards) != slice_.shard) {
+      continue;
+    }
+    return &ev_;
+  }
+}
+
+const QueryEvent* WorkloadStream::next_per_client() {
+  if (heap_.empty()) {
+    done_ = true;
+    return nullptr;
+  }
+  const std::vector<Name>& universe = hierarchy_.host_names();
+  ClientState& c = heap_.front();
+  ev_.time = c.next_time;
+  ev_.client_id = c.client;
+  if (c.rng.bernoulli(params_.shared_fraction)) {
+    ev_.qname = universe[rank_to_name_[popularity_.sample(c.rng)]];
+  } else {
+    const std::uint64_t slot = c.rng.next_below(params_.private_set_size);
+    ev_.qname = universe[rank_to_name_[popularity_.sample_from(
+        private_uniform(params_.seed, c.client, slot))]];
+  }
+  ev_.qtype = c.rng.bernoulli(params_.aaaa_fraction) ? dns::RRType::kAAAA
+                                                     : dns::RRType::kA;
+  if (advance(c)) {
+    sift_down(0);
+  } else {
+    if (heap_.size() > 1) heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+  return &ev_;
+}
+
+}  // namespace dnsshield::trace

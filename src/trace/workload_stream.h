@@ -1,0 +1,166 @@
+// Pull-based workload generation: the trace as a lazy stream.
+//
+// The original generator materialized a full std::vector<QueryEvent>
+// (or pushed into a sink); a seven-day, million-client trace is tens of
+// gigabytes that the simulation only ever reads front to back. The
+// stream inverts control: callers pull one time-ordered QueryEvent at a
+// time and the generator keeps O(clients) state, so memory is flat in
+// trace length.
+//
+// Two arrival models (WorkloadParams::arrivals):
+//  - kShared reproduces the original single-RNG thinned-Poisson loop
+//    draw for draw, so a drained stream is byte-identical to the
+//    materialized trace of the same params (the compatibility contract
+//    every golden report rests on).
+//  - kPerClient gives every client an independent Poisson arrival
+//    process (rate mean_rate_qps / num_clients, same diurnal thinning)
+//    merged through a binary min-heap keyed on (next arrival, client).
+//    Per-client streams make shard slices compositional: the shard-s
+//    stream over N shards is literally the subset of clients with
+//    client_shard(id, N) == s, generated without touching the others —
+//    which is what lets fleet shards run as independent parallel jobs
+//    and still sum to the global workload.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "server/hierarchy.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "trace/query_event.h"
+#include "trace/workload.h"
+
+namespace dnsshield::trace {
+
+/// A source of time-ordered query events, pulled one at a time.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// The next event, or nullptr when the stream is exhausted. The
+  /// pointee stays valid until the next call on the same source.
+  virtual const QueryEvent* next() = 0;
+};
+
+/// EventSource over an already-materialized, time-sorted event span
+/// (replayed captures; tests). Does not own the events.
+class SpanEventSource final : public EventSource {
+ public:
+  SpanEventSource(const QueryEvent* begin, const QueryEvent* end)
+      : cur_(begin), end_(end) {}
+  explicit SpanEventSource(const std::vector<QueryEvent>& events)
+      : SpanEventSource(events.data(), events.data() + events.size()) {}
+
+  const QueryEvent* next() override {
+    return cur_ == end_ ? nullptr : cur_++;
+  }
+
+ private:
+  const QueryEvent* cur_;
+  const QueryEvent* end_;
+};
+
+/// Which slice of the client population a stream generates. The default
+/// (one shard of one) is the whole population.
+struct ShardSlice {
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
+};
+
+class WorkloadStream final : public EventSource {
+ public:
+  /// Validates params (same exceptions as generate_workload). The
+  /// hierarchy must outlive the stream. With a non-trivial `slice`, only
+  /// events of clients with client_shard(id, slice.shards) ==
+  /// slice.shard are produced: under kPerClient only those clients are
+  /// even instantiated (cost O(clients / shards)); under kShared the
+  /// full sequence is generated and filtered, preserving the global
+  /// RNG stream (compatibility mode — the draws of skipped clients
+  /// still advance the generator).
+  WorkloadStream(const server::Hierarchy& hierarchy,
+                 const WorkloadParams& params, ShardSlice slice = {});
+
+  /// Next event in (time, client_id) order; nullptr at end of trace.
+  /// Steady state allocates nothing: the yielded event's name is a
+  /// refcount bump on the universe's shared storage.
+  const QueryEvent* next() override;
+
+ private:
+  struct ClientState {
+    sim::Rng rng;  // the client's private draw stream
+    sim::SimTime next_time = 0;
+    std::uint32_t client = 0;
+  };
+
+  const QueryEvent* next_shared();
+  const QueryEvent* next_per_client();
+  /// Advances `c` to its next accepted (post-thinning) arrival; false
+  /// when the client's process leaves the trace window.
+  bool advance(ClientState& c) const;
+  double rate_at(sim::SimTime t) const;
+  bool heap_less(const ClientState& a, const ClientState& b) const {
+    return a.next_time < b.next_time ||
+           (a.next_time == b.next_time && a.client < b.client);
+  }
+  void sift_down(std::size_t i);
+
+  const server::Hierarchy& hierarchy_;
+  WorkloadParams params_;
+  ShardSlice slice_;
+  std::vector<std::size_t> rank_to_name_;
+  sim::ZipfDistribution popularity_;
+
+  // kShared state: the one global generator plus materialized private
+  // interest sets (exactly the original generator's layout).
+  sim::Rng rng_;
+  std::vector<std::vector<std::size_t>> private_sets_;
+  sim::SimTime t_ = 0;
+
+  // kPerClient state: a binary min-heap of client states ordered by
+  // (next_time, client). ~48 bytes per instantiated client.
+  std::vector<ClientState> heap_;
+  double per_client_rate_ = 0;
+  double max_client_rate_ = 0;
+
+  QueryEvent ev_;  // yielded storage, reused across next() calls
+  bool done_ = false;
+};
+
+/// Incremental trace statistics: feed events as they stream by and read
+/// Table-1 style totals at any point. Memory is O(distinct clients +
+/// distinct names), independent of trace length.
+class TraceStatsAccumulator {
+ public:
+  /// The hierarchy (used for zone attribution) must outlive the
+  /// accumulator.
+  explicit TraceStatsAccumulator(const server::Hierarchy& hierarchy)
+      : hierarchy_(&hierarchy) {}
+
+  void add(const QueryEvent& ev) {
+    clients_.insert(ev.client_id);
+    if (names_.insert(ev.qname).second) {
+      zones_.insert(hierarchy_->authoritative_zone_for(ev.qname).origin());
+    }
+    ++stats_.requests_in;
+    stats_.duration = ev.time;
+  }
+
+  TraceStats stats() const {
+    TraceStats s = stats_;
+    s.clients = clients_.size();
+    s.names = names_.size();
+    s.zones = zones_.size();
+    return s;
+  }
+
+ private:
+  const server::Hierarchy* hierarchy_;
+  std::unordered_set<std::uint32_t> clients_;
+  std::unordered_set<dns::Name, dns::NameHash> names_;
+  std::unordered_set<dns::Name, dns::NameHash> zones_;
+  TraceStats stats_;
+};
+
+}  // namespace dnsshield::trace

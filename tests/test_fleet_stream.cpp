@@ -1,0 +1,156 @@
+// The sharded streaming fleet's guarantees, end to end:
+//
+//  - shards == 1 is the classic run: its report is byte-identical to
+//    run_experiment's, with every observability feature on;
+//  - a multi-shard fleet renders byte-identical reports for every
+//    --jobs value (shards are hermetic, merged in shard order);
+//  - per-shard attack windows sum to the aggregate window, and the
+//    shard partition covers the global workload exactly;
+//  - lean shards drop only the per-query CDF samples, never counters.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/fleet.h"
+#include "core/presets.h"
+#include "core/report.h"
+#include "resolver/config.h"
+
+namespace dnsshield::core {
+namespace {
+
+ExperimentSetup fleet_setup(trace::ArrivalModel arrivals) {
+  ExperimentSetup setup;
+  setup.hierarchy = small_hierarchy();
+  setup.workload.seed = 20260807;
+  setup.workload.num_clients = 48;
+  setup.workload.duration = sim::days(1);
+  setup.workload.mean_rate_qps = 0.5;
+  setup.workload.arrivals = arrivals;
+  setup.attack = AttackSpec::root_and_tlds(sim::hours(12), sim::hours(3));
+  setup.occupancy_interval = sim::kHour;
+  setup.report_interval = sim::kHour;
+  return setup;
+}
+
+TEST(FleetStream, SingleShardByteIdenticalToRunExperiment) {
+  for (const auto arrivals :
+       {trace::ArrivalModel::kShared, trace::ArrivalModel::kPerClient}) {
+    const auto setup = fleet_setup(arrivals);
+    const auto config = resolver::ResilienceConfig::combination(3);
+
+    const ExperimentResult direct = run_experiment(setup, config);
+    FleetRunOptions options;
+    options.shards = 1;
+    const FleetExperimentResult fleet =
+        run_fleet_experiment(setup, config, options);
+
+    EXPECT_GT(direct.totals.sr_queries, 0u);
+    EXPECT_EQ(to_json(fleet.aggregate), to_json(direct));
+    ASSERT_EQ(fleet.per_shard.size(), 1u);
+    EXPECT_EQ(fleet.per_shard[0].sr_queries,
+              direct.attack_window->sr_queries);
+  }
+}
+
+TEST(FleetStream, ByteIdenticalAcrossJobCounts) {
+  const auto setup = fleet_setup(trace::ArrivalModel::kPerClient);
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  for (const std::size_t shards : {std::size_t{4}, std::size_t{16}}) {
+    FleetRunOptions serial;
+    serial.shards = shards;
+    serial.jobs = 1;
+    const FleetExperimentResult baseline =
+        run_fleet_experiment(setup, config, serial);
+    EXPECT_GT(baseline.aggregate.totals.sr_queries, 0u);
+    const std::string expected = to_json(baseline.aggregate);
+
+    for (const int jobs : {2, 8}) {
+      FleetRunOptions parallel = serial;
+      parallel.jobs = jobs;
+      const FleetExperimentResult got =
+          run_fleet_experiment(setup, config, parallel);
+      EXPECT_EQ(to_json(got.aggregate), expected)
+          << "shards=" << shards << " jobs=" << jobs;
+      ASSERT_EQ(got.per_shard.size(), baseline.per_shard.size());
+      for (std::size_t s = 0; s < got.per_shard.size(); ++s) {
+        EXPECT_EQ(got.per_shard[s].sr_queries,
+                  baseline.per_shard[s].sr_queries);
+      }
+    }
+  }
+}
+
+TEST(FleetStream, PerShardWindowsSumToAggregate) {
+  const auto setup = fleet_setup(trace::ArrivalModel::kPerClient);
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  FleetRunOptions options;
+  options.shards = 8;
+  options.jobs = 2;
+  const FleetExperimentResult fleet =
+      run_fleet_experiment(setup, config, options);
+  ASSERT_TRUE(fleet.aggregate.attack_window.has_value());
+  ASSERT_EQ(fleet.per_shard.size(), 8u);
+
+  WindowStats sum;
+  for (const auto& w : fleet.per_shard) {
+    sum.sr_queries += w.sr_queries;
+    sum.sr_failures += w.sr_failures;
+    sum.msgs_sent += w.msgs_sent;
+    sum.msgs_failed += w.msgs_failed;
+  }
+  EXPECT_EQ(sum.sr_queries, fleet.aggregate.attack_window->sr_queries);
+  EXPECT_EQ(sum.sr_failures, fleet.aggregate.attack_window->sr_failures);
+  EXPECT_EQ(sum.msgs_sent, fleet.aggregate.attack_window->msgs_sent);
+  EXPECT_EQ(sum.msgs_failed, fleet.aggregate.attack_window->msgs_failed);
+}
+
+TEST(FleetStream, ShardPartitionCoversGlobalWorkload) {
+  // With per-client arrivals the shard streams are exact sub-streams of
+  // the global one, so the fleet answers exactly as many stub queries as
+  // a single resolver over the same workload (it just answers them from
+  // N colder caches).
+  const auto setup = fleet_setup(trace::ArrivalModel::kPerClient);
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  const ExperimentResult single = run_experiment(setup, config);
+  FleetRunOptions options;
+  options.shards = 8;
+  const FleetExperimentResult fleet =
+      run_fleet_experiment(setup, config, options);
+
+  EXPECT_EQ(fleet.aggregate.totals.sr_queries, single.totals.sr_queries);
+  EXPECT_EQ(fleet.aggregate.trace_stats.requests_in,
+            single.trace_stats.requests_in);
+  EXPECT_EQ(fleet.aggregate.trace_stats.clients, single.trace_stats.clients);
+  EXPECT_EQ(fleet.aggregate.trace_stats.names, single.trace_stats.names);
+  EXPECT_EQ(fleet.aggregate.trace_stats.zones, single.trace_stats.zones);
+}
+
+TEST(FleetStream, LeanShardsDropOnlyDistributionSamples) {
+  const auto setup = fleet_setup(trace::ArrivalModel::kPerClient);
+  const auto config = resolver::ResilienceConfig::combination(3);
+
+  FleetRunOptions rich;
+  rich.shards = 4;
+  FleetRunOptions lean = rich;
+  lean.lean_shards = true;
+
+  const FleetExperimentResult a = run_fleet_experiment(setup, config, rich);
+  const FleetExperimentResult b = run_fleet_experiment(setup, config, lean);
+
+  EXPECT_FALSE(a.aggregate.latency.empty());
+  EXPECT_TRUE(b.aggregate.latency.empty());
+  EXPECT_TRUE(b.aggregate.gap_days.empty());
+  // Everything that is not a per-query sample is untouched.
+  EXPECT_EQ(a.aggregate.totals.sr_queries, b.aggregate.totals.sr_queries);
+  EXPECT_EQ(a.aggregate.totals.msgs_sent, b.aggregate.totals.msgs_sent);
+  EXPECT_EQ(a.aggregate.attack_window->sr_failures,
+            b.aggregate.attack_window->sr_failures);
+  EXPECT_EQ(a.aggregate.cache_stats.hits, b.aggregate.cache_stats.hits);
+}
+
+}  // namespace
+}  // namespace dnsshield::core
