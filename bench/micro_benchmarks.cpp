@@ -13,9 +13,10 @@
 //    loop that actually evaluates it; the asserted loop must be free,
 //    proving the macro compiles to nothing in Release.
 //  - allocation guards: the BM_ScheduleStep, BM_CacheLookupHit,
-//    BM_StreamNextEvent, and BM_ShardDispatch loops are replayed under
-//    the allocation counter; allocations per op must not regress above
-//    the committed zero baseline.
+//    BM_StreamNextEvent, BM_ShardDispatch, BM_WheelSchedule,
+//    BM_WheelCascade, and BM_ZoneLookup loops are replayed under the
+//    allocation counter; allocations per op must not regress above the
+//    committed zero baseline.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -261,6 +262,57 @@ void BM_ScheduleStep(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_ScheduleStep);
+
+/// Steady-state schedule+fire through the timing wheel's near horizon:
+/// each iteration schedules two simulated seconds out (a level-0/1 slot
+/// insert — two shifts, a mask, a push into a pre-sized bucket) and fires
+/// the event that came due, keeping a constant in-flight window. This is
+/// the refresh-renewal shape at fleet scale; the allocation guard below
+/// holds it to zero allocs/op once bucket capacities settle.
+void BM_WheelSchedule(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    t += 1;
+    q.schedule_at(t + 2.0, [&sink] { ++sink; });
+    if (q.pending() > 2) q.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_WheelSchedule);
+
+/// The far-horizon path: events scheduled 250 simulated seconds out land
+/// in upper wheel levels and must cascade down through lower levels
+/// before firing. Each iteration schedules one far event and steps the
+/// earliest due one, so every fired event has been cascaded at least
+/// once. Cascades move events between pre-sized buckets — the guard
+/// below holds the loop to zero allocs/op after one full wheel rotation.
+void BM_WheelCascade(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    t += 1;
+    q.schedule_at(t + 250.0, [&sink] { ++sink; });
+    if (q.pending() > 250) q.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_WheelCascade);
+
+/// Deepest-enclosing-zone resolution via the name trie: one top-down
+/// walk over interned label ids (two integer probes per label), no
+/// per-level suffix Name construction or re-hashing. This runs on every
+/// referral the resolver follows.
+void BM_ZoneLookup(benchmark::State& state) {
+  const auto& h = bench_hierarchy();
+  const dns::Name name = h.host_names().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&h.authoritative_zone_for(name));
+  }
+}
+BENCHMARK(BM_ZoneLookup);
 
 /// Dispatch overhead of the parallel runner: one 64-task batch of trivial
 /// work per iteration, at 1/2/4 jobs. Real experiment jobs run for
@@ -538,6 +590,9 @@ constexpr double kScheduleStepAllocBaseline = 0.0;
 constexpr double kCacheLookupHitAllocBaseline = 0.0;
 constexpr double kStreamNextEventAllocBaseline = 0.0;
 constexpr double kShardDispatchAllocBaseline = 0.0;
+constexpr double kWheelScheduleAllocBaseline = 0.0;
+constexpr double kWheelCascadeAllocBaseline = 0.0;
+constexpr double kZoneLookupAllocBaseline = 0.0;
 
 int check_allocs_per_op(const char* what, std::uint64_t allocs, int iters,
                         double baseline) {
@@ -639,6 +694,75 @@ int run_allocation_guards() {
     benchmark::DoNotOptimize(sink);
     rc |= check_allocs_per_op("shard dispatch", allocs, kIters,
                               kShardDispatchAllocBaseline);
+  }
+
+  {
+    // The BM_WheelSchedule loop: a near-horizon wheel insert plus the
+    // fire of the event that came due. Warm-up settles level-0/1 bucket
+    // capacities (a full level-1 rotation is 256 one-second iterations).
+    sim::EventQueue q;
+    double t = 0;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 2000; ++i) {
+      t += 1;
+      q.schedule_at(t + 2.0, [&sink] { ++sink; });
+      if (q.pending() > 2) q.step();
+    }
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      t += 1;
+      q.schedule_at(t + 2.0, [&sink] { ++sink; });
+      q.step();
+    }
+    const std::uint64_t allocs = counter::allocations();
+    benchmark::DoNotOptimize(sink);
+    rc |= check_allocs_per_op("wheel near-horizon schedule+fire", allocs, kIters,
+                              kWheelScheduleAllocBaseline);
+  }
+
+  {
+    // The BM_WheelCascade loop: far-horizon inserts land in upper wheel
+    // levels and cascade down before firing. The warm-up covers one full
+    // level-3 rotation (2^24 ticks = 2^20 one-second iterations): each
+    // time the 250-event in-flight window first crosses into a new
+    // upper-level bucket, that bucket's vector acquires its high-water
+    // capacity once (amortized-zero, kept across clear() for the queue's
+    // lifetime); after a full rotation every bucket the workload can
+    // reach holds steady capacity and the measured window is the true
+    // steady state — which is exactly what the guard must pin at zero.
+    sim::EventQueue q;
+    double t = 0;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1'100'000; ++i) {
+      t += 1;
+      q.schedule_at(t + 250.0, [&sink] { ++sink; });
+      if (q.pending() > 250) q.step();
+    }
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      t += 1;
+      q.schedule_at(t + 250.0, [&sink] { ++sink; });
+      q.step();
+    }
+    const std::uint64_t allocs = counter::allocations();
+    benchmark::DoNotOptimize(sink);
+    rc |= check_allocs_per_op("wheel far-horizon cascade", allocs, kIters,
+                              kWheelCascadeAllocBaseline);
+  }
+
+  {
+    // The BM_ZoneLookup loop: the trie descent is pure integer probes
+    // over interned labels — no suffix Name temporaries at any depth.
+    const auto& h = bench_hierarchy();
+    const dns::Name name = h.host_names().front();
+    benchmark::DoNotOptimize(&h.authoritative_zone_for(name));
+    counter::reset();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(&h.authoritative_zone_for(name));
+    }
+    const std::uint64_t allocs = counter::allocations();
+    rc |= check_allocs_per_op("zone trie deepest-enclosing lookup", allocs,
+                              kIters, kZoneLookupAllocBaseline);
   }
 
   if (rc == 0) {

@@ -9,7 +9,9 @@
 #                         the regex linter from step 1 stays the gate
 #   4. hotpath smoke    — bench_hotpath --quick: repeated replicate runs
 #                         must produce byte-identical reports (the
-#                         allocation-lean kernel's determinism contract)
+#                         allocation-lean kernel's determinism contract,
+#                         now asserted over the timing-wheel event queue
+#                         and zone-trie lookup paths; DESIGN.md section 15)
 #   5. fleet smoke      — bench_fleet --quick: a 10-shard root+TLD outage
 #                         with streaming workloads must keep memory and
 #                         per-query allocations flat in shard count and

@@ -1,0 +1,136 @@
+// A radix trie over DNS names, keyed by interned label ids.
+//
+// Nodes are dense indices into a vector; edges live in one flat hash map
+// keyed by the packed (parent node, label id) pair, and label strings are
+// interned once into 32-bit ids. Walking a name from the root visits one
+// node per label with two integer-keyed probes (label id, then edge) —
+// no per-level Name construction, no suffix re-hashing, no ordered-map
+// label comparisons. "Deepest enclosing zone" queries become a single
+// top-down walk that reports the node chain for every matched suffix
+// (DESIGN.md section 15).
+//
+// Nodes are never removed: payloads can be cleared, but an index handed
+// out stays valid for the trie's lifetime (the cache's dead-zone
+// bookkeeping relies on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/name.h"
+#include "sim/annotations.h"
+
+namespace dnsshield::dns {
+
+template <typename T>
+class NameTrie {
+ public:
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  NameTrie() : nodes_(1) {}  // node 0 is the root (zero labels)
+
+  std::uint32_t root() const { return 0; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  T& value(std::uint32_t node) { return nodes_[node]; }
+  const T& value(std::uint32_t node) const { return nodes_[node]; }
+
+  /// Ensures a node exists for `name` (creating the path from the root as
+  /// needed) and returns its index.
+  std::uint32_t insert(const Name& name) {
+    std::uint32_t node = 0;
+    for (std::size_t i = name.label_count(); i-- > 0;) {
+      const std::uint32_t label = intern_label(name.label(i));
+      const std::uint64_t key = edge_key(node, label);
+      const auto [it, added] =
+          edges_.emplace(key, static_cast<std::uint32_t>(nodes_.size()));
+      if (added) nodes_.emplace_back();
+      node = it->second;
+    }
+    return node;
+  }
+
+  /// Exact-match node for `name`, or kNoNode.
+  DNSSHIELD_HOT std::uint32_t find(const Name& name) const {
+    std::uint32_t node = 0;
+    for (std::size_t i = name.label_count(); i-- > 0;) {
+      node = find_child(node, name.label(i));
+      if (node == kNoNode) return kNoNode;
+    }
+    return node;
+  }
+
+  /// Deepest suffix of `name` whose node carries a non-default value,
+  /// walking top-down from the root; returns that value (default-
+  /// constructed T when no suffix carries one). This is "deepest
+  /// enclosing zone" in one pass.
+  DNSSHIELD_HOT T deepest_value(const Name& name) const {
+    T best = nodes_[0];
+    std::uint32_t node = 0;
+    for (std::size_t i = name.label_count(); i-- > 0;) {
+      node = find_child(node, name.label(i));
+      if (node == kNoNode) break;
+      if (nodes_[node] != T{}) best = nodes_[node];
+    }
+    return best;
+  }
+
+  /// Walks from the root toward `name`, filling `path` with the node index
+  /// of every existing suffix: path[k] is the node for the suffix of
+  /// `name` with k labels (path[0] = root), stopping at the first missing
+  /// edge. `path` is caller-owned scratch (cleared here, grown once,
+  /// allocation-free thereafter).
+  DNSSHIELD_HOT void walk(const Name& name,
+                          std::vector<std::uint32_t>& path) const {
+    path.clear();
+    path.push_back(0);
+    std::uint32_t node = 0;
+    for (std::size_t i = name.label_count(); i-- > 0;) {
+      node = find_child(node, name.label(i));
+      if (node == kNoNode) return;
+      path.push_back(node);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoLabel = 0xffffffffu;
+
+  static std::uint64_t edge_key(std::uint32_t node, std::uint32_t label) {
+    return (static_cast<std::uint64_t>(node) << 32) | label;
+  }
+
+  /// SplitMix64 finalizer: the packed key's raw bits cluster badly in
+  /// power-of-two bucket counts (label ids occupy the low word).
+  struct EdgeKeyHash {
+    std::size_t operator()(std::uint64_t x) const {
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  std::uint32_t intern_label(const std::string& label) {
+    const auto [it, added] =
+        label_ids_.emplace(label, static_cast<std::uint32_t>(label_ids_.size()));
+    return it->second;
+  }
+
+  DNSSHIELD_HOT std::uint32_t find_child(std::uint32_t node,
+                                         const std::string& label) const {
+    const auto lit = label_ids_.find(label);
+    if (lit == label_ids_.end()) return kNoNode;
+    const auto eit = edges_.find(edge_key(node, lit->second));
+    return eit == edges_.end() ? kNoNode : eit->second;
+  }
+
+  std::unordered_map<std::string, std::uint32_t> label_ids_;
+  std::unordered_map<std::uint64_t, std::uint32_t, EdgeKeyHash> edges_;
+  std::vector<T> nodes_;
+};
+
+}  // namespace dnsshield::dns

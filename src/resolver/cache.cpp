@@ -38,6 +38,17 @@ void Cache::audit() const {
   for (const auto& [key, entry] : entries_) {
     DNSSHIELD_ASSERT(entry.key == key,
                      "cache entry's stored key disagrees with its map slot");
+    if (entry.rrset.type() == dns::RRType::kNS) {
+      // NS trie <-> map coherence: every NS entry owns a trie node whose
+      // pointer and name id point straight back at it.
+      DNSSHIELD_ASSERT(entry.trie_node != dns::NameTrie<NsNode>::kNoNode,
+                       "NS cache entry has no trie node");
+      const NsNode& node = ns_trie_.value(entry.trie_node);
+      DNSSHIELD_ASSERT(node.entry == &entry,
+                       "NS trie node does not point back at its cache entry");
+      DNSSHIELD_ASSERT(node.name_id == static_cast<dns::NameId>(key >> 16),
+                       "NS trie node's name id disagrees with the entry key");
+    }
     if (entry.in_lru) ++flagged;
     if (entry.expires_at == std::numeric_limits<sim::SimTime>::infinity()) {
       continue;
@@ -95,6 +106,7 @@ void Cache::evict_if_over_budget(sim::SimTime now) {
                          });
     }
     const std::uint64_t key = victim.key;
+    ns_index_clear(victim);
     lru_unlink(victim);
     entries_.erase(key);
     ++stats_.evictions;
@@ -164,6 +176,8 @@ Cache::InsertResult Cache::insert(RRset&& rrset, Trust trust, sim::SimTime now,
   ++stats_.insertions;
   auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
   touch(pos->second);
+  // insert_or_assign over an expired node wiped its trie_node; re-index.
+  if (pos->second.rrset.type() == RRType::kNS) ns_index_install(pos->second);
   evict_if_over_budget(now);
   note_mutation();
   return {InsertOutcome::kInstalled, &pos->second};
@@ -188,6 +202,7 @@ void Cache::insert_negative(const dns::Name& name, RRType type, std::uint32_t tt
   ++stats_.insertions;
   auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
   touch(pos->second);
+  if (pos->second.rrset.type() == RRType::kNS) ns_index_install(pos->second);
   evict_if_over_budget(now);
   note_mutation();
 }
@@ -209,20 +224,13 @@ void Cache::insert_permanent(const RRset& rrset, const dns::Name& irr_zone) {
   entry.irr_zone = names_->intern(irr_zone);
   entry.generation = next_generation_++;
   entry.key = key;
-  entries_.insert_or_assign(key, std::move(entry));
+  auto [pos, _] = entries_.insert_or_assign(key, std::move(entry));
+  if (pos->second.rrset.type() == RRType::kNS) ns_index_install(pos->second);
 }
 
 const CacheEntry* Cache::lookup(const dns::Name& name, RRType type,
                                 sim::SimTime now) const {
-  const CacheEntry* entry = find_entry(name, type);
-  if (entry == nullptr || !entry->live_at(now)) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  ++entry->demand_hits;
-  touch(*entry);
-  return entry;
+  return note_lookup(find_entry(name, type), now);
 }
 
 const CacheEntry* Cache::lookup_including_expired(const dns::Name& name,
@@ -236,15 +244,33 @@ void Cache::erase(const dns::Name& name, RRType type) {
   const auto it = entries_.find(
       dns::name_type_key(id, static_cast<std::uint16_t>(type)));
   if (it == entries_.end()) return;
+  ns_index_clear(it->second);
   lru_unlink(it->second);
   entries_.erase(it);
   note_mutation();
+}
+
+void Cache::erase_entry(const CacheEntry& entry) {
+  const std::uint64_t key = entry.key;
+  ns_index_clear(entry);
+  lru_unlink(entry);
+  entries_.erase(key);
+  note_mutation();
+}
+
+void Cache::ns_index_install(CacheEntry& entry) {
+  const std::uint32_t node = ns_trie_.insert(entry.rrset.name());
+  NsNode& slot = ns_trie_.value(node);
+  slot.entry = &entry;
+  slot.name_id = static_cast<dns::NameId>(entry.key >> 16);
+  entry.trie_node = node;
 }
 
 std::size_t Cache::purge_expired(sim::SimTime now) {
   std::size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!it->second.live_at(now)) {
+      ns_index_clear(it->second);
       lru_unlink(it->second);
       it = entries_.erase(it);
       ++removed;

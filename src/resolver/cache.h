@@ -20,6 +20,7 @@
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/name_table.h"
+#include "dns/name_trie.h"
 #include "dns/rr.h"
 #include "dns/trust.h"
 #include "metrics/tracer.h"
@@ -71,8 +72,21 @@ struct CacheEntry {
   /// Demand lookups served by this incarnation of the entry (reset on
   /// install/replace/TTL-reset). Drives the end-host prefetch baseline.
   mutable std::uint32_t demand_hits = 0;
+  /// For NS entries: this entry's node in the cache's NS trie (set at
+  /// install, so erase paths can clear the node's pointer without a
+  /// walk). kNoNode for non-NS entries.
+  std::uint32_t trie_node = 0xffffffffu;
 
   bool live_at(sim::SimTime t) const { return t < expires_at; }
+};
+
+/// Payload of the cache's NS-entry trie: one node per name that ever held
+/// a cached NS set. `entry` is the current NS entry (null once erased);
+/// `name_id` is the name's interned id, kept after erase so dead-zone
+/// checks against visited-set NameIds stay O(1) on the walk.
+struct NsNode {
+  const CacheEntry* entry = nullptr;
+  dns::NameId name_id = dns::kInvalidNameId;
 };
 
 class Cache {
@@ -144,6 +158,55 @@ class Cache {
   DNSSHIELD_HOT const CacheEntry* lookup_including_expired(
       const dns::Name& name, dns::RRType type) const;
 
+  /// Single-probe lookup that classifies staleness instead of hiding
+  /// expired entries: `entry` is whatever the cache holds for the key
+  /// (live or expired, null if absent) and `live` says which. Statistics,
+  /// demand accounting, and LRU recency behave exactly as one lookup()
+  /// call — a stale-path caller no longer pays a second probe via
+  /// lookup_including_expired.
+  struct LookupResult {
+    const CacheEntry* entry = nullptr;
+    bool live = false;
+  };
+  DNSSHIELD_HOT LookupResult lookup_with_staleness(const dns::Name& name,
+                                                   dns::RRType type,
+                                                   sim::SimTime now) const {
+    const CacheEntry* entry = find_entry(name, type);
+    return {entry, note_lookup(entry, now) != nullptr};
+  }
+
+  /// Bookkeeping twin of lookup() for an entry pointer already resolved
+  /// (e.g. through the NS trie): identical hit/miss counting, demand
+  /// accounting, and LRU touch; returns the entry iff live.
+  DNSSHIELD_HOT const CacheEntry* note_lookup(const CacheEntry* entry,
+                                              sim::SimTime now) const {
+    if (entry == nullptr || !entry->live_at(now)) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    ++entry->demand_hits;
+    touch(*entry);
+    return entry;
+  }
+
+  // ---- NS trie (zone-cut index) -------------------------------------------
+  //
+  // Every name that ever held a cached NS set owns a node in a radix trie
+  // keyed by interned labels; CachingServer::find_deepest_zone resolves
+  // the whole enclosing-zone chain with one top-down walk instead of one
+  // hash probe per ancestor (DESIGN.md section 15).
+
+  /// Fills `path` with the trie node of every cached-NS suffix of `qname`:
+  /// path[k] is the node for the k-label suffix (path[0] = root node).
+  DNSSHIELD_HOT void ns_walk(const dns::Name& qname,
+                             std::vector<std::uint32_t>& path) const {
+    ns_trie_.walk(qname, path);
+  }
+  DNSSHIELD_HOT const NsNode& ns_node(std::uint32_t node) const {
+    return ns_trie_.value(node);
+  }
+
   /// Same, by packed (NameId, RRType) key (CacheEntry::key). The renewal
   /// chains hold the key and skip the name-table lookup entirely.
   DNSSHIELD_HOT const CacheEntry* find_by_key(std::uint64_t key) const {
@@ -153,6 +216,10 @@ class Cache {
 
   /// Removes an entry (used once an expired entry's gap is recorded).
   void erase(const dns::Name& name, dns::RRType type);
+
+  /// Same, for an entry reference already in hand (trie-resolved path:
+  /// no name/key probes).
+  void erase_entry(const CacheEntry& entry);
 
   /// Drops every expired entry; returns how many were removed.
   std::size_t purge_expired(sim::SimTime now);
@@ -260,6 +327,16 @@ class Cache {
   DNSSHIELD_HOT void touch(const CacheEntry& entry) const;
   void evict_if_over_budget(sim::SimTime now);
 
+  /// Registers a freshly installed NS entry in the NS trie (creates the
+  /// name's node if needed) and remembers the node on the entry.
+  void ns_index_install(CacheEntry& entry);
+  /// Clears the trie pointer of an NS entry about to be erased. The node
+  /// itself (and its name_id) stays — dead-zone checks key on it.
+  void ns_index_clear(const CacheEntry& entry) {
+    if (entry.trie_node == dns::NameTrie<NsNode>::kNoNode) return;
+    ns_trie_.value(entry.trie_node).entry = nullptr;
+  }
+
   std::uint32_t ttl_cap_;
   std::size_t max_entries_;
   /// Private interner when owned_names_ is set; otherwise names_ aliases
@@ -267,6 +344,8 @@ class Cache {
   std::unique_ptr<dns::NameTable> owned_names_;
   dns::NameTable* names_;
   std::unordered_map<std::uint64_t, CacheEntry, dns::NameTypeKeyHash> entries_;
+  /// One node per name that ever cached an NS set (see NsNode).
+  dns::NameTrie<NsNode> ns_trie_;
   /// Intrusive LRU list ends: head = most recently used. The links live
   /// in the entries themselves; mutable so const lookups record recency.
   mutable const CacheEntry* lru_head_ = nullptr;

@@ -109,46 +109,53 @@ void CachingServer::record_gap(const CacheEntry& entry) {
 
 const CacheEntry* CachingServer::cache_find(const Name& name, RRType type,
                                             const Context& ctx) const {
-  if (const CacheEntry* live = cache_.lookup(name, type, now())) return live;
-  if (!ctx.allow_stale) return nullptr;
-  return cache_.lookup_including_expired(name, type);
+  const Cache::LookupResult found =
+      cache_.lookup_with_staleness(name, type, now());
+  if (found.live) return found.entry;
+  return ctx.allow_stale ? found.entry : nullptr;
 }
 
 std::optional<Name> CachingServer::find_deepest_zone(const Name& qname,
                                                      Context& ctx) {
-  Name cursor = qname;
-  for (;;) {
-    // A never-interned cursor cannot be a dead zone (zones enter
-    // dead_zones via cached — hence interned — NS entries).
-    const dns::NameId cursor_id = names().find(cursor);
-    if (cursor_id == dns::kInvalidNameId ||
-        ctx.dead_zones.count(cursor_id) == 0) {
-      const CacheEntry* ns = cache_find(cursor, RRType::kNS, ctx);
-      if (ns != nullptr && !ns->negative) return cursor;
+  // One top-down walk of the cache's NS trie resolves every suffix's NS
+  // node up front (two integer probes per label); the climb below replays
+  // the per-level bookkeeping — hit/miss counts, LRU touches, gap
+  // records — in the same bottom-up order the per-label hash-probe loop
+  // used to produce, so reports stay byte-identical.
+  cache_.ns_walk(qname, zone_path_);
+  const std::size_t labels = qname.label_count();
+  for (std::size_t drop = 0; drop <= labels; ++drop) {
+    const std::size_t suffix_labels = labels - drop;
+    const NsNode* node = suffix_labels < zone_path_.size()
+                             ? &cache_.ns_node(zone_path_[suffix_labels])
+                             : nullptr;
+    // A suffix with no trie node never cached an NS set, so it cannot be
+    // a dead zone (zones enter dead_zones via cached NS entries).
+    if (node == nullptr || ctx.dead_zones.count(node->name_id) == 0) {
+      const CacheEntry* cached = node != nullptr ? node->entry : nullptr;
+      const CacheEntry* ns = cache_.note_lookup(cached, now());
+      if (ns == nullptr && ctx.allow_stale) ns = cached;
+      if (ns != nullptr && !ns->negative) return qname.suffix(drop);
       // An expired NS entry passed on the way up is exactly the paper's
       // "time gap": the next demand query arriving after the IRR expired.
       // A stale-serving cache never discards records (Ballani-Francis).
-      if (!ctx.is_renewal && !config_.serve_stale) {
-        if (const CacheEntry* stale =
-                cache_.lookup_including_expired(cursor, RRType::kNS)) {
-          record_gap(*stale);
-          if (m_.gap_expiries) m_.gap_expiries->inc();
-          if (tracing()) {
-            tracer_->emit_fill(
-                now(), metrics::TraceEventType::kCacheExpired,
-                [&](std::string& s, std::string& d) {
-                  cursor.append_to(s);
-                  d = "ns";
-                },
-                now() - stale->expires_at);
-          }
-          cache_.erase(cursor, RRType::kNS);
+      if (!ctx.is_renewal && !config_.serve_stale && cached != nullptr) {
+        record_gap(*cached);
+        if (m_.gap_expiries) m_.gap_expiries->inc();
+        if (tracing()) {
+          tracer_->emit_fill(
+              now(), metrics::TraceEventType::kCacheExpired,
+              [&](std::string& s, std::string& d) {
+                qname.suffix(drop).append_to(s);
+                d = "ns";
+              },
+              now() - cached->expires_at);
         }
+        cache_.erase_entry(*cached);
       }
     }
-    if (cursor.is_root()) return std::nullopt;
-    cursor = cursor.parent();
   }
+  return std::nullopt;
 }
 
 std::vector<IpAddr> CachingServer::addresses_for_zone(const Name& zone,

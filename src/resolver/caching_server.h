@@ -247,6 +247,10 @@ class CachingServer {
   std::vector<dns::RRset> ingest_scratch_;
   bool ingest_active_ = false;
 
+  /// Reusable node-path scratch for find_deepest_zone's NS-trie walk
+  /// (grown once to the hierarchy's depth, allocation-free thereafter).
+  std::vector<std::uint32_t> zone_path_;
+
   LatencyModel latency_model_;
   bool collect_distributions_ = true;
   metrics::Cdf gap_days_;

@@ -42,9 +42,7 @@ Zone& Hierarchy::add_zone(Name origin, std::uint32_t irr_ttl, std::uint32_t soa_
   auto zone = std::make_unique<Zone>(origin, make_soa(origin, negative_ttl),
                                      soa_ttl, irr_ttl);
   Zone& ref = *zone;
-  const dns::NameId id = origin_ids_.intern(origin);
-  if (zone_by_id_.size() <= id) zone_by_id_.resize(id + 1, nullptr);
-  zone_by_id_[id] = &ref;
+  zone_trie_.value(zone_trie_.insert(origin)) = &ref;
   zones_.emplace(origin, std::move(zone));
   return ref;
 }
@@ -179,21 +177,21 @@ void Hierarchy::require_finalized() const {
 }
 
 const Zone* Hierarchy::find_zone(const Name& origin) const {
-  return indexed_zone(origin);
+  const std::uint32_t node = zone_trie_.find(origin);
+  return node == dns::NameTrie<const Zone*>::kNoNode ? nullptr
+                                                     : zone_trie_.value(node);
 }
 
 Zone* Hierarchy::find_zone(const Name& origin) {
-  return const_cast<Zone*>(indexed_zone(origin));
+  return const_cast<Zone*>(
+      static_cast<const Hierarchy*>(this)->find_zone(origin));
 }
 
 const Zone& Hierarchy::authoritative_zone_for(const Name& name) const {
   require_finalized();
-  Name cursor = name;
-  for (;;) {
-    if (const Zone* zone = indexed_zone(cursor)) return *zone;
-    if (cursor.is_root()) break;
-    cursor = cursor.parent();
-  }
+  // One top-down trie walk keeping the deepest zone-bearing node — the
+  // old loop re-hashed every suffix via Name::parent() per level.
+  if (const Zone* zone = zone_trie_.deepest_value(name)) return *zone;
   throw std::logic_error("unreachable: root zone must exist");
 }
 

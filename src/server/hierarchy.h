@@ -10,7 +10,7 @@
 
 #include "dns/message.h"
 #include "dns/name.h"
-#include "dns/name_table.h"
+#include "dns/name_trie.h"
 #include "dns/rr.h"
 #include "server/auth_server.h"
 #include "server/zone.h"
@@ -115,20 +115,15 @@ class Hierarchy {
 
   void require_finalized() const;
 
-  /// Hashed zone lookup: origins are interned into `origin_ids_` by
-  /// add_zone, and the dense ids index `zone_by_id_`. find_zone and the
-  /// per-level walk in authoritative_zone_for hit this index (one integer
-  /// hash per level) instead of the ordered map's O(log n) label
-  /// comparisons. `zones_` remains the canonical container: everything
-  /// that iterates (finalize, zone_origins, override_irr_ttls, audit)
-  /// walks it in deterministic DNS order.
-  const Zone* indexed_zone(const dns::Name& origin) const {
-    const dns::NameId id = origin_ids_.find(origin);
-    return id == dns::kInvalidNameId ? nullptr : zone_by_id_[id];
-  }
-
-  dns::NameTable origin_ids_;
-  std::vector<Zone*> zone_by_id_;
+  /// Trie-indexed zone lookup: add_zone registers each origin as a trie
+  /// node carrying its Zone*. find_zone is one exact descent, and
+  /// authoritative_zone_for ("deepest enclosing zone") is a single
+  /// top-down walk keeping the deepest zone-bearing node — no per-level
+  /// Name::parent() suffix re-hashing, no per-ancestor map probes.
+  /// `zones_` remains the canonical container: everything that iterates
+  /// (finalize, zone_origins, override_irr_ttls, audit) walks it in
+  /// deterministic DNS order.
+  dns::NameTrie<const Zone*> zone_trie_;
   std::map<dns::Name, std::unique_ptr<Zone>> zones_;
   std::unordered_map<dns::IpAddr, std::unique_ptr<AuthServer>, dns::IpAddrHash>
       servers_;

@@ -1,5 +1,6 @@
 #include "server/zone.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dnsshield::server {
@@ -206,9 +207,17 @@ void Zone::override_irr_ttls(std::uint32_t ttl,
     for (auto& g : cut.glue) g.set_ttl(ttl);
     if (cut.ds.has_value()) cut.ds->set_ttl(ttl);
   }
-  for (const auto& host : server_names) {
-    const auto it = records_.find(std::make_pair(host, RRType::kA));
-    if (it != records_.end()) it->second.set_ttl(ttl);
+  // server_names is the hierarchy-wide host list (sorted by finalize());
+  // scanning this zone's own records once and membership-testing each A
+  // owner is O(records * log servers), not O(servers * log records) map
+  // probes per zone — the latter made long-TTL setup quadratic in the
+  // hierarchy size.
+  for (auto& [key, set] : records_) {
+    if (key.second != RRType::kA) continue;
+    if (std::binary_search(server_names.begin(), server_names.end(),
+                           key.first)) {
+      set.set_ttl(ttl);
+    }
   }
   const auto dnskey = records_.find(std::make_pair(origin_, RRType::kDNSKEY));
   if (dnskey != records_.end()) dnskey->second.set_ttl(ttl);

@@ -91,7 +91,8 @@ class Zone {
 
   /// Rewrites the TTL of every infrastructure record this zone originates:
   /// its own NS set, its delegations' NS+glue copies, and A records of
-  /// name-server hostnames held in this zone (listed in `server_names`).
+  /// name-server hostnames held in this zone (listed in `server_names`,
+  /// which must be sorted — Hierarchy::finalize() guarantees this).
   void override_irr_ttls(std::uint32_t ttl,
                          const std::vector<dns::Name>& server_names);
 

@@ -1,25 +1,189 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace dnsshield::sim {
 
+namespace {
+// Ticks above this are treated as "effectively never" (covers t = infinity
+// and any double large enough to overflow the cast).
+constexpr std::uint64_t kTickFar = std::uint64_t{1} << 62;
+}  // namespace
+
+EventQueue::EventQueue() {
+  for (std::vector<Event>& bucket : slots_) bucket.reserve(kBucketReserve);
+  ready_.reserve(kSlotsPerLevel);
+  overflow_.reserve(kBucketReserve);
+}
+
+EventQueue::Tick EventQueue::tick_of(SimTime t) {
+  const double scaled = t * kTicksPerSecond;
+  if (!(scaled < static_cast<double>(kTickFar))) return kTickFar;
+  return static_cast<Tick>(scaled);
+}
+
+int EventQueue::level_of(Tick xor_bits) {
+  if (xor_bits == 0) return 0;
+  return (std::bit_width(xor_bits) - 1) / kLevelBits;
+}
+
+void EventQueue::wheel_insert(Event ev, Tick tk) {
+  const int level = level_of(tk ^ cursor_);
+  if (level >= kLevels) {
+    overflow_.push_back(std::move(ev));
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    return;
+  }
+  const std::size_t slot = (tk >> (kLevelBits * level)) & kSlotMask;
+  slots_[static_cast<std::size_t>(level) * kSlotsPerLevel + slot].push_back(
+      std::move(ev));
+  occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
+}
+
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  heap_.push_back(Event{t, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
+  const Tick tk = tick_of(t);
+  Event ev{t, next_seq_++, std::move(cb)};
+  if (tk < cursor_) {
+    // The event's bucket was already harvested (same-instant reentrant
+    // scheduling, or run_until advancing the cursor past t's bucket):
+    // merge it straight into the ready heap, where (time, seq) ordering
+    // puts it in exactly the place the old global heap would have.
+    ready_.push_back(std::move(ev));
+    std::push_heap(ready_.begin(), ready_.end(), Later{});
+  } else {
+    wheel_insert(std::move(ev), tk);
+  }
+  ++size_;
+  if (size_ > max_pending_) max_pending_ = size_;
+}
+
+void EventQueue::drain_overflow() {
+  while (!overflow_.empty() &&
+         level_of(tick_of(overflow_.front().time) ^ cursor_) < kLevels) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Event ev = std::move(overflow_.back());
+    overflow_.pop_back();
+    const Tick tk = tick_of(ev.time);
+    wheel_insert(std::move(ev), tk);
+  }
+}
+
+void EventQueue::harvest() {
+  for (;;) {
+    // Promote overflow events first: the cursor may have advanced far
+    // enough that an overflow tick now precedes every wheel tick.
+    drain_overflow();
+
+    // Flatten the bucket the cursor sits inside, at every level, before
+    // trusting anything below it. When the cursor carries into a new
+    // upper-level group (level-0 slot 63 draining, a cascade, an overflow
+    // jump), the slot equal to the cursor's own chunk at that level may
+    // hold events scheduled from an earlier cursor position — events that
+    // now belong at lower levels and may precede everything resident
+    // there. Inserts never target the equal slot (a tick sharing the
+    // cursor's chunk lands at a lower level), so the bit only appears at
+    // those cursor-entry moments, when every chunk below the level is
+    // zero — which is what makes re-using the cascade's bucket-base
+    // cursor assignment a no-op rather than a cursor regression.
+    bool flattened = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int cl =
+          static_cast<int>((cursor_ >> (kLevelBits * level)) & kSlotMask);
+      if ((occupied_[static_cast<std::size_t>(level)] &
+           (std::uint64_t{1} << cl)) == 0) {
+        continue;
+      }
+      const int shift = kLevelBits * level;
+      DNSSHIELD_ASSERT((cursor_ & ((Tick{1} << shift) - 1)) == 0,
+                       "equal-chunk wheel bucket with a mid-group cursor");
+      occupied_[static_cast<std::size_t>(level)] &=
+          ~(std::uint64_t{1} << cl);
+      std::vector<Event>& bucket =
+          slots_[static_cast<std::size_t>(level) * kSlotsPerLevel +
+                 static_cast<std::size_t>(cl)];
+      for (Event& ev : bucket) {
+        const Tick tk = tick_of(ev.time);
+        wheel_insert(std::move(ev), tk);
+      }
+      bucket.clear();
+      flattened = true;
+      break;
+    }
+    if (flattened) continue;
+
+    // Level 0: the next occupied slot at or after the cursor's slot holds
+    // the earliest pending bucket. Move it into ready_ whole; every event
+    // in it shares one tick, and the ready heap's (time, seq) comparison
+    // restores the exact firing order.
+    const int c0 = static_cast<int>(cursor_ & kSlotMask);
+    const std::uint64_t mask0 = occupied_[0] & (~std::uint64_t{0} << c0);
+    if (mask0 != 0) {
+      const int slot = std::countr_zero(mask0);
+      std::vector<Event>& bucket = slots_[static_cast<std::size_t>(slot)];
+      occupied_[0] &= ~(std::uint64_t{1} << slot);
+      cursor_ = (cursor_ & ~kSlotMask) + static_cast<Tick>(slot) + 1;
+      for (Event& ev : bucket) {
+        ready_.push_back(std::move(ev));
+        std::push_heap(ready_.begin(), ready_.end(), Later{});
+      }
+      bucket.clear();
+      return;
+    }
+
+    // Cascade: redistribute the lowest occupied upper-level bucket. Its
+    // events share all tick bits above the level, so re-inserting them
+    // after moving the cursor to the bucket's base lands every one of
+    // them at a strictly lower level — the cascade terminates.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int cl =
+          static_cast<int>((cursor_ >> (kLevelBits * level)) & kSlotMask);
+      const std::uint64_t mask =
+          occupied_[static_cast<std::size_t>(level)] &
+          (~std::uint64_t{0} << cl);
+      if (mask == 0) continue;
+      const int slot = std::countr_zero(mask);
+      const int shift = kLevelBits * level;
+      const Tick group_base =
+          (cursor_ >> (shift + kLevelBits)) << (shift + kLevelBits);
+      cursor_ = group_base + (static_cast<Tick>(slot) << shift);
+      occupied_[static_cast<std::size_t>(level)] &=
+          ~(std::uint64_t{1} << slot);
+      std::vector<Event>& bucket =
+          slots_[static_cast<std::size_t>(level) * kSlotsPerLevel +
+                 static_cast<std::size_t>(slot)];
+      for (Event& ev : bucket) {
+        const Tick tk = tick_of(ev.time);
+        wheel_insert(std::move(ev), tk);
+      }
+      bucket.clear();
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+
+    // Wheel empty ahead of the cursor: everything pending sits in the
+    // overflow heap, beyond the horizon. Jump the cursor to the earliest
+    // overflow tick so the next drain_overflow promotes it.
+    DNSSHIELD_ASSERT(!overflow_.empty(),
+                     "event queue lost track of pending events");
+    cursor_ = tick_of(overflow_.front().time);
+  }
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  if (size_ == 0) return false;
+  if (ready_.empty()) harvest();
+  std::pop_heap(ready_.begin(), ready_.end(), Later{});
   // Move the event out before firing: the callback may schedule more
-  // events (reallocating heap_), and keeping it alive on the stack makes
-  // that reentrancy safe.
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
+  // events (growing ready_ or the wheel buckets), and keeping it alive on
+  // the stack makes that reentrancy safe.
+  Event ev = std::move(ready_.back());
+  ready_.pop_back();
+  --size_;
   DNSSHIELD_ASSERT(ev.time >= now_,
                    "event queue fired an event behind the simulation clock");
   now_ = ev.time;
@@ -34,7 +198,9 @@ void EventQueue::run() {
 }
 
 void EventQueue::run_until(SimTime t_end) {
-  while (!heap_.empty() && heap_.front().time <= t_end) {
+  while (size_ != 0) {
+    if (ready_.empty()) harvest();
+    if (ready_.front().time > t_end) break;
     step();
   }
   if (now_ < t_end) now_ = t_end;

@@ -2,9 +2,10 @@
 //
 // Events scheduled for the same instant fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), which keeps runs
-// deterministic regardless of heap internals.
+// deterministic regardless of queue internals.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,7 +18,15 @@ namespace dnsshield::sim {
 
 struct EventQueueTestCorruptor;
 
-/// A min-heap of (time, callback) pairs plus the simulation clock.
+/// A hierarchical timing wheel plus the simulation clock.
+///
+/// schedule_at is O(1): the event is appended to one of kLevels x
+/// kSlotsPerLevel buckets chosen by bit arithmetic on its integer tick.
+/// Events only pass through a comparison-based structure (a small "ready"
+/// heap ordered by (time, seq)) once their bucket is harvested, so the
+/// global firing order is exactly the old binary-heap order while the
+/// per-event cost drops from O(log n) sift to O(1) append plus a bounded
+/// number of cascades (DESIGN.md section 15).
 ///
 /// Typical driver loop:
 ///   EventQueue q;
@@ -25,6 +34,8 @@ struct EventQueueTestCorruptor;
 ///   q.run();                       // or run_until(t_end)
 class EventQueue {
  public:
+  EventQueue();
+
   /// Small-buffer-optimized: closures up to InplaceCallback::kInlineSize
   /// bytes live inside the Event, so steady-state scheduling does not
   /// heap-allocate (DESIGN.md section 11).
@@ -54,8 +65,8 @@ class EventQueue {
   /// t_end. Events scheduled exactly at t_end do fire.
   void run_until(SimTime t_end);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
 
   /// Total number of events fired so far.
   std::uint64_t fired() const { return fired_; }
@@ -83,12 +94,54 @@ class EventQueue {
     }
   };
 
-  // An explicit vector + push_heap/pop_heap rather than
-  // std::priority_queue: top() there is const, which forces a copy of the
-  // callback per fired event; pop_heap lets step() move the event out.
-  // Ordering is identical — Later's (time, seq) comparison fully orders
-  // events, so heap internals can't affect firing order.
-  std::vector<Event> heap_;
+  /// Integer bucket index: 1/16-second resolution. Only used for bucket
+  /// placement; ordering within a bucket still compares the full double
+  /// time, so resolution cannot change firing order.
+  using Tick = std::uint64_t;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kLevels = 6;
+  static constexpr std::size_t kSlotsPerLevel = std::size_t{1} << kLevelBits;
+  static constexpr std::uint64_t kSlotMask = kSlotsPerLevel - 1;
+  static constexpr double kTicksPerSecond = 16.0;
+  /// Capacity pre-reserved in every bucket (and the ready/overflow
+  /// vectors) at construction, so steady-state inserts never pay a
+  /// first-touch vector growth: with timers spaced >= one tick apart, a
+  /// level-0/1 bucket holds at most a handful of events, and deeper
+  /// buckets that do outgrow this keep their high-water capacity across
+  /// clear() for the queue's lifetime.
+  static constexpr std::size_t kBucketReserve = 16;
+
+  static Tick tick_of(SimTime t);
+  /// Wheel level for an event whose tick differs from cursor_ in the given
+  /// bits: the highest differing kLevelBits-wide chunk. >= kLevels means
+  /// the event is beyond the wheel horizon (overflow heap).
+  static int level_of(Tick xor_bits);
+
+  /// Place an event with tick >= cursor_ into its wheel slot (or the
+  /// overflow heap when beyond the horizon).
+  DNSSHIELD_HOT void wheel_insert(Event ev, Tick tk);
+  /// Move the earliest occupied bucket's events into ready_, cascading
+  /// upper-level buckets and promoting overflow events as the cursor
+  /// advances. Precondition: ready_.empty() && size_ > 0. Postcondition:
+  /// ready_ is non-empty. Does not touch now_.
+  void harvest();
+  /// Promote overflow events that now fall within the wheel horizon.
+  void drain_overflow();
+
+  // Invariants (DESIGN.md section 15):
+  //  - every event in ready_ has tick < cursor_;
+  //  - every event in the wheel or overflow_ has tick >= cursor_;
+  //  - ticks are monotone in time, so the ready_ heap top is always the
+  //    globally earliest (time, seq) pending event.
+  std::array<std::vector<Event>, kLevels * kSlotsPerLevel> slots_;
+  std::array<std::uint64_t, kLevels> occupied_{};
+  /// Harvested events, ordered by (time, seq); push_heap/pop_heap rather
+  /// than std::priority_queue so step() can move the callback out.
+  std::vector<Event> ready_;
+  /// Events beyond the 2^36-tick wheel horizon (and t = infinity).
+  std::vector<Event> overflow_;
+  Tick cursor_ = 0;
+  std::size_t size_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

@@ -1,0 +1,41 @@
+// Fixture: the timing-wheel bucket insert must stay allocation-free.
+// hot-path-purity rejects, inside the DNSSHIELD_HOT insert: a per-event
+// heap node, a std::function callback slot, and a per-call drain
+// scratch vector — the exact regressions that would break the wheel's
+// 0-allocs/op contract (bench/micro_benchmarks.cpp BM_WheelSchedule /
+// BM_WheelCascade guards). The byte-identical *cold* twin below is
+// setup-shaped code and must produce no findings (the rule keys on the
+// annotation, not the body).
+#include <functional>
+#include <vector>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+struct WheelNode {
+  double time = 0;
+  WheelNode* next = nullptr;
+};
+
+DNSSHIELD_HOT WheelNode* hot_bucket_insert(WheelNode*& slot, double t) {
+  WheelNode* node = new WheelNode{t, slot};        // EXPECT: hot-path-purity
+  std::function<void()> fire = [t] { (void)t; };   // EXPECT: hot-path-purity
+  std::vector<WheelNode*> drained;                 // EXPECT: hot-path-purity
+  drained.push_back(node);
+  fire();
+  slot = node;
+  return drained.back();
+}
+
+WheelNode* cold_bucket_insert(WheelNode*& slot, double t) {
+  WheelNode* node = new WheelNode{t, slot};
+  std::function<void()> fire = [t] { (void)t; };
+  std::vector<WheelNode*> drained;
+  drained.push_back(node);
+  fire();
+  slot = node;
+  return drained.back();
+}
+
+}  // namespace fixture

@@ -27,8 +27,9 @@ namespace dnsshield::sim {
 struct EventQueueTestCorruptor {
   static void schedule_in_past(EventQueue& q, SimTime t,
                                EventQueue::Callback cb) {
-    q.heap_.push_back(EventQueue::Event{t, q.next_seq_++, std::move(cb)});
-    std::push_heap(q.heap_.begin(), q.heap_.end(), EventQueue::Later{});
+    q.ready_.push_back(EventQueue::Event{t, q.next_seq_++, std::move(cb)});
+    std::push_heap(q.ready_.begin(), q.ready_.end(), EventQueue::Later{});
+    ++q.size_;
   }
 };
 

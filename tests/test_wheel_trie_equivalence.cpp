@@ -1,0 +1,351 @@
+// Property tests for the PR's two hot-path data structures (DESIGN.md
+// section 15):
+//
+//  1. The hierarchical timing wheel behind EventQueue must fire events in
+//     exactly the order the old binary heap did: globally sorted by
+//     (time, seq). A reference heap implementation drives the same
+//     randomized schedule/step/run_until scripts — including same-instant
+//     bursts, past-time clamps, reentrant scheduling from callbacks, and
+//     far-horizon (overflow) times — and the firing logs must match.
+//
+//  2. The cache's NS trie must agree with the per-suffix hash-probe walk
+//     it replaced, over randomized populations of live, expired, erased,
+//     and negative NS entries, including dead-zone skips.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "resolver/cache.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace dnsshield {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using resolver::Cache;
+using resolver::CacheEntry;
+
+// ---- Part 1: wheel vs reference heap --------------------------------------
+
+/// The old EventQueue: a (time, seq)-ordered binary heap. Kept here as the
+/// executable specification of the firing order.
+class RefQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  sim::SimTime now() const { return now_; }
+
+  void schedule_at(sim::SimTime t, Callback cb) {
+    if (t < now_) t = now_;
+    heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  void schedule_in(sim::Duration delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  void run_until(sim::SimTime t_end) {
+    while (!heap_.empty() && heap_.front().time <= t_end) step();
+    if (now_ < t_end) now_ = t_end;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    sim::SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  sim::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Drives one queue implementation through a seeded random script and
+/// returns the log of (event id, firing time) pairs. All randomness comes
+/// from the seed and from per-event SplitMix64 streams, so two
+/// implementations given the same seed see identical scripts as long as
+/// they fire events in the same order — any ordering divergence cascades
+/// into a log mismatch.
+template <typename Queue>
+struct Driver {
+  Queue q;
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> log;
+  std::uint64_t next_id = 0;
+
+  void schedule(sim::SimTime t) {
+    const std::uint64_t id = next_id++;
+    q.schedule_at(t, [this, id] { fire(id); });
+  }
+
+  void fire(std::uint64_t id) {
+    log.emplace_back(id, q.now());
+    // Reentrant scheduling, decided deterministically per event id:
+    // sometimes a same-instant burst (exercises the FIFO tie-break and
+    // the ready-heap merge of a just-harvested bucket), sometimes a
+    // short-delay chain, occasionally a far jump (cascade/overflow).
+    sim::SplitMix64 mix(id * 0x9e3779b97f4a7c15ull + 1);
+    const std::uint64_t roll = mix.next() % 100;
+    if (roll < 12) {
+      schedule(q.now());  // same instant
+    } else if (roll < 25) {
+      schedule(q.now() + static_cast<double>(mix.next() % 1000) / 256.0);
+    } else if (roll < 28) {
+      schedule(q.now() + 4100.0 + static_cast<double>(mix.next() % 100000));
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, sim::SimTime>> run_script(
+      std::uint64_t seed) {
+    sim::Rng rng(seed);
+    sim::SimTime horizon = 0;
+    for (int op = 0; op < 600; ++op) {
+      const std::uint64_t dice = rng.next_below(100);
+      if (dice < 55) {
+        // Burst of schedules around the current clock: fractional-tick
+        // times, exact ties, behind-the-clock clamps, far horizons.
+        const int burst = static_cast<int>(rng.next_below(4)) + 1;
+        const sim::SimTime tie = q.now() + rng.uniform(0.0, 50.0);
+        for (int i = 0; i < burst; ++i) {
+          switch (rng.next_below(5)) {
+            case 0:
+              schedule(tie);  // same-instant group
+              break;
+            case 1:
+              schedule(q.now() - rng.uniform(0.0, 10.0));  // clamped
+              break;
+            case 2:
+              schedule(q.now() + rng.uniform(0.0, 3.9));  // level-0 ticks
+              break;
+            case 3:
+              schedule(q.now() + rng.uniform(4.0, 4096.0));  // upper levels
+              break;
+            default:
+              // Deep levels and, rarely, beyond the 2^36-tick horizon.
+              schedule(q.now() + rng.pareto(100.0, 0.9));
+              break;
+          }
+        }
+      } else if (dice < 80) {
+        horizon = q.now() + rng.uniform(0.0, 200.0);
+        q.run_until(horizon);
+      } else if (dice < 90) {
+        q.step();
+      } else {
+        // run_until exactly at a pending event's time boundary.
+        horizon = q.now() + rng.uniform(0.0, 8.0);
+        q.run_until(horizon);
+        schedule(horizon);  // lands exactly at now after run_until
+      }
+    }
+    q.run();
+    return std::move(log);
+  }
+};
+
+TEST(WheelEquivalence, RandomScriptsMatchReferenceHeap) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Driver<sim::EventQueue> wheel;
+    Driver<RefQueue> ref;
+    const auto wheel_log = wheel.run_script(seed);
+    const auto ref_log = ref.run_script(seed);
+    ASSERT_FALSE(wheel_log.empty()) << "seed " << seed;
+    ASSERT_EQ(wheel_log.size(), ref_log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < wheel_log.size(); ++i) {
+      ASSERT_EQ(wheel_log[i], ref_log[i])
+          << "divergence at event " << i << " of seed " << seed;
+    }
+    EXPECT_TRUE(wheel.q.empty());
+    EXPECT_EQ(wheel.q.fired(), wheel_log.size());
+  }
+}
+
+TEST(WheelEquivalence, FarHorizonOverflowOrdering) {
+  // Events beyond the wheel's 2^36-tick horizon (about 136 years of sim
+  // time) must still interleave correctly with near events.
+  Driver<sim::EventQueue> wheel;
+  Driver<RefQueue> ref;
+  auto drive = [](auto& drv) {
+    drv.schedule(5.0e9);   // beyond horizon
+    drv.schedule(1.0);     // near
+    drv.schedule(4.9e9);   // beyond horizon, earlier than the first
+    drv.schedule(1.0);     // same-instant tie with the near one
+    drv.q.run_until(2.0);
+    drv.schedule(4.95e9);  // scheduled after the near ones fired
+    drv.q.run();
+    return drv.log;
+  };
+  EXPECT_EQ(drive(wheel), drive(ref));
+}
+
+// ---- Part 2: NS trie vs per-suffix hash walk ------------------------------
+
+dns::RRset make_ns(const Name& name, std::uint32_t ttl) {
+  dns::RRset set(name, RRType::kNS, ttl);
+  set.add(dns::NsRdata{name.child("ns1")});
+  return set;
+}
+
+/// Deepest usable zone for qname computed the old way: one hash probe per
+/// suffix level, top of the climb at the query name.
+std::optional<Name> reference_deepest_zone(
+    const Cache& cache, const Name& qname, sim::SimTime now, bool allow_stale,
+    const std::unordered_set<dns::NameId>& dead) {
+  Name cursor = qname;
+  for (;;) {
+    const dns::NameId id = cache.names().find(cursor);
+    if (id == dns::kInvalidNameId || dead.count(id) == 0) {
+      const CacheEntry* entry = cache.lookup_including_expired(cursor, RRType::kNS);
+      const CacheEntry* ns =
+          entry != nullptr && (entry->live_at(now) || allow_stale) ? entry
+                                                                   : nullptr;
+      if (ns != nullptr && !ns->negative) return cursor;
+    }
+    if (cursor.is_root()) return std::nullopt;
+    cursor = cursor.parent();
+  }
+}
+
+/// Same decision through the trie walk, the way find_deepest_zone now
+/// resolves it.
+std::optional<Name> trie_deepest_zone(
+    const Cache& cache, const Name& qname, sim::SimTime now, bool allow_stale,
+    const std::unordered_set<dns::NameId>& dead,
+    std::vector<std::uint32_t>& path) {
+  cache.ns_walk(qname, path);
+  const std::size_t labels = qname.label_count();
+  for (std::size_t drop = 0; drop <= labels; ++drop) {
+    const std::size_t suffix_labels = labels - drop;
+    if (suffix_labels >= path.size()) continue;
+    const resolver::NsNode& node = cache.ns_node(path[suffix_labels]);
+    if (dead.count(node.name_id) != 0) continue;
+    const CacheEntry* entry = node.entry;
+    const CacheEntry* ns =
+        entry != nullptr && (entry->live_at(now) || allow_stale) ? entry
+                                                                 : nullptr;
+    if (ns != nullptr && !ns->negative) return qname.suffix(drop);
+  }
+  return std::nullopt;
+}
+
+TEST(TrieEquivalence, RandomizedHierarchiesWithDeadAndExpiredZones) {
+  const std::vector<std::string> label_pool = {"com", "net",  "org", "edu",
+                                               "foo", "bar",  "ns",  "cs",
+                                               "www", "mail", "a",   "b"};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Rng rng(seed);
+    Cache cache(/*ttl_cap=*/604800);
+    sim::SimTime now = 0;
+
+    auto random_name = [&](std::size_t max_depth) {
+      std::vector<std::string> labels;
+      const std::size_t depth = 1 + rng.next_below(max_depth);
+      for (std::size_t i = 0; i < depth; ++i) {
+        labels.push_back(label_pool[rng.next_below(label_pool.size())]);
+      }
+      return Name::from_labels(std::move(labels));
+    };
+
+    // Randomized mutation phase: install positive/negative NS entries
+    // with varied TTLs, advance the clock (expiring some), erase some.
+    std::vector<Name> zone_names;
+    for (int i = 0; i < 200; ++i) {
+      const Name name = random_name(4);
+      switch (rng.next_below(10)) {
+        case 0:
+          cache.insert_negative(name, RRType::kNS,
+                                static_cast<std::uint32_t>(60 + rng.next_below(600)),
+                                dns::Rcode::kNxDomain, now);
+          zone_names.push_back(name);
+          break;
+        case 1:
+          cache.erase(name, RRType::kNS);
+          break;
+        default: {
+          const auto ttl = static_cast<std::uint32_t>(30 + rng.next_below(3600));
+          cache.insert(make_ns(name, ttl), dns::Trust::kAuthAnswer, now,
+                       /*is_irr=*/true, name, /*allow_ttl_reset=*/true,
+                       /*demand=*/false);
+          zone_names.push_back(name);
+          break;
+        }
+      }
+      now += rng.uniform(0.0, 120.0);  // lets earlier entries expire
+    }
+    cache.insert(make_ns(Name::root(), 3600), dns::Trust::kAuthAnswer, now,
+                 true, Name::root(), true, false);
+
+    // Random dead-zone set drawn from names that held NS entries.
+    std::unordered_set<dns::NameId> dead;
+    for (const Name& name : zone_names) {
+      if (rng.bernoulli(0.2)) {
+        const dns::NameId id = cache.names().find(name);
+        ASSERT_NE(id, dns::kInvalidNameId);
+        dead.insert(id);
+      }
+    }
+
+    // Equivalence over random query names (some matching cached zones,
+    // some novel), with and without the stale fallback.
+    std::vector<std::uint32_t> path;
+    for (int i = 0; i < 400; ++i) {
+      const Name qname = random_name(6);
+      for (const bool allow_stale : {false, true}) {
+        const auto expect =
+            reference_deepest_zone(cache, qname, now, allow_stale, dead);
+        const auto got =
+            trie_deepest_zone(cache, qname, now, allow_stale, dead, path);
+        ASSERT_EQ(expect.has_value(), got.has_value())
+            << "seed " << seed << " qname " << qname.to_string();
+        if (expect.has_value()) {
+          ASSERT_EQ(*expect, *got)
+              << "seed " << seed << " qname " << qname.to_string();
+        }
+      }
+      // The walk agrees pointer-for-pointer with per-suffix hash probes.
+      cache.ns_walk(qname, path);
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        const Name suffix = qname.suffix(qname.label_count() - k);
+        EXPECT_EQ(cache.ns_node(path[k]).entry,
+                  cache.lookup_including_expired(suffix, RRType::kNS));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnsshield
