@@ -2,11 +2,15 @@
 # Full correctness gate, in dependency order:
 #   1. project linter   — scripts/dnsshield_lint.py self-test + tree scan
 #   2. tier-1           — configure, build, run the full ctest suite
-#   3. AST analyzer     — scripts/test_dnsshield_analyze.py (fixture
+#   3. AST analyzer     — scripts/test_dnsshield_callgraph.py (pure
+#                         python: interprocedural rules, merge, cache —
+#                         always runs), then
+#                         scripts/test_dnsshield_analyze.py (fixture
 #                         self-test) + scripts/dnsshield_analyze.py over
-#                         the exported compile_commands.json; both SKIP
-#                         with a notice when libclang is unavailable and
-#                         the regex linter from step 1 stays the gate
+#                         the exported compile_commands.json; the latter
+#                         two SKIP with a notice when libclang is
+#                         unavailable and the regex linter from step 1
+#                         stays the gate
 #   4. hotpath smoke    — bench_hotpath --quick: repeated replicate runs
 #                         must produce byte-identical reports (the
 #                         allocation-lean kernel's determinism contract,
@@ -53,7 +57,8 @@ cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo
-echo "=== analyze: AST analyzer (SKIPs without libclang) ==="
+echo "=== analyze: call-graph unit tests + AST analyzer (SKIPs without libclang) ==="
+python3 scripts/test_dnsshield_callgraph.py
 python3 scripts/test_dnsshield_analyze.py
 python3 scripts/dnsshield_analyze.py -p "${BUILD_DIR}"
 

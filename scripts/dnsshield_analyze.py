@@ -57,6 +57,36 @@ Rules
                         std::out_of_range / std::invalid_argument) and
                         abort-style calls are banned.
 
+Interprocedural rules (scripts/dnsshield_callgraph.py; DESIGN.md
+section 16). While parsing, every in-tree function definition is also
+extracted into a cross-TU call-graph fragment (libclang USRs as node
+ids; direct, member, constructor, and InplaceCallback/FunctionRef
+callback-construction edges). The merged graph drives three rules the
+per-body walks cannot see:
+
+  transitive-hot-purity Every function reachable from a DNSSHIELD_HOT
+                        root through invocation edges must itself be
+                        annotated or provably allocation-free. A hot
+                        function calling an unannotated allocating
+                        helper is exactly the hole the per-body rule
+                        leaves open. --suggest-annotations prints the
+                        minimal annotation set closing the gap.
+  determinism-order     Iteration over std::unordered_{map,set} whose
+                        loop body performs — or reaches, via the call
+                        graph — ordered accumulation (push_back/append/
+                        += on vector/deque/string) or output emission
+                        (ostream <<, JsonWriter/Tracer sinks): the
+                        classic nondeterministic-bytes source.
+  exception-escape      No non-`dnsshield::*Error` exception may
+                        propagate out of a DNSSHIELD_UNTRUSTED_INPUT
+                        entry point through unannotated callees
+                        (unguarded call edges only; try blocks stop the
+                        walk).
+
+The per-TU fragments and findings are cached (mtime+content-hash keyed,
+invalidated when the analyzer scripts change) so warm re-analysis skips
+parsing entirely; see --callgraph-cache.
+
 Exit status: 0 clean (or libclang unavailable: SKIP notice, so callers
 fall back to the regex linter), 1 findings, 2 usage/internal error.
 With --require-libclang a missing libclang is an error (CI uses this).
@@ -64,6 +94,8 @@ With --require-libclang a missing libclang is an error (CI uses this).
 Usage
   scripts/dnsshield_analyze.py -p build              # scan src/ TUs
   scripts/dnsshield_analyze.py -p build --sarif out.sarif
+  scripts/dnsshield_analyze.py -p build --suggest-annotations
+  scripts/dnsshield_analyze.py -p build --baseline scripts/analysis_baseline.txt
   scripts/dnsshield_analyze.py --list-rules
 """
 
@@ -77,6 +109,10 @@ import shlex
 import shutil
 import subprocess
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import dnsshield_baseline as baseline_io  # noqa: E402
+import dnsshield_callgraph as callgraph  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -219,6 +255,51 @@ ABORT_FUNCTIONS = frozenset({
 # classes (WireFormatError, ZoneFileError, TraceFormatError, ...).
 PARSE_ERROR_TYPE_RE = re.compile(r"^dnsshield::(?:\w+::)*\w*Error$")
 
+# --- call-graph extraction tables --------------------------------------------
+#
+# Closure wrappers whose construction records a `callback` edge to the
+# wrapped callable (invoked later, on someone else's stack — the
+# interprocedural rules deliberately do not traverse these edges; see
+# scripts/dnsshield_callgraph.py).
+CALLBACK_WRAPPER_PREFIXES = (
+    "dnsshield::sim::InplaceCallback",
+    "dnsshield::sim::FunctionRef<",
+)
+
+# Ordered-accumulation targets: appending to these is order-sensitive
+# (an unordered-iteration body feeding one is a determinism bug).
+# Unordered targets (inserting into a set/map) and commutative arithmetic
+# stay legal.
+ACCUM_PARENT_PREFIXES = (
+    "std::vector<",
+    "std::deque<",
+    "std::basic_string<",
+)
+ACCUM_PARENT_NAMES = frozenset({"vector", "deque", "basic_string"})
+ACCUM_METHODS = frozenset({"push_back", "emplace_back", "append",
+                           "operator+="})
+
+# Output-emission sinks: ostream writes and the project's report/trace
+# writers. A function containing one becomes an emitter node; unordered
+# loops reaching an emitter (directly or transitively) are flagged.
+OSTREAM_PARENT_PREFIXES = (
+    "std::basic_ostream<",
+    "std::basic_iostream<",
+    "std::basic_ofstream<",
+    "std::basic_fstream<",
+    "std::basic_ostringstream<",
+    "std::basic_stringstream<",
+)
+OSTREAM_PARENT_NAMES = frozenset({
+    "basic_ostream", "basic_iostream", "basic_ofstream", "basic_fstream",
+    "basic_ostringstream", "basic_stringstream",
+})
+OSTREAM_METHODS = frozenset({"write", "put", "flush"})
+EMITTER_CLASS_PREFIXES = (
+    "dnsshield::metrics::JsonWriter",
+    "dnsshield::metrics::Tracer",
+)
+
 # Builtin operators that constitute offset arithmetic.
 OFFSET_OPERATORS = frozenset({"+", "-", "+=", "-="})
 _BINOP_NAME_TO_SPELLING = {
@@ -341,6 +422,34 @@ RULES = {
         hint="throw the parser's own *Error type (WireFormatError / "
         "ZoneFileError / TraceFormatError); wrap std converters in "
         "try/catch and rethrow",
+    ),
+    "transitive-hot-purity": Rule(
+        "transitive-hot-purity",
+        "an unannotated function reachable from a DNSSHIELD_HOT root "
+        "(through direct/member/ctor call edges) contains allocation "
+        "facts; the hot closure must be annotated or provably pure",
+        hint="annotate the callee DNSSHIELD_HOT (then fix its body), or "
+        "move the allocation to setup code; --suggest-annotations "
+        "prints the minimal annotation set",
+    ),
+    "determinism-order": Rule(
+        "determinism-order",
+        "iteration over std::unordered_map/unordered_set whose body "
+        "performs or (via the call graph) reaches ordered accumulation "
+        "or output emission; hash-order iteration makes the produced "
+        "bytes irreproducible across library versions and seeds",
+        hint="iterate a std::map/sorted snapshot instead, or collect "
+        "into a container and sort on a total key before emitting",
+    ),
+    "exception-escape": Rule(
+        "exception-escape",
+        "a non-dnsshield::*Error exception can propagate out of a "
+        "DNSSHIELD_UNTRUSTED_INPUT entry point through an unannotated "
+        "callee (unguarded call chain to a throw site or unguarded "
+        ".at()/sto* call)",
+        hint="validate before calling, wrap the call in try/catch and "
+        "rethrow the parser's *Error type, or annotate the callee "
+        "DNSSHIELD_UNTRUSTED_INPUT and give it its own contract",
     ),
 }
 
@@ -466,6 +575,9 @@ class Analyzer:
         self.findings = set()  # (path, line, rule_name, message)
         self.hot_usrs = set()
         self.untrusted_usrs = set()
+        # Cross-TU call-graph fragment: usr -> node dict
+        # (scripts/dnsshield_callgraph.py holds the schema and the rules).
+        self.fragment = {}
         self._ck = cindex.CursorKind
         self._tk = cindex.TypeKind
 
@@ -859,6 +971,317 @@ class Analyzer:
         for child in fn_cursor.get_children():
             visit(child, 0)
 
+    # -- call-graph fragment extraction --
+
+    def qualified_name(self, cursor):
+        parts = [cursor.spelling or "<anonymous>"]
+        ck = self._ck
+        parent = cursor.semantic_parent
+        while parent is not None and parent.kind not in (
+                ck.TRANSLATION_UNIT,):
+            if parent.kind == ck.NAMESPACE and not parent.spelling:
+                parent = parent.semantic_parent
+                continue  # anonymous namespace adds nothing readable
+            if parent.spelling:
+                parts.append(parent.spelling)
+            parent = parent.semantic_parent
+        # Drop the dnsshield:: prefix layers for readable chains.
+        names = [p for p in reversed(parts) if p != "dnsshield"]
+        return "::".join(names)
+
+    def alloc_fact(self, node):
+        """The intraprocedural hot-path-purity facts, reused verbatim as
+        the call graph's allocation facts: new-expressions, allocating
+        std locals, allocating temporaries, by-value allocating returns.
+        Returns a description string or None."""
+        ck = self._ck
+        if node.kind == ck.CXX_NEW_EXPR:
+            return "new-expression"
+        if node.kind == ck.VAR_DECL:
+            type_obj = node.type
+            if not self.is_reference_or_pointer(type_obj):
+                hit = self.allocating_prefix(self.canonical_type(type_obj))
+                if hit:
+                    return (f"local `{node.spelling}` of allocating "
+                            f"type {hit}")
+            return None
+        if node.kind == ck.CALL_EXPR:
+            ref = node.referenced
+            if ref is None:
+                return None
+            if ref.kind == ck.CONSTRUCTOR:
+                hit = self.allocating_prefix(self.canonical_type(node.type))
+                if hit:
+                    return f"allocating {hit} temporary"
+            else:
+                result = ref.result_type
+                if (result is not None
+                        and not self.is_reference_or_pointer(result)):
+                    hit = self.allocating_prefix(self.canonical_type(result))
+                    if hit:
+                        return (f"call to `{ref.spelling}` returning "
+                                f"allocating {hit} by value")
+        return None
+
+    def emit_fact(self, ref):
+        """Output-emission description for a resolved call, or None."""
+        name = ref.spelling
+        if name == "operator<<":
+            parent = ref.semantic_parent
+            try:
+                parent_type = normalize_type(
+                    parent.type.get_canonical().spelling)
+            except Exception:  # noqa: BLE001
+                parent_type = ""
+            if (parent_type.startswith(OSTREAM_PARENT_PREFIXES)
+                    or (parent is not None
+                        and parent.spelling in OSTREAM_PARENT_NAMES)):
+                return "ostream operator<<"
+            # Free operator<<(ostream&, T): the first parameter names it.
+            try:
+                args = list(ref.get_arguments())
+                if args and "basic_ostream<" in normalize_type(
+                        args[0].type.get_canonical().spelling):
+                    return "ostream operator<<"
+            except Exception:  # noqa: BLE001
+                pass
+            return None
+        if (name in OSTREAM_METHODS
+                and self.member_parent_matches(ref, OSTREAM_PARENT_PREFIXES,
+                                               OSTREAM_PARENT_NAMES)):
+            return f"ostream .{name}()"
+        parent = ref.semantic_parent
+        if parent is not None:
+            try:
+                parent_type = normalize_type(
+                    parent.type.get_canonical().spelling)
+            except Exception:  # noqa: BLE001
+                parent_type = ""
+            for prefix in EMITTER_CLASS_PREFIXES:
+                if parent_type.startswith(prefix) or \
+                        parent.spelling == prefix.rsplit("::", 1)[-1].rstrip("<"):
+                    if prefix.endswith("Tracer") and \
+                            not name.startswith("emit"):
+                        return None
+                    return f"{parent.spelling}::{name}()"
+        return None
+
+    def accum_fact(self, ref):
+        """Ordered-accumulation description for a resolved call, or
+        None (unordered targets and commutative arithmetic stay legal)."""
+        if ref.spelling not in ACCUM_METHODS:
+            return None
+        if self.member_parent_matches(ref, ACCUM_PARENT_PREFIXES,
+                                      ACCUM_PARENT_NAMES):
+            target = ref.semantic_parent.spelling
+            return f"appends to an ordered {target} (`{ref.spelling}`)"
+        return None
+
+    def unordered_range_type(self, node):
+        """For a CXX_FOR_RANGE_STMT, the canonical spelling of the
+        iterated container when it is an unordered std container."""
+        ck = self._ck
+        children = list(node.get_children())
+        for child in children[:-1]:  # last child is the loop body
+            if child.kind == ck.VAR_DECL:
+                continue
+            spelling = self.canonical_type(child.type)
+            # The range expression's type keeps cv-qualifiers (and, on
+            # some binding versions, the reference) of the iterated
+            # container; strip them before the prefix match.
+            if spelling.startswith("const "):
+                spelling = spelling[len("const "):]
+            spelling = spelling.rstrip(" &")
+            for prefix in callgraph.UNORDERED_PREFIXES:
+                if spelling.startswith(prefix):
+                    return spelling.split("<", 1)[0] + "<...>"
+        return None
+
+    def unordered_iterator_decl(self, node):
+        """For a FOR_STMT, true when an init declaration's canonical
+        type is an unordered-container iterator (best effort: the
+        libstdc++/libc++ node-iterator spellings)."""
+        ck = self._ck
+        children = list(node.get_children())
+        if not children or children[0].kind != ck.DECL_STMT:
+            return None
+        for decl in children[0].get_children():
+            if decl.kind != ck.VAR_DECL:
+                continue
+            spelling = self.canonical_type(decl.type)
+            for marker in callgraph.UNORDERED_ITERATOR_MARKERS:
+                if marker in spelling:
+                    return "std::unordered_ (iterator loop)"
+        return None
+
+    def call_edge(self, node, try_depth):
+        """(callee_usr, kind) for a resolved call to an in-tree function,
+        plus any callback edges from closure-wrapper construction."""
+        ck = self._ck
+        ref = node.referenced
+        edges = []
+        if ref is None:
+            return edges
+        if ref.kind == ck.CONSTRUCTOR:
+            parent = ref.semantic_parent
+            try:
+                parent_type = normalize_type(
+                    parent.type.get_canonical().spelling)
+            except Exception:  # noqa: BLE001
+                parent_type = ""
+            if parent_type.startswith(CALLBACK_WRAPPER_PREFIXES):
+                # InplaceCallback/FunctionRef construction: record a
+                # callback edge to every named callable in the argument
+                # list (lambdas get theirs when their LAMBDA_EXPR is
+                # visited). The wrapper ctor itself is the type-erasure
+                # boundary — its placement-new SBO machinery is not the
+                # caller's allocation, so no traversable ctor edge.
+                for target in self.named_callables(node):
+                    edges.append((target, "callback"))
+                return edges
+            if not self.is_foreign(ref):
+                usr = ref.canonical.get_usr()
+                if usr:
+                    edges.append((usr, "ctor"))
+            return edges
+        if self.is_foreign(ref):
+            return edges
+        if ref.kind in (ck.CXX_METHOD, ck.CONVERSION_FUNCTION,
+                        ck.DESTRUCTOR):
+            kind = "member"
+        elif ref.kind in (ck.FUNCTION_DECL, ck.FUNCTION_TEMPLATE):
+            kind = "direct"
+        else:
+            # Call through a function pointer / member pointer: the
+            # referenced decl is a field or variable, not a function —
+            # unresolvable, like virtual dispatch (DESIGN.md section 16).
+            return edges
+        usr = ref.canonical.get_usr()
+        if usr:
+            edges.append((usr, kind))
+        return edges
+
+    def named_callables(self, node):
+        """USRs of named functions referenced anywhere under a
+        closure-wrapper construction expression."""
+        ck = self._ck
+        out = []
+
+        def scan(n):
+            if n.kind == ck.DECL_REF_EXPR:
+                ref = n.referenced
+                if ref is not None and ref.kind in (
+                        ck.FUNCTION_DECL, ck.CXX_METHOD,
+                        ck.FUNCTION_TEMPLATE) and not self.is_foreign(ref):
+                    usr = ref.canonical.get_usr()
+                    if usr:
+                        out.append(usr)
+            for child in n.get_children():
+                scan(child)
+
+        scan(node)
+        return out
+
+    def extract_function(self, fn_cursor, fn_path):
+        """Builds the call-graph node for one in-tree function
+        definition: facts (allocation, throw, escape, emission, ordered
+        accumulation), call edges, and unordered-iteration loop records.
+        Lambdas become their own nodes joined by callback edges — their
+        bodies run on a later stack, so their facts must not be charged
+        to the creating function."""
+        usr = fn_cursor.get_usr()
+        if not usr or usr in self.fragment:
+            return
+        node = callgraph.new_node(
+            name=self.qualified_name(fn_cursor),
+            path=fn_path,
+            line=fn_cursor.location.line,
+            hot=self.has_annotation(fn_cursor, HOT_ANNOTATION),
+            untrusted=self.has_annotation(fn_cursor, UNTRUSTED_ANNOTATION))
+        self.fragment[usr] = node
+        self.collect_body(fn_cursor, node, usr, fn_path)
+
+    def collect_body(self, fn_cursor, node, usr, fn_path):
+        ck = self._ck
+
+        def visit(n, try_depth, loops):
+            rel = self.in_scope(n)
+            if rel is not None and rel != fn_path:
+                return  # macro expansion from another file
+            kind = n.kind
+            line = n.location.line
+            if kind == ck.LAMBDA_EXPR:
+                lam_usr = f"{usr}@lambda:{line}:{n.location.column}"
+                lam = callgraph.new_node(
+                    name=f"{node['name']}::<lambda:{line}>",
+                    path=fn_path, line=line)
+                self.fragment[lam_usr] = lam
+                node["calls"].append([lam_usr, line, "callback",
+                                      try_depth > 0])
+                self.collect_body(n, lam, lam_usr, fn_path)
+                return
+            if kind == ck.CXX_TRY_STMT:
+                for child in n.get_children():
+                    if child.kind == ck.CXX_CATCH_STMT:
+                        visit(child, try_depth, loops)
+                    else:
+                        visit(child, try_depth + 1, loops)
+                return
+            container = None
+            if kind == ck.CXX_FOR_RANGE_STMT:
+                container = self.unordered_range_type(n)
+            elif kind == ck.FOR_STMT:
+                container = self.unordered_iterator_decl(n)
+            if container is not None:
+                loop = [line, container, [], []]
+                node["loops"].append(loop)
+                for child in n.get_children():
+                    visit(child, try_depth, loops + [loop])
+                return
+            fact = self.alloc_fact(n)
+            if fact is not None:
+                node["alloc_sites"].append([line, fact])
+            if kind == ck.CXX_THROW_EXPR:
+                children = list(n.get_children())
+                if children:
+                    thrown = self.canonical_type(children[0].type)
+                    if thrown and not PARSE_ERROR_TYPE_RE.match(thrown):
+                        node["throw_sites"].append(
+                            [line, thrown, try_depth > 0])
+            elif kind == ck.CALL_EXPR:
+                ref = n.referenced
+                if ref is not None:
+                    name = ref.spelling
+                    if (name == "at" and try_depth == 0
+                            and self.member_parent_matches(
+                                ref, AT_PARENT_PREFIXES, AT_PARENT_NAMES)):
+                        node["escape_sites"].append(
+                            [line, "unguarded `.at()`"])
+                    elif (name in STO_FUNCTIONS and try_depth == 0
+                          and self.is_foreign(ref)):
+                        node["escape_sites"].append(
+                            [line, f"unguarded `{name}()`"])
+                    emit = self.emit_fact(ref)
+                    if emit is not None:
+                        node["emit_sites"].append([line, emit])
+                        for loop in loops:
+                            loop[2].append([line, f"emits ({emit})"])
+                    accum = self.accum_fact(ref)
+                    if accum is not None:
+                        node["accum_sites"].append([line, accum])
+                        for loop in loops:
+                            loop[2].append([line, accum])
+                    for callee, edge_kind in self.call_edge(n, try_depth):
+                        node["calls"].append(
+                            [callee, line, edge_kind, try_depth > 0])
+                        for loop in loops:
+                            loop[3].append([callee, line, edge_kind])
+            for child in n.get_children():
+                visit(child, try_depth, loops)
+
+        for child in fn_cursor.get_children():
+            visit(child, 0, [])
+
     # -- traversal --
 
     def walk(self, cursor):
@@ -874,8 +1297,9 @@ class Analyzer:
             self.check_calls(node)
             if (node.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
                               ck.FUNCTION_TEMPLATE, ck.CONSTRUCTOR,
-                              ck.CONVERSION_FUNCTION)
+                              ck.CONVERSION_FUNCTION, ck.DESTRUCTOR)
                     and node.is_definition()):
+                self.extract_function(node, rel)
                 if self.has_annotation(node, HOT_ANNOTATION):
                     usr = node.get_usr()
                     if usr not in self.hot_usrs:
@@ -902,23 +1326,53 @@ class Analyzer:
                       file=sys.stderr)
             sys.exit(2)
         self.walk(tu.cursor)
+        return tu
 
 
-def run_analysis(cindex, build_dir, root, tu_prefix="src/"):
-    """Parses every in-scope TU from the compilation database and returns
-    the sorted finding list as (path, line, rule_name, message)."""
-    analyzer = Analyzer(cindex, root)
+def tu_dependency_paths(tu, root):
+    """The in-tree files a TU read: the source plus every include under
+    the analysis root (system headers never key cache invalidation)."""
+    abs_root = os.path.abspath(root)
+    deps = {os.path.abspath(tu.spelling)}
+    try:
+        includes = list(tu.get_includes())
+    except Exception:  # noqa: BLE001 - bindings without get_includes
+        includes = []
+    for inc in includes:
+        try:
+            path = os.path.abspath(inc.include.name)
+        except AttributeError:
+            continue
+        if not os.path.relpath(path, abs_root).startswith(".."):
+            deps.add(path)
+    return deps
+
+
+def run_analysis(cindex, build_dir, root, tu_prefix="src/", cache=None):
+    """Parses every in-scope TU from the compilation database. Returns
+    (findings, scanned, graph): the sorted finding list as
+    (path, line, rule_name, message) — intraprocedural and
+    interprocedural merged, after rule scoping — plus the merged
+    cross-TU call graph.
+
+    Each TU gets a fresh Analyzer so its fragment and findings are
+    attributable to that TU alone (a header-defined function re-checked
+    per TU dedups in the union) — the unit the cache stores and replays.
+    """
     extra = resource_dir_args()
     entries = load_compile_commands(build_dir)
     scanned = 0
     seen_sources = set()
+    findings = set()
+    fragments = []
     for entry in entries:
         directory = entry.get("directory", ".")
         file_path = entry.get("file", "")
         source = os.path.normpath(
             file_path if os.path.isabs(file_path)
             else os.path.join(directory, file_path))
-        rel = os.path.relpath(source, analyzer.root).replace(os.sep, "/")
+        rel = os.path.relpath(
+            source, os.path.abspath(root)).replace(os.sep, "/")
         if rel.startswith("..") or not rel.startswith(tu_prefix):
             continue
         if source in seen_sources:
@@ -926,13 +1380,32 @@ def run_analysis(cindex, build_dir, root, tu_prefix="src/"):
         seen_sources.add(source)
         command = entry.get("arguments") or entry.get("command", "")
         args = parse_args_for_tu(command, extra)
-        analyzer.analyze_tu(source, args)
+        if cache is not None:
+            cached = cache.lookup(source, args)
+            if cached is not None:
+                fragment, tu_findings = cached
+                fragments.append(fragment)
+                findings.update(tu_findings)
+                scanned += 1
+                continue
+        analyzer = Analyzer(cindex, root)
+        tu = analyzer.analyze_tu(source, args)
+        fragments.append(analyzer.fragment)
+        findings.update(analyzer.findings)
+        if cache is not None:
+            cache.store(source, args, tu_dependency_paths(tu, root),
+                        analyzer.fragment, sorted(analyzer.findings))
         scanned += 1
     if scanned == 0:
         print(f"dnsshield_analyze: no TUs under {tu_prefix} in the "
               f"compilation database at {build_dir}", file=sys.stderr)
         sys.exit(2)
-    return sorted(analyzer.findings), scanned
+    graph = callgraph.build_graph(fragments)
+    for path, line, rule, message in \
+            callgraph.interprocedural_findings(graph):
+        if RULES[rule].covers(path):
+            findings.add((path, line, rule, message))
+    return sorted(findings), scanned, graph
 
 
 def report(findings):
@@ -959,6 +1432,22 @@ def main():
     parser.add_argument("--require-libclang", action="store_true",
                         help="treat missing libclang as an error instead of "
                              "a SKIP (CI uses this)")
+    parser.add_argument("--callgraph-cache", metavar="PATH", default=None,
+                        help="per-TU index cache file (default: "
+                             "<build-dir>/dnsshield_callgraph_cache.json); "
+                             "warm entries skip parsing entirely")
+    parser.add_argument("--no-callgraph-cache", action="store_true",
+                        help="parse every TU from scratch")
+    parser.add_argument("--suggest-annotations", action="store_true",
+                        help="print the minimal DNSSHIELD_HOT annotation "
+                             "set closing the transitive-hot gap, then exit")
+    parser.add_argument("--baseline", metavar="PATH", default="auto",
+                        help="suppression file of `<rule> <path>` entries "
+                             "(default: scripts/analysis_baseline.txt when "
+                             "present; pass 'none' to disable)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the current finding set as a baseline "
+                             "file and exit")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args()
 
@@ -980,7 +1469,50 @@ def main():
               "`pip install libclang` enables this tool)")
         sys.exit(0)
 
-    findings, scanned = run_analysis(cindex, args.build_dir, args.root)
+    cache = None
+    if not args.no_callgraph_cache:
+        cache_path = args.callgraph_cache or os.path.join(
+            args.build_dir, "dnsshield_callgraph_cache.json")
+        script_hash = callgraph.scripts_hash(
+            [os.path.abspath(__file__), os.path.abspath(callgraph.__file__)])
+        cache = callgraph.IndexCache(cache_path, script_hash)
+
+    findings, scanned, graph = run_analysis(
+        cindex, args.build_dir, args.root, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    if args.suggest_annotations:
+        sys.stdout.write(callgraph.render_suggestions(
+            callgraph.suggest_annotations(graph)))
+        sys.exit(0)
+
+    if args.write_baseline:
+        entries = baseline_io.write(args.write_baseline, findings)
+        print(f"dnsshield_analyze: wrote {len(entries)} baseline "
+              f"entr{'y' if len(entries) == 1 else 'ies'} to "
+              f"{args.write_baseline}")
+        sys.exit(0)
+
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        default = os.path.join(REPO_ROOT, "scripts",
+                               "analysis_baseline.txt")
+        baseline_path = default if os.path.isfile(default) else None
+    elif baseline_path == "none":
+        baseline_path = None
+    suppressed = []
+    if baseline_path:
+        try:
+            entries = baseline_io.load(baseline_path)
+        except (OSError, baseline_io.BaselineError) as e:
+            print(f"dnsshield_analyze: bad baseline: {e}", file=sys.stderr)
+            sys.exit(2)
+        findings, suppressed, stale = baseline_io.apply(findings, entries)
+        for rule, rel in stale:
+            print(f"dnsshield_analyze: warning: stale baseline entry "
+                  f"`{rule} {rel}` (suppresses nothing; remove it)",
+                  file=sys.stderr)
 
     if args.sarif:
         from dnsshield_sarif import write_sarif
@@ -989,12 +1521,18 @@ def main():
                     [(rule, message, path, line)
                      for path, line, rule, message in findings])
 
+    cache_note = ""
+    if cache is not None and (cache.hits or cache.misses):
+        cache_note = f", cache {cache.hits}/{cache.hits + cache.misses} warm"
+    baseline_note = f", {len(suppressed)} baselined" if suppressed else ""
     if findings:
         report(findings)
         print(f"dnsshield_analyze: {len(findings)} finding(s) across "
-              f"{scanned} TU(s)", file=sys.stderr)
+              f"{scanned} TU(s){baseline_note}{cache_note}",
+              file=sys.stderr)
         sys.exit(1)
-    print(f"dnsshield_analyze: clean ({scanned} TUs, {len(RULES)} rules)")
+    print(f"dnsshield_analyze: clean ({scanned} TUs, {len(RULES)} rules"
+          f"{baseline_note}{cache_note})")
     sys.exit(0)
 
 

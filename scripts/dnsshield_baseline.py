@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Shared --baseline suppression files for the dnsshield analyzers.
+
+Both scripts/dnsshield_analyze.py and scripts/dnsshield_lint.py accept
+`--baseline FILE`: a committed list of intentional exceptions, so a
+deliberate finding is recorded in-repo (with a reviewable justification
+comment) instead of edited into the tools' inline allowlists.
+
+Format — one entry per line, '#' comments and blank lines ignored:
+
+    <rule-name> <repo-relative-path>     # why this exception is OK
+
+An entry suppresses every finding of that rule in that file. Entries
+that suppress nothing are reported as STALE (warning, not an error) so
+fixed findings leave no dead suppressions behind; `--write-baseline`
+regenerates the file from the current finding set.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class BaselineError(ValueError):
+    pass
+
+
+def load(path):
+    """Parses a baseline file into a set of (rule, path) entries."""
+    entries = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise BaselineError(
+                    f"{path}:{lineno}: expected `<rule> <path>`, got: "
+                    f"{raw.strip()}")
+            entries.add((parts[0], parts[1].replace(os.sep, "/")))
+    return entries
+
+
+def apply(findings, entries, key=lambda f: (f[2], f[0])):
+    """Splits findings into (kept, suppressed) against baseline entries
+    and reports stale entries that matched nothing.
+
+    `key` maps one finding to its (rule, path) pair; the default fits
+    the analyzer's (path, line, rule, message) tuples.
+
+    Returns (kept, suppressed, stale) with stale sorted.
+    """
+    kept, suppressed, used = [], [], set()
+    for finding in findings:
+        entry = key(finding)
+        if entry in entries:
+            suppressed.append(finding)
+            used.add(entry)
+        else:
+            kept.append(finding)
+    stale = sorted(entries - used)
+    return kept, suppressed, stale
+
+
+def write(path, findings, key=lambda f: (f[2], f[0]), header=""):
+    """Writes a baseline covering the given findings (one line per
+    distinct (rule, path) pair)."""
+    entries = sorted({key(f) for f in findings})
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# dnsshield analyzer/linter baseline: intentional rule "
+                "exceptions.\n"
+                "# Format: <rule-name> <repo-relative-path>  # justification\n"
+                "# Regenerate with --write-baseline; stale entries warn.\n")
+        if header:
+            f.write(header.rstrip("\n") + "\n")
+        for rule, rel in entries:
+            f.write(f"{rule} {rel}\n")
+    return entries

@@ -1,0 +1,499 @@
+#!/usr/bin/env python3
+"""dnsshield interprocedural call graph: model, rules, and index cache.
+
+scripts/dnsshield_analyze.py extracts one *graph fragment* per
+translation unit (libclang USRs as node ids) and merges them here into a
+cross-TU call graph. Everything in this module is pure Python over plain
+dict/JSON data — no libclang import — so the graph semantics, the three
+interprocedural rules, and the cache invalidation logic are unit-tested
+by scripts/test_dnsshield_callgraph.py on machines without libclang.
+
+Node (one per function USR)
+  name          qualified display name ("EventQueue::harvest")
+  path, line    repo-relative definition site ("" when only declared)
+  hot           carries the DNSSHIELD_HOT annotation (any declaration)
+  untrusted     carries DNSSHIELD_UNTRUSTED_INPUT
+  alloc_sites   [[line, what], ...] allocation facts (new-expressions,
+                allocating std locals/temporaries, by-value allocating
+                returns) — the same facts the intraprocedural
+                hot-path-purity rule bans
+  throw_sites   [[line, type, guarded], ...] throw-expressions of
+                non-`dnsshield::*Error` types; guarded = lexically
+                inside a try block
+  escape_sites  [[line, what], ...] unguarded .at()/sto* calls
+                (std::out_of_range / std::invalid_argument escapes)
+  emit_sites    [[line, what], ...] output emission (operator<< to an
+                ostream, ostream write/put, JsonWriter/Tracer members)
+  accum_sites   [[line, what], ...] ordered accumulation (push_back /
+                emplace_back / append / operator+= on vector / deque /
+                string targets)
+  calls         [[callee_usr, line, kind, guarded], ...] with kind one
+                of direct | member | ctor | callback (callback =
+                InplaceCallback / FunctionRef construction site or a
+                lambda closure created in the body)
+  loops         [[line, container, sites, calls], ...] one record per
+                iteration over an unordered std container; `sites` are
+                the accum/emit facts inside the loop body, `calls` the
+                [[callee_usr, line, kind], ...] made from it
+
+Edge-kind semantics (DESIGN.md section 16):
+  - transitive-hot-purity and exception-escape traverse direct, member,
+    and ctor edges only. callback edges record closure *creation*, not
+    invocation; following them from the creating function would charge
+    callers with facts from closures that run on someone else's stack.
+  - exception-escape additionally stops at guarded edges (call sites
+    inside a try block) and at guarded throw sites. The catch type is
+    not matched against the thrown type — a try { } catch (Specific&)
+    silences the subtree; that unsoundness is accepted and documented.
+  - callees with no node (std::, system, unresolved templates, function
+    pointers) are assumed pure and non-throwing; .at()/sto* calls are
+    the exception, recorded as escape facts at the call site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+
+GRAPH_VERSION = 1
+
+PARSE_ERROR_TYPE_RE = re.compile(r"^dnsshield::(?:\w+::)*\w*Error$")
+
+# Canonical-type prefixes of the unordered std containers whose iteration
+# order is hash/seed dependent.
+UNORDERED_PREFIXES = (
+    "std::unordered_map<",
+    "std::unordered_multimap<",
+    "std::unordered_set<",
+    "std::unordered_multiset<",
+)
+
+# libstdc++/libc++ canonical spellings of unordered-container iterators
+# (iterator-based for loops; the container type is erased by then).
+UNORDERED_ITERATOR_MARKERS = (
+    "std::__detail::_Node_iterator",
+    "std::__detail::_Node_const_iterator",
+    "std::__hash_map_iterator",
+    "std::__hash_map_const_iterator",
+    "std::__hash_set_iterator",
+    "std::__hash_set_const_iterator",
+)
+
+EDGE_KINDS = ("direct", "member", "ctor", "callback")
+
+# Edges the purity/exception walks follow (see module docstring).
+INVOCATION_KINDS = frozenset({"direct", "member", "ctor"})
+
+
+def new_node(name="", path="", line=0, hot=False, untrusted=False):
+    return {
+        "name": name,
+        "path": path,
+        "line": line,
+        "hot": hot,
+        "untrusted": untrusted,
+        "alloc_sites": [],
+        "throw_sites": [],
+        "escape_sites": [],
+        "emit_sites": [],
+        "accum_sites": [],
+        "calls": [],
+        "loops": [],
+    }
+
+
+_LIST_KEYS = ("alloc_sites", "throw_sites", "escape_sites", "emit_sites",
+              "accum_sites", "calls", "loops")
+
+
+def _merge_lists(dst, src):
+    """Set-unions two fact lists (JSON round-trips make tuples lists, so
+    keys are canonicalised through json.dumps)."""
+    seen = {json.dumps(item, sort_keys=True) for item in dst}
+    for item in src:
+        key = json.dumps(item, sort_keys=True)
+        if key not in seen:
+            seen.add(key)
+            dst.append(item)
+    dst.sort(key=lambda item: json.dumps(item, sort_keys=True))
+
+
+def merge_fragment(graph, fragment):
+    """Merges one TU's {usr: node} fragment into the cross-TU graph.
+
+    Functions defined in headers appear in every including TU with
+    identical facts; union-merging keeps one node per USR. A definition
+    (non-empty path) wins over a bare declaration for the site fields.
+    """
+    for usr, node in fragment.items():
+        have = graph.get(usr)
+        if have is None:
+            graph[usr] = {
+                "name": node.get("name", ""),
+                "path": node.get("path", ""),
+                "line": node.get("line", 0),
+                "hot": bool(node.get("hot")),
+                "untrusted": bool(node.get("untrusted")),
+                **{k: list(node.get(k, ())) for k in _LIST_KEYS},
+            }
+            for key in _LIST_KEYS:
+                _merge_lists(graph[usr][key], [])
+            continue
+        if not have["path"] and node.get("path"):
+            have["path"] = node["path"]
+            have["line"] = node.get("line", 0)
+            have["name"] = node.get("name", have["name"])
+        have["hot"] = have["hot"] or bool(node.get("hot"))
+        have["untrusted"] = have["untrusted"] or bool(node.get("untrusted"))
+        for key in _LIST_KEYS:
+            _merge_lists(have[key], node.get(key, ()))
+    return graph
+
+
+def build_graph(fragments):
+    graph = {}
+    for fragment in fragments:
+        merge_fragment(graph, fragment)
+    return graph
+
+
+# ---- reachability -----------------------------------------------------------
+
+
+def _sorted_usrs(usrs):
+    return sorted(usrs)
+
+
+def reachable_from(graph, roots, kinds=INVOCATION_KINDS,
+                   unguarded_only=False, stop_at=None):
+    """BFS over call edges. Returns {usr: parent_usr} for every node
+    reached from `roots` (roots map to None). Deterministic: roots and
+    edges are visited in sorted order.
+
+    kinds            edge kinds to traverse
+    unguarded_only   skip call sites inside try blocks
+    stop_at          predicate(node) -> True to not traverse *through*
+                     a node (it is still recorded as reached)
+    """
+    parent = {}
+    frontier = []
+    for usr in _sorted_usrs(roots):
+        if usr in graph and usr not in parent:
+            parent[usr] = None
+            frontier.append(usr)
+    while frontier:
+        nxt = []
+        for usr in frontier:
+            node = graph[usr]
+            if stop_at is not None and parent[usr] is not None \
+                    and stop_at(node):
+                continue
+            edges = sorted(node["calls"],
+                           key=lambda c: (c[0], c[1], c[2]))
+            for callee, _line, kind, guarded in edges:
+                if kind not in kinds:
+                    continue
+                if unguarded_only and guarded:
+                    continue
+                if callee in parent or callee not in graph:
+                    continue
+                parent[callee] = usr
+                nxt.append(callee)
+        frontier = nxt
+    return parent
+
+
+def call_chain(parent, usr, graph):
+    """Readable `root -> a -> b` chain from the BFS parent map."""
+    names = []
+    cur = usr
+    seen = set()
+    while cur is not None and cur not in seen:
+        seen.add(cur)
+        node = graph.get(cur)
+        names.append(node["name"] if node else cur)
+        cur = parent.get(cur)
+    return " -> ".join(reversed(names))
+
+
+# ---- rules ------------------------------------------------------------------
+
+
+def rule_transitive_hot_purity(graph):
+    """Every function reachable from a DNSSHIELD_HOT root through
+    invocation edges must be annotated hot itself or carry no allocation
+    facts. Findings anchor at the allocation site inside the callee."""
+    roots = [u for u, n in graph.items() if n["hot"]]
+    parent = reachable_from(graph, roots, kinds=INVOCATION_KINDS)
+    findings = []
+    for usr in _sorted_usrs(parent):
+        node = graph[usr]
+        if node["hot"]:            # annotated: its own body already passed
+            continue               # the intraprocedural hot-path rule
+        if not node["path"] or not node["alloc_sites"]:
+            continue
+        chain = call_chain(parent, usr, graph)
+        root_usr = usr
+        while parent[root_usr] is not None:
+            root_usr = parent[root_usr]
+        root = graph[root_usr]["name"]
+        for line, what in node["alloc_sites"]:
+            findings.append((
+                node["path"], line, "transitive-hot-purity",
+                f"{what} in `{node['name']}`, reachable from DNSSHIELD_HOT "
+                f"`{root}` ({chain}); annotate it DNSSHIELD_HOT or move "
+                f"the allocation out of the hot closure"))
+    return findings
+
+
+def suggest_annotations(graph):
+    """The minimal annotation set closing the transitive-hot gap: every
+    function reachable from a hot root that is unannotated, defined
+    in-tree, and allocation-free. Returns [(path, line, name, root), ...]
+    sorted by site."""
+    roots = [u for u, n in graph.items() if n["hot"]]
+    parent = reachable_from(graph, roots, kinds=INVOCATION_KINDS)
+    out = []
+    for usr in _sorted_usrs(parent):
+        node = graph[usr]
+        if node["hot"] or not node["path"] or node["alloc_sites"]:
+            continue
+        root_usr = usr
+        while parent[root_usr] is not None:
+            root_usr = parent[root_usr]
+        out.append((node["path"], node["line"], node["name"],
+                    graph[root_usr]["name"]))
+    out.sort()
+    return out
+
+
+def _transitive_sinks(graph, loop_calls):
+    """For a loop's call list, returns (usr, kind_of_sink, site) for the
+    first ordered-accumulation or emission fact reachable from it, or
+    None. kind_of_sink is 'accumulation' or 'emission'."""
+    roots = [c[0] for c in loop_calls if c[0] in graph]
+    parent = reachable_from(graph, roots, kinds=INVOCATION_KINDS)
+    for usr in _sorted_usrs(parent):
+        node = graph[usr]
+        if node["emit_sites"]:
+            return usr, "emission", node["emit_sites"][0], parent
+        if node["accum_sites"]:
+            return usr, "ordered accumulation", node["accum_sites"][0], parent
+    return None
+
+
+def rule_determinism_order(graph):
+    """Iteration over an unordered std container whose body performs (or
+    reaches, through the call graph) ordered accumulation or output
+    emission: the iteration order is hash/seed dependent, so the bytes
+    it produces are not reproducible. Findings anchor at the loop."""
+    findings = []
+    for usr in _sorted_usrs(graph):
+        node = graph[usr]
+        if not node["path"]:
+            continue
+        for line, container, sites, calls in node["loops"]:
+            reason = None
+            if sites:
+                what = sites[0][1]
+                reason = f"loop body {what}"
+            else:
+                sink = _transitive_sinks(graph, calls)
+                if sink is not None:
+                    sunk_usr, kind, _site, parent = sink
+                    chain = call_chain(parent, sunk_usr, graph)
+                    reason = (f"loop body reaches {kind} in "
+                              f"`{graph[sunk_usr]['name']}` ({chain})")
+            if reason is None:
+                continue
+            findings.append((
+                node["path"], line, "determinism-order",
+                f"iteration over `{container}` in `{node['name']}`: "
+                f"{reason}; unordered iteration order is hash/seed "
+                f"dependent, so the emitted bytes are not reproducible"))
+    return findings
+
+
+def rule_exception_escape(graph):
+    """No non-`dnsshield::*Error` exception may propagate out of a
+    DNSSHIELD_UNTRUSTED_INPUT entry point through unannotated callees.
+    Walks unguarded invocation edges from every untrusted root; annotated
+    callees are their own roots (their bodies answer to the
+    intraprocedural error-contract rule), so the walk stops there.
+    Findings anchor at the throw/escape site inside the callee."""
+    roots = [u for u, n in graph.items() if n["untrusted"]]
+    parent = reachable_from(
+        graph, roots, kinds=INVOCATION_KINDS, unguarded_only=True,
+        stop_at=lambda n: n["untrusted"])
+    findings = []
+    for usr in _sorted_usrs(parent):
+        node = graph[usr]
+        if node["untrusted"]:      # a root (or another annotated parser):
+            continue               # covered intraprocedurally
+        if not node["path"]:
+            continue
+        root_usr = usr
+        while parent[root_usr] is not None:
+            root_usr = parent[root_usr]
+        root = graph[root_usr]["name"]
+        chain = call_chain(parent, usr, graph)
+        for site in node["throw_sites"]:
+            line, thrown, guarded = site
+            if guarded:
+                continue
+            findings.append((
+                node["path"], line, "exception-escape",
+                f"`{node['name']}` throws `{thrown}`, which escapes "
+                f"DNSSHIELD_UNTRUSTED_INPUT `{root}` ({chain}); throw the "
+                f"parser's *Error type or guard the call"))
+        for line, what in node["escape_sites"]:
+            findings.append((
+                node["path"], line, "exception-escape",
+                f"{what} in `{node['name']}` lets std::out_of_range / "
+                f"std::invalid_argument escape DNSSHIELD_UNTRUSTED_INPUT "
+                f"`{root}` ({chain})"))
+    return findings
+
+
+def interprocedural_findings(graph):
+    """All three rules over a merged graph, deduplicated on
+    (path, line, rule): when several roots reach one site, the
+    lexicographically first message (stable, root-sorted BFS) wins."""
+    findings = (rule_transitive_hot_purity(graph)
+                + rule_determinism_order(graph)
+                + rule_exception_escape(graph))
+    best = {}
+    for path, line, rule, message in findings:
+        key = (path, line, rule)
+        if key not in best or message < best[key]:
+            best[key] = message
+    return sorted((p, l, r, m) for (p, l, r), m in best.items())
+
+
+def render_suggestions(suggestions):
+    lines = []
+    for path, line, name, root in suggestions:
+        lines.append(f"{path}:{line}: DNSSHIELD_HOT `{name}` "
+                     f"(reachable from `{root}`)")
+    if not lines:
+        lines.append("suggest-annotations: hot closure fully annotated")
+    return "\n".join(lines) + "\n"
+
+
+# ---- incremental index cache ------------------------------------------------
+#
+# One cache file per build dir. Each TU entry is keyed by the hash of its
+# parse arguments and a (path, mtime_ns, size, sha1) list of the in-tree
+# files the TU read; a warm hit replays the stored graph fragment and
+# intraprocedural findings without parsing. The whole file is discarded
+# when the analyzer scripts themselves change (script_hash).
+
+CACHE_VERSION = 1
+
+
+def file_fingerprint(path):
+    st = os.stat(path)
+    with open(path, "rb") as f:
+        digest = hashlib.sha1(f.read()).hexdigest()
+    return [path, st.st_mtime_ns, st.st_size, digest]
+
+
+def args_hash(args):
+    return hashlib.sha1("\0".join(args).encode("utf-8")).hexdigest()
+
+
+def scripts_hash(paths):
+    h = hashlib.sha1()
+    for path in paths:
+        with open(path, "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()
+
+
+class IndexCache:
+    """mtime+content-hash keyed per-TU cache of graph fragments and
+    intraprocedural findings."""
+
+    def __init__(self, path, script_hash):
+        self.path = path
+        self.script_hash = script_hash
+        self.tus = {}
+        self.hits = 0
+        self.misses = 0
+        self.dirty = False
+        self._load()
+
+    def _load(self):
+        if self.path is None or not os.path.isfile(self.path):
+            return
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            return
+        if (data.get("version") != CACHE_VERSION
+                or data.get("script_hash") != self.script_hash):
+            return  # analyzer changed: every cached result is suspect
+        self.tus = data.get("tus", {})
+
+    def _deps_fresh(self, deps):
+        for path, mtime_ns, size, digest in deps:
+            try:
+                st = os.stat(path)
+            except OSError:
+                return False
+            if st.st_mtime_ns == mtime_ns and st.st_size == size:
+                continue  # fast path: unchanged stat, trust it
+            try:
+                with open(path, "rb") as f:
+                    if hashlib.sha1(f.read()).hexdigest() != digest:
+                        return False
+            except OSError:
+                return False
+        return True
+
+    def lookup(self, source, tu_args):
+        """Returns (fragment, findings) on a warm hit, else None."""
+        entry = self.tus.get(source)
+        if entry is None or entry.get("args_hash") != args_hash(tu_args):
+            self.misses += 1
+            return None
+        if not self._deps_fresh(entry.get("deps", ())):
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [tuple(f) for f in entry.get("findings", ())]
+        return entry.get("nodes", {}), findings
+
+    def store(self, source, tu_args, dep_paths, fragment, findings):
+        deps = []
+        for path in sorted(set(dep_paths)):
+            try:
+                deps.append(file_fingerprint(path))
+            except OSError:
+                continue
+        self.tus[source] = {
+            "args_hash": args_hash(tu_args),
+            "deps": deps,
+            "nodes": fragment,
+            "findings": [list(f) for f in sorted(findings)],
+        }
+        self.dirty = True
+
+    def save(self):
+        if self.path is None or not self.dirty:
+            return
+        data = {
+            "version": CACHE_VERSION,
+            "script_hash": self.script_hash,
+            "tus": self.tus,
+        }
+        tmp = self.path + ".tmp"
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)),
+                    exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f, sort_keys=True)
+        os.replace(tmp, self.path)
+        self.dirty = False

@@ -449,6 +449,11 @@ def main():
                              "passes on the approved idiom")
     parser.add_argument("--sarif", metavar="PATH",
                         help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--baseline", metavar="PATH", default="auto",
+                        help="suppression file of `<rule> <path>` entries, "
+                             "shared with dnsshield_analyze.py (default: "
+                             "scripts/analysis_baseline.txt when present; "
+                             "pass 'none' to disable)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args()
 
@@ -465,6 +470,32 @@ def main():
     violations = []
     for path in collect_files(paths):
         violations.extend(scan_file(path))
+
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        default = os.path.join(REPO_ROOT, "scripts", "analysis_baseline.txt")
+        baseline_path = default if os.path.isfile(default) else None
+    elif baseline_path == "none":
+        baseline_path = None
+    if baseline_path:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        import dnsshield_baseline as baseline_io
+        try:
+            entries = baseline_io.load(baseline_path)
+        except (OSError, baseline_io.BaselineError) as e:
+            print(f"dnsshield_lint: bad baseline: {e}", file=sys.stderr)
+            sys.exit(2)
+        violations, _suppressed, stale = baseline_io.apply(
+            violations, entries, key=lambda v: (v[2].name, v[0]))
+        # A baseline shared with the analyzer names rules this linter
+        # doesn't own; only entries for our rules can be stale here.
+        own_rules = {rule.name for rule in RULES}
+        for rule, rel in stale:
+            if rule in own_rules:
+                print(f"dnsshield_lint: warning: stale baseline entry "
+                      f"`{rule} {rel}` (suppresses nothing; remove it)",
+                      file=sys.stderr)
+
     if args.sarif:
         sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
         from dnsshield_sarif import write_sarif

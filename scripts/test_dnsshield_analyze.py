@@ -14,11 +14,24 @@ that must produce nothing. This driver:
      compares the actual finding set for EXACT equality — a missed
      finding (rule regression) and an extra finding (false positive)
      both fail;
-  4. re-runs the analyzer as a subprocess to pin the CLI contract:
-     exit code 1 on findings and a well-formed SARIF log.
+  4. asserts call-graph structure on the merged graph: the cross-TU
+     edge from cross_tu_root.cpp resolves to the node defined in
+     cross_tu_impl.cpp, and InplaceCallback/lambda construction yields
+     callback (never invocation) edges;
+  5. exercises the incremental index cache on a copy of the fixture
+     tree: cold run misses everything, warm run hits everything with an
+     identical finding set, editing one source invalidates exactly that
+     TU, and editing a shared header invalidates every includer;
+  6. re-runs the analyzer as a subprocess to pin the CLI contract:
+     exit code 1 on findings, a well-formed SARIF log, and
+     --suggest-annotations output byte-identical to
+     tests/analyzer_fixtures/suggest_annotations.golden.
 
 Without libclang the test prints SKIP and exits 0 (the regex linter
 remains the active gate); --require-libclang makes that a failure (CI).
+--check-cache-speedup additionally times a cold vs warm run and fails
+when the warm run is not under 25% of the cold wall time (skipped for
+cold runs too fast to measure meaningfully).
 
 Exit status: 0 pass/skip, 1 findings mismatch, 2 internal error.
 """
@@ -29,33 +42,37 @@ import argparse
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
+import time
 
 SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(SCRIPTS_DIR)
 FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "analyzer_fixtures")
+GOLDEN_PATH = os.path.join(FIXTURE_ROOT, "suggest_annotations.golden")
 
 sys.path.insert(0, SCRIPTS_DIR)
 import dnsshield_analyze  # noqa: E402
+import dnsshield_callgraph as callgraph  # noqa: E402
 
 EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w, -]+)")
 
 
-def collect_fixtures():
+def collect_fixtures(root):
     files = []
-    for dirpath, _dirnames, filenames in os.walk(FIXTURE_ROOT):
+    for dirpath, _dirnames, filenames in os.walk(root):
         for name in sorted(filenames):
             if name.endswith(".cpp"):
                 files.append(os.path.join(dirpath, name))
     return sorted(files)
 
 
-def expected_findings(fixtures):
+def expected_findings(fixtures, root):
     expected = set()
     for path in fixtures:
-        rel = os.path.relpath(path, FIXTURE_ROOT).replace(os.sep, "/")
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
         with open(path, encoding="utf-8") as f:
             for lineno, line in enumerate(f, start=1):
                 m = EXPECT_RE.search(line)
@@ -72,10 +89,10 @@ def expected_findings(fixtures):
     return expected
 
 
-def write_compile_commands(build_dir, fixtures):
+def write_compile_commands(build_dir, fixtures, fixture_root):
     entries = [
         {
-            "directory": FIXTURE_ROOT,
+            "directory": fixture_root,
             "file": path,
             "command": (f"clang++ -std=c++20 -I {REPO_ROOT}/src "
                         f"-c {path}"),
@@ -87,11 +104,155 @@ def write_compile_commands(build_dir, fixtures):
         json.dump(entries, f, indent=2)
 
 
+def nodes_by_name(graph, name):
+    return [(usr, node) for usr, node in graph.items()
+            if node["name"] == name]
+
+
+def check_graph(graph, failures):
+    """Structural call-graph assertions over the merged fixture graph."""
+    # Cross-TU: the root's annotation comes from the header declaration,
+    # the callee's definition (and the finding) from the other TU.
+    roots = nodes_by_name(graph, "fixture::cross_tu_hot_root")
+    widths = nodes_by_name(graph, "fixture::cross_tu_width")
+    if len(roots) != 1 or len(widths) != 1:
+        failures.append(
+            f"cross-TU nodes: {len(roots)} root(s), {len(widths)} "
+            "callee(s), wanted 1 of each")
+        return
+    root_usr, root = roots[0]
+    width_usr, width = widths[0]
+    if not root["hot"]:
+        failures.append("cross_tu_hot_root not hot: the header-declaration "
+                        "annotation did not resolve through the canonical "
+                        "declaration")
+    if width["path"] != "src/dns/cross_tu_impl.cpp":
+        failures.append(f"cross_tu_width defined at {width['path']!r}, "
+                        "wanted src/dns/cross_tu_impl.cpp")
+    parent = callgraph.reachable_from(graph, [root_usr])
+    if width_usr not in parent:
+        failures.append("cross-TU edge unresolved: cross_tu_width not "
+                        "reachable from cross_tu_hot_root after merge")
+
+    # Callback construction: InplaceCallback(named fn) and a lambda both
+    # yield callback edges from the hot creator, never invocation edges.
+    creators = nodes_by_name(graph, "fixture::hot_schedules")
+    wrapped = nodes_by_name(graph, "fixture::deferred_render")
+    if len(creators) != 1 or len(wrapped) != 1:
+        failures.append(
+            f"callback fixture nodes: {len(creators)} creator(s), "
+            f"{len(wrapped)} wrapped callable(s), wanted 1 of each")
+        return
+    _usr, creator = creators[0]
+    wrapped_usr, _node = wrapped[0]
+    kinds_to_wrapped = {c[2] for c in creator["calls"]
+                        if c[0] == wrapped_usr}
+    if kinds_to_wrapped != {"callback"}:
+        failures.append(f"edges to the wrapped callable are "
+                        f"{sorted(kinds_to_wrapped) or 'absent'}, wanted "
+                        "exactly a callback edge")
+    if not any(c[2] == "callback" and "@lambda:" in c[0]
+               for c in creator["calls"]):
+        failures.append("no callback edge to the lambda closure node")
+
+
+def run_over(cindex, fixture_root, cache=None):
+    with tempfile.TemporaryDirectory() as tmp:
+        write_compile_commands(tmp, collect_fixtures(fixture_root),
+                               fixture_root)
+        return dnsshield_analyze.run_analysis(
+            cindex, tmp, fixture_root, cache=cache)
+
+
+def check_cache(cindex, failures):
+    """Cold/warm/invalidation behaviour on a copy of the fixture tree
+    (the repo tree is never mutated)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        copy_root = os.path.join(tmp, "fixtures")
+        shutil.copytree(FIXTURE_ROOT, copy_root)
+        cache_path = os.path.join(tmp, "cache.json")
+
+        def run_with_fresh_cache():
+            cache = callgraph.IndexCache(cache_path, "fixture-test")
+            findings, scanned, _graph = run_over(cindex, copy_root,
+                                                 cache=cache)
+            cache.save()
+            return findings, scanned, cache
+
+        cold, scanned, cache = run_with_fresh_cache()
+        if (cache.hits, cache.misses) != (0, scanned):
+            failures.append(f"cold cache run: {cache.hits} hits / "
+                            f"{cache.misses} misses, wanted 0/{scanned}")
+        warm, _scanned, cache = run_with_fresh_cache()
+        if (cache.hits, cache.misses) != (scanned, 0):
+            failures.append(f"warm cache run: {cache.hits} hits / "
+                            f"{cache.misses} misses, wanted {scanned}/0")
+        if warm != cold:
+            failures.append("warm cache run changed the finding set")
+
+        # Editing one source invalidates exactly that TU...
+        edited = os.path.join(copy_root, "src", "sim", "hot_alloc_bad.cpp")
+        with open(edited, "a", encoding="utf-8") as f:
+            f.write("// cache-invalidation probe\n")
+        after_edit, _scanned, cache = run_with_fresh_cache()
+        if (cache.hits, cache.misses) != (scanned - 1, 1):
+            failures.append(f"source edit: {cache.hits} hits / "
+                            f"{cache.misses} misses, wanted "
+                            f"{scanned - 1}/1")
+        if after_edit != cold:
+            failures.append("comment-only source edit changed findings")
+
+        # ...and editing a shared header invalidates every includer.
+        header = os.path.join(copy_root, "src", "dns", "cross_tu.h")
+        with open(header, "a", encoding="utf-8") as f:
+            f.write("// cache-invalidation probe\n")
+        _findings, _scanned, cache = run_with_fresh_cache()
+        if (cache.hits, cache.misses) != (scanned - 2, 2):
+            failures.append(f"header edit: {cache.hits} hits / "
+                            f"{cache.misses} misses, wanted "
+                            f"{scanned - 2}/2 (both cross-TU includers)")
+
+
+def check_cache_speedup(failures):
+    """CI acceptance: a warm-cache CLI re-run must finish in under 25%
+    of the cold wall time (enforced only when the cold run is slow
+    enough for the ratio to be meaningful)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        write_compile_commands(tmp, collect_fixtures(FIXTURE_ROOT),
+                               FIXTURE_ROOT)
+        cmd = [sys.executable,
+               os.path.join(SCRIPTS_DIR, "dnsshield_analyze.py"),
+               "-p", tmp, "--root", FIXTURE_ROOT, "--baseline", "none",
+               "--require-libclang"]
+
+        def timed():
+            start = time.monotonic()
+            subprocess.run(cmd, capture_output=True, text=True)
+            return time.monotonic() - start
+
+        cold = timed()
+        warm = timed()
+        if cold < 2.0:
+            print(f"test_dnsshield_analyze: cache-speedup check skipped "
+                  f"(cold run {cold:.2f}s too fast to ratio)")
+            return
+        if warm >= cold * 0.25:
+            failures.append(f"warm CLI re-run took {warm:.2f}s vs "
+                            f"{cold:.2f}s cold ({warm / cold:.0%}); the "
+                            "acceptance budget is <25%")
+        else:
+            print(f"test_dnsshield_analyze: warm re-run {warm:.2f}s vs "
+                  f"{cold:.2f}s cold ({warm / cold:.0%})")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fixture self-test for dnsshield_analyze.py")
     parser.add_argument("--require-libclang", action="store_true",
                         help="treat missing libclang as a failure (CI)")
+    parser.add_argument("--check-cache-speedup", action="store_true",
+                        help="also enforce the warm-cache <25%% wall-time "
+                             "budget (CI)")
     args = parser.parse_args()
 
     cindex = dnsshield_analyze.load_cindex()
@@ -103,12 +264,12 @@ def main():
         print("test_dnsshield_analyze: SKIP (libclang unavailable)")
         sys.exit(0)
 
-    fixtures = collect_fixtures()
+    fixtures = collect_fixtures(FIXTURE_ROOT)
     if not fixtures:
         print(f"test_dnsshield_analyze: no fixtures under {FIXTURE_ROOT}",
               file=sys.stderr)
         sys.exit(2)
-    expected = expected_findings(fixtures)
+    expected = expected_findings(fixtures, FIXTURE_ROOT)
     if not expected:
         print("test_dnsshield_analyze: no EXPECT markers found",
               file=sys.stderr)
@@ -116,10 +277,10 @@ def main():
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
-        write_compile_commands(tmp, fixtures)
+        write_compile_commands(tmp, fixtures, FIXTURE_ROOT)
 
         # In-process: exact (file, line, rule) set equality.
-        findings, scanned = dnsshield_analyze.run_analysis(
+        findings, scanned, graph = dnsshield_analyze.run_analysis(
             cindex, tmp, FIXTURE_ROOT)
         actual = {(path, line, rule) for path, line, rule, _msg in findings}
         for missed in sorted(expected - actual):
@@ -131,12 +292,15 @@ def main():
             failures.append(f"EXTRA   {extra[0]}:{extra[1]} [{extra[2]}] "
                             f"(false positive): {'; '.join(msgs)}")
 
+        check_graph(graph, failures)
+
         # Subprocess: the CLI must exit 1 on findings and emit SARIF.
         sarif_path = os.path.join(tmp, "fixtures.sarif")
         proc = subprocess.run(
             [sys.executable,
              os.path.join(SCRIPTS_DIR, "dnsshield_analyze.py"),
              "-p", tmp, "--root", FIXTURE_ROOT, "--sarif", sarif_path,
+             "--baseline", "none", "--no-callgraph-cache",
              "--require-libclang"],
             capture_output=True, text=True)
         if proc.returncode != 1:
@@ -155,6 +319,29 @@ def main():
             if rule_ids != set(dnsshield_analyze.RULES):
                 failures.append("SARIF rule catalog mismatch")
 
+        # Subprocess: --suggest-annotations is golden-file pinned.
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(SCRIPTS_DIR, "dnsshield_analyze.py"),
+             "-p", tmp, "--root", FIXTURE_ROOT, "--suggest-annotations",
+             "--no-callgraph-cache", "--require-libclang"],
+            capture_output=True, text=True)
+        with open(GOLDEN_PATH, encoding="utf-8") as f:
+            golden = f.read()
+        if proc.returncode != 0:
+            failures.append(f"--suggest-annotations exit code "
+                            f"{proc.returncode}, wanted 0. stderr: "
+                            f"{proc.stderr.strip()}")
+        elif proc.stdout != golden:
+            failures.append(
+                "--suggest-annotations output differs from "
+                f"{os.path.relpath(GOLDEN_PATH, REPO_ROOT)}:\n"
+                f"--- golden ---\n{golden}--- actual ---\n{proc.stdout}")
+
+    check_cache(cindex, failures)
+    if args.check_cache_speedup:
+        check_cache_speedup(failures)
+
     if failures:
         for failure in failures:
             print(f"test_dnsshield_analyze: {failure}", file=sys.stderr)
@@ -164,7 +351,9 @@ def main():
         sys.exit(1)
     print(f"test_dnsshield_analyze: PASS — {len(expected)} expected "
           f"findings matched exactly across {scanned} fixture TUs "
-          "(zero false positives on the probe set)")
+          "(zero false positives on the probe set), call-graph structure "
+          "verified, cache cold/warm/invalidation verified, "
+          "--suggest-annotations matches the golden file")
     sys.exit(0)
 
 

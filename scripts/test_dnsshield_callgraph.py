@@ -1,0 +1,412 @@
+#!/usr/bin/env python3
+"""Pure-python self-test for the interprocedural call-graph layer.
+
+scripts/dnsshield_callgraph.py holds everything downstream of libclang
+extraction — fragment merge, reachability, the three interprocedural
+rules, suggestion rendering, and the incremental index cache — as plain
+functions over dict/JSON data. This driver exercises them on synthetic
+graphs and fake file trees, so the semantics are pinned on every
+machine (the libclang extraction half is covered by
+scripts/test_dnsshield_analyze.py where clang bindings exist).
+scripts/dnsshield_baseline.py rides along for the shared --baseline
+mechanism.
+
+Exit status: 0 pass, 1 failure (standard unittest).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import unittest
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, SCRIPTS_DIR)
+
+import dnsshield_baseline as baseline  # noqa: E402
+import dnsshield_callgraph as cg  # noqa: E402
+
+
+def node(name, path="src/x.cpp", line=1, hot=False, untrusted=False,
+         **lists):
+    n = cg.new_node(name=name, path=path, line=line, hot=hot,
+                    untrusted=untrusted)
+    for key, value in lists.items():
+        n[key] = value
+    return n
+
+
+def call(callee, line=10, kind="direct", guarded=False):
+    return [callee, line, kind, guarded]
+
+
+class MergeTest(unittest.TestCase):
+    def test_definition_wins_over_declaration(self):
+        decl = {"u:f": node("f", path="", line=0)}
+        defn = {"u:f": node("f", path="src/a.cpp", line=7)}
+        graph = cg.build_graph([decl, defn])
+        self.assertEqual(graph["u:f"]["path"], "src/a.cpp")
+        self.assertEqual(graph["u:f"]["line"], 7)
+
+    def test_header_function_facts_union_dedup(self):
+        tu1 = {"u:f": node("f", alloc_sites=[[3, "new-expression"]],
+                           calls=[call("u:g")])}
+        tu2 = {"u:f": node("f", alloc_sites=[[3, "new-expression"]],
+                           calls=[call("u:g"), call("u:h")])}
+        graph = cg.build_graph([tu1, tu2])
+        self.assertEqual(graph["u:f"]["alloc_sites"],
+                         [[3, "new-expression"]])
+        self.assertEqual(len(graph["u:f"]["calls"]), 2)
+
+    def test_annotations_or_across_tus(self):
+        graph = cg.build_graph([{"u:f": node("f", hot=True)},
+                                {"u:f": node("f")}])
+        self.assertTrue(graph["u:f"]["hot"])
+        graph = cg.build_graph([{"u:f": node("f")},
+                                {"u:f": node("f", untrusted=True)}])
+        self.assertTrue(graph["u:f"]["untrusted"])
+
+
+class ReachabilityTest(unittest.TestCase):
+    def graph(self):
+        return cg.build_graph([{
+            "u:root": node("root", hot=True,
+                           calls=[call("u:mid"),
+                                  call("u:cb", kind="callback")]),
+            "u:mid": node("mid", calls=[call("u:leaf", kind="member")]),
+            "u:leaf": node("leaf"),
+            "u:cb": node("cb"),
+            "u:island": node("island"),
+        }])
+
+    def test_bfs_and_parents(self):
+        parent = cg.reachable_from(self.graph(), ["u:root"])
+        self.assertEqual(parent["u:root"], None)
+        self.assertEqual(parent["u:mid"], "u:root")
+        self.assertEqual(parent["u:leaf"], "u:mid")
+        self.assertNotIn("u:island", parent)
+
+    def test_callback_edges_not_traversed(self):
+        parent = cg.reachable_from(self.graph(), ["u:root"])
+        self.assertNotIn("u:cb", parent)
+
+    def test_unguarded_only_skips_guarded_edges(self):
+        graph = cg.build_graph([{
+            "u:root": node("root", calls=[call("u:g", guarded=True),
+                                          call("u:h")]),
+            "u:g": node("g"), "u:h": node("h"),
+        }])
+        parent = cg.reachable_from(graph, ["u:root"], unguarded_only=True)
+        self.assertNotIn("u:g", parent)
+        self.assertIn("u:h", parent)
+
+    def test_stop_at_reaches_but_does_not_traverse(self):
+        graph = cg.build_graph([{
+            "u:root": node("root", untrusted=True, calls=[call("u:own")]),
+            "u:own": node("own", untrusted=True, calls=[call("u:deep")]),
+            "u:deep": node("deep"),
+        }])
+        parent = cg.reachable_from(graph, ["u:root"],
+                                   stop_at=lambda n: n["untrusted"])
+        # The annotated callee is reached (recorded) but the walk stops
+        # there; the root itself always expands.
+        self.assertIn("u:own", parent)
+        self.assertNotIn("u:deep", parent)
+
+    def test_call_chain(self):
+        graph = self.graph()
+        parent = cg.reachable_from(graph, ["u:root"])
+        self.assertEqual(cg.call_chain(parent, "u:leaf", graph),
+                         "root -> mid -> leaf")
+
+
+class TransitiveHotPurityTest(unittest.TestCase):
+    def test_finding_at_alloc_site_through_pure_middles(self):
+        graph = cg.build_graph([{
+            "u:hot": node("hot", hot=True, calls=[call("u:mid")]),
+            "u:mid": node("mid", calls=[call("u:leaf")]),
+            "u:leaf": node("leaf", path="src/leaf.cpp",
+                           alloc_sites=[[42, "new-expression"]]),
+        }])
+        findings = cg.rule_transitive_hot_purity(graph)
+        self.assertEqual(len(findings), 1)
+        path, line, rule, msg = findings[0]
+        self.assertEqual((path, line, rule),
+                         ("src/leaf.cpp", 42, "transitive-hot-purity"))
+        self.assertIn("hot -> mid -> leaf", msg)
+        self.assertIn("new-expression", msg)
+
+    def test_annotated_callee_exempt(self):
+        graph = cg.build_graph([{
+            "u:hot": node("hot", hot=True, calls=[call("u:leaf")]),
+            "u:leaf": node("leaf", hot=True,
+                           alloc_sites=[[42, "new-expression"]]),
+        }])
+        self.assertEqual(cg.rule_transitive_hot_purity(graph), [])
+
+    def test_unreachable_allocator_silent(self):
+        graph = cg.build_graph([{
+            "u:hot": node("hot", hot=True),
+            "u:cold": node("cold", alloc_sites=[[9, "new-expression"]]),
+        }])
+        self.assertEqual(cg.rule_transitive_hot_purity(graph), [])
+
+    def test_ctor_edges_traversed(self):
+        graph = cg.build_graph([{
+            "u:hot": node("hot", hot=True,
+                          calls=[call("u:ctor", kind="ctor")]),
+            "u:ctor": node("Thing::Thing", path="src/t.cpp",
+                           alloc_sites=[[5, "new-expression"]]),
+        }])
+        findings = cg.rule_transitive_hot_purity(graph)
+        self.assertEqual([(f[0], f[1], f[2]) for f in findings],
+                         [("src/t.cpp", 5, "transitive-hot-purity")])
+
+
+class SuggestAnnotationsTest(unittest.TestCase):
+    def test_minimal_set_is_pure_reachable_unannotated(self):
+        graph = cg.build_graph([{
+            "u:hot": node("hot", hot=True, calls=[call("u:mid")]),
+            "u:mid": node("mid", path="src/m.cpp", line=12,
+                          calls=[call("u:leaf")]),
+            "u:leaf": node("leaf", path="src/l.cpp", line=3,
+                           alloc_sites=[[4, "new-expression"]]),
+        }])
+        self.assertEqual(cg.suggest_annotations(graph),
+                         [("src/m.cpp", 12, "mid", "hot")])
+
+    def test_render(self):
+        text = cg.render_suggestions([("src/m.cpp", 12, "mid", "hot")])
+        self.assertEqual(
+            text,
+            "src/m.cpp:12: DNSSHIELD_HOT `mid` (reachable from `hot`)\n")
+        self.assertEqual(
+            cg.render_suggestions([]),
+            "suggest-annotations: hot closure fully annotated\n")
+
+
+class DeterminismOrderTest(unittest.TestCase):
+    def test_direct_sink_in_loop_body(self):
+        graph = cg.build_graph([{
+            "u:f": node("f", path="src/f.cpp", loops=[
+                [20, "std::unordered_map<...>",
+                 [[21, "appends to an ordered vector (`push_back`)"]], []],
+            ]),
+        }])
+        findings = cg.rule_determinism_order(graph)
+        self.assertEqual([(f[0], f[1], f[2]) for f in findings],
+                         [("src/f.cpp", 20, "determinism-order")])
+        self.assertIn("push_back", findings[0][3])
+
+    def test_transitive_sink_through_call_graph(self):
+        graph = cg.build_graph([{
+            "u:f": node("f", path="src/f.cpp", loops=[
+                [20, "std::unordered_set<...>", [],
+                 [["u:emit", 21, "direct"]]],
+            ]),
+            "u:emit": node("emit", path="src/e.cpp",
+                           emit_sites=[[7, "ostream operator<<"]]),
+        }])
+        findings = cg.rule_determinism_order(graph)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0][1], 20)
+        self.assertIn("reaches emission in `emit`", findings[0][3])
+
+    def test_loop_without_sinks_silent(self):
+        graph = cg.build_graph([{
+            "u:f": node("f", path="src/f.cpp", loops=[
+                [20, "std::unordered_map<...>", [],
+                 [["u:pure", 21, "direct"]]],
+            ]),
+            "u:pure": node("pure", path="src/p.cpp"),
+        }])
+        self.assertEqual(cg.rule_determinism_order(graph), [])
+
+
+class ExceptionEscapeTest(unittest.TestCase):
+    def test_unguarded_throw_through_chain(self):
+        graph = cg.build_graph([{
+            "u:entry": node("entry", untrusted=True, calls=[call("u:h")]),
+            "u:h": node("h", path="src/h.cpp",
+                        throw_sites=[[30, "std::runtime_error", False]]),
+        }])
+        findings = cg.rule_exception_escape(graph)
+        self.assertEqual([(f[0], f[1], f[2]) for f in findings],
+                         [("src/h.cpp", 30, "exception-escape")])
+        self.assertIn("std::runtime_error", findings[0][3])
+        self.assertIn("entry", findings[0][3])
+
+    def test_guarded_call_site_silent(self):
+        graph = cg.build_graph([{
+            "u:entry": node("entry", untrusted=True,
+                            calls=[call("u:h", guarded=True)]),
+            "u:h": node("h", path="src/h.cpp",
+                        throw_sites=[[30, "std::runtime_error", False]]),
+        }])
+        self.assertEqual(cg.rule_exception_escape(graph), [])
+
+    def test_guarded_throw_site_silent(self):
+        graph = cg.build_graph([{
+            "u:entry": node("entry", untrusted=True, calls=[call("u:h")]),
+            "u:h": node("h", path="src/h.cpp",
+                        throw_sites=[[30, "std::runtime_error", True]]),
+        }])
+        self.assertEqual(cg.rule_exception_escape(graph), [])
+
+    def test_escape_sites_reported(self):
+        graph = cg.build_graph([{
+            "u:entry": node("entry", untrusted=True, calls=[call("u:h")]),
+            "u:h": node("h", path="src/h.cpp",
+                        escape_sites=[[8, "unguarded `.at()`"]]),
+        }])
+        findings = cg.rule_exception_escape(graph)
+        self.assertEqual(findings[0][:3], ("src/h.cpp", 8,
+                                           "exception-escape"))
+
+    def test_annotated_callee_is_its_own_contract(self):
+        graph = cg.build_graph([{
+            "u:entry": node("entry", untrusted=True, calls=[call("u:own")]),
+            "u:own": node("own", untrusted=True, path="src/o.cpp",
+                          calls=[call("u:deep")],
+                          throw_sites=[[5, "std::runtime_error", False]]),
+            "u:deep": node("deep", path="src/d.cpp",
+                           throw_sites=[[6, "std::runtime_error", False]]),
+        }])
+        findings = cg.rule_exception_escape(graph)
+        # `own`'s body answers to the intraprocedural error-contract
+        # rule (its own throw is not re-reported here), and no chain is
+        # attributed *through* it to `entry` — but `own` is an entry
+        # point itself, so `deep`'s throw violates `own`'s contract.
+        self.assertEqual([(f[0], f[1], f[2]) for f in findings],
+                         [("src/d.cpp", 6, "exception-escape")])
+        self.assertIn("`own` (own -> deep)", findings[0][3])
+
+
+class DedupTest(unittest.TestCase):
+    def test_two_roots_one_site_single_finding(self):
+        graph = cg.build_graph([{
+            "u:a_hot": node("a_hot", hot=True, calls=[call("u:leaf")]),
+            "u:b_hot": node("b_hot", hot=True, calls=[call("u:leaf")]),
+            "u:leaf": node("leaf", path="src/l.cpp",
+                           alloc_sites=[[4, "new-expression"]]),
+        }])
+        findings = cg.interprocedural_findings(graph)
+        self.assertEqual(len(findings), 1)
+        # Root-sorted BFS makes the kept message deterministic: the
+        # lexicographically smallest (here via root `a_hot`).
+        self.assertIn("a_hot", findings[0][3])
+
+
+class BaselineTest(unittest.TestCase):
+    def test_round_trip_apply_and_stale(self):
+        findings = [
+            ("src/a.cpp", 1, "io", "printf"),
+            ("src/b.cpp", 2, "io", "printf"),
+            ("src/a.cpp", 3, "threads", "std::thread"),
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "baseline.txt")
+            baseline.write(path, findings[:1])
+            entries = baseline.load(path)
+            self.assertEqual(entries, {("io", "src/a.cpp")})
+            kept, suppressed, stale = baseline.apply(findings, entries)
+            self.assertEqual([f[0] for f in suppressed], ["src/a.cpp"])
+            self.assertEqual(len(kept), 2)
+            self.assertEqual(stale, [])
+            # An entry matching nothing is stale, not an error.
+            entries.add(("io", "src/gone.cpp"))
+            _kept, _sup, stale = baseline.apply(findings, entries)
+            self.assertEqual(stale, [("io", "src/gone.cpp")])
+
+    def test_comments_and_malformed(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "baseline.txt")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("# comment only\n\nio src/a.cpp  # justified\n")
+            self.assertEqual(baseline.load(path), {("io", "src/a.cpp")})
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("io\n")
+            with self.assertRaises(baseline.BaselineError):
+                baseline.load(path)
+
+
+class IndexCacheTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.source = os.path.join(self.dir, "a.cpp")
+        self.header = os.path.join(self.dir, "a.h")
+        for path, text in ((self.source, "int f() { return 1; }\n"),
+                           (self.header, "int f();\n")):
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+        self.cache_path = os.path.join(self.dir, "cache.json")
+        self.args = ["clang++", "-std=c++20", "-c", self.source]
+        self.fragment = {"u:f": node("f", path="src/a.cpp", line=1)}
+        self.findings = [("src/a.cpp", 1, "io", "printf")]
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def fresh(self, script_hash="h1"):
+        return cg.IndexCache(self.cache_path, script_hash)
+
+    def populate(self):
+        cache = self.fresh()
+        self.assertIsNone(cache.lookup(self.source, self.args))
+        cache.store(self.source, self.args, [self.source, self.header],
+                    self.fragment, self.findings)
+        cache.save()
+
+    def test_warm_hit_replays_fragment_and_findings(self):
+        self.populate()
+        cache = self.fresh()
+        got = cache.lookup(self.source, self.args)
+        self.assertIsNotNone(got)
+        fragment, findings = got
+        self.assertEqual(findings, self.findings)  # tuples restored
+        self.assertEqual(fragment["u:f"]["name"], "f")
+        self.assertEqual((cache.hits, cache.misses), (1, 0))
+
+    def test_touched_unchanged_dep_still_hits_via_content_hash(self):
+        self.populate()
+        st = os.stat(self.header)
+        os.utime(self.header, ns=(st.st_atime_ns + 10**9,
+                                  st.st_mtime_ns + 10**9))
+        cache = self.fresh()
+        self.assertIsNotNone(cache.lookup(self.source, self.args))
+
+    def test_edited_dep_misses(self):
+        self.populate()
+        with open(self.header, "w", encoding="utf-8") as f:
+            f.write("int f();  // edited\n")
+        cache = self.fresh()
+        self.assertIsNone(cache.lookup(self.source, self.args))
+        self.assertEqual(cache.misses, 1)
+
+    def test_deleted_dep_misses(self):
+        self.populate()
+        os.remove(self.header)
+        self.assertIsNone(self.fresh().lookup(self.source, self.args))
+
+    def test_changed_args_miss(self):
+        self.populate()
+        other = self.args + ["-DX"]
+        self.assertIsNone(self.fresh().lookup(self.source, other))
+
+    def test_script_change_discards_whole_cache(self):
+        self.populate()
+        cache = self.fresh(script_hash="h2")
+        self.assertEqual(cache.tus, {})
+        self.assertIsNone(cache.lookup(self.source, self.args))
+
+    def test_corrupt_cache_file_ignored(self):
+        with open(self.cache_path, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        cache = self.fresh()
+        self.assertEqual(cache.tus, {})
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=1)

@@ -1,7 +1,7 @@
 #include "attack/max_damage.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 namespace dnsshield::attack {
 
@@ -10,7 +10,10 @@ using dns::Name;
 std::vector<ZoneScore> score_zones(const server::Hierarchy& hierarchy,
                                    const std::vector<trace::QueryEvent>& trace,
                                    const MaxDamageParams& params) {
-  std::unordered_map<Name, std::uint64_t, dns::NameHash> counts;
+  // Ordered map: the scores vector below is filled straight from this
+  // iteration, so hash-order here would feed hash-ordered bytes into the
+  // report path (the analyzer's determinism-order rule).
+  std::map<Name, std::uint64_t> counts;
   const sim::SimTime end = params.window_start + params.window;
   for (const auto& ev : trace) {
     if (ev.time < params.window_start || ev.time >= end) continue;

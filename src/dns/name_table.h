@@ -81,7 +81,8 @@ class NameTable {
 /// Packs (NameId, RRType) into one 64-bit map key: id in the high bits,
 /// type in the low 16. Bijective, so distinct (id, type) pairs can never
 /// collide as keys.
-inline std::uint64_t name_type_key(NameId id, std::uint16_t type) {
+DNSSHIELD_HOT inline std::uint64_t name_type_key(NameId id,
+                                                 std::uint16_t type) {
   return (static_cast<std::uint64_t>(id) << 16) | type;
 }
 

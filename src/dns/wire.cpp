@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <map>
+#include <stdexcept>
 
 #include "sim/checked_reader.h"
 
@@ -180,7 +181,16 @@ class Decoder : public sim::ByteReader<WireFormatError> {
       labels.emplace_back(text, len);
       pos += 1 + static_cast<std::size_t>(len);
     }
-    return Name::from_labels(std::move(labels));
+    // The byte screening above makes Name's own validation logically
+    // unreachable, but the decoder's contract is WireFormatError only —
+    // keep the conversion guarded so a Name-side rule change can never
+    // leak std::invalid_argument out of the packet parser.
+    try {
+      return Name::from_labels(std::move(labels));
+    } catch (const std::invalid_argument& e) {
+      throw WireFormatError(std::string("invalid name on the wire: ") +
+                            e.what());
+    }
   }
 };
 

@@ -77,7 +77,7 @@ struct CacheEntry {
   /// walk). kNoNode for non-NS entries.
   std::uint32_t trie_node = 0xffffffffu;
 
-  bool live_at(sim::SimTime t) const { return t < expires_at; }
+  DNSSHIELD_HOT bool live_at(sim::SimTime t) const { return t < expires_at; }
 };
 
 /// Payload of the cache's NS-entry trie: one node per name that ever held

@@ -172,7 +172,7 @@ class CachingServer {
   dns::NameTable& names() { return cache_.names(); }
   const dns::NameTable& names() const { return cache_.names(); }
 
-  sim::SimTime now() const { return events_.now(); }
+  DNSSHIELD_HOT sim::SimTime now() const { return events_.now(); }
 
   /// Deepest ancestor-or-self of qname with a live cached NS set that is
   /// not marked dead in this resolution. Records expiry gaps for expired

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/checked_reader.h"
 
@@ -268,63 +269,80 @@ Zone load_zone(const ZoneFileContents& contents) {
     return nullptr;
   };
 
-  for (const auto& host : apex_servers) {
-    const ResourceRecord* a = find_a(host);
-    if (host.is_subdomain_of(origin) && a == nullptr) {
-      throw ZoneFileError("in-bailiwick server " + host.to_string() +
-                          " has no A record (missing glue)");
+  // Zone's structural mutators enforce their own invariants with
+  // std::invalid_argument (they are general-purpose API, not parsers).
+  // Everything this loader feeds them is validated first — but a gap in
+  // that validation must still surface as ZoneFileError, never as a raw
+  // std::invalid_argument escaping the parse contract.
+  try {
+    for (const auto& host : apex_servers) {
+      const ResourceRecord* a = find_a(host);
+      if (host.is_subdomain_of(origin) && a == nullptr) {
+        throw ZoneFileError("in-bailiwick server " + host.to_string() +
+                            " has no A record (missing glue)");
+      }
+      zone.add_name_server(host,
+                           a != nullptr
+                               ? std::get<dns::ARdata>(a->rdata).address
+                               : dns::IpAddr());
     }
-    zone.add_name_server(host,
-                         a != nullptr
-                             ? std::get<dns::ARdata>(a->rdata).address
-                             : dns::IpAddr());
-  }
 
-  // Non-apex NS sets are delegation cuts.
-  std::vector<Name> cut_names;
-  for (const auto& rr : contents.records) {
-    if (rr.type == RRType::kNS && rr.name != origin &&
-        std::find(cut_names.begin(), cut_names.end(), rr.name) == cut_names.end()) {
-      cut_names.push_back(rr.name);
-    }
-  }
-  for (const auto& cut_name : cut_names) {
-    Delegation cut;
-    cut.child = cut_name;
-    cut.ns_set = dns::RRset(cut_name, RRType::kNS, 0);
-    std::vector<Name> cut_servers;
+    // Non-apex NS sets are delegation cuts.
+    std::vector<Name> cut_names;
     for (const auto& rr : contents.records) {
-      if (rr.type == RRType::kNS && rr.name == cut_name) {
-        cut.ns_set.set_ttl(rr.ttl);
-        cut.ns_set.add(rr.rdata);
-        cut_servers.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+      if (rr.type == RRType::kNS && rr.name != origin &&
+          std::find(cut_names.begin(), cut_names.end(), rr.name) ==
+              cut_names.end()) {
+        cut_names.push_back(rr.name);
       }
     }
-    for (const auto& host : cut_servers) {
-      if (!host.is_subdomain_of(cut_name)) continue;
-      if (const ResourceRecord* a = find_a(host)) {
-        dns::RRset glue(host, RRType::kA, a->ttl);
-        glue.add(a->rdata);
-        cut.glue.push_back(std::move(glue));
+    for (const auto& cut_name : cut_names) {
+      if (!cut_name.is_proper_subdomain_of(origin)) {
+        // Zone::add_delegation would reject this with
+        // std::invalid_argument; diagnose it as the malformed input it is.
+        throw ZoneFileError("delegation NS outside the zone: " +
+                            cut_name.to_string());
       }
+      Delegation cut;
+      cut.child = cut_name;
+      cut.ns_set = dns::RRset(cut_name, RRType::kNS, 0);
+      std::vector<Name> cut_servers;
+      for (const auto& rr : contents.records) {
+        if (rr.type == RRType::kNS && rr.name == cut_name) {
+          cut.ns_set.set_ttl(rr.ttl);
+          cut.ns_set.add(rr.rdata);
+          cut_servers.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+        }
+      }
+      for (const auto& host : cut_servers) {
+        if (!host.is_subdomain_of(cut_name)) continue;
+        if (const ResourceRecord* a = find_a(host)) {
+          dns::RRset glue(host, RRType::kA, a->ttl);
+          glue.add(a->rdata);
+          cut.glue.push_back(std::move(glue));
+        }
+      }
+      zone.add_delegation(std::move(cut));
     }
-    zone.add_delegation(std::move(cut));
-  }
 
-  // Everything else is authoritative data (skip apex SOA/NS, delegation
-  // NS, glue under cuts, and server glue already installed).
-  for (const auto& rr : contents.records) {
-    if (rr.type == RRType::kSOA || rr.type == RRType::kNS) continue;
-    if (zone.find_delegation(rr.name) != nullptr) continue;  // glue
-    if (rr.type == RRType::kA &&
-        std::find(apex_servers.begin(), apex_servers.end(), rr.name) !=
-            apex_servers.end()) {
-      continue;  // apex server glue, installed via add_name_server
+    // Everything else is authoritative data (skip apex SOA/NS, delegation
+    // NS, glue under cuts, and server glue already installed).
+    for (const auto& rr : contents.records) {
+      if (rr.type == RRType::kSOA || rr.type == RRType::kNS) continue;
+      if (zone.find_delegation(rr.name) != nullptr) continue;  // glue
+      if (rr.type == RRType::kA &&
+          std::find(apex_servers.begin(), apex_servers.end(), rr.name) !=
+              apex_servers.end()) {
+        continue;  // apex server glue, installed via add_name_server
+      }
+      if (!rr.name.is_subdomain_of(origin)) {
+        throw ZoneFileError("record outside the zone: " +
+                            rr.name.to_string());
+      }
+      zone.add_record(rr.name, rr.type, rr.ttl, rr.rdata);
     }
-    if (!rr.name.is_subdomain_of(origin)) {
-      throw ZoneFileError("record outside the zone: " + rr.name.to_string());
-    }
-    zone.add_record(rr.name, rr.type, rr.ttl, rr.rdata);
+  } catch (const std::invalid_argument& e) {
+    throw ZoneFileError(std::string("invalid zone structure: ") + e.what());
   }
   return zone;
 }

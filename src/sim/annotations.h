@@ -33,6 +33,26 @@
 // Annotate judiciously: every DNSSHIELD_HOT function must actually pass
 // the analyzer's purity rule (CI runs it over the full tree), and every
 // DNSSHIELD_GUARDED_BY member must only be touched under its capability.
+//
+// Propagation (DESIGN.md section 16). Both function annotations also act
+// as interprocedural roots for the analyzer's call-graph rules:
+//
+//  - transitive-hot-purity: every function reachable from a
+//    DNSSHIELD_HOT root through direct/member/constructor call edges
+//    must be annotated itself or be provably allocation-free. Annotating
+//    a helper is the preferred fix (its body then answers to the
+//    intraprocedural purity rule forever); the analyzer's
+//    --suggest-annotations mode prints the minimal set.
+//  - exception-escape: from a DNSSHIELD_UNTRUSTED_INPUT root, no
+//    unguarded call chain through *unannotated* callees may reach a
+//    non-`dnsshield::*Error` throw. Annotating a callee
+//    DNSSHIELD_UNTRUSTED_INPUT makes it its own contract boundary (the
+//    walk stops there and the intraprocedural rules take over).
+//
+// Annotating a declaration covers the out-of-line definition: the
+// analyzer resolves annotations through the canonical declaration, so
+// the macro belongs on the header declaration (as with the thread-safety
+// attributes) and need not be repeated at the definition.
 #pragma once
 
 #if defined(__clang__)

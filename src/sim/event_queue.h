@@ -111,11 +111,11 @@ class EventQueue {
   /// clear() for the queue's lifetime.
   static constexpr std::size_t kBucketReserve = 16;
 
-  static Tick tick_of(SimTime t);
+  DNSSHIELD_HOT static Tick tick_of(SimTime t);
   /// Wheel level for an event whose tick differs from cursor_ in the given
   /// bits: the highest differing kLevelBits-wide chunk. >= kLevels means
   /// the event is beyond the wheel horizon (overflow heap).
-  static int level_of(Tick xor_bits);
+  DNSSHIELD_HOT static int level_of(Tick xor_bits);
 
   /// Place an event with tick >= cursor_ into its wheel slot (or the
   /// overflow heap when beyond the horizon).
@@ -124,9 +124,9 @@ class EventQueue {
   /// upper-level buckets and promoting overflow events as the cursor
   /// advances. Precondition: ready_.empty() && size_ > 0. Postcondition:
   /// ready_ is non-empty. Does not touch now_.
-  void harvest();
+  DNSSHIELD_HOT void harvest();
   /// Promote overflow events that now fall within the wheel horizon.
-  void drain_overflow();
+  DNSSHIELD_HOT void drain_overflow();
 
   // Invariants (DESIGN.md section 15):
   //  - every event in ready_ has tick < cursor_;

@@ -12,6 +12,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/annotations.h"
+
 namespace dnsshield::sim {
 
 template <typename Signature>
@@ -34,7 +36,7 @@ class FunctionRef<R(Args...)> {
               std::forward<Args>(args)...);
         }) {}
 
-  R operator()(Args... args) const {
+  DNSSHIELD_HOT R operator()(Args... args) const {
     return call_(obj_, std::forward<Args>(args)...);
   }
 

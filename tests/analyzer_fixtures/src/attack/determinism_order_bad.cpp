@@ -1,0 +1,54 @@
+// Fixture: determinism-order flags iteration over unordered std
+// containers whose body performs ordered accumulation (push_back /
+// operator+= on vector/deque/string), or reaches output emission
+// through the call graph — and stays silent for std::map iteration and
+// for commutative writes into another unordered container. Findings
+// anchor at the loop, where the fix (sorted snapshot) belongs.
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+void emit_score(std::ostream& out, int score) { out << score; }
+
+void collect_direct(const std::unordered_map<std::string, int>& counts,
+                    std::vector<int>& out) {
+  for (const auto& kv : counts) {  // EXPECT: determinism-order
+    out.push_back(kv.second);
+  }
+}
+
+void report_transitive(const std::unordered_set<int>& ids,
+                       std::ostream& out) {
+  for (int id : ids) {  // EXPECT: determinism-order
+    emit_score(out, id);
+  }
+}
+
+void iterator_loop(const std::unordered_map<std::string, int>& counts,
+                   std::string& out) {
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // EXPECT: determinism-order
+    out += it->first;
+  }
+}
+
+void ordered_is_fine(const std::map<std::string, int>& counts,
+                     std::vector<int>& out) {
+  for (const auto& kv : counts) {
+    out.push_back(kv.second);
+  }
+}
+
+void commutative_is_fine(
+    const std::unordered_map<std::string, int>& counts,
+    std::unordered_map<std::string, int>& merged) {
+  for (const auto& kv : counts) {
+    merged[kv.first] += kv.second;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Shared header for the cross-TU transitive-hot fixture pair. The
+// DNSSHIELD_HOT annotation lives on this declaration only: the
+// analyzer must resolve it through the canonical declaration and chase
+// the call edge into the other translation unit after fragment merge.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+DNSSHIELD_HOT std::size_t cross_tu_hot_root(int n);
+
+std::size_t cross_tu_width(int n);
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Cross-TU fixture, callee half: allocates in a function whose only
+// hot-path caller lives in the other translation unit
+// (cross_tu_root.cpp).
+#include "cross_tu.h"
+
+#include <string>
+
+namespace fixture {
+
+std::size_t cross_tu_width(int n) {
+  std::string rendered = std::to_string(n);  // EXPECT: transitive-hot-purity
+  return rendered.size();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Cross-TU fixture, caller half: the hot root (annotated in
+// cross_tu.h, not here) calls a helper whose allocating definition
+// lives in cross_tu_impl.cpp. The finding must surface over there —
+// proving that per-TU graph fragments merge into one cross-TU graph
+// and that annotations resolve through the canonical declaration.
+#include "cross_tu.h"
+
+namespace fixture {
+
+std::size_t cross_tu_hot_root(int n) { return cross_tu_width(n); }
+
+}  // namespace fixture

@@ -1,0 +1,62 @@
+// Fixture: exception-escape chases unguarded call chains out of
+// DNSSHIELD_UNTRUSTED_INPUT entry points into *unannotated* helpers
+// and anchors findings at the throw / .at() / sto* sites that let a
+// non-dnsshield::*Error escape. Calls made lexically inside a try
+// block are guarded (the walk stops), and the byte-identical
+// un-annotated twin entry point stays silent — the intraprocedural
+// error-contract rule cannot see any of these helpers, which is
+// exactly the gap this rule closes.
+#include <stdexcept>
+#include <string>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+int helper_throws(const std::string& field) {
+  if (field.empty()) {
+    throw std::runtime_error("empty field");  // EXPECT: exception-escape
+  }
+  return static_cast<int>(field.size());
+}
+
+int helper_unchecked(const std::string& field) {
+  return std::stoi(field);  // EXPECT: exception-escape
+}
+
+char helper_at(const std::string& field) {
+  return field.at(0);  // EXPECT: exception-escape
+}
+
+int helper_guarded_only(const std::string& field) {
+  if (field.empty()) {
+    throw std::runtime_error("empty field");  // only guarded callers
+  }
+  return static_cast<int>(field.size());
+}
+
+DNSSHIELD_UNTRUSTED_INPUT int parse_count(const std::string& field) {
+  return helper_throws(field);
+}
+
+DNSSHIELD_UNTRUSTED_INPUT int parse_port(const std::string& field) {
+  return helper_unchecked(field);
+}
+
+DNSSHIELD_UNTRUSTED_INPUT char parse_tag(const std::string& field) {
+  return helper_at(field);
+}
+
+DNSSHIELD_UNTRUSTED_INPUT int parse_count_guarded(const std::string& field) {
+  try {
+    return helper_guarded_only(field);
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int twin_parse_count(const std::string& field) {
+  return helper_throws(field);
+}
+
+}  // namespace fixture

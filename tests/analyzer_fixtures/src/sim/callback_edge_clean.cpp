@@ -1,0 +1,26 @@
+// Probe: InplaceCallback construction records a *callback* edge — the
+// wrapped closure runs later on the event loop's stack, not the
+// creator's — so neither the allocating named function wrapped below
+// nor the lambda's body may be charged to the DNSSHIELD_HOT creator.
+// transitive-hot-purity traverses direct/member/ctor edges only; this
+// file must produce zero findings.
+#include <cstddef>
+#include <string>
+
+#include "sim/annotations.h"
+#include "sim/inplace_callback.h"
+
+namespace fixture {
+
+void deferred_render() {
+  std::string rendered = std::to_string(42);
+  (void)rendered;
+}
+
+DNSSHIELD_HOT std::size_t hot_schedules(int n) {
+  dnsshield::sim::InplaceCallback named(&deferred_render);
+  dnsshield::sim::InplaceCallback closure([n] { (void)(n + 1); });
+  return named && closure ? 1u : 0u;
+}
+
+}  // namespace fixture

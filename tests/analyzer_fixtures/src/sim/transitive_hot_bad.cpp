@@ -1,0 +1,38 @@
+// Fixture: transitive-hot-purity follows invocation edges from a
+// DNSSHIELD_HOT root through unannotated helpers and anchors findings
+// at the allocation sites inside them. The *cold* chain below has the
+// same bodies but no annotation on its driver and must stay silent
+// (the rule keys on reachability from an annotated root, not on the
+// body). The allocation-free middle helpers are what
+// --suggest-annotations reports (pinned to suggest_annotations.golden
+// by scripts/test_dnsshield_analyze.py).
+#include <cstddef>
+#include <string>
+
+#include "sim/annotations.h"
+
+namespace fixture {
+
+std::size_t leaf_allocates(int n) {
+  std::string rendered = std::to_string(n);  // EXPECT: transitive-hot-purity
+  return rendered.size();
+}
+
+std::size_t mid_inner(int n) { return leaf_allocates(n) + 1; }
+
+std::size_t mid_outer(int n) { return mid_inner(n) + 1; }
+
+DNSSHIELD_HOT std::size_t hot_driver(int n) { return mid_outer(n); }
+
+std::size_t cold_leaf_allocates(int n) {
+  std::string rendered = std::to_string(n);
+  return rendered.size();
+}
+
+std::size_t cold_mid_inner(int n) { return cold_leaf_allocates(n) + 1; }
+
+std::size_t cold_mid_outer(int n) { return cold_mid_inner(n) + 1; }
+
+std::size_t cold_driver(int n) { return cold_mid_outer(n); }
+
+}  // namespace fixture

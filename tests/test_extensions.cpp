@@ -3,6 +3,10 @@
 // search (paper section 6), and DNSSEC infrastructure records.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "attack/max_damage.h"
 #include "core/experiment.h"
 #include "core/presets.h"
@@ -184,6 +188,64 @@ TEST_F(MaxDamageTest, GreedyPicksDisjointSubtreesWithinBudget) {
           scenario.target_zones[i]));
     }
   }
+}
+
+TEST_F(MaxDamageTest, ScoreEmissionIsByteIdentical) {
+  // score_zones feeds report/emission paths, so its output order must be
+  // a total order — (count desc, zone asc) — never hash order. Pin the
+  // emitted bytes: recomputation reproduces them exactly, and re-sorting
+  // a reversed copy (which permutes every tie group) reproduces them too,
+  // which fails if the order ever degrades to a non-total (hash) order.
+  attack::MaxDamageParams params;
+  params.window = sim::days(1);
+  const auto render = [](const std::vector<attack::ZoneScore>& scores) {
+    std::string out;
+    for (const auto& s : scores) {
+      out += s.zone.to_string();
+      out += ':';
+      out += std::to_string(s.subtree_queries);
+      out += '\n';
+    }
+    return out;
+  };
+  auto scores = attack::score_zones(hierarchy_, trace_, params);
+  const std::string first = render(scores);
+  EXPECT_EQ(first, render(attack::score_zones(hierarchy_, trace_, params)));
+  std::reverse(scores.begin(), scores.end());
+  std::sort(scores.begin(), scores.end(),
+            [](const attack::ZoneScore& a, const attack::ZoneScore& b) {
+              if (a.subtree_queries != b.subtree_queries) {
+                return a.subtree_queries > b.subtree_queries;
+              }
+              return a.zone < b.zone;
+            });
+  EXPECT_EQ(first, render(scores));
+}
+
+TEST_F(MaxDamageTest, TiedScoresEmitInNameOrder) {
+  // One query into each of two distinct SLD subtrees: the two SLD zones
+  // tie at one query each and must come out zone-ascending.
+  std::vector<Name> slds;
+  for (const auto& origin : hierarchy_.zone_origins()) {
+    if (origin.label_count() == 2) slds.push_back(origin);
+    if (slds.size() == 2) break;
+  }
+  ASSERT_EQ(slds.size(), 2u);
+  std::vector<trace::QueryEvent> trace;
+  for (const auto& sld : slds) {
+    trace::QueryEvent ev;
+    ev.time = 1;
+    ev.qname = sld.child("host");
+    trace.push_back(ev);
+  }
+  attack::MaxDamageParams params;
+  params.window = sim::days(1);
+  params.min_depth = 2;  // only the SLDs themselves score
+  const auto scores = attack::score_zones(hierarchy_, trace, params);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].subtree_queries, 1u);
+  EXPECT_EQ(scores[1].subtree_queries, 1u);
+  EXPECT_TRUE(scores[0].zone < scores[1].zone);
 }
 
 TEST_F(MaxDamageTest, RootAloneConsumesBudgetOne) {

@@ -144,6 +144,25 @@ TEST(ZoneFileLoadTest, OutOfZoneRecordRejected) {
                ZoneFileError);
 }
 
+TEST(ZoneFileLoadTest, OutOfZoneDelegationRejectedAsZoneFileError) {
+  // A non-apex NS whose owner is outside the zone used to reach
+  // Zone::add_delegation, whose std::invalid_argument escaped load_zone —
+  // a DNSSHIELD_UNTRUSTED_INPUT entry point whose contract is
+  // ZoneFileError only (the analyzer's exception-escape rule).
+  std::istringstream in(
+      "@ 60 IN SOA ns1 h 1 2 3 4 5\n@ 60 IN NS ns1\nns1 60 IN A 1.2.3.4\n"
+      "child.other.org. 60 IN NS ns1.other.org.\n");
+  const auto contents = parse_zone_file(in, Name::parse("z.com"));
+  try {
+    load_zone(contents);
+    FAIL() << "out-of-zone delegation accepted";
+  } catch (const ZoneFileError&) {
+    // The required contract.
+  } catch (const std::exception& e) {
+    FAIL() << "escaped as non-ZoneFileError: " << e.what();
+  }
+}
+
 TEST(ZoneFileRoundTripTest, SerializeParseLoadAgain) {
   const Zone zone = load_zone(parse_sample());
   const std::string text = to_zone_file(zone);
